@@ -1,0 +1,142 @@
+//! Aperture apodization windows — the `w(S)` weights of Eq. 1.
+
+use usbf_geometry::{ElementIndex, TransducerArray};
+
+/// A separable aperture window: the element weight is
+/// `w(ξx)·w(ξy)` with `ξ ∈ [−1, 1]` the normalized position along each
+/// aperture axis. Rect is the unweighted sum; Hann/Hamming trade main-lobe
+/// width for sidelobe suppression; Tukey interpolates between Rect and
+/// Hann with a taper fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Apodization {
+    /// Uniform weights (no apodization).
+    Rect,
+    /// Hann window: `0.5·(1 + cos(πξ))`.
+    Hann,
+    /// Hamming window: `0.54 + 0.46·cos(πξ)`.
+    Hamming,
+    /// Tukey (tapered-cosine) window with taper fraction in `[0, 1]`
+    /// (0 → Rect, 1 → Hann).
+    Tukey(f64),
+}
+
+impl Apodization {
+    fn axis_weight(self, xi: f64) -> f64 {
+        let xi = xi.clamp(-1.0, 1.0).abs();
+        match self {
+            Apodization::Rect => 1.0,
+            Apodization::Hann => 0.5 * (1.0 + (std::f64::consts::PI * xi).cos()),
+            Apodization::Hamming => 0.54 + 0.46 * (std::f64::consts::PI * xi).cos(),
+            Apodization::Tukey(taper) => {
+                let taper = taper.clamp(0.0, 1.0);
+                if taper == 0.0 || xi < 1.0 - taper {
+                    1.0
+                } else {
+                    0.5 * (1.0 + ((std::f64::consts::PI / taper) * (xi - 1.0 + taper)).cos())
+                }
+            }
+        }
+    }
+
+    /// Weight of element `e` on array `array`, in `[0, 1]`.
+    pub fn weight(self, array: &TransducerArray, e: ElementIndex) -> f64 {
+        let half_x = array.x_of(array.nx() - 1).abs().max(f64::MIN_POSITIVE);
+        let half_y = array.y_of(array.ny() - 1).abs().max(f64::MIN_POSITIVE);
+        let xi_x = array.x_of(e.ix) / half_x;
+        let xi_y = array.y_of(e.iy) / half_y;
+        self.axis_weight(xi_x) * self.axis_weight(xi_y)
+    }
+
+    /// Precomputes the weights of every element in linear order.
+    pub fn weights(self, array: &TransducerArray) -> Vec<f64> {
+        array.iter().map(|e| self.weight(array, e)).collect()
+    }
+}
+
+impl Default for Apodization {
+    fn default() -> Self {
+        Apodization::Hann
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> TransducerArray {
+        TransducerArray::new(9, 9, 0.2e-3)
+    }
+
+    #[test]
+    fn rect_is_uniform() {
+        let a = array();
+        for e in a.iter() {
+            assert_eq!(Apodization::Rect.weight(&a, e), 1.0);
+        }
+    }
+
+    #[test]
+    fn hann_peaks_at_center_vanishes_at_edges() {
+        let a = array();
+        let center = Apodization::Hann.weight(&a, a.center_element());
+        assert!((center - 1.0).abs() < 1e-12);
+        let corner = Apodization::Hann.weight(&a, ElementIndex::new(0, 0));
+        assert!(corner.abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_keeps_edge_pedestal() {
+        let a = array();
+        let corner = Apodization::Hamming.weight(&a, ElementIndex::new(0, 0));
+        // Hamming edge value is 0.08 per axis → 0.0064 at the corner.
+        assert!((corner - 0.08 * 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tukey_limits() {
+        let a = array();
+        for e in a.iter() {
+            let rect = Apodization::Rect.weight(&a, e);
+            let t0 = Apodization::Tukey(0.0).weight(&a, e);
+            assert!((t0 - rect).abs() < 1e-12);
+            let hann = Apodization::Hann.weight(&a, e);
+            let t1 = Apodization::Tukey(1.0).weight(&a, e);
+            assert!((t1 - hann).abs() < 1e-12, "e={e}: {t1} vs {hann}");
+        }
+    }
+
+    #[test]
+    fn weights_are_symmetric() {
+        let a = array();
+        for apod in [Apodization::Hann, Apodization::Hamming, Apodization::Tukey(0.5)] {
+            for e in a.iter() {
+                let m = ElementIndex::new(a.nx() - 1 - e.ix, a.ny() - 1 - e.iy);
+                assert!(
+                    (apod.weight(&a, e) - apod.weight(&a, m)).abs() < 1e-12,
+                    "{apod:?} at {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_vector_matches_per_element() {
+        let a = array();
+        let w = Apodization::Hann.weights(&a);
+        for (i, e) in a.iter().enumerate() {
+            assert_eq!(w[i], Apodization::Hann.weight(&a, e));
+        }
+    }
+
+    #[test]
+    fn all_weights_in_unit_interval() {
+        let a = TransducerArray::new(16, 12, 0.2e-3);
+        for apod in
+            [Apodization::Rect, Apodization::Hann, Apodization::Hamming, Apodization::Tukey(0.3)]
+        {
+            for w in apod.weights(&a) {
+                assert!((0.0..=1.0).contains(&w), "{apod:?}: w = {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The reconstructed volume container.
+
+use usbf_geometry::{SystemSpec, VoxelIndex};
+
+/// A beamformed volume: one value per focal point, stored in
+/// scanline-major linear order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamformedVolume {
+    data: Vec<f64>,
+    n_theta: usize,
+    n_phi: usize,
+    n_depth: usize,
+}
+
+impl BeamformedVolume {
+    /// Allocates a zeroed volume matching a spec's focal grid.
+    pub fn zeros(spec: &SystemSpec) -> Self {
+        let v = &spec.volume_grid;
+        BeamformedVolume {
+            data: vec![0.0; v.voxel_count()],
+            n_theta: v.n_theta(),
+            n_phi: v.n_phi(),
+            n_depth: v.n_depth(),
+        }
+    }
+
+    #[inline]
+    fn linear(&self, vox: VoxelIndex) -> usize {
+        debug_assert!(
+            vox.it < self.n_theta && vox.ip < self.n_phi && vox.id < self.n_depth,
+            "voxel {vox} out of range"
+        );
+        (vox.it * self.n_phi + vox.ip) * self.n_depth + vox.id
+    }
+
+    /// Value at a voxel.
+    #[inline]
+    pub fn get(&self, vox: VoxelIndex) -> f64 {
+        self.data[self.linear(vox)]
+    }
+
+    /// Sets the value at a voxel.
+    #[inline]
+    pub fn set(&mut self, vox: VoxelIndex, value: f64) {
+        let i = self.linear(vox);
+        self.data[i] = value;
+    }
+
+    /// Total voxels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the volume has no voxels (never true for a spec-built
+    /// volume).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Largest |value|.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Voxel with the largest |value|.
+    pub fn argmax(&self) -> VoxelIndex {
+        let (mut best, mut best_i) = (-1.0f64, 0);
+        for (i, &v) in self.data.iter().enumerate() {
+            if v.abs() > best {
+                best = v.abs();
+                best_i = i;
+            }
+        }
+        let id = best_i % self.n_depth;
+        let rest = best_i / self.n_depth;
+        VoxelIndex::new(rest / self.n_phi, rest % self.n_phi, id)
+    }
+
+    /// Axial profile (all depths) along scanline `(it, ip)`.
+    pub fn axial_profile(&self, it: usize, ip: usize) -> Vec<f64> {
+        (0..self.n_depth).map(|id| self.get(VoxelIndex::new(it, ip, id))).collect()
+    }
+
+    /// Lateral (θ) profile at fixed `(ip, id)`.
+    pub fn lateral_profile(&self, ip: usize, id: usize) -> Vec<f64> {
+        (0..self.n_theta).map(|it| self.get(VoxelIndex::new(it, ip, id))).collect()
+    }
+
+    /// The raw values in scanline-major order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Log-compressed magnitude in dB relative to the volume peak, clamped
+    /// at `floor_db` (e.g. −60): the standard display transform.
+    pub fn to_db(&self, floor_db: f64) -> Vec<f64> {
+        let peak = self.max_abs().max(f64::MIN_POSITIVE);
+        self.data
+            .iter()
+            .map(|&v| (20.0 * (v.abs() / peak).log10()).max(floor_db))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> BeamformedVolume {
+        BeamformedVolume::zeros(&SystemSpec::tiny())
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = vol();
+        let vox = VoxelIndex::new(2, 3, 4);
+        v.set(vox, 1.5);
+        assert_eq!(v.get(vox), 1.5);
+        assert_eq!(v.get(VoxelIndex::new(2, 3, 5)), 0.0);
+    }
+
+    #[test]
+    fn argmax_finds_largest_magnitude() {
+        let mut v = vol();
+        v.set(VoxelIndex::new(1, 1, 1), 0.5);
+        v.set(VoxelIndex::new(7, 6, 15), -2.0);
+        assert_eq!(v.argmax(), VoxelIndex::new(7, 6, 15));
+        assert_eq!(v.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn profiles_have_right_lengths() {
+        let v = vol();
+        assert_eq!(v.axial_profile(0, 0).len(), 16);
+        assert_eq!(v.lateral_profile(0, 0).len(), 8);
+        assert_eq!(v.len(), 8 * 8 * 16);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn to_db_peak_is_zero() {
+        let mut v = vol();
+        v.set(VoxelIndex::new(0, 0, 0), 4.0);
+        v.set(VoxelIndex::new(0, 0, 1), 0.4);
+        let db = v.to_db(-60.0);
+        assert_eq!(db[0], 0.0);
+        assert!((db[1] + 20.0).abs() < 1e-9);
+        assert_eq!(db[2], -60.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//! δ grain, fixed-point widths, scan-order locality, symmetry folding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usbf_core::{TableFreeConfig, TableFreeEngine};
+use usbf_fixed::analysis::rounding_flip_stats;
+use usbf_fixed::{QFormat, RoundingMode};
+use usbf_geometry::scan::ScanOrder;
+use usbf_geometry::SystemSpec;
+use usbf_tables::ReferenceTable;
+
+fn bench_ablations(c: &mut Criterion) {
+    // 1. δ sweep: build cost of the PWL engine per δ.
+    let spec = SystemSpec::reduced();
+    let mut g = c.benchmark_group("ablation_delta_engine_build");
+    for &delta in &[0.5, 0.25, 0.125] {
+        g.bench_function(format!("delta_{delta}"), |b| {
+            b.iter(|| {
+                TableFreeEngine::new(black_box(&spec), TableFreeConfig::with_delta(delta))
+                    .expect("builds")
+            })
+        });
+    }
+    g.finish();
+
+    // 2. Fixed-point width: cost of the rounding-flip analysis per format
+    //    pair (the E5 kernel).
+    let triples: Vec<(f64, f64, f64)> = (0..4096)
+        .map(|i| {
+            let x = i as f64;
+            (x.mul_add(1.9, 3.3) % 8000.0, (x * 0.37) % 300.0 - 150.0, (x * 0.11) % 300.0 - 150.0)
+        })
+        .collect();
+    let mut g = c.benchmark_group("ablation_fixed_width_flips");
+    for (name, rf, cf) in [
+        ("int13", QFormat::INT_13, QFormat::signed(13, 0)),
+        ("bits14", QFormat::REF_14, QFormat::CORR_14),
+        ("bits18", QFormat::REF_18, QFormat::CORR_18),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                rounding_flip_stats(rf, cf, triples.iter().copied(), RoundingMode::HalfUp)
+            })
+        });
+    }
+    g.finish();
+
+    // 3. Scan order: full-frame tracking walk per order (the §IV-B
+    //    gradual-transition property vs the scanline restart penalty).
+    let engine = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds");
+    let center = spec.elements.center_element();
+    let mut g = c.benchmark_group("ablation_scan_order_tracking");
+    g.sample_size(10);
+    for order in [ScanOrder::NappeByNappe, ScanOrder::ScanlineByScanline] {
+        g.bench_function(order.name(), |b| {
+            b.iter(|| engine.tracking_stats_for_element(black_box(center), order))
+        });
+    }
+    g.finish();
+
+    // 4. Symmetry folding: table build with a centred (foldable) vs
+    //    displaced (unfoldable, 4x larger) origin.
+    let centred = SystemSpec::reduced();
+    let displaced = SystemSpec::new(
+        centred.speed_of_sound,
+        centred.sampling_frequency,
+        centred.transducer.clone(),
+        centred.volume.clone(),
+        usbf_geometry::Vec3::new(1.0e-3, 0.0, 0.0),
+        centred.frame_rate,
+    );
+    let mut g = c.benchmark_group("ablation_fold_reference_build");
+    g.bench_function("centred_folded", |b| b.iter(|| ReferenceTable::build(black_box(&centred))));
+    g.bench_function("displaced_unfolded", |b| {
+        b.iter(|| ReferenceTable::build(black_box(&displaced)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

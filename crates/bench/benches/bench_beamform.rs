@@ -1,0 +1,52 @@
+//! End-to-end beamforming rate (voxels/s) per delay engine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use usbf_beamform::{Apodization, Beamformer};
+use usbf_core::{DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine};
+use usbf_geometry::{SystemSpec, VoxelIndex};
+use usbf_sim::{EchoSynthesizer, Phantom, Pulse};
+
+fn bench_beamform(c: &mut Criterion) {
+    let spec = SystemSpec::tiny();
+    let vox = VoxelIndex::new(4, 4, 8);
+    let rf = EchoSynthesizer::new(&spec).synthesize(
+        &Phantom::point(spec.volume_grid.position(vox)),
+        &Pulse::from_spec(&spec),
+    );
+    let bf = Beamformer::new(&spec).with_apodization(Apodization::Hann);
+    let exact = ExactEngine::new(&spec);
+    let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds");
+    let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds");
+
+    let mut g = c.benchmark_group("beamform_volume_tiny");
+    g.throughput(Throughput::Elements(spec.volume_grid.voxel_count() as u64));
+    let engines: [(&str, &dyn DelayEngine); 3] =
+        [("exact", &exact), ("tablefree", &tablefree), ("tablesteer18", &tablesteer)];
+    for (name, eng) in engines {
+        g.bench_function(name, |b| b.iter(|| bf.beamform_volume(black_box(eng), black_box(&rf))));
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("beamform_single_voxel");
+    g.bench_function("exact_hann", |b| {
+        b.iter(|| bf.beamform_voxel(&exact, black_box(&rf), black_box(vox)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("echo_synthesis");
+    let phantom = Phantom::speckle(
+        256,
+        usbf_geometry::Vec3::new(-0.02, -0.02, 0.05),
+        usbf_geometry::Vec3::new(0.02, 0.02, 0.15),
+        7,
+    );
+    let pulse = Pulse::from_spec(&spec);
+    g.bench_function("speckle_256_tiny", |b| {
+        b.iter(|| EchoSynthesizer::new(&spec).synthesize(black_box(&phantom), black_box(&pulse)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_beamform);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! PWL square-root evaluation: direct (binary-search) vs tracked
+//! (the Fig. 2 hardware policy) vs quantized datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use usbf_pwl::{LutFormats, PwlApprox, QuantizedPwl, SqrtFn, TrackingEvaluator};
+
+fn bench_pwl(c: &mut Criterion) {
+    let table = PwlApprox::build(&SqrtFn, (64.0, 16.0e6), 0.25).expect("builds");
+    let quant = QuantizedPwl::quantize(&table, LutFormats::paper_default()).expect("quantizes");
+    // A slowly drifting argument sequence, as a nappe sweep produces.
+    let args: Vec<f64> = (0..8192).map(|i| 100.0 + i as f64 * 1900.0).collect();
+
+    let mut g = c.benchmark_group("pwl_eval");
+    g.throughput(Throughput::Elements(args.len() as u64));
+    g.bench_function("direct_binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &args {
+                acc += table.eval(black_box(x));
+            }
+            acc
+        })
+    });
+    g.bench_function("tracking_pointer", |b| {
+        b.iter(|| {
+            let mut tr = TrackingEvaluator::new(&table);
+            let mut acc = 0.0;
+            for &x in &args {
+                acc += tr.eval(black_box(x)).expect("unbounded tracker");
+            }
+            acc
+        })
+    });
+    g.bench_function("quantized_datapath", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &args {
+                acc += quant.eval(black_box(x));
+            }
+            acc
+        })
+    });
+    g.bench_function("f64_sqrt_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &x in &args {
+                acc += black_box(x).sqrt();
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("pwl_build");
+    for &delta in &[0.5, 0.25, 0.125] {
+        g.bench_function(format!("delta_{delta}"), |b| {
+            b.iter(|| PwlApprox::build(&SqrtFn, (64.0, 16.0e6), black_box(delta)).expect("builds"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pwl);
+criterion_main!(benches);

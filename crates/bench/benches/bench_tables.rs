@@ -1,0 +1,65 @@
+//! Reference-table construction, steered lookups and the streaming walk.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+use usbf_tables::{ReferenceTable, SteeringTables, TableBudget};
+
+fn bench_tables(c: &mut Criterion) {
+    let spec = SystemSpec::reduced();
+
+    let mut g = c.benchmark_group("table_build");
+    g.bench_function("reference_reduced", |b| {
+        b.iter(|| ReferenceTable::build(black_box(&spec)))
+    });
+    g.bench_function("steering_reduced", |b| {
+        b.iter(|| SteeringTables::build(black_box(&spec)))
+    });
+    g.bench_function("budget_paper_scale", |b| {
+        b.iter(|| TableBudget::for_spec(black_box(&SystemSpec::paper()), 18, 18))
+    });
+    g.finish();
+
+    let reference = ReferenceTable::build(&spec);
+    let steering = SteeringTables::build(&spec);
+    let v = &spec.volume_grid;
+    let el = &spec.elements;
+    let lookups: Vec<(VoxelIndex, ElementIndex)> = (0..4096)
+        .map(|i| (v.voxel_at((i * 6131) % v.voxel_count()), el.element_at((i * 31) % el.count())))
+        .collect();
+
+    let mut g = c.benchmark_group("steered_lookup");
+    g.throughput(Throughput::Elements(lookups.len() as u64));
+    g.bench_function("reference_plus_correction", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(vox, e) in &lookups {
+                acc += reference.delay_samples(vox.id, e) + steering.correction_samples(vox, e);
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    // The nappe streaming walk: consume one depth slice at a time, as the
+    // circular-buffer hardware does.
+    let mut g = c.benchmark_group("streaming_walk");
+    g.throughput(Throughput::Elements(
+        (reference.n_depth() * el.count()) as u64,
+    ));
+    g.bench_function("slice_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for id in 0..reference.n_depth() {
+                for &d in reference.slice(black_box(id)) {
+                    acc += d;
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Experiment F2 — Fig. 2: the piecewise-linear square-root approximation.
+//!
+//! Regenerates: the ~70-segment table at δ = 0.25 over the system's
+//! squared-distance range, the bounded error profile (the red curve of
+//! Fig. 2b), the coefficient-LUT budget ("a few LUTs"), and a δ-sweep
+//! ablation.
+//!
+//! Run with: `cargo run --release -p usbf-bench --bin exp_fig2_pwl`
+
+use usbf_bench::{compare_line, section};
+use usbf_core::TableFreeEngine;
+use usbf_geometry::SystemSpec;
+use usbf_pwl::{LutFormats, PwlApprox, QuantizedPwl, SqrtFn};
+
+fn main() {
+    let spec = SystemSpec::paper();
+    let (lo, hi) = TableFreeEngine::sqrt_domain(&spec);
+    println!("{}", section("F2: PWL √ approximation at paper scale"));
+    println!(
+        "argument domain: [{lo:.1}, {hi:.3e}] samples² (one-way paths up to {:.0} samples)",
+        hi.sqrt()
+    );
+
+    let pwl = PwlApprox::build(&SqrtFn, (lo, hi), 0.25).expect("paper domain builds");
+    println!(
+        "{}",
+        compare_line("segments for δ = 0.25", "70", &pwl.segment_count().to_string())
+    );
+    println!(
+        "{}",
+        compare_line(
+            "max |error| (exact, per construction)",
+            "δ = 0.25",
+            &format!("{:.6}", pwl.max_error_exact(&SqrtFn))
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "mean |error| (one √, sampled)",
+            "(enters the 0.204 sum)",
+            &format!("{:.4}", pwl.mean_abs_error_sampled(&SqrtFn, 200_001))
+        )
+    );
+
+    let quant = QuantizedPwl::quantize(&pwl, LutFormats::fitted_to(&pwl)).expect("quantizes");
+    println!(
+        "{}",
+        compare_line(
+            "coefficient LUT storage",
+            "\"a few LUTs\"",
+            &format!("{} bits ({:.1} kb)", quant.storage_bits(), quant.storage_bits() as f64 / 1e3)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "extra fixed-point error bound",
+            "(kept ≪ δ)",
+            &format!("{:.4} samples", quant.quantization_error_bound())
+        )
+    );
+
+    // The Fig. 2b error-profile series: |approx − √| sampled across three
+    // consecutive segments mid-table (equi-ripple arcs touching ±δ).
+    println!("{}", section("F2b: error profile across segments (series)"));
+    let mid = pwl.segment_count() / 2;
+    let segs = &pwl.segments()[mid..mid + 3];
+    println!("x (samples²), error (samples)");
+    for s in segs {
+        for k in 0..8 {
+            let x = s.x0 + (s.x1 - s.x0) * k as f64 / 7.0;
+            println!("{:>14.1}, {:+.4}", x, pwl.eval(x) - x.sqrt());
+        }
+    }
+
+    println!("{}", section("Ablation: δ → segment count / mean error"));
+    println!("{:>8} {:>10} {:>12} {:>14}", "δ", "segments", "max error", "mean error");
+    for &delta in &[1.0, 0.5, 0.25, 0.125, 0.0625] {
+        let p = PwlApprox::build(&SqrtFn, (lo, hi), delta).expect("builds");
+        println!(
+            "{:>8} {:>10} {:>12.4} {:>14.4}",
+            delta,
+            p.segment_count(),
+            p.max_error_exact(&SqrtFn),
+            p.mean_abs_error_sampled(&SqrtFn, 100_001)
+        );
+    }
+    println!("\n(segment count scales as 1/√δ: the paper's δ = 0.25 point sits at ~70)");
+}

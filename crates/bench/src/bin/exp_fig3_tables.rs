@@ -1,0 +1,94 @@
+//! Experiment F3 — Fig. 3: the reference delay table, directivity
+//! pruning (a), the steering-correction plane (c), and a compensated
+//! table section (d).
+//!
+//! Run with: `cargo run --release -p usbf-bench --bin exp_fig3_tables`
+
+use usbf_bench::{compare_line, section};
+use usbf_geometry::{Directivity, ElementIndex, SystemSpec, VoxelIndex};
+use usbf_tables::{PruneMask, ReferenceTable, SteeringTables};
+
+fn main() {
+    // Fig. 3a uses a 16×16×500 demo geometry "for simplicity".
+    let spec = SystemSpec::figure3();
+    println!("{}", section("F3a: directivity-pruned reference table (16x16x500)"));
+    let mask = PruneMask::build(&spec, &Directivity::paper_default());
+    println!(
+        "{}",
+        compare_line(
+            "total (depth, element) entries",
+            "16x16x500 = 128e3",
+            &mask.total_count().to_string()
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "pruned by directivity (45° cone)",
+            "(cone-shaped void, Fig. 3a)",
+            &format!("{} ({:.1}%)", mask.pruned_count(), 100.0 * (1.0 - mask.fraction_kept()))
+        )
+    );
+    println!("kept per depth slice (series, every 50th nappe):");
+    println!("depth index, kept of {}", spec.elements.count());
+    for id in (0..spec.volume_grid.n_depth()).step_by(50) {
+        println!("{:>11}, {}", id, mask.kept_in_slice(id));
+    }
+
+    let reference = ReferenceTable::build(&spec);
+    println!("{}", section("F3a: symmetry folding"));
+    println!(
+        "{}",
+        compare_line(
+            "quadrant fold",
+            "3/4 redundant",
+            &format!(
+                "{} stored of {} ({}x saving)",
+                reference.entry_count(),
+                reference.unfolded_entry_count(),
+                reference.unfolded_entry_count() / reference.entry_count()
+            )
+        )
+    );
+
+    // Fig. 3c: the correction plane over (xD, yD) for one steered line —
+    // the paper's plot spans ±1e-5 s for a steering near the fan edge.
+    let paper = SystemSpec::paper();
+    let steering = SteeringTables::build(&paper);
+    println!("{}", section("F3c: steering-correction plane (paper geometry)"));
+    let (it, ip) = (110, 96); // a representative steered line of sight
+    let theta = paper.volume_grid.theta_of(it).to_degrees();
+    let phi = paper.volume_grid.phi_of(ip).to_degrees();
+    println!("line of sight: θ = {theta:.1}°, φ = {phi:.1}°");
+    println!("xD index, yD index, correction [µs]");
+    for &iy in &[0usize, 33, 66, 99] {
+        for &ix in &[0usize, 33, 66, 99] {
+            let c = steering.correction_samples(VoxelIndex::new(it, ip, 0), ElementIndex::new(ix, iy));
+            println!("{:>8}, {:>8}, {:+.3}", ix, iy, paper.samples_to_seconds(c) * 1e6);
+        }
+    }
+    let max_corr = paper.samples_to_seconds(steering.max_abs_correction_samples()) * 1e6;
+    println!(
+        "{}",
+        compare_line("plane range over all steerings", "±10 µs (Fig. 3c axis)", &format!("±{max_corr:.1} µs"))
+    );
+
+    // Fig. 3d: a section of the compensated (steered) delay table: delays
+    // vs element column for a few depths on the steered line.
+    println!("{}", section("F3d: compensated delay-table section"));
+    let ref_paper = ReferenceTable::build(&paper);
+    println!("depth index, delays [samples] for element columns 0,25,50,75,99 (row iy=50)");
+    for &id in &[99usize, 299, 499, 699, 899] {
+        let row: Vec<String> = [0usize, 25, 50, 75, 99]
+            .iter()
+            .map(|&ix| {
+                let e = ElementIndex::new(ix, 50);
+                let d = ref_paper.delay_samples(id, e)
+                    + steering.correction_samples(VoxelIndex::new(it, ip, id), e);
+                format!("{d:.0}")
+            })
+            .collect();
+        println!("{:>11}, {}", id, row.join(", "));
+    }
+    println!("\n(each row is one horizontal cut of Fig. 3d: reference delays shifted by a tilted plane)");
+}

@@ -1,0 +1,157 @@
+//! Experiments E1, E2, E6 — the storage/bandwidth bottleneck (§II-B,
+//! §II-C) and the TABLESTEER memory budget & streaming design (§V-B).
+//!
+//! Run with: `cargo run --release -p usbf-bench --bin exp_sizes`
+
+use usbf_bench::{compare_line, section};
+use usbf_core::{NaiveTableEngine, SteerBlockSpec};
+use usbf_geometry::SystemSpec;
+use usbf_tables::{InsonificationPlan, StreamingPlan, TableBudget};
+
+fn main() {
+    let spec = SystemSpec::paper();
+
+    println!("{}", section("E1 (§II-B): naive delay-table size"));
+    println!(
+        "{}",
+        compare_line(
+            "3D delay coefficients",
+            "about 164e9",
+            &format!("{:.1}e9", spec.naive_table_entries() as f64 / 1e9)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "as 16-bit table",
+            "(impractical)",
+            &format!("{:.0} GB", NaiveTableEngine::required_bytes(&spec) as f64 / 1e9)
+        )
+    );
+    // A typical 2D system: 128-element linear array, 128 scanlines × 1000
+    // depths → "a few million coefficients".
+    let coeffs_2d: u64 = 128 * 128 * 1000;
+    println!(
+        "{}",
+        compare_line("2D system (128 el., 128x1000)", "a few million", &format!("{:.1}e6", coeffs_2d as f64 / 1e6))
+    );
+
+    println!("{}", section("E2 (§II-C): delay access bandwidth"));
+    println!(
+        "{}",
+        compare_line(
+            "delay values/s @ 15 fps",
+            "about 2.5e12",
+            &format!("{:.3}e12", spec.delays_per_second() / 1e12)
+        )
+    );
+
+    println!("{}", section("E6 (§V-B): TABLESTEER memory budget, 18-bit"));
+    let b18 = TableBudget::for_spec(&spec, 18, 18);
+    println!(
+        "{}",
+        compare_line(
+            "folded reference entries",
+            "50x50x1000 = 2.5e6",
+            &format!("{:.1}e6", b18.reference_entries as f64 / 1e6)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "correction coefficients",
+            "100x64x128 + 100x128 = 832e3",
+            &format!("{}e3", b18.correction_entries / 1000)
+        )
+    );
+    println!(
+        "{}",
+        compare_line("reference storage", "45 Mb", &format!("{:.1} Mb", b18.reference_megabits()))
+    );
+    println!(
+        "{}",
+        compare_line(
+            "correction storage",
+            "14.3 Mb",
+            &format!("{:.2} Mib ({:.2} Mb decimal — the paper mixes prefixes)", b18.correction_mebibits(), b18.correction_bits as f64 / 1e6)
+        )
+    );
+
+    println!("{}", section("E6 (§V-B): streaming design"));
+    let plan = InsonificationPlan::paper();
+    let rate = plan.insonifications_per_second(spec.frame_rate);
+    println!(
+        "{}",
+        compare_line(
+            "insonifications/s",
+            "64/volume x 15 fps = 960",
+            &format!("{rate} (covers spec: {})", plan.covers(&spec))
+        )
+    );
+    let stream = StreamingPlan::paper();
+    println!(
+        "{}",
+        compare_line(
+            "circular BRAM buffer",
+            "128 banks x 1k x 18b = 2.3 Mb",
+            &format!("{:.2} Mb", stream.on_chip_bits() as f64 / 1e6)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "on-chip memory after streaming",
+            "2.3 Mb + 14.3 Mb",
+            &format!(
+                "{:.2} Mb + {:.2} Mib",
+                stream.on_chip_bits() as f64 / 1e6,
+                b18.correction_mebibits()
+            )
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "DRAM bandwidth (18b)",
+            "about 5.3 GB/s",
+            &format!("{:.2} GB/s", stream.dram_bandwidth_bytes(&b18, rate) / 1e9)
+        )
+    );
+    let b14 = TableBudget::for_spec(&spec, 14, 14);
+    let stream14 = StreamingPlan { word_bits: 14, ..StreamingPlan::paper() };
+    println!(
+        "{}",
+        compare_line(
+            "DRAM bandwidth (14b)",
+            "4.1 GB/s (Table II)",
+            &format!("{:.2} GB/s", stream14.dram_bandwidth_bytes(&b14, rate) / 1e9)
+        )
+    );
+    println!(
+        "{}",
+        compare_line("refill latency margin", "1k cycles", &format!("{} cycles", stream.latency_margin_cycles()))
+    );
+
+    println!("{}", section("E6/F4: throughput arithmetic"));
+    let block = SteerBlockSpec::paper();
+    println!(
+        "{}",
+        compare_line(
+            "adders per block",
+            "8 + 16x8 = 136 (128 rounding)",
+            &format!(
+                "{} ({} rounding)",
+                block.adders_per_block(),
+                block.rounding_adders_per_block()
+            )
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "peak throughput @ 200 MHz",
+            "3.3 Tdelays/s",
+            &format!("{:.2} Tdelays/s", block.delays_per_second(200e6) / 1e12)
+        )
+    );
+}

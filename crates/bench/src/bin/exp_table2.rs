@@ -1,0 +1,86 @@
+//! Experiment T2 — Table II: Virtex-7 synthesis results, regenerated from
+//! the calibrated analytical model plus live accuracy sweeps.
+//!
+//! Run with: `cargo run --release -p usbf-bench --bin exp_table2`
+
+use usbf_bench::{compare_line, inaccuracy_selection, section};
+use usbf_core::{stats, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine};
+use usbf_fpga::{map_tablefree, map_tablesteer, render_table2, ArchReport, CostModel, Device, SteerVariant};
+use usbf_geometry::{Directivity, SystemSpec};
+use usbf_tables::error::{ErrorSweep, SweepConfig};
+use usbf_tables::{ReferenceTable, SteeringTables};
+
+fn main() {
+    let spec = SystemSpec::paper();
+    let device = Device::virtex7_xc7vx1140t();
+    let cost = CostModel::calibrated();
+
+    println!("computing inaccuracy columns (strided paper-scale sweeps)…");
+    let exact = ExactEngine::new(&spec);
+
+    // TABLEFREE: integer selection error (Table II quotes avg 0.25, max 2).
+    let tf_engine = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds");
+    let tf_sel = stats::selection_error(&tf_engine, &exact, &spec, 2580, 101);
+    let tf_inacc = inaccuracy_selection(&tf_sel);
+
+    // TABLESTEER: the dominant inaccuracy is algorithmic; Table II quotes
+    // avg 1.44-1.55, max 100 — a directivity-filtered sweep.
+    let reference = ReferenceTable::build(&spec);
+    let steering = SteeringTables::build(&spec);
+    let cfg = SweepConfig { stride_theta: 8, stride_phi: 8, stride_depth: 20, stride_elem_x: 7, stride_elem_y: 7 };
+    // 65° acceptance cone: calibrated to the paper's implicit apodization
+    // criterion (see exp_acc_tablesteer — reproduces the 99-sample max).
+    let dir = Directivity::new(usbf_geometry::deg(65.0), 1.0);
+    let sweep = ErrorSweep::run(&spec, &reference, &steering, cfg, Some(&dir));
+    // Fixed-point quantization adds (mean ≈ ¼ LSB per term); the 14b
+    // variant's coarser grid shows up in the avg column (1.55 vs 1.44).
+    let q14 = TableSteerConfig::bits14();
+    let q18 = TableSteerConfig::bits18();
+    let extra14 = (q14.reference_format.resolution() + 2.0 * q14.correction_format.resolution()) / 4.0;
+    let extra18 = (q18.reference_format.resolution() + 2.0 * q18.correction_format.resolution()) / 4.0;
+    let ts14_inacc = format!("avg {:.2}, max {:.0}", sweep.mean_abs_samples + extra14, sweep.max_abs_samples);
+    let ts18_inacc = format!("avg {:.2}, max {:.0}", sweep.mean_abs_samples + extra18, sweep.max_abs_samples);
+
+    println!("{}", section("T2: Table II — Virtex-7 XC7VX1140T-2 (model)"));
+    let rows = vec![
+        ArchReport::new(map_tablefree(&spec, &device, &cost), &device).with_inaccuracy(tf_inacc),
+        ArchReport::new(map_tablesteer(&spec, &device, &cost, SteerVariant::Bits14), &device)
+            .with_inaccuracy(ts14_inacc),
+        ArchReport::new(map_tablesteer(&spec, &device, &cost, SteerVariant::Bits18), &device)
+            .with_inaccuracy(ts18_inacc),
+    ];
+    println!("{}", render_table2(&rows));
+
+    println!("paper's Table II for comparison:");
+    println!("TABLEFREE        100%   23%   0%  167 MHz      none  avg 0.25, max 2    1.67 Td/s  7.8 fps   42x42");
+    println!("TABLESTEER-14b    91%   25%  25%  200 MHz  4.1 GB/s  avg 1.55, max 100  3.3 Td/s  19.7 fps 100x100");
+    println!("TABLESTEER-18b   100%   30%  25%  200 MHz  5.3 GB/s  avg 1.44, max 100  3.3 Td/s  19.7 fps 100x100");
+
+    println!("{}", section("E8 (§VI-B): UltraScale projection"));
+    let us = Device::ultrascale_projection();
+    let m = map_tablefree(&spec, &us, &cost);
+    println!(
+        "{}",
+        compare_line(
+            "TABLEFREE channels on 2x-LUT device",
+            "toward 100x100 @ 10-15 fps (16nm + tuning)",
+            &format!("{}x{} @ {:.1} fps", m.channels.0, m.channels.1, m.frame_rate)
+        )
+    );
+
+    println!("{}", section("engine-level cross-checks"));
+    let steer_engine = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds");
+    let (ref_bits, corr_bits) = steer_engine.storage_bits();
+    println!(
+        "{}",
+        compare_line(
+            "quantized table storage",
+            "45 Mb + 14.3 Mb",
+            &format!("{:.1} Mb + {:.2} Mib", ref_bits as f64 / 1e6, corr_bits as f64 / (1u64 << 20) as f64)
+        )
+    );
+    println!(
+        "{}",
+        compare_line("TABLEFREE PWL segments", "70", &tf_engine.segment_count().to_string())
+    );
+}

@@ -1,0 +1,131 @@
+//! The delay-engine abstraction and shared error type.
+
+use std::error::Error;
+use std::fmt;
+use usbf_geometry::{ElementIndex, VoxelIndex};
+
+/// A source of beamforming delays: given a focal point and a receive
+/// element, produce the two-way propagation delay.
+///
+/// Engines expose two views:
+///
+/// * [`DelayEngine::delay_samples`] — the delay in (possibly approximated)
+///   fractional samples, before final index rounding; this is what accuracy
+///   analyses compare;
+/// * [`DelayEngine::delay_index`] — the integer echo-buffer index the
+///   hardware would emit (final `floor(x + ½)` rounding stage).
+///
+/// Implementations must be deterministic: repeated queries for the same
+/// `(vox, e)` return identical values.
+pub trait DelayEngine {
+    /// Short architecture name (e.g. `"TABLEFREE"`), used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Two-way delay in fractional samples at the system's `fs`.
+    fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64;
+
+    /// Integer echo-buffer index: the rounded delay, clamped to
+    /// `[0, echo_buffer_len)`.
+    fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
+        let idx = (self.delay_samples(vox, e) + 0.5).floor() as i64;
+        idx.clamp(0, self.echo_buffer_len() as i64 - 1)
+    }
+
+    /// Length of the echo buffer this engine indexes into.
+    fn echo_buffer_len(&self) -> usize;
+}
+
+/// Errors from engine construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A precomputed table would exceed the allowed memory budget
+    /// (the §II-B infeasibility, made concrete).
+    TableTooLarge {
+        /// Bytes the table would need.
+        required_bytes: u64,
+        /// The configured limit.
+        limit_bytes: u64,
+    },
+    /// A fixed-point coefficient did not fit its format.
+    Fixed(usbf_fixed::FixedError),
+    /// The PWL square-root table could not be built.
+    Pwl(usbf_pwl::PwlError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TableTooLarge { required_bytes, limit_bytes } => write!(
+                f,
+                "delay table needs {required_bytes} bytes, exceeding the {limit_bytes}-byte budget"
+            ),
+            EngineError::Fixed(e) => write!(f, "fixed-point error: {e}"),
+            EngineError::Pwl(e) => write!(f, "PWL construction error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Fixed(e) => Some(e),
+            EngineError::Pwl(e) => Some(e),
+            EngineError::TableTooLarge { .. } => None,
+        }
+    }
+}
+
+impl From<usbf_fixed::FixedError> for EngineError {
+    fn from(e: usbf_fixed::FixedError) -> Self {
+        EngineError::Fixed(e)
+    }
+}
+
+impl From<usbf_pwl::PwlError> for EngineError {
+    fn from(e: usbf_pwl::PwlError) -> Self {
+        EngineError::Pwl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstEngine(f64);
+    impl DelayEngine for ConstEngine {
+        fn name(&self) -> &'static str {
+            "CONST"
+        }
+        fn delay_samples(&self, _: VoxelIndex, _: ElementIndex) -> f64 {
+            self.0
+        }
+        fn echo_buffer_len(&self) -> usize {
+            100
+        }
+    }
+
+    #[test]
+    fn default_index_rounds_half_up() {
+        let v = VoxelIndex::new(0, 0, 0);
+        let e = ElementIndex::new(0, 0);
+        assert_eq!(ConstEngine(10.49).delay_index(v, e), 10);
+        assert_eq!(ConstEngine(10.5).delay_index(v, e), 11);
+    }
+
+    #[test]
+    fn default_index_clamps_to_buffer() {
+        let v = VoxelIndex::new(0, 0, 0);
+        let e = ElementIndex::new(0, 0);
+        assert_eq!(ConstEngine(1e9).delay_index(v, e), 99);
+        assert_eq!(ConstEngine(-5.0).delay_index(v, e), 0);
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = EngineError::TableTooLarge { required_bytes: 100, limit_bytes: 10 };
+        assert!(e.to_string().contains("exceeding"));
+        assert!(e.source().is_none());
+        let e: EngineError = usbf_pwl::PwlError::InvalidDelta(0.0).into();
+        assert!(e.source().is_some());
+    }
+}

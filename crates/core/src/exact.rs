@@ -1,0 +1,106 @@
+//! The double-precision golden model.
+
+use crate::DelayEngine;
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+
+/// Exact Eq. 2 evaluation in double precision — the reference every
+/// approximate architecture is compared against ("we compared our
+/// approximated fixed-point implementation with an exact computation",
+/// §VI-A).
+///
+/// ```
+/// use usbf_core::{DelayEngine, ExactEngine};
+/// use usbf_geometry::{SystemSpec, VoxelIndex, ElementIndex};
+/// let spec = SystemSpec::tiny();
+/// let e = ExactEngine::new(&spec);
+/// let t = e.delay_samples(VoxelIndex::new(4, 4, 15), ElementIndex::new(0, 0));
+/// assert!(t > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactEngine {
+    spec: SystemSpec,
+    echo_len: usize,
+}
+
+impl ExactEngine {
+    /// Creates the golden model for a system specification.
+    pub fn new(spec: &SystemSpec) -> Self {
+        ExactEngine { spec: spec.clone(), echo_len: spec.echo_buffer_len() }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+}
+
+impl DelayEngine for ExactEngine {
+    fn name(&self) -> &'static str {
+        "EXACT"
+    }
+
+    fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        let s = self.spec.volume_grid.position(vox);
+        let d = self.spec.elements.position(e);
+        self.spec.two_way_delay_samples(s, d)
+    }
+
+    fn echo_buffer_len(&self) -> usize {
+        self.echo_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_axis_two_way_is_twice_depth() {
+        // Odd-grid spec puts a scanline exactly on the z axis and an
+        // element exactly at the origin.
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            usbf_geometry::TransducerSpec { nx: 9, ny: 9, ..base.transducer.clone() },
+            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            base.origin,
+            base.frame_rate,
+        );
+        let eng = ExactEngine::new(&spec);
+        let vox = VoxelIndex::new(4, 4, 7);
+        let center = spec.elements.center_element();
+        let expect = 2.0 * spec.metres_to_samples(spec.volume_grid.depth_of(7));
+        assert!((eng.delay_samples(vox, center) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_increases_with_element_distance() {
+        let spec = SystemSpec::tiny();
+        let eng = ExactEngine::new(&spec);
+        // On-axis-ish voxel: farther elements have longer receive paths.
+        let vox = VoxelIndex::new(4, 4, 15);
+        let near = eng.delay_samples(vox, ElementIndex::new(4, 4));
+        let far = eng.delay_samples(vox, ElementIndex::new(0, 0));
+        assert!(far > near);
+    }
+
+    #[test]
+    fn index_is_rounding_of_samples() {
+        let spec = SystemSpec::tiny();
+        let eng = ExactEngine::new(&spec);
+        let vox = VoxelIndex::new(2, 5, 9);
+        let e = ElementIndex::new(1, 6);
+        let s = eng.delay_samples(vox, e);
+        assert_eq!(eng.delay_index(vox, e), (s + 0.5).floor() as i64);
+    }
+
+    #[test]
+    fn engine_metadata() {
+        let spec = SystemSpec::tiny();
+        let eng = ExactEngine::new(&spec);
+        assert_eq!(eng.name(), "EXACT");
+        assert_eq!(eng.echo_buffer_len(), spec.echo_buffer_len());
+        assert_eq!(eng.spec().elements.count(), 64);
+    }
+}

@@ -1,0 +1,151 @@
+//! The §II-B baseline: a fully precomputed per-(voxel, element) table.
+
+use crate::{DelayEngine, EngineError, ExactEngine};
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+
+/// The naive architecture the paper rules out: every delay index
+/// precomputed and stored. Each entry is a 16-bit sample index (13 bits
+/// would do; memories are byte-addressed).
+///
+/// For Table I this is `128·128·1000 × 100·100 ≈ 164 × 10⁹` entries —
+/// ≈328 GB — which is why construction takes an explicit memory budget and
+/// fails loudly at paper scale:
+///
+/// ```
+/// use usbf_core::{NaiveTableEngine, EngineError};
+/// use usbf_geometry::SystemSpec;
+/// let err = NaiveTableEngine::build(&SystemSpec::paper(), 1 << 30).unwrap_err();
+/// assert!(matches!(err, EngineError::TableTooLarge { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaiveTableEngine {
+    table: Vec<u16>,
+    elements_per_voxel: usize,
+    echo_len: usize,
+    n_phi: usize,
+    n_depth: usize,
+    nx: usize,
+}
+
+impl NaiveTableEngine {
+    /// Bytes the table would need for a given spec.
+    pub fn required_bytes(spec: &SystemSpec) -> u64 {
+        spec.naive_table_entries() * 2
+    }
+
+    /// Precomputes the full table, refusing if it exceeds `limit_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::TableTooLarge`] when the table exceeds the budget.
+    pub fn build(spec: &SystemSpec, limit_bytes: u64) -> Result<Self, EngineError> {
+        let required = Self::required_bytes(spec);
+        if required > limit_bytes {
+            return Err(EngineError::TableTooLarge { required_bytes: required, limit_bytes });
+        }
+        let exact = ExactEngine::new(spec);
+        let echo_len = spec.echo_buffer_len();
+        let v = &spec.volume_grid;
+        let el = &spec.elements;
+        let elements_per_voxel = el.count();
+        let mut table = vec![0u16; v.voxel_count() * elements_per_voxel];
+        for i in 0..v.voxel_count() {
+            let vox = v.voxel_at(i);
+            for (j, e) in el.iter().enumerate() {
+                table[i * elements_per_voxel + j] = exact.delay_index(vox, e) as u16;
+            }
+        }
+        Ok(NaiveTableEngine {
+            table,
+            elements_per_voxel,
+            echo_len,
+            n_phi: v.n_phi(),
+            n_depth: v.n_depth(),
+            nx: el.nx(),
+        })
+    }
+
+    /// Actual storage used, in bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.table.len() as u64 * 2
+    }
+}
+
+impl DelayEngine for NaiveTableEngine {
+    fn name(&self) -> &'static str {
+        "NAIVE-TABLE"
+    }
+
+    fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        self.delay_index(vox, e) as f64
+    }
+
+    fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
+        let vi = (vox.it * self.n_phi + vox.ip) * self.n_depth + vox.id;
+        let ei = e.iy * self.nx + e.ix;
+        self.table[vi * self.elements_per_voxel + ei] as i64
+    }
+
+    fn echo_buffer_len(&self) -> usize {
+        self.echo_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_indices_everywhere() {
+        let spec = SystemSpec::tiny();
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
+        let exact = ExactEngine::new(&spec);
+        for i in 0..spec.volume_grid.voxel_count() {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                assert_eq!(naive.delay_index(vox, e), exact.delay_index(vox, e));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_infeasible() {
+        // §II-B: "obviously impractical to pre-compute, due to the storage
+        // requirements".
+        let required = NaiveTableEngine::required_bytes(&SystemSpec::paper());
+        assert_eq!(required, 163_840_000_000 * 2);
+        assert!(required > 300_000_000_000u64);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let spec = SystemSpec::tiny();
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
+        assert_eq!(naive.storage_bytes(), NaiveTableEngine::required_bytes(&spec));
+        // tiny: 8·8·16 voxels × 64 elements × 2 B = 131 072 B.
+        assert_eq!(naive.storage_bytes(), 131_072);
+    }
+
+    #[test]
+    fn budget_is_enforced_exactly() {
+        let spec = SystemSpec::tiny();
+        let required = NaiveTableEngine::required_bytes(&spec);
+        assert!(NaiveTableEngine::build(&spec, required).is_ok());
+        let err = NaiveTableEngine::build(&spec, required - 1).unwrap_err();
+        match err {
+            EngineError::TableTooLarge { required_bytes, limit_bytes } => {
+                assert_eq!(required_bytes, required);
+                assert_eq!(limit_bytes, required - 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn name_and_buffer() {
+        let spec = SystemSpec::tiny();
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
+        assert_eq!(naive.name(), "NAIVE-TABLE");
+        assert_eq!(naive.echo_buffer_len(), spec.echo_buffer_len());
+    }
+}

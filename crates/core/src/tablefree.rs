@@ -1,0 +1,374 @@
+//! TABLEFREE: on-the-fly delay computation (§IV, Fig. 2).
+
+use crate::{DelayEngine, EngineError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use usbf_geometry::scan::ScanOrder;
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+use usbf_pwl::{LutFormats, PwlApprox, QuantizedPwl, SqrtFn, TrackerStats, TrackingEvaluator};
+
+/// Configuration of the TABLEFREE engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableFreeConfig {
+    /// Maximum PWL square-root error in samples (the paper's δ = 0.25,
+    /// chosen so the delay-selection error stays within ±1 sample).
+    pub delta: f64,
+    /// Coefficient-LUT formats; `None` picks formats fitted to the table
+    /// ([`LutFormats::fitted_to`]).
+    pub lut_formats: Option<LutFormats>,
+    /// Evaluate the transmit square root exactly instead of through the
+    /// PWL (ablation: §IV notes the first square root "is comparatively
+    /// much less critical"; the paper's error analysis still sums two
+    /// approximations, which is the default here).
+    pub exact_transmit: bool,
+}
+
+impl TableFreeConfig {
+    /// The paper's operating point: δ = 0.25, fitted LUT formats, both
+    /// square roots approximated.
+    pub fn paper() -> Self {
+        TableFreeConfig { delta: 0.25, lut_formats: None, exact_transmit: false }
+    }
+
+    /// Same as [`TableFreeConfig::paper`] but with a custom δ.
+    pub fn with_delta(delta: f64) -> Self {
+        TableFreeConfig { delta, ..Self::paper() }
+    }
+}
+
+impl Default for TableFreeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The table-free delay engine: delays are never stored; each query
+/// assembles the squared transmit/receive distances (two additions per
+/// element thanks to per-row/column reuse) and pushes them through a
+/// piecewise-linear square root evaluated from quantized coefficient LUTs.
+///
+/// ```
+/// use usbf_core::{DelayEngine, TableFreeEngine, TableFreeConfig};
+/// use usbf_geometry::SystemSpec;
+/// let spec = SystemSpec::tiny();
+/// let eng = TableFreeEngine::new(&spec, TableFreeConfig::paper())?;
+/// // ~70 segments at paper scale; fewer for the tiny test geometry.
+/// assert!(eng.segment_count() > 10);
+/// # Ok::<(), usbf_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct TableFreeEngine {
+    spec: SystemSpec,
+    config: TableFreeConfig,
+    pwl: PwlApprox,
+    quant: QuantizedPwl,
+    echo_len: usize,
+    samples_per_metre: f64,
+    sqrt_evals: AtomicU64,
+}
+
+impl Clone for TableFreeEngine {
+    /// Clones the engine with a fresh (zeroed) op counter.
+    fn clone(&self) -> Self {
+        TableFreeEngine {
+            spec: self.spec.clone(),
+            config: self.config,
+            pwl: self.pwl.clone(),
+            quant: self.quant.clone(),
+            echo_len: self.echo_len,
+            samples_per_metre: self.samples_per_metre,
+            sqrt_evals: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TableFreeEngine {
+    /// Builds the PWL table for the spec's distance range and quantizes
+    /// the coefficient LUTs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PWL-construction and coefficient-quantization failures.
+    pub fn new(spec: &SystemSpec, config: TableFreeConfig) -> Result<Self, EngineError> {
+        let (lo, hi) = Self::sqrt_domain(spec);
+        let pwl = PwlApprox::build(&SqrtFn, (lo, hi), config.delta)?;
+        let formats = config.lut_formats.unwrap_or_else(|| LutFormats::fitted_to(&pwl));
+        let quant = QuantizedPwl::quantize(&pwl, formats)?;
+        Ok(TableFreeEngine {
+            spec: spec.clone(),
+            config,
+            pwl,
+            quant,
+            echo_len: spec.echo_buffer_len(),
+            samples_per_metre: spec.sampling_frequency / spec.speed_of_sound,
+            sqrt_evals: AtomicU64::new(0),
+        })
+    }
+
+    /// The squared-distance domain (in samples²) the PWL table must cover:
+    /// from half the shallowest possible one-way path (the first focal
+    /// depth, foreshortened by extreme steering) to the longest one-way
+    /// path, with a small safety margin.
+    pub fn sqrt_domain(spec: &SystemSpec) -> (f64, f64) {
+        let v = &spec.volume_grid;
+        let z_min = v.depth_of(0) * v.theta_max().cos() * v.phi_max().cos();
+        let lo_samples = 0.5 * spec.metres_to_samples(z_min);
+        let hi_samples = spec.max_one_way_delay_samples() * 1.01;
+        ((lo_samples * lo_samples).max(0.25), hi_samples * hi_samples)
+    }
+
+    /// Number of PWL segments (the paper finds ~70 for δ = 0.25 at Table I
+    /// scale).
+    pub fn segment_count(&self) -> usize {
+        self.pwl.segment_count()
+    }
+
+    /// The underlying float-coefficient PWL table.
+    pub fn pwl(&self) -> &PwlApprox {
+        &self.pwl
+    }
+
+    /// The quantized coefficient LUTs.
+    pub fn quantized(&self) -> &QuantizedPwl {
+        &self.quant
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TableFreeConfig {
+        &self.config
+    }
+
+    /// Number of square-root evaluations performed so far (op counter).
+    pub fn sqrt_evals(&self) -> u64 {
+        self.sqrt_evals.load(Ordering::Relaxed)
+    }
+
+    /// Per-element datapath cost of one delay: **2 additions** (assembling
+    /// the squared receive distance from per-row/column partial sums) and
+    /// **1 PWL square root** (1 multiplier + 1 adder + LUTs). This is the
+    /// §IV-B claim; the transmit term amortizes over all N elements.
+    pub fn ops_per_element() -> (u64, u64) {
+        (2, 1)
+    }
+
+    #[inline]
+    fn sqrt_approx(&self, alpha: f64) -> f64 {
+        self.sqrt_evals.fetch_add(1, Ordering::Relaxed);
+        self.quant.eval(alpha)
+    }
+
+    /// Receive squared distance in samples² — the PWL argument stream a
+    /// per-element hardware unit sees.
+    #[inline]
+    pub fn rx_alpha(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        let s = self.spec.volume_grid.position(vox);
+        let d = self.spec.elements.position(e);
+        let dx = (s.x - d.x) * self.samples_per_metre;
+        let dy = (s.y - d.y) * self.samples_per_metre;
+        let dz = s.z * self.samples_per_metre; // element z = 0
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Drives a hardware-style segment tracker through the α sequence one
+    /// element's unit sees for a whole frame in the given scan order, and
+    /// returns the tracker statistics — validating the "no segment search
+    /// needed" claim of §IV-B.
+    pub fn tracking_stats_for_element(&self, e: ElementIndex, order: ScanOrder) -> TrackerStats {
+        let mut tracker = TrackingEvaluator::new(&self.pwl);
+        let mut first = true;
+        for vox in order.iter(&self.spec.volume_grid) {
+            let alpha = self.rx_alpha(vox, e);
+            if first {
+                tracker.seek(alpha);
+                first = false;
+            }
+            let _ = tracker.eval(alpha);
+        }
+        tracker.stats()
+    }
+}
+
+impl DelayEngine for TableFreeEngine {
+    fn name(&self) -> &'static str {
+        "TABLEFREE"
+    }
+
+    fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        let s = self.spec.volume_grid.position(vox);
+        let o = self.spec.origin;
+        let tx_alpha = {
+            let dx = (s.x - o.x) * self.samples_per_metre;
+            let dy = (s.y - o.y) * self.samples_per_metre;
+            let dz = (s.z - o.z) * self.samples_per_metre;
+            dx * dx + dy * dy + dz * dz
+        };
+        let tx = if self.config.exact_transmit {
+            tx_alpha.sqrt()
+        } else {
+            self.sqrt_approx(tx_alpha)
+        };
+        let rx = self.sqrt_approx(self.rx_alpha(vox, e));
+        tx + rx
+    }
+
+    fn echo_buffer_len(&self) -> usize {
+        self.echo_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactEngine;
+
+    fn engines() -> (SystemSpec, TableFreeEngine, ExactEngine) {
+        let spec = SystemSpec::tiny();
+        let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        let ex = ExactEngine::new(&spec);
+        (spec, tf, ex)
+    }
+
+    #[test]
+    fn sample_error_bounded_by_two_deltas_plus_quantization() {
+        let (spec, tf, ex) = engines();
+        let bound = 2.0 * 0.25 + 2.0 * tf.quantized().quantization_error_bound() + 0.1;
+        for i in 0..spec.volume_grid.voxel_count() {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                let err = (tf.delay_samples(vox, e) - ex.delay_samples(vox, e)).abs();
+                assert!(err <= bound, "{vox} {e}: err = {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_error_max_two_samples() {
+        // §VI-A: "maximum absolute selection error of 2".
+        let (spec, tf, ex) = engines();
+        let mut max = 0i64;
+        for i in 0..spec.volume_grid.voxel_count() {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                let d = (tf.delay_index(vox, e) - ex.delay_index(vox, e)).abs();
+                max = max.max(d);
+            }
+        }
+        assert!(max <= 2, "max selection error = {max}");
+        assert!(max >= 1, "approximation should be visible at integer grain");
+    }
+
+    #[test]
+    fn exact_transmit_reduces_error() {
+        let spec = SystemSpec::tiny();
+        let both = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        let tx_exact = TableFreeEngine::new(
+            &spec,
+            TableFreeConfig { exact_transmit: true, ..TableFreeConfig::paper() },
+        )
+        .unwrap();
+        let ex = ExactEngine::new(&spec);
+        let (mut sum_both, mut sum_tx) = (0.0, 0.0);
+        for i in (0..spec.volume_grid.voxel_count()).step_by(7) {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                sum_both += (both.delay_samples(vox, e) - ex.delay_samples(vox, e)).abs();
+                sum_tx += (tx_exact.delay_samples(vox, e) - ex.delay_samples(vox, e)).abs();
+            }
+        }
+        assert!(sum_tx < sum_both, "{sum_tx} !< {sum_both}");
+    }
+
+    #[test]
+    fn smaller_delta_means_more_segments_and_less_error() {
+        let spec = SystemSpec::tiny();
+        let coarse = TableFreeEngine::new(&spec, TableFreeConfig::with_delta(0.5)).unwrap();
+        let fine = TableFreeEngine::new(&spec, TableFreeConfig::with_delta(0.125)).unwrap();
+        assert!(fine.segment_count() > coarse.segment_count());
+        let ex = ExactEngine::new(&spec);
+        let vox = VoxelIndex::new(0, 7, 3);
+        let e = ElementIndex::new(7, 0);
+        let ec = (coarse.delay_samples(vox, e) - ex.delay_samples(vox, e)).abs();
+        let ef = (fine.delay_samples(vox, e) - ex.delay_samples(vox, e)).abs();
+        assert!(ef <= ec + 0.1);
+    }
+
+    #[test]
+    fn paper_scale_segment_count_near_70() {
+        // §IV-B: "we found 70 segments to be needed" for δ = 0.25.
+        let spec = SystemSpec::paper();
+        let eng = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        let n = eng.segment_count();
+        assert!((55..=85).contains(&n), "segments = {n}");
+    }
+
+    #[test]
+    fn op_counter_counts_two_sqrts_per_query() {
+        let (_, tf, _) = engines();
+        let before = tf.sqrt_evals();
+        tf.delay_samples(VoxelIndex::new(0, 0, 0), ElementIndex::new(0, 0));
+        assert_eq!(tf.sqrt_evals() - before, 2);
+        let tx_exact = TableFreeEngine::new(
+            &SystemSpec::tiny(),
+            TableFreeConfig { exact_transmit: true, ..TableFreeConfig::paper() },
+        )
+        .unwrap();
+        tx_exact.delay_samples(VoxelIndex::new(0, 0, 0), ElementIndex::new(0, 0));
+        assert_eq!(tx_exact.sqrt_evals(), 1);
+    }
+
+    #[test]
+    fn tracking_needs_no_search_in_nappe_order() {
+        // §IV-B: transitions across segments are gradual in nappe order —
+        // the pointer steps by a small constant, never searches. The
+        // realistic angular resolution of the `reduced` preset (32×32
+        // lines) keeps per-eval drift well below one segment; only the
+        // depth advance at a nappe boundary moves a few segments at once.
+        let spec = SystemSpec::reduced();
+        let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        let stats = tf.tracking_stats_for_element(
+            spec.elements.center_element(),
+            ScanOrder::NappeByNappe,
+        );
+        assert_eq!(stats.evals as usize, spec.volume_grid.voxel_count());
+        assert!(stats.max_step <= 4, "max_step = {}", stats.max_step);
+        assert!(stats.mean_steps() < 0.05, "mean_steps = {}", stats.mean_steps());
+    }
+
+    #[test]
+    fn tracking_in_scanline_order_jumps_at_restarts() {
+        // The paper points out "where inefficiencies could arise if paired
+        // with a scanline-by-scanline beamformer": every scanline restart
+        // snaps the argument from the deepest point back to the shallowest,
+        // forcing a large pointer jump (a hardware design would need a
+        // reset/seek there).
+        let (_spec, tf, _) = engines();
+        let stats = tf
+            .tracking_stats_for_element(ElementIndex::new(0, 0), ScanOrder::ScanlineByScanline);
+        assert!(
+            stats.max_step > 4,
+            "scanline restarts should force large jumps, got {}",
+            stats.max_step
+        );
+    }
+
+    #[test]
+    fn domain_covers_all_arguments() {
+        let (spec, tf, _) = engines();
+        let (lo, hi) = TableFreeEngine::sqrt_domain(&spec);
+        for i in (0..spec.volume_grid.voxel_count()).step_by(3) {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                let a = tf.rx_alpha(vox, e);
+                assert!(a >= lo && a <= hi, "α = {a} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_metadata() {
+        let (spec, tf, _) = engines();
+        assert_eq!(tf.name(), "TABLEFREE");
+        assert_eq!(tf.echo_buffer_len(), spec.echo_buffer_len());
+        assert_eq!(TableFreeEngine::ops_per_element(), (2, 1));
+        assert_eq!(tf.config().delta, 0.25);
+    }
+}

@@ -1,0 +1,426 @@
+//! TABLESTEER: reference delay table plus fixed-point steering (§V, Fig. 4).
+
+use crate::{DelayEngine, EngineError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use usbf_fixed::{Fixed, QFormat, RoundingMode};
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+use usbf_tables::{ReferenceTable, SteeringTables};
+
+/// Fixed-point configuration of the TABLESTEER datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableSteerConfig {
+    /// Format of the stored reference delays.
+    pub reference_format: QFormat,
+    /// Format of the stored steering corrections.
+    pub correction_format: QFormat,
+}
+
+impl TableSteerConfig {
+    /// The 18-bit design of §V-B: unsigned 13.5 reference, signed 13.4
+    /// corrections (Table II row TABLESTEER-18b).
+    pub fn bits18() -> Self {
+        TableSteerConfig { reference_format: QFormat::REF_18, correction_format: QFormat::CORR_18 }
+    }
+
+    /// The 14-bit design (Table II row TABLESTEER-14b): unsigned 13.1
+    /// reference, signed 13.0 corrections.
+    pub fn bits14() -> Self {
+        TableSteerConfig { reference_format: QFormat::REF_14, correction_format: QFormat::CORR_14 }
+    }
+
+    /// The §VI-A "13 bit integers" baseline: integer reference delays with
+    /// 13.4 corrections.
+    pub fn int13() -> Self {
+        TableSteerConfig { reference_format: QFormat::INT_13, correction_format: QFormat::CORR_18 }
+    }
+
+    /// Word width of the reference storage (what the BRAM banks hold).
+    pub fn reference_word_bits(&self) -> u32 {
+        self.reference_format.total_bits()
+    }
+}
+
+/// The Fig. 4 block structure: one BRAM bank per block streaming reference
+/// delays; per cycle each block applies all permutations of
+/// `x_per_cycle` θ-corrections and `y_per_cycle` φ-corrections to one
+/// reference sample, emitting `x·y` steered delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteerBlockSpec {
+    /// Number of replicated blocks (also BRAM banks).
+    pub n_blocks: usize,
+    /// First-stage corrections applied per cycle (8 in the paper).
+    pub x_per_cycle: usize,
+    /// Second-stage corrections applied per cycle (16 in the paper).
+    pub y_per_cycle: usize,
+}
+
+impl SteerBlockSpec {
+    /// The paper's design point: 128 blocks × (8 × 16) corrections.
+    pub fn paper() -> Self {
+        SteerBlockSpec { n_blocks: 128, x_per_cycle: 8, y_per_cycle: 16 }
+    }
+
+    /// Steered delay samples produced per cycle per block
+    /// (8 × 16 = 128 in the paper).
+    pub fn points_per_cycle_per_block(&self) -> usize {
+        self.x_per_cycle * self.y_per_cycle
+    }
+
+    /// Adders per block: `x + x·y` ("8 + 16×8 = 136 adders per block").
+    pub fn adders_per_block(&self) -> usize {
+        self.x_per_cycle + self.points_per_cycle_per_block()
+    }
+
+    /// Adders that also perform final rounding ("of which 128 must also
+    /// perform rounding to integer").
+    pub fn rounding_adders_per_block(&self) -> usize {
+        self.points_per_cycle_per_block()
+    }
+
+    /// Aggregate throughput in delays/s at a clock frequency
+    /// ("a peak throughput of 3.3 Tdelays/s at 200 MHz").
+    pub fn delays_per_second(&self, clock_hz: f64) -> f64 {
+        self.n_blocks as f64 * self.points_per_cycle_per_block() as f64 * clock_hz
+    }
+
+    /// Achievable volume rate for a spec at a clock frequency.
+    pub fn frame_rate(&self, clock_hz: f64, spec: &SystemSpec) -> f64 {
+        self.delays_per_second(clock_hz) / spec.naive_table_entries() as f64
+    }
+}
+
+impl Default for SteerBlockSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The table-steering delay engine: folded reference table + Eq. 7
+/// correction planes, summed in fixed point and rounded to the echo-buffer
+/// index.
+///
+/// ```
+/// use usbf_core::{DelayEngine, TableSteerEngine, TableSteerConfig};
+/// use usbf_geometry::SystemSpec;
+/// let spec = SystemSpec::tiny();
+/// let eng = TableSteerEngine::new(&spec, TableSteerConfig::bits18())?;
+/// assert_eq!(eng.name(), "TABLESTEER");
+/// # Ok::<(), usbf_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct TableSteerEngine {
+    spec: SystemSpec,
+    config: TableSteerConfig,
+    reference: ReferenceTable,
+    steering: SteeringTables,
+    /// Quantized reference delays, same layout as iterating
+    /// `(id, iy, ix)` over the *unfolded* grid would see via the fold.
+    ref_fixed: Vec<Fixed>,
+    /// Quantized x-term per `(ix, it, ip)` (unfolded φ view).
+    echo_len: usize,
+    clamp_events: AtomicU64,
+}
+
+impl Clone for TableSteerEngine {
+    /// Clones the engine with a fresh (zeroed) clamp counter.
+    fn clone(&self) -> Self {
+        TableSteerEngine {
+            spec: self.spec.clone(),
+            config: self.config,
+            reference: self.reference.clone(),
+            steering: self.steering.clone(),
+            ref_fixed: self.ref_fixed.clone(),
+            echo_len: self.echo_len,
+            clamp_events: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TableSteerEngine {
+    /// Builds and quantizes both tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fixed-point overflow error if a delay or correction does
+    /// not fit the configured formats (e.g. a geometry whose delays exceed
+    /// 13 integer bits).
+    pub fn new(spec: &SystemSpec, config: TableSteerConfig) -> Result<Self, EngineError> {
+        let reference = ReferenceTable::build(spec);
+        let steering = SteeringTables::build(spec);
+        // Quantize the folded reference storage once; indexed through the
+        // same fold as the float table.
+        let (qx, qy) = reference.quadrant_dims();
+        let n_depth = reference.n_depth();
+        let mut ref_fixed = Vec::with_capacity(qx * qy * n_depth);
+        for id in 0..n_depth {
+            for &v in reference.slice(id) {
+                ref_fixed.push(Fixed::from_f64(v, config.reference_format, RoundingMode::Nearest)?);
+            }
+        }
+        Ok(TableSteerEngine {
+            spec: spec.clone(),
+            config,
+            reference,
+            steering,
+            ref_fixed,
+            echo_len: spec.echo_buffer_len(),
+            clamp_events: AtomicU64::new(0),
+        })
+    }
+
+    /// The engine's fixed-point configuration.
+    pub fn config(&self) -> &TableSteerConfig {
+        &self.config
+    }
+
+    /// The underlying (float) reference table.
+    pub fn reference(&self) -> &ReferenceTable {
+        &self.reference
+    }
+
+    /// The underlying (float) steering tables.
+    pub fn steering(&self) -> &SteeringTables {
+        &self.steering
+    }
+
+    /// The Fig. 4 block structure appropriate for this spec (paper layout).
+    pub fn block_spec(&self) -> SteerBlockSpec {
+        SteerBlockSpec::paper()
+    }
+
+    /// Algorithmic-only delay (double-precision reference + correction):
+    /// isolates the Taylor steering error from fixed-point effects.
+    pub fn float_delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        self.reference.delay_samples(vox.id, e) + self.steering.correction_samples(vox, e)
+    }
+
+    /// Times the final index clamped against the echo-buffer bounds
+    /// (observability for out-of-window fetches at extreme geometry).
+    pub fn clamp_events(&self) -> u64 {
+        self.clamp_events.load(Ordering::Relaxed)
+    }
+
+    /// Storage of both quantized tables in bits `(reference, corrections)`.
+    pub fn storage_bits(&self) -> (u64, u64) {
+        let ref_bits = self.ref_fixed.len() as u64 * self.config.reference_format.total_bits() as u64;
+        let corr_bits = self.steering.coefficient_count() as u64
+            * self.config.correction_format.total_bits() as u64;
+        (ref_bits, corr_bits)
+    }
+
+    #[inline]
+    fn ref_fixed_at(&self, id: usize, e: ElementIndex) -> Fixed {
+        // Recover the folded linear index via the float table's fold by
+        // matching its slice layout: delay_samples already resolves the
+        // fold, so locate the raw value through the quadrant coordinates.
+        let (qx, qy) = self.reference.quadrant_dims();
+        let nx = self.spec.elements.nx();
+        let ny = self.spec.elements.ny();
+        let fold = |i: usize, n: usize, q: usize| -> usize {
+            if q == n {
+                i // unfolded storage
+            } else if n % 2 == 0 {
+                if i >= n / 2 {
+                    i - n / 2
+                } else {
+                    n / 2 - 1 - i
+                }
+            } else {
+                (i as i64 - ((n - 1) / 2) as i64).unsigned_abs() as usize
+            }
+        };
+        let jx = fold(e.ix, nx, qx);
+        let jy = fold(e.iy, ny, qy);
+        self.ref_fixed[(id * qy + jy) * qx + jx]
+    }
+
+    /// The two quantized correction terms for a query, as the hardware
+    /// registers hold them.
+    fn corrections_fixed(&self, vox: VoxelIndex, e: ElementIndex) -> (Fixed, Fixed) {
+        let fmt = self.config.correction_format;
+        let cx = -self.steering.x_term_samples(e.ix, vox.it, vox.ip);
+        let cy = -self.steering.y_term_samples(e.iy, vox.ip);
+        (
+            Fixed::saturating_from_f64(cx, fmt, RoundingMode::Nearest),
+            Fixed::saturating_from_f64(cy, fmt, RoundingMode::Nearest),
+        )
+    }
+}
+
+impl DelayEngine for TableSteerEngine {
+    fn name(&self) -> &'static str {
+        "TABLESTEER"
+    }
+
+    fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        let r = self.ref_fixed_at(vox.id, e);
+        let (cx, cy) = self.corrections_fixed(vox, e);
+        r.wide_add(cx).wide_add(cy).to_f64()
+    }
+
+    fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
+        let idx = (self.delay_samples(vox, e) + 0.5).floor() as i64;
+        let clamped = idx.clamp(0, self.echo_len as i64 - 1);
+        if clamped != idx {
+            self.clamp_events.fetch_add(1, Ordering::Relaxed);
+        }
+        clamped
+    }
+
+    fn echo_buffer_len(&self) -> usize {
+        self.echo_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactEngine;
+    use usbf_tables::error::theoretical_bound_seconds;
+
+    fn engines() -> (SystemSpec, TableSteerEngine, ExactEngine) {
+        let spec = SystemSpec::tiny();
+        let ts = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        let ex = ExactEngine::new(&spec);
+        (spec, ts, ex)
+    }
+
+    #[test]
+    fn fixed_path_tracks_float_path_within_quantization() {
+        let (spec, ts, _) = engines();
+        let lsb_r = TableSteerConfig::bits18().reference_format.resolution();
+        let lsb_c = TableSteerConfig::bits18().correction_format.resolution();
+        let bound = lsb_r / 2.0 + lsb_c; // ref + two corrections, ½ LSB each
+        for i in (0..spec.volume_grid.voxel_count()).step_by(5) {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                let d = (ts.delay_samples(vox, e) - ts.float_delay_samples(vox, e)).abs();
+                assert!(d <= bound + 1e-12, "{vox} {e}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_against_exact_below_theoretical_bound() {
+        let (spec, ts, ex) = engines();
+        let bound = spec.seconds_to_samples(theoretical_bound_seconds(&spec)) + 1.0;
+        for i in (0..spec.volume_grid.voxel_count()).step_by(3) {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                let d = (ts.delay_samples(vox, e) - ex.delay_samples(vox, e)).abs();
+                assert!(d <= bound, "{vox} {e}: {d} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_reference_scanline_of_odd_grid() {
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            base.transducer.clone(),
+            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            base.origin,
+            base.frame_rate,
+        );
+        let ts = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        let ex = ExactEngine::new(&spec);
+        for id in 0..spec.volume_grid.n_depth() {
+            let vox = VoxelIndex::new(4, 4, id);
+            for e in spec.elements.iter() {
+                let d = (ts.delay_samples(vox, e) - ex.delay_samples(vox, e)).abs();
+                // Only quantization remains on the unsteered line.
+                assert!(d <= 0.05, "{vox} {e}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits14_is_coarser_than_bits18() {
+        let spec = SystemSpec::tiny();
+        let e18 = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        let e14 = TableSteerEngine::new(&spec, TableSteerConfig::bits14()).unwrap();
+        let (mut q18, mut q14) = (0.0, 0.0);
+        for i in (0..spec.volume_grid.voxel_count()).step_by(7) {
+            let vox = spec.volume_grid.voxel_at(i);
+            for e in spec.elements.iter() {
+                q18 += (e18.delay_samples(vox, e) - e18.float_delay_samples(vox, e)).abs();
+                q14 += (e14.delay_samples(vox, e) - e14.float_delay_samples(vox, e)).abs();
+            }
+        }
+        assert!(q14 > q18, "14-bit quantization error {q14} should exceed 18-bit {q18}");
+    }
+
+    #[test]
+    fn storage_bits_match_budget_arithmetic() {
+        let (spec, ts, _) = engines();
+        let (ref_bits, corr_bits) = ts.storage_bits();
+        let budget = usbf_tables::TableBudget::for_spec(&spec, 18, 18);
+        assert_eq!(ref_bits, budget.reference_bits);
+        assert_eq!(corr_bits, budget.correction_bits);
+    }
+
+    #[test]
+    fn block_spec_matches_paper_figures() {
+        let b = SteerBlockSpec::paper();
+        assert_eq!(b.points_per_cycle_per_block(), 128);
+        assert_eq!(b.adders_per_block(), 136);
+        assert_eq!(b.rounding_adders_per_block(), 128);
+        // 3.3 Tdelays/s at 200 MHz.
+        assert!((b.delays_per_second(200.0e6) / 1e12 - 3.28).abs() < 0.01);
+        // ~20 fps at paper scale.
+        let fps = b.frame_rate(200.0e6, &SystemSpec::paper());
+        assert!((fps - 20.0).abs() < 0.5, "fps = {fps}");
+    }
+
+    #[test]
+    fn clamp_counter_flags_only_extreme_steering() {
+        let (spec, ts, _) = engines();
+        let v = &spec.volume_grid;
+        // Central quarter of the steering fan: delays stay inside the
+        // nominal echo window — no clamping.
+        for it in v.n_theta() / 4..3 * v.n_theta() / 4 {
+            for ip in v.n_phi() / 4..3 * v.n_phi() / 4 {
+                for id in (0..v.n_depth()).step_by(3) {
+                    for e in spec.elements.iter() {
+                        let _ = ts.delay_index(VoxelIndex::new(it, ip, id), e);
+                    }
+                }
+            }
+        }
+        assert_eq!(ts.clamp_events(), 0);
+        // With the paper's full 100×100 aperture, extreme corner steering
+        // at full depth exceeds even the 8192-sample window (those pairs
+        // lie outside element directivity; the beamformer clamps and
+        // apodization zeroes them).
+        let base = SystemSpec::tiny();
+        let wide = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            usbf_geometry::TransducerSpec { nx: 100, ny: 100, ..base.transducer.clone() },
+            base.volume.clone(),
+            base.origin,
+            base.frame_rate,
+        );
+        let ts = TableSteerEngine::new(&wide, TableSteerConfig::bits18()).unwrap();
+        let vw = &wide.volume_grid;
+        for e in wide.elements.iter() {
+            let _ = ts.delay_index(VoxelIndex::new(0, 0, vw.n_depth() - 1), e);
+        }
+        assert!(ts.clamp_events() > 0);
+    }
+
+    #[test]
+    fn int13_reference_quantizes_to_integers() {
+        let spec = SystemSpec::tiny();
+        let ts = TableSteerEngine::new(&spec, TableSteerConfig::int13()).unwrap();
+        let vox = VoxelIndex::new(3, 3, 8);
+        let e = ElementIndex::new(1, 1);
+        // Reference contribution is integer; only corrections carry
+        // fraction bits (1/16).
+        let v = ts.delay_samples(vox, e);
+        let frac = (v * 16.0).round() / 16.0;
+        assert!((v - frac).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based invariants of the delay engines.
+
+use proptest::prelude::*;
+use usbf_core::{
+    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig,
+    TableSteerEngine,
+};
+use usbf_geometry::{SystemSpec, VoxelIndex};
+use usbf_tables::error::theoretical_bound_seconds;
+
+use std::sync::OnceLock;
+
+struct Fixture {
+    spec: SystemSpec,
+    exact: ExactEngine,
+    tablefree: TableFreeEngine,
+    tablesteer: TableSteerEngine,
+    bound_samples: f64,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let spec = SystemSpec::tiny();
+        Fixture {
+            exact: ExactEngine::new(&spec),
+            tablefree: TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds"),
+            tablesteer: TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds"),
+            bound_samples: spec.seconds_to_samples(theoretical_bound_seconds(&spec)),
+            spec,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn tablefree_error_envelope_everywhere(
+        vox_pick in 0usize..100_000,
+        e_pick in 0usize..64,
+    ) {
+        let f = fixture();
+        let vox = f.spec.volume_grid.voxel_at(vox_pick % f.spec.volume_grid.voxel_count());
+        let e = f.spec.elements.element_at(e_pick % f.spec.elements.count());
+        let err = (f.tablefree.delay_samples(vox, e) - f.exact.delay_samples(vox, e)).abs();
+        // Two δ=0.25 PWL approximations + quantization headroom.
+        prop_assert!(err <= 0.7, "err = {}", err);
+        let sel = (f.tablefree.delay_index(vox, e) - f.exact.delay_index(vox, e)).abs();
+        prop_assert!(sel <= 2, "selection error {}", sel);
+    }
+
+    #[test]
+    fn tablesteer_error_below_theoretical_bound(
+        vox_pick in 0usize..100_000,
+        e_pick in 0usize..64,
+    ) {
+        let f = fixture();
+        let vox = f.spec.volume_grid.voxel_at(vox_pick % f.spec.volume_grid.voxel_count());
+        let e = f.spec.elements.element_at(e_pick % f.spec.elements.count());
+        let err = (f.tablesteer.delay_samples(vox, e) - f.exact.delay_samples(vox, e)).abs();
+        prop_assert!(err <= f.bound_samples + 1.0, "err = {} bound = {}", err, f.bound_samples);
+    }
+
+    #[test]
+    fn indices_always_inside_echo_buffer(
+        vox_pick in 0usize..100_000,
+        e_pick in 0usize..64,
+    ) {
+        let f = fixture();
+        let vox = f.spec.volume_grid.voxel_at(vox_pick % f.spec.volume_grid.voxel_count());
+        let e = f.spec.elements.element_at(e_pick % f.spec.elements.count());
+        for eng in [&f.exact as &dyn DelayEngine, &f.tablefree, &f.tablesteer] {
+            let idx = eng.delay_index(vox, e);
+            prop_assert!(idx >= 0 && (idx as usize) < eng.echo_buffer_len());
+        }
+    }
+
+    #[test]
+    fn engines_are_deterministic(
+        vox_pick in 0usize..100_000,
+        e_pick in 0usize..64,
+    ) {
+        let f = fixture();
+        let vox = f.spec.volume_grid.voxel_at(vox_pick % f.spec.volume_grid.voxel_count());
+        let e = f.spec.elements.element_at(e_pick % f.spec.elements.count());
+        for eng in [&f.exact as &dyn DelayEngine, &f.tablefree, &f.tablesteer] {
+            prop_assert_eq!(eng.delay_samples(vox, e), eng.delay_samples(vox, e));
+            prop_assert_eq!(eng.delay_index(vox, e), eng.delay_index(vox, e));
+        }
+    }
+
+    #[test]
+    fn steering_correction_antisymmetric_across_fan(
+        it in 0usize..8,
+        ip in 0usize..8,
+        id in 0usize..16,
+        e_pick in 0usize..64,
+    ) {
+        // Mirroring both the steering line and the element through the
+        // array centre leaves the steered delay unchanged — the symmetry
+        // TABLESTEER's folded storage exploits.
+        let f = fixture();
+        let v = &f.spec.volume_grid;
+        let e = f.spec.elements.element_at(e_pick % f.spec.elements.count());
+        let m = usbf_geometry::ElementIndex::new(7 - e.ix, 7 - e.iy);
+        let vox = VoxelIndex::new(it, ip, id);
+        let mvox = VoxelIndex::new(v.n_theta() - 1 - it, v.n_phi() - 1 - ip, id);
+        let a = f.tablesteer.float_delay_samples(vox, e);
+        let b = f.tablesteer.float_delay_samples(mvox, m);
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+}

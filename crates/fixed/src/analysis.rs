@@ -1,0 +1,240 @@
+//! The §VI-A fixed-point accuracy experiment.
+//!
+//! TABLESTEER computes each delay as a sum of three stored terms — the
+//! reference delay plus the x- and y-steering corrections — and rounds the
+//! sum to an integer echo-buffer index. Storing the terms in fixed point
+//! perturbs the sum and can *flip* the selected index relative to a
+//! double-precision computation. The paper reports (10⁷ random inputs):
+//!
+//! * 13-bit integer storage → 33 % of samples flip (by at most ±1),
+//! * 18-bit (13.5 / 13.4) storage → < 2 % flip.
+//!
+//! [`rounding_flip_stats`] reproduces that simulation for arbitrary format
+//! pairs; the caller supplies the input distribution (see
+//! `usbf-bench/src/bin/exp_quantization.rs` for the paper-scale run).
+
+use crate::{Fixed, QFormat, RoundingMode};
+
+/// Accumulated results of a rounding-flip experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlipStats {
+    /// Number of (reference, x-correction, y-correction) triples evaluated.
+    pub total: u64,
+    /// Triples whose hardware index differs from the float index.
+    pub flipped: u64,
+    /// Largest absolute index difference observed.
+    pub max_abs_index_diff: i64,
+}
+
+impl FlipStats {
+    /// Fraction of samples whose index flipped, in `[0, 1]`.
+    pub fn flipped_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.flipped as f64 / self.total as f64
+        }
+    }
+
+    /// Merges two partial results (e.g. from sharded runs).
+    pub fn merge(self, other: FlipStats) -> FlipStats {
+        FlipStats {
+            total: self.total + other.total,
+            flipped: self.flipped + other.flipped,
+            max_abs_index_diff: self.max_abs_index_diff.max(other.max_abs_index_diff),
+        }
+    }
+}
+
+/// Evaluates one triple: quantizes the reference delay into `ref_fmt` and
+/// both corrections into `corr_fmt`, sums them exactly (full-width adder),
+/// rounds to an integer index, and compares against the rounded
+/// double-precision sum. Returns the signed index difference
+/// `hardware − float`.
+pub fn index_flip(
+    ref_fmt: QFormat,
+    corr_fmt: QFormat,
+    reference: f64,
+    corr_x: f64,
+    corr_y: f64,
+    mode: RoundingMode,
+) -> i64 {
+    let r = Fixed::saturating_from_f64(reference, ref_fmt, RoundingMode::Nearest);
+    let cx = Fixed::saturating_from_f64(corr_x, corr_fmt, RoundingMode::Nearest);
+    let cy = Fixed::saturating_from_f64(corr_y, corr_fmt, RoundingMode::Nearest);
+    let hw = r.wide_add(cx).wide_add(cy).round_to_int(mode);
+    let float = mode.apply(reference + corr_x + corr_y) as i64;
+    hw - float
+}
+
+/// Runs the flip experiment over an input stream of
+/// `(reference, corr_x, corr_y)` triples (all in delay samples).
+///
+/// The reference values should stay within `ref_fmt`'s range and the
+/// corrections within `corr_fmt`'s; out-of-range inputs saturate, as the
+/// hardware registers would.
+pub fn rounding_flip_stats(
+    ref_fmt: QFormat,
+    corr_fmt: QFormat,
+    samples: impl IntoIterator<Item = (f64, f64, f64)>,
+    mode: RoundingMode,
+) -> FlipStats {
+    let mut stats = FlipStats::default();
+    for (r, cx, cy) in samples {
+        let d = index_flip(ref_fmt, corr_fmt, r, cx, cy, mode);
+        stats.total += 1;
+        if d != 0 {
+            stats.flipped += 1;
+        }
+        stats.max_abs_index_diff = stats.max_abs_index_diff.max(d.abs());
+    }
+    stats
+}
+
+/// Root-mean-square quantization error (in LSBs of `fmt`) over a stream of
+/// values — a sanity probe for format choices; ½√3 ≈ 0.289 LSB is the
+/// uniform-quantization expectation.
+pub fn quantization_rmse_lsb(fmt: QFormat, values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum_sq = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        let q = Fixed::saturating_from_f64(v, fmt, RoundingMode::Nearest);
+        let e = (q.to_f64() - v) / fmt.resolution();
+        sum_sq += e * e;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum_sq / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn triples(n: usize, seed: u64) -> Vec<(f64, f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.random_range(0.0..8000.0),
+                    rng.random_range(-400.0..400.0),
+                    rng.random_range(-400.0..400.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_inputs_never_flip() {
+        // Integer-valued inputs are exactly representable: no flips.
+        let samples = (0..1000).map(|i| (i as f64, (i % 7) as f64 - 3.0, (i % 5) as f64 - 2.0));
+        let s = rounding_flip_stats(QFormat::INT_13, QFormat::CORR_18, samples, RoundingMode::HalfUp);
+        assert_eq!(s.flipped, 0);
+        assert_eq!(s.max_abs_index_diff, 0);
+    }
+
+    #[test]
+    fn int13_flip_fraction_near_one_third() {
+        // §VI-A: "33% of the echo samples experience this additional
+        // inaccuracy if using 13 bit integers".
+        let s = rounding_flip_stats(
+            QFormat::INT_13,
+            QFormat::signed(13, 0),
+            triples(200_000, 42),
+            RoundingMode::HalfUp,
+        );
+        let f = s.flipped_fraction();
+        assert!((f - 1.0 / 3.0).abs() < 0.01, "flip fraction = {f}");
+    }
+
+    #[test]
+    fn bits18_flip_fraction_below_two_percent_scale() {
+        // §VI-A: "reduced to less than 2% when using a 18-bit (13.5) fixed
+        // point representation" (we land in the same few-percent regime).
+        let s = rounding_flip_stats(
+            QFormat::REF_18,
+            QFormat::CORR_18,
+            triples(200_000, 43),
+            RoundingMode::HalfUp,
+        );
+        let f = s.flipped_fraction();
+        assert!(f < 0.05, "flip fraction = {f}");
+        assert!(f > 0.0, "some flips must occur");
+    }
+
+    #[test]
+    fn flips_are_at_most_one_sample_for_paper_formats() {
+        // §VI-A: "the maximum difference ... is of ±1 sample". This holds
+        // when the corrections keep ≥4 fractional bits (the paper stores
+        // them in 13.4 in both cited cases): total perturbation stays below
+        // 0.5 + 2·2⁻⁵ < 1 − u for the final round.
+        for (rf, cf) in [(QFormat::INT_13, QFormat::CORR_18), (QFormat::REF_18, QFormat::CORR_18)]
+        {
+            let s = rounding_flip_stats(rf, cf, triples(100_000, 44), RoundingMode::HalfUp);
+            assert!(s.max_abs_index_diff <= 1, "{rf}/{cf}: {}", s.max_abs_index_diff);
+        }
+        // The aggressive 14-bit pair (integer corrections) admits rare ±2
+        // flips in the tail: three half-sample perturbations can align.
+        let s = rounding_flip_stats(
+            QFormat::REF_14,
+            QFormat::CORR_14,
+            triples(100_000, 44),
+            RoundingMode::HalfUp,
+        );
+        assert!(s.max_abs_index_diff <= 2);
+    }
+
+    #[test]
+    fn finer_formats_flip_less() {
+        let coarse = rounding_flip_stats(
+            QFormat::INT_13,
+            QFormat::CORR_14,
+            triples(50_000, 45),
+            RoundingMode::HalfUp,
+        );
+        let fine = rounding_flip_stats(
+            QFormat::REF_18,
+            QFormat::CORR_18,
+            triples(50_000, 45),
+            RoundingMode::HalfUp,
+        );
+        assert!(fine.flipped_fraction() < coarse.flipped_fraction());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = FlipStats { total: 10, flipped: 2, max_abs_index_diff: 1 };
+        let b = FlipStats { total: 30, flipped: 3, max_abs_index_diff: 2 };
+        let m = a.merge(b);
+        assert_eq!(m.total, 40);
+        assert_eq!(m.flipped, 5);
+        assert_eq!(m.max_abs_index_diff, 2);
+        assert!((m.flipped_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_matches_uniform_quantization_theory() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vals: Vec<f64> = (0..100_000).map(|_| rng.random_range(0.0..100.0)).collect();
+        let rmse = quantization_rmse_lsb(QFormat::unsigned(10, 3), vals);
+        // Uniform quantization noise: 1/√12 ≈ 0.2887 LSB.
+        assert!((rmse - 0.2887).abs() < 0.01, "rmse = {rmse}");
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let s = rounding_flip_stats(
+            QFormat::INT_13,
+            QFormat::CORR_18,
+            std::iter::empty(),
+            RoundingMode::HalfUp,
+        );
+        assert_eq!(s.flipped_fraction(), 0.0);
+        assert_eq!(quantization_rmse_lsb(QFormat::INT_13, std::iter::empty()), 0.0);
+    }
+}

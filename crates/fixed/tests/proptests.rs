@@ -1,0 +1,114 @@
+//! Property-based invariants of the fixed-point substrate.
+
+use proptest::prelude::*;
+use usbf_fixed::{Fixed, QFormat, RoundingMode};
+
+fn formats() -> impl Strategy<Value = QFormat> {
+    (1u32..16, 0u32..10, any::<bool>()).prop_map(|(i, f, signed)| {
+        if signed {
+            QFormat::signed(i, f)
+        } else {
+            QFormat::unsigned(i, f)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn quantization_error_at_most_half_lsb(
+        fmt in formats(),
+        frac in 0.0f64..1.0,
+    ) {
+        // A value inside the representable range quantizes within ½ LSB.
+        let x = fmt.min_value() + (fmt.max_value() - fmt.min_value()) * frac;
+        let q = Fixed::from_f64(x, fmt, RoundingMode::Nearest).expect("in range");
+        prop_assert!(q.quantization_error(x) <= fmt.resolution() / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_grid(
+        fmt in formats(),
+        raw_frac in 0.0f64..1.0,
+    ) {
+        let span = (fmt.max_raw() - fmt.min_raw()) as f64;
+        let raw = fmt.min_raw() + (span * raw_frac) as i64;
+        let v = Fixed::from_raw(raw, fmt).expect("in range");
+        let rt = Fixed::from_f64(v.to_f64(), fmt, RoundingMode::Nearest).expect("in range");
+        prop_assert_eq!(rt.raw(), raw);
+    }
+
+    #[test]
+    fn wide_add_is_exact(
+        a_frac in 0.0f64..1.0,
+        b_frac in 0.0f64..1.0,
+    ) {
+        let fa = QFormat::REF_18;
+        let fb = QFormat::CORR_18;
+        let a = Fixed::saturating_from_f64(fa.max_value() * a_frac, fa, RoundingMode::Nearest);
+        let b = Fixed::saturating_from_f64(
+            fb.min_value() + (fb.max_value() - fb.min_value()) * b_frac,
+            fb,
+            RoundingMode::Nearest,
+        );
+        let s = a.wide_add(b);
+        prop_assert!((s.to_f64() - (a.to_f64() + b.to_f64())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_from_never_leaves_range(
+        fmt in formats(),
+        x in -1e9f64..1e9,
+    ) {
+        let q = Fixed::saturating_from_f64(x, fmt, RoundingMode::HalfUp);
+        prop_assert!(q.to_f64() >= fmt.min_value() - 1e-15);
+        prop_assert!(q.to_f64() <= fmt.max_value() + 1e-15);
+    }
+
+    #[test]
+    fn quantization_is_monotone(
+        fmt in formats(),
+        a_frac in 0.0f64..1.0,
+        b_frac in 0.0f64..1.0,
+    ) {
+        let lo = fmt.min_value();
+        let hi = fmt.max_value();
+        let a = lo + (hi - lo) * a_frac.min(b_frac);
+        let b = lo + (hi - lo) * a_frac.max(b_frac);
+        let qa = Fixed::from_f64(a, fmt, RoundingMode::Nearest).expect("in range");
+        let qb = Fixed::from_f64(b, fmt, RoundingMode::Nearest).expect("in range");
+        prop_assert!(qa.raw() <= qb.raw());
+    }
+
+    #[test]
+    fn convert_widening_preserves_value(
+        int_bits in 2u32..10,
+        frac_bits in 0u32..6,
+        extra in 1u32..6,
+        frac in 0.0f64..1.0,
+    ) {
+        let narrow = QFormat::signed(int_bits, frac_bits);
+        let wide = QFormat::signed(int_bits + 1, frac_bits + extra);
+        let x = narrow.min_value() + (narrow.max_value() - narrow.min_value()) * frac;
+        let q = Fixed::from_f64(x, narrow, RoundingMode::Nearest).expect("in range");
+        let w = q.convert(wide, RoundingMode::Nearest).expect("widening fits");
+        prop_assert_eq!(w.to_f64(), q.to_f64());
+    }
+
+    #[test]
+    fn rounding_modes_agree_off_ties(
+        fmt in formats(),
+        frac in 0.001f64..0.999,
+    ) {
+        // Away from exact .5 ties, Nearest and HalfUp agree.
+        let lo = fmt.min_value();
+        let hi = fmt.max_value();
+        let x = lo + (hi - lo) * frac;
+        // Nudge off any representable tie point.
+        let x = x + fmt.resolution() * 0.123;
+        if x <= hi {
+            let a = Fixed::saturating_from_f64(x, fmt, RoundingMode::Nearest);
+            let b = Fixed::saturating_from_f64(x, fmt, RoundingMode::HalfUp);
+            prop_assert!((a.raw() - b.raw()).abs() <= 1);
+        }
+    }
+}

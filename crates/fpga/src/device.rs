@@ -1,0 +1,93 @@
+//! FPGA device capacity tables.
+
+/// Resource capacities of an FPGA device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    /// Device name for reports.
+    pub name: String,
+    /// 6-input LUT count.
+    pub luts: u64,
+    /// Flip-flop (register) count.
+    pub registers: u64,
+    /// 36 kb BRAM block count.
+    pub bram36: u64,
+    /// DSP slice count.
+    pub dsps: u64,
+}
+
+impl Device {
+    /// The paper's target: Xilinx Virtex-7 XC7VX1140T (speed grade -2):
+    /// 712 000 LUTs, 1 424 000 FFs, 1 880 RAMB36 (67.7 Mb), 3 360 DSPs.
+    pub fn virtex7_xc7vx1140t() -> Self {
+        Device {
+            name: "Virtex-7 XC7VX1140T-2".to_owned(),
+            luts: 712_000,
+            registers: 1_424_000,
+            bram36: 1_880,
+            dsps: 3_360,
+        }
+    }
+
+    /// The §VI-B projection: "already at today's 20nm node, 3D-stacked
+    /// Virtex UltraScale chips feature twice the LUT count of the Virtex 7
+    /// family" — a device with doubled logic (and proportionally more
+    /// BRAM, per the UltraScale VU440 datasheet ballpark).
+    pub fn ultrascale_projection() -> Self {
+        Device {
+            name: "UltraScale projection (2x LUTs)".to_owned(),
+            luts: 1_424_000,
+            registers: 2_848_000,
+            bram36: 2_520,
+            dsps: 2_880,
+        }
+    }
+
+    /// Total BRAM capacity in bits.
+    pub fn bram_bits(&self) -> u64 {
+        self.bram36 * 36 * 1024
+    }
+
+    /// Fraction of LUTs a usage represents, in `[0, ∞)`.
+    pub fn lut_fraction(&self, luts: u64) -> f64 {
+        luts as f64 / self.luts as f64
+    }
+
+    /// Fraction of registers.
+    pub fn register_fraction(&self, registers: u64) -> f64 {
+        registers as f64 / self.registers as f64
+    }
+
+    /// Fraction of BRAM36 blocks.
+    pub fn bram_fraction(&self, bram36: u64) -> f64 {
+        bram36 as f64 / self.bram36 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtex7_capacities() {
+        let d = Device::virtex7_xc7vx1140t();
+        assert_eq!(d.luts, 712_000);
+        // "the largest Xilinx Virtex 7 carry up to 68 Mb of Block RAMs".
+        let mb = d.bram_bits() as f64 / 1e6;
+        assert!(mb > 67.0 && mb < 70.0, "bram = {mb} Mb");
+    }
+
+    #[test]
+    fn ultrascale_doubles_luts() {
+        let v7 = Device::virtex7_xc7vx1140t();
+        let us = Device::ultrascale_projection();
+        assert_eq!(us.luts, 2 * v7.luts);
+    }
+
+    #[test]
+    fn fractions() {
+        let d = Device::virtex7_xc7vx1140t();
+        assert_eq!(d.lut_fraction(356_000), 0.5);
+        assert_eq!(d.bram_fraction(470), 0.25);
+        assert!((d.register_fraction(427_200) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Analytical FPGA resource, timing and bandwidth model — the machinery
+//! behind Table II of the paper.
+//!
+//! The paper reports post-placement Vivado results on a Virtex-7
+//! XC7VX1140T-2. We cannot run Vivado, so this crate substitutes an
+//! analytical model (see DESIGN.md §2): datapath primitives are costed in
+//! LUTs/FFs/BRAM with a handful of constants **calibrated against the
+//! published Table II utilizations**, and architecture mappers turn a
+//! [`SystemSpec`](usbf_geometry::SystemSpec) plus a
+//! [`Device`] into the same report rows the paper prints. The *shape* of
+//! Table II — which architecture fits, who needs BRAM and off-chip
+//! bandwidth, achievable clock/fps/channels — is then a deterministic
+//! consequence of datapath structure × device capacity.
+//!
+//! * [`Device`] — capacity tables (Virtex-7 XC7VX1140T, UltraScale 2×
+//!   projection of §VI-B);
+//! * [`CostModel`] — primitive costs and calibrated constants;
+//! * [`map_tablefree`] / [`map_tablesteer`] — architecture mappers;
+//! * [`ArchReport`] / [`render_table2`] — Table II rows and rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use usbf_fpga::{map_tablesteer, CostModel, Device, SteerVariant};
+//! use usbf_geometry::SystemSpec;
+//!
+//! let spec = SystemSpec::paper();
+//! let dev = Device::virtex7_xc7vx1140t();
+//! let m = map_tablesteer(&spec, &dev, &CostModel::calibrated(), SteerVariant::Bits18);
+//! assert!(m.fits(&dev));
+//! assert!((m.frame_rate - 19.7).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod device;
+mod mapper;
+mod report;
+pub mod sweep;
+
+pub use cost::CostModel;
+pub use device::Device;
+pub use mapper::{map_tablefree, map_tablesteer, Mapping, SteerVariant};
+pub use report::{render_table2, table2, ArchReport};

@@ -1,0 +1,240 @@
+//! Architecture mappers: spec × device × cost model → resource report.
+
+use crate::{CostModel, Device};
+use usbf_core::SteerBlockSpec;
+use usbf_geometry::SystemSpec;
+use usbf_tables::{InsonificationPlan, StreamingPlan, TableBudget};
+
+/// Which TABLESTEER fixed-point variant to map (Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerVariant {
+    /// 14-bit delay words (13.1 reference / s13.0 corrections).
+    Bits14,
+    /// 18-bit delay words (13.5 reference / s13.4 corrections).
+    Bits18,
+}
+
+impl SteerVariant {
+    /// Stored word width in bits.
+    pub fn word_bits(self) -> u32 {
+        match self {
+            SteerVariant::Bits14 => 14,
+            SteerVariant::Bits18 => 18,
+        }
+    }
+
+    /// Table II row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SteerVariant::Bits14 => "TABLESTEER-14b",
+            SteerVariant::Bits18 => "TABLESTEER-18b",
+        }
+    }
+}
+
+/// The result of mapping one architecture onto one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Architecture label.
+    pub name: String,
+    /// LUTs used.
+    pub luts: u64,
+    /// Registers used.
+    pub registers: u64,
+    /// RAMB36 blocks used.
+    pub bram36: u64,
+    /// Achievable clock in Hz.
+    pub clock_hz: f64,
+    /// Off-chip DRAM bandwidth in bytes/s (0 = none needed).
+    pub offchip_bytes_per_s: f64,
+    /// Aggregate delay throughput in delays/s.
+    pub throughput_delays_per_s: f64,
+    /// Achievable volume rate in frames/s.
+    pub frame_rate: f64,
+    /// Supported transducer channels `(x, y)`.
+    pub channels: (usize, usize),
+}
+
+impl Mapping {
+    /// Whether the mapping fits the device's LUT/FF/BRAM capacities.
+    pub fn fits(&self, device: &Device) -> bool {
+        self.luts <= device.luts
+            && self.registers <= device.registers
+            && self.bram36 <= device.bram36
+    }
+}
+
+/// Maps TABLEFREE onto a device: per-element units are replicated until
+/// the LUT budget is exhausted ("an ideal design point filling the whole
+/// FPGA with delay generation logic", §VI-B), which caps the supported
+/// channel count; the clock is limited by the logic-mapped multiplier.
+///
+/// The reported throughput is the **full-probe assembly** figure
+/// (`elements × clock`, 1.67 Tdelays/s for Table I at 167 MHz), matching
+/// the convention of Table II; the channels column is what fits on one
+/// chip.
+pub fn map_tablefree(spec: &SystemSpec, device: &Device, cost: &CostModel) -> Mapping {
+    // Effective datapath widths at paper scale: 25-bit squared-distance
+    // argument, 18-bit normalized slope mantissa, 18-bit output register.
+    let unit_luts = cost.tablefree_unit_luts(25, 18, 18);
+    let units_fit = (device.luts as f64 / unit_luts).floor() as u64;
+    let side = (units_fit as f64).sqrt().floor() as usize;
+    let clock = cost.fmax_logic_mult_hz;
+    let frame_rate = clock / (spec.volume_grid.voxel_count() as f64 * cost.tablefree_cycle_overhead);
+    Mapping {
+        name: "TABLEFREE".to_owned(),
+        luts: (units_fit as f64 * unit_luts).round() as u64,
+        registers: (units_fit as f64 * cost.tablefree_unit_ffs).round() as u64,
+        bram36: 0,
+        clock_hz: clock,
+        offchip_bytes_per_s: 0.0,
+        throughput_delays_per_s: spec.elements.count() as f64 * clock,
+        frame_rate,
+        channels: (side, side),
+    }
+}
+
+/// Maps TABLESTEER onto a device: one Fig. 4 block per θ line (128 at
+/// paper scale), each a BRAM bank plus 136 correction adders; the
+/// reference table streams from DRAM through the circular buffer while the
+/// correction tables stay resident in BRAM.
+pub fn map_tablesteer(
+    spec: &SystemSpec,
+    _device: &Device,
+    cost: &CostModel,
+    variant: SteerVariant,
+) -> Mapping {
+    let word_bits = variant.word_bits();
+    let blocks = spec.volume_grid.n_theta();
+    let block = SteerBlockSpec { n_blocks: blocks, ..SteerBlockSpec::paper() };
+    let lanes = (block.adders_per_block() * blocks) as f64;
+
+    let budget = TableBudget::for_spec(spec, word_bits, word_bits);
+    // Corrections resident in BRAM36 banks of 2k words (36 kb in ≤18-bit
+    // mode); the streaming buffer adds one RAMB18 (half a RAMB36) per
+    // block.
+    let corr_banks = budget.correction_entries.div_ceil(2048);
+    let stream_banks = (blocks as u64).div_ceil(2);
+    let clock = cost.fmax_bram_path_hz;
+
+    let plan = InsonificationPlan::paper();
+    let insonif_rate = if plan.covers(spec) {
+        plan.insonifications_per_second(spec.frame_rate)
+    } else {
+        // Generic fallback: 256 scanlines per insonification.
+        (spec.volume_grid.scanline_count() as f64 / 256.0).max(1.0) * spec.frame_rate
+    };
+    let stream = StreamingPlan { bram_banks: blocks, bank_words: 1024, word_bits };
+    let bw = stream.dram_bandwidth_bytes(&budget, insonif_rate);
+
+    let throughput = block.delays_per_second(clock);
+    let frame_rate =
+        throughput / (spec.naive_table_entries() as f64 * cost.steer_cycle_overhead);
+
+    Mapping {
+        name: variant.label().to_owned(),
+        luts: (lanes * cost.steer_lane_luts(word_bits)).round() as u64,
+        registers: (lanes * cost.steer_lane_ffs(word_bits)).round() as u64,
+        bram36: corr_banks + stream_banks,
+        clock_hz: clock,
+        offchip_bytes_per_s: bw,
+        throughput_delays_per_s: throughput,
+        frame_rate,
+        channels: (spec.elements.nx(), spec.elements.ny()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemSpec, Device, CostModel) {
+        (SystemSpec::paper(), Device::virtex7_xc7vx1140t(), CostModel::calibrated())
+    }
+
+    #[test]
+    fn tablefree_row_matches_table2() {
+        let (spec, dev, cost) = setup();
+        let m = map_tablefree(&spec, &dev, &cost);
+        // 100% LUTs, ~23% registers, 0 BRAM, 167 MHz, no off-chip BW.
+        assert!(dev.lut_fraction(m.luts) > 0.99, "luts = {}", m.luts);
+        assert!((dev.register_fraction(m.registers) - 0.23).abs() < 0.01);
+        assert_eq!(m.bram36, 0);
+        assert_eq!(m.clock_hz, 167.0e6);
+        assert_eq!(m.offchip_bytes_per_s, 0.0);
+        // 1.67 Tdelays/s, 7.8 fps, 42×42 channels.
+        assert!((m.throughput_delays_per_s / 1e12 - 1.67).abs() < 0.01);
+        assert!((m.frame_rate - 7.8).abs() < 0.05, "fps = {}", m.frame_rate);
+        assert_eq!(m.channels, (42, 42));
+        assert!(m.fits(&dev));
+    }
+
+    #[test]
+    fn tablesteer_18b_row_matches_table2() {
+        let (spec, dev, cost) = setup();
+        let m = map_tablesteer(&spec, &dev, &cost, SteerVariant::Bits18);
+        // 100% LUTs, 30% registers, 25% BRAM, 200 MHz, 5.3 GB/s.
+        assert!(dev.lut_fraction(m.luts) > 0.99 && m.fits(&dev), "luts = {}", m.luts);
+        assert!((dev.register_fraction(m.registers) - 0.30).abs() < 0.01);
+        assert!((dev.bram_fraction(m.bram36) - 0.25).abs() < 0.01, "bram = {}", m.bram36);
+        assert_eq!(m.clock_hz, 200.0e6);
+        assert!((m.offchip_bytes_per_s / 1e9 - 5.4).abs() < 0.2);
+        assert!((m.throughput_delays_per_s / 1e12 - 3.28).abs() < 0.01);
+        assert!((m.frame_rate - 19.7).abs() < 0.1, "fps = {}", m.frame_rate);
+        assert_eq!(m.channels, (100, 100));
+    }
+
+    #[test]
+    fn tablesteer_14b_row_matches_table2() {
+        let (spec, dev, cost) = setup();
+        let m = map_tablesteer(&spec, &dev, &cost, SteerVariant::Bits14);
+        // 91% LUTs, 25% registers, 25% BRAM, 4.1 GB/s.
+        assert!((dev.lut_fraction(m.luts) - 0.91).abs() < 0.02, "luts = {}", m.luts);
+        assert!((dev.register_fraction(m.registers) - 0.25).abs() < 0.01);
+        assert!((dev.bram_fraction(m.bram36) - 0.25).abs() < 0.01);
+        assert!((m.offchip_bytes_per_s / 1e9 - 4.2).abs() < 0.2);
+        assert!(m.fits(&dev));
+    }
+
+    #[test]
+    fn ultrascale_projection_doubles_tablefree_channels() {
+        // §VI-B: twice the LUTs → toward 100×100 support.
+        let (spec, _, cost) = setup();
+        let us = Device::ultrascale_projection();
+        let m = map_tablefree(&spec, &us, &cost);
+        assert!(m.channels.0 >= 59, "channels = {:?}", m.channels);
+        assert!(m.channels.0 > map_tablefree(&spec, &Device::virtex7_xc7vx1140t(), &cost).channels.0);
+    }
+
+    #[test]
+    fn steer_throughput_meets_spec_demand() {
+        // §V-B: required ≈2.5e12 delays/s < delivered 3.28e12.
+        let (spec, dev, cost) = setup();
+        let m = map_tablesteer(&spec, &dev, &cost, SteerVariant::Bits18);
+        assert!(m.throughput_delays_per_s > spec.delays_per_second());
+        assert!(m.frame_rate > spec.frame_rate);
+    }
+
+    #[test]
+    fn tablefree_beats_steer_on_memory_and_bandwidth() {
+        // The qualitative §VI-B tradeoff.
+        let (spec, dev, cost) = setup();
+        let tf = map_tablefree(&spec, &dev, &cost);
+        let ts = map_tablesteer(&spec, &dev, &cost, SteerVariant::Bits18);
+        assert!(tf.bram36 < ts.bram36);
+        assert!(tf.offchip_bytes_per_s < ts.offchip_bytes_per_s);
+        // …but loses on supported channels and frame rate.
+        assert!(tf.channels.0 < ts.channels.0);
+        assert!(tf.frame_rate < ts.frame_rate);
+    }
+
+    #[test]
+    fn smaller_spec_needs_fewer_resources() {
+        let (_, dev, cost) = setup();
+        let small = SystemSpec::reduced();
+        let m = map_tablesteer(&small, &dev, &cost, SteerVariant::Bits18);
+        let full = map_tablesteer(&SystemSpec::paper(), &dev, &cost, SteerVariant::Bits18);
+        assert!(m.luts < full.luts);
+        assert!(m.bram36 < full.bram36);
+    }
+}

@@ -1,0 +1,143 @@
+//! Table II assembly and rendering.
+
+use crate::{map_tablefree, map_tablesteer, CostModel, Device, Mapping, SteerVariant};
+use usbf_geometry::SystemSpec;
+
+/// One row of Table II: a mapping plus its utilization fractions and an
+/// optional inaccuracy annotation (filled by the accuracy sweeps, which
+/// are a separate — expensive — computation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchReport {
+    /// The underlying mapping.
+    pub mapping: Mapping,
+    /// LUT utilization in `[0, 1+]`.
+    pub lut_fraction: f64,
+    /// Register utilization.
+    pub register_fraction: f64,
+    /// BRAM utilization.
+    pub bram_fraction: f64,
+    /// Inaccuracy annotation, e.g. `"avg 0.25, max 2"` (|off samples|).
+    pub inaccuracy: Option<String>,
+}
+
+impl ArchReport {
+    /// Wraps a mapping with utilizations for a device.
+    pub fn new(mapping: Mapping, device: &Device) -> Self {
+        ArchReport {
+            lut_fraction: device.lut_fraction(mapping.luts),
+            register_fraction: device.register_fraction(mapping.registers),
+            bram_fraction: device.bram_fraction(mapping.bram36),
+            mapping,
+            inaccuracy: None,
+        }
+    }
+
+    /// Attaches an inaccuracy annotation.
+    pub fn with_inaccuracy(mut self, text: impl Into<String>) -> Self {
+        self.inaccuracy = Some(text.into());
+        self
+    }
+}
+
+/// Builds the three Table II rows (TABLEFREE, TABLESTEER-14b,
+/// TABLESTEER-18b) for a spec and device.
+pub fn table2(spec: &SystemSpec, device: &Device, cost: &CostModel) -> Vec<ArchReport> {
+    vec![
+        ArchReport::new(map_tablefree(spec, device, cost), device),
+        ArchReport::new(map_tablesteer(spec, device, cost, SteerVariant::Bits14), device),
+        ArchReport::new(map_tablesteer(spec, device, cost, SteerVariant::Bits18), device),
+    ]
+}
+
+/// Renders reports in the paper's Table II column layout.
+pub fn render_table2(reports: &[ArchReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>10} {:>6} {:>9} {:>12} {:>22} {:>14} {:>7} {:>10}\n",
+        "Architecture",
+        "LUTs",
+        "Registers",
+        "BRAM",
+        "Clock",
+        "Offchip BW",
+        "Inaccuracy(|off smp|)",
+        "Throughput",
+        "Frame",
+        "Channels"
+    ));
+    for r in reports {
+        let m = &r.mapping;
+        out.push_str(&format!(
+            "{:<16} {:>5.0}% {:>9.0}% {:>5.0}% {:>5.0} MHz {:>9} {:>22} {:>11.2} Td/s {:>4.1} fps {:>7}x{}\n",
+            m.name,
+            r.lut_fraction * 100.0,
+            r.register_fraction * 100.0,
+            r.bram_fraction * 100.0,
+            m.clock_hz / 1e6,
+            if m.offchip_bytes_per_s == 0.0 {
+                "none".to_owned()
+            } else {
+                format!("{:.1} GB/s", m.offchip_bytes_per_s / 1e9)
+            },
+            r.inaccuracy.as_deref().unwrap_or("-"),
+            m.throughput_delays_per_s / 1e12,
+            m.frame_rate,
+            m.channels.0,
+            m.channels.1,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_three_rows_in_paper_order() {
+        let rows = table2(
+            &SystemSpec::paper(),
+            &Device::virtex7_xc7vx1140t(),
+            &CostModel::calibrated(),
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mapping.name, "TABLEFREE");
+        assert_eq!(rows[1].mapping.name, "TABLESTEER-14b");
+        assert_eq!(rows[2].mapping.name, "TABLESTEER-18b");
+    }
+
+    #[test]
+    fn render_contains_key_figures() {
+        let dev = Device::virtex7_xc7vx1140t();
+        let rows = table2(&SystemSpec::paper(), &dev, &CostModel::calibrated());
+        let s = render_table2(&rows);
+        assert!(s.contains("TABLEFREE"));
+        assert!(s.contains("167 MHz"));
+        assert!(s.contains("200 MHz"));
+        assert!(s.contains("none"));
+        assert!(s.contains("42x42"));
+        assert!(s.contains("100x100"));
+    }
+
+    #[test]
+    fn inaccuracy_annotation_renders() {
+        let dev = Device::virtex7_xc7vx1140t();
+        let row = ArchReport::new(
+            map_tablefree(&SystemSpec::paper(), &dev, &CostModel::calibrated()),
+            &dev,
+        )
+        .with_inaccuracy("avg 0.25, max 2");
+        let s = render_table2(&[row]);
+        assert!(s.contains("avg 0.25, max 2"));
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        let dev = Device::virtex7_xc7vx1140t();
+        for r in table2(&SystemSpec::paper(), &dev, &CostModel::calibrated()) {
+            assert!(r.lut_fraction > 0.0 && r.lut_fraction <= 1.01);
+            assert!(r.register_fraction > 0.0 && r.register_fraction < 1.0);
+            assert!(r.bram_fraction >= 0.0 && r.bram_fraction < 1.0);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Design-space sweeps around the Table II operating points.
+//!
+//! The paper picks two specific design points; these helpers expose the
+//! neighbourhood: how many channels a device supports per architecture,
+//! what device a target probe would need, and frame rate as a function of
+//! clock — the "additional tuning / next-generation FPGA" discussion of
+//! §VI-B made quantitative.
+
+use crate::{map_tablesteer, CostModel, Device, SteerVariant};
+use usbf_geometry::SystemSpec;
+
+/// Largest square channel count (per side) whose TABLEFREE units fit the
+/// device's LUT budget.
+pub fn tablefree_max_channels(device: &Device, cost: &CostModel) -> usize {
+    let unit = cost.tablefree_unit_luts(25, 18, 18);
+    ((device.luts as f64 / unit).floor().sqrt()).floor() as usize
+}
+
+/// LUTs a device must offer for TABLEFREE to support an `n × n` probe.
+pub fn tablefree_required_luts(n: usize, cost: &CostModel) -> u64 {
+    (n as f64 * n as f64 * cost.tablefree_unit_luts(25, 18, 18)).ceil() as u64
+}
+
+/// TABLEFREE frame rate at a given clock for a spec (the "1 fps per
+/// 20 MHz"-style rule with the calibrated pipeline overhead).
+pub fn tablefree_frame_rate(clock_hz: f64, spec: &SystemSpec, cost: &CostModel) -> f64 {
+    clock_hz / (spec.volume_grid.voxel_count() as f64 * cost.tablefree_cycle_overhead)
+}
+
+/// One point of a clock-sweep series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockPoint {
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Achievable volume rate at that clock.
+    pub frame_rate: f64,
+}
+
+/// Frame rate vs clock for TABLEFREE over `[lo, hi]` Hz in `n` steps —
+/// the series behind the §VI-B projection that 10–15 fps needs a faster
+/// fabric (or more parallelism) than Virtex-7's 167 MHz.
+pub fn tablefree_clock_sweep(
+    spec: &SystemSpec,
+    cost: &CostModel,
+    lo_hz: f64,
+    hi_hz: f64,
+    n: usize,
+) -> Vec<ClockPoint> {
+    assert!(n >= 2 && hi_hz > lo_hz && lo_hz > 0.0, "invalid sweep range");
+    (0..n)
+        .map(|i| {
+            let clock_hz = lo_hz + (hi_hz - lo_hz) * i as f64 / (n as f64 - 1.0);
+            ClockPoint { clock_hz, frame_rate: tablefree_frame_rate(clock_hz, spec, cost) }
+        })
+        .collect()
+}
+
+/// The smallest TABLESTEER word width (within `[min_bits, max_bits]`)
+/// whose mapping fits the device, or `None` — the accuracy/area knob of
+/// §VI-B ("by tuning the precision of the fixed-point representation").
+pub fn steer_max_word_bits(
+    spec: &SystemSpec,
+    device: &Device,
+    cost: &CostModel,
+    min_bits: u32,
+    max_bits: u32,
+) -> Option<u32> {
+    assert!(min_bits <= max_bits, "empty width range");
+    let lanes = {
+        let blocks = spec.volume_grid.n_theta();
+        (usbf_core::SteerBlockSpec { n_blocks: blocks, ..usbf_core::SteerBlockSpec::paper() }
+            .adders_per_block()
+            * blocks) as f64
+    };
+    (min_bits..=max_bits)
+        .rev()
+        .find(|&bits| (lanes * cost.steer_lane_luts(bits)).round() as u64 <= device.luts)
+}
+
+/// Whether a TABLESTEER variant can hold the *whole* reference table
+/// on-chip (no DRAM streaming), per the §VI-B remark that "the off-chip
+/// traffic can be eliminated only by storing the whole reference delay
+/// table on-chip, at a steep BRAM cost".
+pub fn steer_fits_fully_resident(
+    spec: &SystemSpec,
+    device: &Device,
+    cost: &CostModel,
+    variant: SteerVariant,
+) -> bool {
+    let m = map_tablesteer(spec, device, cost, variant);
+    let budget = usbf_tables::TableBudget::for_spec(spec, variant.word_bits(), variant.word_bits());
+    // Replace the streaming banks with full residency: reference words in
+    // 2k-word BRAM36 banks plus the correction banks already counted.
+    let resident_banks = budget.reference_entries.div_ceil(2048)
+        + budget.correction_entries.div_ceil(2048);
+    m.luts <= device.luts && resident_banks <= device.bram36
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemSpec, Device, CostModel) {
+        (SystemSpec::paper(), Device::virtex7_xc7vx1140t(), CostModel::calibrated())
+    }
+
+    #[test]
+    fn max_channels_matches_table2() {
+        let (_, dev, cost) = setup();
+        assert_eq!(tablefree_max_channels(&dev, &cost), 42);
+    }
+
+    #[test]
+    fn required_luts_inverts_max_channels() {
+        let (_, dev, cost) = setup();
+        let n = tablefree_max_channels(&dev, &cost);
+        assert!(tablefree_required_luts(n, &cost) <= dev.luts);
+        assert!(tablefree_required_luts(n + 1, &cost) > dev.luts);
+    }
+
+    #[test]
+    fn full_probe_needs_about_4m_luts() {
+        // 100×100 elements × ~403 LUTs ≈ 4.0 M LUTs — several Virtex-7s,
+        // matching the paper's observation that the full probe does not
+        // fit one chip.
+        let (_, _, cost) = setup();
+        let luts = tablefree_required_luts(100, &cost);
+        assert!(luts > 3_900_000 && luts < 4_200_000, "luts = {luts}");
+    }
+
+    #[test]
+    fn clock_sweep_brackets_the_projection() {
+        // §VI-B: 10–15 fps should be possible with tuning — our model says
+        // that needs a 214–320 MHz clock at paper scale.
+        let (spec, _, cost) = setup();
+        let pts = tablefree_clock_sweep(&spec, &cost, 100.0e6, 400.0e6, 31);
+        assert_eq!(pts.len(), 31);
+        assert!(pts.windows(2).all(|w| w[1].frame_rate > w[0].frame_rate));
+        let at_10fps = pts.iter().find(|p| p.frame_rate >= 10.0).expect("reachable");
+        assert!(at_10fps.clock_hz > 200.0e6 && at_10fps.clock_hz < 230.0e6);
+    }
+
+    #[test]
+    fn steer_width_knob_matches_table2_fit() {
+        let (spec, dev, cost) = setup();
+        // 18-bit fits exactly (Table II: 100%); 19 would not.
+        assert_eq!(steer_max_word_bits(&spec, &dev, &cost, 12, 24), Some(18));
+        // A smaller device caps the width lower.
+        let small = Device { luts: 650_000, ..dev.clone() };
+        let w = steer_max_word_bits(&spec, &small, &cost, 12, 24).expect("still fits");
+        assert!(w < 18, "w = {w}");
+    }
+
+    #[test]
+    fn fully_resident_18b_fits_virtex7_brams() {
+        // 45 Mb + 14.3 Mb < 67.7 Mb: "within the capabilities of high-end
+        // FPGAs" — but the LUT budget stays the binding constraint.
+        let (spec, dev, cost) = setup();
+        assert!(steer_fits_fully_resident(&spec, &dev, &cost, SteerVariant::Bits18));
+        let tiny_bram = Device { bram36: 400, ..dev.clone() };
+        assert!(!steer_fits_fully_resident(&spec, &tiny_bram, &cost, SteerVariant::Bits18));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep range")]
+    fn bad_sweep_range_rejected() {
+        let (spec, _, cost) = setup();
+        tablefree_clock_sweep(&spec, &cost, 2.0e8, 1.0e8, 5);
+    }
+}

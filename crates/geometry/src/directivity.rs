@@ -1,0 +1,153 @@
+//! Element directivity: the finite acceptance cone of a probe element.
+//!
+//! Probe elements "have limited directivity in both emission and reception,
+//! and cannot insonify points steeply off-axis" (paper §V-A). The paper uses
+//! this twice:
+//!
+//! 1. to *prune* reference-delay-table entries whose element↔point angle
+//!    exceeds the acceptance cone (Fig. 3a), and
+//! 2. to argue that the worst far-field steering errors are "filtered away
+//!    by apodization, since they occur at angles beyond the elements'
+//!    directivity" (§VI-A).
+
+use crate::Vec3;
+
+/// A parametric directivity model: full sensitivity inside an acceptance
+/// cone, with an optional smooth `cosⁿ` roll-off used as a receive weight.
+///
+/// ```
+/// use usbf_geometry::{Directivity, Vec3, deg};
+/// let d = Directivity::new(deg(45.0), 1.0);
+/// assert!(d.accepts(Vec3::new(0.0, 0.0, 1.0), Vec3::ZERO));
+/// assert!(!d.accepts(Vec3::new(1.0, 0.0, 0.01), Vec3::ZERO));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Directivity {
+    cos_cutoff: f64,
+    cutoff: f64,
+    rolloff_exp: f64,
+}
+
+impl Directivity {
+    /// Creates a directivity model with acceptance half-angle `cutoff`
+    /// (radians from the element normal, i.e. from `+z`) and a `cosⁿ`
+    /// weighting exponent `rolloff_exp` applied inside the cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is outside `(0, π/2]` or `rolloff_exp` is
+    /// negative.
+    pub fn new(cutoff: f64, rolloff_exp: f64) -> Self {
+        assert!(
+            cutoff > 0.0 && cutoff <= std::f64::consts::FRAC_PI_2,
+            "cutoff must be in (0, π/2], got {cutoff}"
+        );
+        assert!(rolloff_exp >= 0.0, "roll-off exponent must be non-negative");
+        Directivity { cos_cutoff: cutoff.cos(), cutoff, rolloff_exp }
+    }
+
+    /// The paper-scale default: a 45° acceptance cone with linear cosine
+    /// roll-off — a standard first-order model for λ/2-pitch elements.
+    pub fn paper_default() -> Self {
+        Directivity::new(std::f64::consts::FRAC_PI_4, 1.0)
+    }
+
+    /// Acceptance half-angle in radians.
+    #[inline]
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// Whether a focal point `s` is inside the acceptance cone of an
+    /// element located at `d` (element normal assumed along `+z`).
+    ///
+    /// Points behind or on the transducer plane are never accepted.
+    #[inline]
+    pub fn accepts(&self, s: Vec3, d: Vec3) -> bool {
+        let v = s - d;
+        v.z > 0.0 && v.cos_from_z() >= self.cos_cutoff
+    }
+
+    /// Receive weight in `[0, 1]` for the element→point geometry: zero
+    /// outside the cone, `cosⁿ(angle)` inside.
+    #[inline]
+    pub fn weight(&self, s: Vec3, d: Vec3) -> f64 {
+        let v = s - d;
+        let c = v.cos_from_z();
+        if v.z <= 0.0 || c < self.cos_cutoff {
+            0.0
+        } else {
+            c.powf(self.rolloff_exp)
+        }
+    }
+}
+
+impl Default for Directivity {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deg;
+
+    #[test]
+    fn on_axis_always_accepted() {
+        let d = Directivity::new(deg(30.0), 2.0);
+        assert!(d.accepts(Vec3::new(0.0, 0.0, 0.01), Vec3::ZERO));
+        assert_eq!(d.weight(Vec3::new(0.0, 0.0, 0.01), Vec3::ZERO), 1.0);
+    }
+
+    #[test]
+    fn cone_boundary() {
+        let d = Directivity::new(deg(45.0), 1.0);
+        // Just inside 45° off axis.
+        let p = Vec3::new(0.999, 0.0, 1.0);
+        assert!(d.accepts(p, Vec3::ZERO));
+        // Slightly beyond.
+        let q = Vec3::new(1.01, 0.0, 1.0);
+        assert!(!d.accepts(q, Vec3::ZERO));
+    }
+
+    #[test]
+    fn behind_plane_rejected() {
+        let d = Directivity::paper_default();
+        assert!(!d.accepts(Vec3::new(0.0, 0.0, -0.01), Vec3::ZERO));
+        assert_eq!(d.weight(Vec3::new(0.0, 0.0, -0.01), Vec3::ZERO), 0.0);
+        assert!(!d.accepts(Vec3::ZERO, Vec3::ZERO));
+    }
+
+    #[test]
+    fn weight_decreases_off_axis() {
+        let d = Directivity::new(deg(60.0), 1.5);
+        let w0 = d.weight(Vec3::new(0.0, 0.0, 1.0), Vec3::ZERO);
+        let w1 = d.weight(Vec3::new(0.3, 0.0, 1.0), Vec3::ZERO);
+        let w2 = d.weight(Vec3::new(0.8, 0.0, 1.0), Vec3::ZERO);
+        assert!(w0 > w1 && w1 > w2 && w2 > 0.0);
+    }
+
+    #[test]
+    fn relative_to_element_position() {
+        let d = Directivity::new(deg(45.0), 1.0);
+        let elem = Vec3::new(0.01, 0.0, 0.0);
+        // Point straight above the *element*, not the origin.
+        assert!(d.accepts(Vec3::new(0.01, 0.0, 0.005), elem));
+        // Point far to the side of the element at shallow depth.
+        assert!(!d.accepts(Vec3::new(-0.05, 0.0, 0.001), elem));
+    }
+
+    #[test]
+    fn zero_exponent_is_flat_inside_cone() {
+        let d = Directivity::new(deg(45.0), 0.0);
+        let w = d.weight(Vec3::new(0.5, 0.0, 1.0), Vec3::ZERO);
+        assert_eq!(w, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be in")]
+    fn invalid_cutoff_rejected() {
+        Directivity::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Geometry substrate for 3D ultrasound beamforming.
+//!
+//! This crate models everything spatial in the DATE 2015 paper
+//! *"Tackling the Bottleneck of Delay Tables in 3D Ultrasound Imaging"*:
+//!
+//! * [`Vec3`] — double-precision 3D points/vectors,
+//! * [`SphericalDirection`] — the paper's Eq. 5 steering convention
+//!   `S = (r·cosφ·sinθ, r·sinφ, r·cosφ·cosθ)`,
+//! * [`TransducerArray`] — a matrix probe with λ/2 pitch on the z = 0 plane,
+//! * [`ImagingVolume`] — the θ × φ × depth focal-point grid,
+//! * [`scan`] — the two traversal orders of Algorithm 1 (scanline-by-scanline
+//!   and nappe-by-nappe, Fig. 1),
+//! * [`Directivity`] — the finite acceptance angle of probe elements used to
+//!   prune delay tables (Fig. 3a) and filter steering-error outliers,
+//! * [`SystemSpec`] — Table I of the paper, plus reduced presets for
+//!   compute-bound experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use usbf_geometry::{SystemSpec, VoxelIndex};
+//!
+//! let spec = SystemSpec::paper();
+//! assert_eq!(spec.elements.count(), 10_000);
+//! assert_eq!(spec.volume_grid.voxel_count(), 128 * 128 * 1000);
+//! // Two-way propagation delay from origin to the deepest on-axis voxel.
+//! let vox = VoxelIndex::new(64, 64, 999);
+//! let s = spec.volume_grid.position(vox);
+//! let d = spec.elements.position(spec.elements.center_element());
+//! let t = spec.two_way_delay_seconds(s, d);
+//! assert!(t > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod directivity;
+mod spec;
+mod spherical;
+mod transducer;
+mod vec3;
+mod volume;
+
+pub mod scan;
+
+pub use directivity::Directivity;
+pub use spec::{SystemSpec, TransducerSpec, VolumeSpec};
+pub use spherical::SphericalDirection;
+pub use transducer::{ElementIndex, TransducerArray};
+pub use vec3::Vec3;
+pub use volume::{ImagingVolume, VoxelIndex};
+
+/// Speed of sound in soft tissue used throughout the paper, in m/s.
+pub const SPEED_OF_SOUND: f64 = 1540.0;
+
+/// Converts degrees to radians.
+///
+/// ```
+/// let r = usbf_geometry::deg(180.0);
+/// assert!((r - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn deg(degrees: f64) -> f64 {
+    degrees.to_radians()
+}

@@ -1,0 +1,205 @@
+//! Focal-point traversal orders (Algorithm 1 / Fig. 1 of the paper).
+//!
+//! Both orders visit exactly the same focal points, so image quality is
+//! identical; what changes is the *locality* of delay-table accesses and the
+//! increment structure of on-the-fly delay computation:
+//!
+//! * **scanline-by-scanline** — for each steered direction, walk all depths;
+//! * **nappe-by-nappe** — for each depth (a constant-radius surface, the
+//!   "nappe"), visit every steered direction. This order lets TABLESTEER
+//!   reuse one reference-table slice per nappe and minimizes table walking.
+
+use crate::{ImagingVolume, VoxelIndex};
+
+/// Which of the two equivalent traversals of Algorithm 1 to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScanOrder {
+    /// θ → φ → depth (classic scanline reconstruction).
+    ScanlineByScanline,
+    /// depth → θ → φ (the paper's preferred nappe reconstruction).
+    #[default]
+    NappeByNappe,
+}
+
+impl ScanOrder {
+    /// Iterates over every voxel of `volume` in this order.
+    pub fn iter(self, volume: &ImagingVolume) -> ScanIter {
+        ScanIter {
+            order: self,
+            n_theta: volume.n_theta(),
+            n_phi: volume.n_phi(),
+            n_depth: volume.n_depth(),
+            next: 0,
+            total: volume.voxel_count(),
+        }
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanOrder::ScanlineByScanline => "scanline-by-scanline",
+            ScanOrder::NappeByNappe => "nappe-by-nappe",
+        }
+    }
+}
+
+impl std::fmt::Display for ScanOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Iterator over all voxels of a volume in a chosen [`ScanOrder`].
+///
+/// Produced by [`ScanOrder::iter`].
+#[derive(Debug, Clone)]
+pub struct ScanIter {
+    order: ScanOrder,
+    n_theta: usize,
+    n_phi: usize,
+    n_depth: usize,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for ScanIter {
+    type Item = VoxelIndex;
+
+    fn next(&mut self) -> Option<VoxelIndex> {
+        if self.next >= self.total {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        Some(match self.order {
+            ScanOrder::ScanlineByScanline => {
+                let id = i % self.n_depth;
+                let rest = i / self.n_depth;
+                VoxelIndex::new(rest / self.n_phi, rest % self.n_phi, id)
+            }
+            ScanOrder::NappeByNappe => {
+                let ip = i % self.n_phi;
+                let rest = i / self.n_phi;
+                VoxelIndex::new(rest % self.n_theta, ip, rest / self.n_theta)
+            }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ScanIter {}
+
+/// Iterates over the scanlines `(it, ip)` of a volume in row-major order
+/// (θ outer, φ inner), as used when precomputing steering coefficients.
+pub fn scanlines(volume: &ImagingVolume) -> impl Iterator<Item = (usize, usize)> + '_ {
+    let n_phi = volume.n_phi();
+    (0..volume.scanline_count()).map(move |i| (i / n_phi, i % n_phi))
+}
+
+/// Iterates over one nappe (all steered directions at depth `id`) in the
+/// nappe-by-nappe inner order (θ outer, φ inner).
+pub fn nappe(volume: &ImagingVolume, id: usize) -> impl Iterator<Item = VoxelIndex> + '_ {
+    assert!(id < volume.n_depth(), "nappe index {id} out of range");
+    scanlines(volume).map(move |(it, ip)| VoxelIndex::new(it, ip, id))
+}
+
+/// Iterates over one scanline (all depths along direction `(it, ip)`).
+pub fn scanline(volume: &ImagingVolume, it: usize, ip: usize) -> impl Iterator<Item = VoxelIndex> + '_ {
+    assert!(it < volume.n_theta() && ip < volume.n_phi(), "scanline ({it},{ip}) out of range");
+    (0..volume.n_depth()).map(move |id| VoxelIndex::new(it, ip, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deg;
+    use std::collections::HashSet;
+
+    fn vol() -> ImagingVolume {
+        ImagingVolume::new(deg(30.0), deg(20.0), 0.05, 4, 3, 5)
+    }
+
+    #[test]
+    fn both_orders_visit_every_voxel_once() {
+        let v = vol();
+        for order in [ScanOrder::ScanlineByScanline, ScanOrder::NappeByNappe] {
+            let seen: HashSet<_> = order.iter(&v).collect();
+            assert_eq!(seen.len(), v.voxel_count(), "{order}");
+        }
+    }
+
+    #[test]
+    fn orders_visit_identical_sets() {
+        let v = vol();
+        let a: HashSet<_> = ScanOrder::ScanlineByScanline.iter(&v).collect();
+        let b: HashSet<_> = ScanOrder::NappeByNappe.iter(&v).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scanline_order_innermost_is_depth() {
+        let v = vol();
+        let first: Vec<_> = ScanOrder::ScanlineByScanline.iter(&v).take(5).collect();
+        for (k, vox) in first.iter().enumerate() {
+            assert_eq!(**&vox, VoxelIndex::new(0, 0, k));
+        }
+    }
+
+    #[test]
+    fn nappe_order_outermost_is_depth() {
+        let v = vol();
+        let all: Vec<_> = ScanOrder::NappeByNappe.iter(&v).collect();
+        // First 12 (= 4×3) entries must all be depth 0.
+        assert!(all[..12].iter().all(|vox| vox.id == 0));
+        assert!(all[12..24].iter().all(|vox| vox.id == 1));
+    }
+
+    #[test]
+    fn exact_size_iterator_contract() {
+        let v = vol();
+        let mut it = ScanOrder::NappeByNappe.iter(&v);
+        assert_eq!(it.len(), 60);
+        it.next();
+        assert_eq!(it.len(), 59);
+        assert_eq!(it.count(), 59);
+    }
+
+    #[test]
+    fn nappe_helper_matches_full_order() {
+        let v = vol();
+        let by_helper: Vec<_> = (0..v.n_depth()).flat_map(|id| nappe(&v, id)).collect();
+        let by_order: Vec<_> = ScanOrder::NappeByNappe.iter(&v).collect();
+        assert_eq!(by_helper, by_order);
+    }
+
+    #[test]
+    fn scanline_helper_matches_full_order() {
+        let v = vol();
+        let by_helper: Vec<_> =
+            scanlines(&v).flat_map(|(it, ip)| scanline(&v, it, ip)).collect();
+        let by_order: Vec<_> = ScanOrder::ScanlineByScanline.iter(&v).collect();
+        assert_eq!(by_helper, by_order);
+    }
+
+    #[test]
+    fn scanlines_count() {
+        let v = vol();
+        assert_eq!(scanlines(&v).count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nappe_out_of_range_panics() {
+        let v = vol();
+        let _ = nappe(&v, 5);
+    }
+
+    #[test]
+    fn default_order_is_nappe() {
+        assert_eq!(ScanOrder::default(), ScanOrder::NappeByNappe);
+    }
+}

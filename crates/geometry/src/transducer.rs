@@ -1,0 +1,248 @@
+//! Matrix-transducer model: a grid of elements on the z = 0 plane.
+
+use crate::Vec3;
+use std::fmt;
+
+/// Index of one element in the transducer matrix.
+///
+/// `ix` runs along the azimuth (x) axis, `iy` along the elevation (y) axis;
+/// both are zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementIndex {
+    /// Column along the x axis.
+    pub ix: usize,
+    /// Row along the y axis.
+    pub iy: usize,
+}
+
+impl ElementIndex {
+    /// Creates an element index.
+    #[inline]
+    pub const fn new(ix: usize, iy: usize) -> Self {
+        ElementIndex { ix, iy }
+    }
+}
+
+impl fmt::Display for ElementIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D[{},{}]", self.ix, self.iy)
+    }
+}
+
+/// A matrix transducer: `nx × ny` vibrating elements with a fixed pitch,
+/// centered on the origin of the z = 0 plane.
+///
+/// The paper's probe (Table I) is 100 × 100 elements at λ/2 pitch
+/// (0.1925 mm), i.e. a 19.25 mm square aperture.
+///
+/// ```
+/// use usbf_geometry::TransducerArray;
+/// let probe = TransducerArray::paper();
+/// assert_eq!(probe.count(), 10_000);
+/// // Aperture is (n-1)·pitch corner to corner centre:
+/// let corner = probe.position(usbf_geometry::ElementIndex::new(0, 0));
+/// assert!(corner.x < 0.0 && corner.y < 0.0 && corner.z == 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransducerArray {
+    nx: usize,
+    ny: usize,
+    pitch: f64,
+}
+
+impl TransducerArray {
+    /// Creates an `nx × ny` array with the given element pitch in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the pitch is not positive.
+    pub fn new(nx: usize, ny: usize, pitch: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "transducer must have at least one element");
+        assert!(pitch > 0.0, "pitch must be positive, got {pitch}");
+        TransducerArray { nx, ny, pitch }
+    }
+
+    /// The paper's 100 × 100, λ/2-pitch probe (fc = 4 MHz, c = 1540 m/s).
+    pub fn paper() -> Self {
+        let lambda = crate::SPEED_OF_SOUND / 4.0e6;
+        TransducerArray::new(100, 100, lambda / 2.0)
+    }
+
+    /// Number of columns along x.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows along y.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Element pitch in metres.
+    #[inline]
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Physical x coordinate of column `ix` (array centered on the origin).
+    #[inline]
+    pub fn x_of(&self, ix: usize) -> f64 {
+        (ix as f64 - (self.nx as f64 - 1.0) / 2.0) * self.pitch
+    }
+
+    /// Physical y coordinate of row `iy`.
+    #[inline]
+    pub fn y_of(&self, iy: usize) -> f64 {
+        (iy as f64 - (self.ny as f64 - 1.0) / 2.0) * self.pitch
+    }
+
+    /// Position of element `e` on the z = 0 plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range (debug builds).
+    #[inline]
+    pub fn position(&self, e: ElementIndex) -> Vec3 {
+        debug_assert!(e.ix < self.nx && e.iy < self.ny, "element {e} out of range");
+        Vec3::new(self.x_of(e.ix), self.y_of(e.iy), 0.0)
+    }
+
+    /// The element nearest the array centre (exact centre for odd
+    /// dimensions, lower-left of the central quad for even ones).
+    #[inline]
+    pub fn center_element(&self) -> ElementIndex {
+        ElementIndex::new((self.nx - 1) / 2, (self.ny - 1) / 2)
+    }
+
+    /// Half-diagonal of the aperture — the largest |(x, y)| of any element;
+    /// bounds the far-field parameter `(x² + y²)/r²` of Eq. 6.
+    pub fn aperture_half_diagonal(&self) -> f64 {
+        let hx = self.x_of(self.nx - 1).abs();
+        let hy = self.y_of(self.ny - 1).abs();
+        (hx * hx + hy * hy).sqrt()
+    }
+
+    /// Physical side lengths `(Lx, Ly)` of the aperture, measured between
+    /// outermost element centres.
+    pub fn aperture(&self) -> (f64, f64) {
+        (
+            (self.nx as f64 - 1.0) * self.pitch,
+            (self.ny as f64 - 1.0) * self.pitch,
+        )
+    }
+
+    /// Flattens an element index to a linear index in row-major
+    /// (`iy`-major) order.
+    #[inline]
+    pub fn linear_index(&self, e: ElementIndex) -> usize {
+        debug_assert!(e.ix < self.nx && e.iy < self.ny);
+        e.iy * self.nx + e.ix
+    }
+
+    /// Inverse of [`TransducerArray::linear_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.count()`.
+    #[inline]
+    pub fn element_at(&self, i: usize) -> ElementIndex {
+        assert!(i < self.count(), "linear element index {i} out of range");
+        ElementIndex::new(i % self.nx, i / self.nx)
+    }
+
+    /// Iterates over all element indices in linear order.
+    pub fn iter(&self) -> impl Iterator<Item = ElementIndex> + '_ {
+        let nx = self.nx;
+        (0..self.count()).map(move |i| ElementIndex::new(i % nx, i / nx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_probe_matches_table1() {
+        let p = TransducerArray::paper();
+        assert_eq!(p.nx(), 100);
+        assert_eq!(p.ny(), 100);
+        // λ/2 = 1540/4e6/2 = 0.1925 mm
+        assert!((p.pitch() - 0.1925e-3).abs() < 1e-12);
+        // Aperture ≈ 50λ = 19.25 mm (paper's d); between centres it is 99
+        // pitches = 19.0575 mm.
+        let (lx, ly) = p.aperture();
+        assert!((lx - 99.0 * 0.1925e-3).abs() < 1e-12);
+        assert_eq!(lx, ly);
+    }
+
+    #[test]
+    fn centered_positions_are_symmetric() {
+        let p = TransducerArray::new(4, 4, 1.0e-3);
+        assert_eq!(p.x_of(0), -p.x_of(3));
+        assert_eq!(p.y_of(1), -p.y_of(2));
+        let sum: f64 = (0..4).map(|i| p.x_of(i)).sum();
+        assert!(sum.abs() < 1e-18);
+    }
+
+    #[test]
+    fn odd_array_has_element_at_origin() {
+        let p = TransducerArray::new(5, 5, 0.2e-3);
+        let c = p.position(p.center_element());
+        assert_eq!(c, Vec3::ZERO);
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let p = TransducerArray::new(7, 3, 1e-3);
+        for i in 0..p.count() {
+            assert_eq!(p.linear_index(p.element_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_element_once() {
+        let p = TransducerArray::new(6, 5, 1e-3);
+        let v: Vec<_> = p.iter().collect();
+        assert_eq!(v.len(), 30);
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+    }
+
+    #[test]
+    fn aperture_half_diagonal_bounds_all_elements() {
+        let p = TransducerArray::new(10, 6, 0.3e-3);
+        let h = p.aperture_half_diagonal();
+        for e in p.iter() {
+            let pos = p.position(e);
+            assert!((pos.x * pos.x + pos.y * pos.y).sqrt() <= h + 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be positive")]
+    fn zero_pitch_rejected() {
+        TransducerArray::new(2, 2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zero_dimension_rejected() {
+        TransducerArray::new(0, 2, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn element_at_out_of_range_panics() {
+        TransducerArray::new(2, 2, 1e-3).element_at(4);
+    }
+}

@@ -1,0 +1,222 @@
+//! Minimal double-precision 3D vector used for all spatial math.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point or displacement in 3D space, in metres.
+///
+/// The paper's coordinate frame is used everywhere: the transducer lies on
+/// the `z = 0` plane, `+z` points into the imaged medium, `x` spans the
+/// azimuth (θ) direction and `y` the elevation (φ) direction.
+///
+/// ```
+/// use usbf_geometry::Vec3;
+/// let a = Vec3::new(3.0, 0.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Azimuth-axis component (metres).
+    pub x: f64,
+    /// Elevation-axis component (metres).
+    pub y: f64,
+    /// Depth-axis component (metres).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its three components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Squared Euclidean length; cheaper than [`Vec3::norm`] when only
+    /// comparisons or later square roots are needed (the TABLEFREE datapath
+    /// works on squared distances).
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Distance between two points.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is zero (debug builds only; release returns
+    /// non-finite components).
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize the zero vector");
+        self / n
+    }
+
+    /// Cosine of the angle between `self` and the `+z` axis, i.e. the
+    /// obliquity seen by a flat transducer element. Zero vector yields 0.
+    #[inline]
+    pub fn cos_from_z(self) -> f64 {
+        let n = self.norm();
+        if n == 0.0 {
+            0.0
+        } else {
+            self.z / n
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6}, {:.6})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).norm(), 5.0);
+        assert_eq!(Vec3::new(0.0, 3.0, 4.0).norm_squared(), 25.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Vec3::new(1.5, -2.0, 0.25);
+        let b = Vec3::new(-0.5, 4.0, 8.0);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Vec3::new(0.0, 0.0, 1.0);
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        assert!((a.distance(b) - 2f64.sqrt()).abs() < 1e-15);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(Vec3::new(1.0, 0.0, 0.0).dot(Vec3::new(0.0, 1.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = Vec3::new(2.0, -3.0, 6.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cos_from_z_on_axis_is_one() {
+        assert_eq!(Vec3::new(0.0, 0.0, 9.0).cos_from_z(), 1.0);
+        assert_eq!(Vec3::new(1.0, 0.0, 0.0).cos_from_z(), 0.0);
+        assert_eq!(Vec3::ZERO.cos_from_z(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Vec3::ZERO).is_empty());
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v, Vec3::new(2.0, 3.0, 4.0));
+        v -= Vec3::new(2.0, 3.0, 4.0);
+        assert_eq!(v, Vec3::ZERO);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based invariants of the geometry substrate.
+
+use proptest::prelude::*;
+use usbf_geometry::scan::ScanOrder;
+use usbf_geometry::{
+    deg, ElementIndex, ImagingVolume, SphericalDirection, TransducerArray, Vec3, VoxelIndex,
+};
+
+proptest! {
+    #[test]
+    fn voxel_linear_index_roundtrip(
+        nt in 1usize..12,
+        np in 1usize..12,
+        nd in 1usize..12,
+        pick in 0usize..1000,
+    ) {
+        let v = ImagingVolume::new(deg(30.0), deg(25.0), 0.1, nt, np, nd);
+        let i = pick % v.voxel_count();
+        prop_assert_eq!(v.linear_index(v.voxel_at(i)), i);
+    }
+
+    #[test]
+    fn element_linear_index_roundtrip(
+        nx in 1usize..20,
+        ny in 1usize..20,
+        pick in 0usize..1000,
+    ) {
+        let a = TransducerArray::new(nx, ny, 0.2e-3);
+        let i = pick % a.count();
+        prop_assert_eq!(a.linear_index(a.element_at(i)), i);
+    }
+
+    #[test]
+    fn array_positions_are_centred(
+        nx in 1usize..30,
+        ny in 1usize..30,
+        pitch in 0.05e-3..0.5e-3,
+    ) {
+        let a = TransducerArray::new(nx, ny, pitch);
+        let sum = a.iter().fold(Vec3::ZERO, |s, e| s + a.position(e));
+        prop_assert!(sum.norm() < 1e-12 * a.count() as f64);
+    }
+
+    #[test]
+    fn spherical_roundtrip(
+        theta in -1.2f64..1.2,
+        phi in -1.2f64..1.2,
+        r in 1e-3f64..0.5,
+    ) {
+        let d = SphericalDirection::new(theta, phi);
+        let p = d.point_at(r);
+        let (d2, r2) = SphericalDirection::from_point(p).expect("nonzero point");
+        prop_assert!((r2 - r).abs() < 1e-12);
+        // Positions must agree even if angles are expressed differently.
+        prop_assert!(d2.point_at(r2).distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn scan_orders_are_permutations(
+        nt in 1usize..6,
+        np in 1usize..6,
+        nd in 1usize..6,
+    ) {
+        let v = ImagingVolume::new(deg(20.0), deg(20.0), 0.05, nt, np, nd);
+        for order in [ScanOrder::NappeByNappe, ScanOrder::ScanlineByScanline] {
+            let mut seen: Vec<VoxelIndex> = order.iter(&v).collect();
+            prop_assert_eq!(seen.len(), v.voxel_count());
+            seen.sort();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), v.voxel_count());
+        }
+    }
+
+    #[test]
+    fn two_way_delay_is_symmetric_under_mirrored_elements(
+        ix in 0usize..8,
+        iy in 0usize..8,
+        id in 0usize..16,
+    ) {
+        // On-axis points: mirrored elements have identical delays — the
+        // quadrant-folding premise.
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let v = &spec.volume_grid;
+        let s = Vec3::new(0.0, 0.0, v.depth_of(id));
+        let e = spec.elements.position(ElementIndex::new(ix, iy));
+        let m = spec.elements.position(ElementIndex::new(7 - ix, 7 - iy));
+        let a = spec.two_way_delay_samples(s, e);
+        let b = spec.two_way_delay_samples(s, m);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_monotone_in_depth_on_axis(
+        ix in 0usize..8,
+        iy in 0usize..8,
+        id in 0usize..15,
+    ) {
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let v = &spec.volume_grid;
+        let e = spec.elements.position(ElementIndex::new(ix, iy));
+        let near = spec.two_way_delay_samples(Vec3::new(0.0, 0.0, v.depth_of(id)), e);
+        let far = spec.two_way_delay_samples(Vec3::new(0.0, 0.0, v.depth_of(id + 1)), e);
+        prop_assert!(far > near);
+    }
+}

@@ -1,0 +1,323 @@
+//! Greedy minimax PWL table construction.
+
+use crate::{Concave, Segment};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from PWL construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PwlError {
+    /// The requested domain is empty or inverted.
+    EmptyDomain {
+        /// Requested lower edge.
+        lo: f64,
+        /// Requested upper edge.
+        hi: f64,
+    },
+    /// δ must be positive and finite.
+    InvalidDelta(f64),
+    /// Construction exceeded the segment budget (guards against
+    /// pathological functions/domains, e.g. a domain touching a
+    /// curvature singularity).
+    TooManySegments {
+        /// The configured budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for PwlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PwlError::EmptyDomain { lo, hi } => write!(f, "empty PWL domain [{lo}, {hi}]"),
+            PwlError::InvalidDelta(d) => write!(f, "invalid PWL error bound delta = {d}"),
+            PwlError::TooManySegments { budget } => {
+                write!(f, "PWL construction exceeded {budget} segments")
+            }
+        }
+    }
+}
+
+impl Error for PwlError {}
+
+/// A complete PWL approximation: contiguous segments covering a domain,
+/// each with minimax error ≤ δ.
+///
+/// Built by [`PwlApprox::build`]; evaluated either by binary search
+/// ([`PwlApprox::eval`]) or by a hardware-style
+/// [`TrackingEvaluator`](crate::TrackingEvaluator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwlApprox {
+    segments: Vec<Segment>,
+    delta: f64,
+}
+
+/// Default cap on segment counts; the paper's tables have ~70 segments, so
+/// 100 000 means something is badly wrong (domain touching a singularity).
+const DEFAULT_SEGMENT_BUDGET: usize = 100_000;
+
+impl PwlApprox {
+    /// Builds the approximation of `f` over `domain = (lo, hi)` with
+    /// maximum absolute error `delta`.
+    ///
+    /// Segments are grown greedily from the left: each extends as far as
+    /// the minimax error allows, so every segment except the last has error
+    /// exactly δ. For concave `f` this greedy construction uses the
+    /// fewest possible segments up to one.
+    ///
+    /// # Errors
+    ///
+    /// [`PwlError::EmptyDomain`] / [`PwlError::InvalidDelta`] on bad
+    /// inputs, [`PwlError::TooManySegments`] if more than 100 000 segments
+    /// would be needed.
+    pub fn build(f: &impl Concave, domain: (f64, f64), delta: f64) -> Result<Self, PwlError> {
+        let (lo, hi) = domain;
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(PwlError::EmptyDomain { lo, hi });
+        }
+        if !(delta > 0.0) || !delta.is_finite() {
+            return Err(PwlError::InvalidDelta(delta));
+        }
+        let mut segments = Vec::new();
+        let mut a = lo;
+        while a < hi {
+            if segments.len() >= DEFAULT_SEGMENT_BUDGET {
+                return Err(PwlError::TooManySegments { budget: DEFAULT_SEGMENT_BUDGET });
+            }
+            let mut b = f.segment_end(a, delta, hi);
+            if !(b > a) {
+                // Defensive progress guarantee for near-degenerate cases.
+                b = (a + (hi - a) * 1e-6).min(hi).max(a + f64::EPSILON * a.abs().max(1.0));
+            }
+            let fa = f.eval(a);
+            let fb = f.eval(b);
+            let m = (fb - fa) / (b - a);
+            let err = f.segment_error(a, b);
+            // Minimax line: chord raised by half the gap (gap = 2·err).
+            let intercept = fa - m * a + err;
+            segments.push(Segment { x0: a, x1: b, slope: m, intercept });
+            a = b;
+        }
+        Ok(PwlApprox { segments, delta })
+    }
+
+    /// The error bound δ the table was built for.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of segments (the coefficient-LUT depth; ~70 for the paper's
+    /// δ = 0.25 over the system's squared-distance range).
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segment table.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Domain covered by the table.
+    pub fn domain(&self) -> (f64, f64) {
+        (
+            self.segments.first().map_or(0.0, |s| s.x0),
+            self.segments.last().map_or(0.0, |s| s.x1),
+        )
+    }
+
+    /// Index of the segment containing `x` (clamped to the first/last
+    /// segment outside the domain), found by binary search — the
+    /// "random access" path a hardware design avoids.
+    pub fn locate(&self, x: f64) -> usize {
+        match self
+            .segments
+            .binary_search_by(|s| s.x0.partial_cmp(&x).expect("segment edges are finite"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Evaluates the approximation at `x` via binary search.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.segments[self.locate(x)].eval(x)
+    }
+
+    /// Exact maximum error of the table against `f` (uses the per-segment
+    /// minimax closed form, not sampling).
+    pub fn max_error_exact(&self, f: &impl Concave) -> f64 {
+        self.segments.iter().map(|s| f.segment_error(s.x0, s.x1)).fold(0.0, f64::max)
+    }
+
+    /// Mean absolute error of the table against `f`, sampled on `n`
+    /// uniformly spaced points (the paper quotes ≈ 0.204 · δ/0.25 for one
+    /// square-root evaluation).
+    pub fn mean_abs_error_sampled(&self, f: &impl Concave, n: usize) -> f64 {
+        assert!(n >= 2, "need at least two sample points");
+        let (lo, hi) = self.domain();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let x = lo + (hi - lo) * i as f64 / (n as f64 - 1.0);
+            sum += (self.eval(x) - f.eval(x)).abs();
+        }
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SqrtFn;
+    use proptest::prelude::*;
+
+    #[test]
+    fn build_covers_domain_contiguously() {
+        let p = PwlApprox::build(&SqrtFn, (16.0, 1e6), 0.25).unwrap();
+        let segs = p.segments();
+        assert_eq!(segs.first().unwrap().x0, 16.0);
+        assert!((segs.last().unwrap().x1 - 1e6).abs() < 1e-6);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].x1, w[1].x0, "segments must be contiguous");
+        }
+    }
+
+    #[test]
+    fn every_segment_error_at_most_delta() {
+        let p = PwlApprox::build(&SqrtFn, (16.0, 1e6), 0.25).unwrap();
+        assert!(p.max_error_exact(&SqrtFn) <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn interior_segments_saturate_delta() {
+        let p = PwlApprox::build(&SqrtFn, (16.0, 1e6), 0.25).unwrap();
+        for s in &p.segments()[..p.segment_count() - 1] {
+            let e = SqrtFn.segment_error(s.x0, s.x1);
+            assert!((e - 0.25).abs() < 1e-9, "greedy segments hit δ exactly, got {e}");
+        }
+    }
+
+    #[test]
+    fn smaller_delta_needs_more_segments() {
+        let coarse = PwlApprox::build(&SqrtFn, (16.0, 1e6), 0.5).unwrap();
+        let fine = PwlApprox::build(&SqrtFn, (16.0, 1e6), 0.125).unwrap();
+        assert!(fine.segment_count() > coarse.segment_count());
+        // Asymptotically N ∝ 1/√δ: quartering δ should double N.
+        let ratio = fine.segment_count() as f64 / coarse.segment_count() as f64;
+        assert!(ratio > 1.6 && ratio < 2.4, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn eval_matches_sqrt_within_delta() {
+        let p = PwlApprox::build(&SqrtFn, (64.0, 4e6), 0.25).unwrap();
+        for i in 0..10_000 {
+            let x = 64.0 + (4e6 - 64.0) * i as f64 / 9999.0;
+            let err = (p.eval(x) - x.sqrt()).abs();
+            assert!(err <= 0.25 + 1e-9, "x={x}: err={err}");
+        }
+    }
+
+    #[test]
+    fn locate_is_consistent_with_contains() {
+        let p = PwlApprox::build(&SqrtFn, (16.0, 1e5), 0.25).unwrap();
+        for i in 0..1000 {
+            let x = 16.0 + (1e5 - 16.0) * i as f64 / 999.0;
+            let idx = p.locate(x);
+            let s = p.segments()[idx];
+            assert!(x >= s.x0 && (x <= s.x1), "x={x} seg={s}");
+        }
+    }
+
+    #[test]
+    fn locate_clamps_outside_domain() {
+        let p = PwlApprox::build(&SqrtFn, (16.0, 1e5), 0.25).unwrap();
+        assert_eq!(p.locate(0.0), 0);
+        assert_eq!(p.locate(1e9), p.segment_count() - 1);
+    }
+
+    #[test]
+    fn mean_error_about_two_thirds_of_delta_for_sqrt() {
+        // For the minimax parabola-like error profile, the mean |error| is
+        // ≈ 0.66·δ over each segment; the paper quotes 0.204 for δ = 0.25
+        // (≈ 0.8·δ) for its slightly different profile. We check the same
+        // ballpark.
+        let p = PwlApprox::build(&SqrtFn, (64.0, 16e6), 0.25).unwrap();
+        let mean = p.mean_abs_error_sampled(&SqrtFn, 200_001);
+        assert!(mean > 0.1 && mean < 0.25, "mean = {mean}");
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        assert!(matches!(
+            PwlApprox::build(&SqrtFn, (10.0, 10.0), 0.25),
+            Err(PwlError::EmptyDomain { .. })
+        ));
+        assert!(matches!(
+            PwlApprox::build(&SqrtFn, (10.0, 1.0), 0.25),
+            Err(PwlError::EmptyDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_delta_rejected() {
+        assert!(matches!(
+            PwlApprox::build(&SqrtFn, (1.0, 10.0), 0.0),
+            Err(PwlError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            PwlApprox::build(&SqrtFn, (1.0, 10.0), f64::NAN),
+            Err(PwlError::InvalidDelta(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = PwlError::InvalidDelta(0.0);
+        assert!(!e.to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bounded_everywhere(
+            lo in 1.0f64..1e4,
+            span in 10.0f64..1e6,
+            delta in 0.01f64..1.0,
+            frac in 0.0f64..1.0,
+        ) {
+            let p = PwlApprox::build(&SqrtFn, (lo, lo + span), delta).unwrap();
+            let x = lo + span * frac;
+            let err = (p.eval(x) - x.sqrt()).abs();
+            prop_assert!(err <= delta + 1e-9, "x={} err={}", x, err);
+        }
+
+        #[test]
+        fn prop_approximation_is_monotone(
+            lo in 1.0f64..1e3,
+            span in 10.0f64..1e5,
+            a in 0.0f64..1.0,
+            b in 0.0f64..1.0,
+        ) {
+            let p = PwlApprox::build(&SqrtFn, (lo, lo + span), 0.25).unwrap();
+            let (xa, xb) = (lo + span * a.min(b), lo + span * a.max(b));
+            prop_assert!(p.eval(xa) <= p.eval(xb) + 1e-12);
+        }
+
+        #[test]
+        fn prop_segments_partition_domain(
+            lo in 1.0f64..1e3,
+            span in 10.0f64..1e5,
+            delta in 0.05f64..1.0,
+        ) {
+            let p = PwlApprox::build(&SqrtFn, (lo, lo + span), delta).unwrap();
+            let segs = p.segments();
+            prop_assert_eq!(segs[0].x0, lo);
+            for w in segs.windows(2) {
+                prop_assert_eq!(w[0].x1, w[1].x0);
+            }
+            prop_assert!((segs[segs.len()-1].x1 - (lo + span)).abs() < 1e-9 * (lo + span));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The class of functions the minimax PWL construction handles.
+
+/// A strictly concave, strictly increasing, twice-differentiable function.
+///
+/// For such a function the best (minimax) linear approximation on `[a, b]`
+/// has a closed structure: the chord lies below the curve, the largest gap
+/// occurs at the unique `x*` where `f′(x*)` equals the chord slope, and the
+/// minimax line is the chord raised by half that gap, with error exactly
+/// `gap/2`. The greedy "extend until the error hits δ" construction is then
+/// optimal up to one segment.
+///
+/// Implementors must guarantee concavity and monotonicity on the domain
+/// they are used with; [`SqrtFn`] is the instance the paper uses.
+pub trait Concave {
+    /// The function value `f(x)`.
+    fn eval(&self, x: f64) -> f64;
+
+    /// The derivative `f′(x)`.
+    fn derivative(&self, x: f64) -> f64;
+
+    /// Inverse of the derivative: the `x` with `f′(x) = m`. The default
+    /// implementation bisects on `[lo, hi]` (valid because `f′` is strictly
+    /// decreasing for a strictly concave `f`).
+    fn inv_derivative(&self, m: f64, lo: f64, hi: f64) -> f64 {
+        let (mut lo, mut hi) = (lo, hi);
+        for _ in 0..128 {
+            let mid = 0.5 * (lo + hi);
+            if self.derivative(mid) > m {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= f64::EPSILON * hi.abs() {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// The minimax error of a single linear segment on `[a, b]`:
+    /// half the largest chord-to-curve gap.
+    fn segment_error(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let m = (self.eval(b) - self.eval(a)) / (b - a);
+        let xs = self.inv_derivative(m, a, b);
+        0.5 * (self.eval(xs) - (self.eval(a) + m * (xs - a)))
+    }
+
+    /// Largest `b ∈ (a, hi]` such that `segment_error(a, b) ≤ delta`.
+    ///
+    /// The default bisects on the (monotone in `b`) segment error;
+    /// implementors with a closed form (like [`SqrtFn`]) should override
+    /// for exactness and speed.
+    fn segment_end(&self, a: f64, delta: f64, hi: f64) -> f64 {
+        if self.segment_error(a, hi) <= delta {
+            return hi;
+        }
+        let (mut lo, mut up) = (a, hi);
+        for _ in 0..128 {
+            let mid = 0.5 * (lo + up);
+            if self.segment_error(a, mid) <= delta {
+                lo = mid;
+            } else {
+                up = mid;
+            }
+            if up - lo <= f64::EPSILON * up.abs().max(1.0) {
+                break;
+            }
+        }
+        lo
+    }
+}
+
+/// The square-root function — the paper's delay kernel (Eq. 3).
+///
+/// Closed forms (write `s = √a`, `t = √b`):
+///
+/// * chord slope `m = 1/(s + t)`,
+/// * gap maximum at `x* = ((s + t)/2)²` with gap `(t − s)²/(4(s + t))`,
+/// * minimax segment error (half the gap) `e(a, b) = (t − s)²/(8(s + t))`,
+/// * segment end for error δ: solving `(t − s)² = 8δ(s + t)` gives
+///   `t = s + 4δ + 4√(δ(s + δ))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SqrtFn;
+
+impl Concave for SqrtFn {
+    #[inline]
+    fn eval(&self, x: f64) -> f64 {
+        x.sqrt()
+    }
+
+    #[inline]
+    fn derivative(&self, x: f64) -> f64 {
+        0.5 / x.sqrt()
+    }
+
+    fn inv_derivative(&self, m: f64, _lo: f64, _hi: f64) -> f64 {
+        // f'(x) = 1/(2√x) = m  →  x = 1/(4m²)
+        1.0 / (4.0 * m * m)
+    }
+
+    fn segment_error(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let s = a.sqrt();
+        let t = b.sqrt();
+        // gap = (t−s)²/(4(s+t)); the minimax error is half the gap.
+        (t - s) * (t - s) / (8.0 * (s + t))
+    }
+
+    fn segment_end(&self, a: f64, delta: f64, hi: f64) -> f64 {
+        let s = a.sqrt();
+        let t = s + 4.0 * delta + 4.0 * (delta * (s + delta)).sqrt();
+        (t * t).min(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_closed_form_error_matches_generic_bisection() {
+        struct GenericSqrt;
+        impl Concave for GenericSqrt {
+            fn eval(&self, x: f64) -> f64 {
+                x.sqrt()
+            }
+            fn derivative(&self, x: f64) -> f64 {
+                0.5 / x.sqrt()
+            }
+        }
+        for &(a, b) in &[(1.0, 4.0), (100.0, 2500.0), (1e4, 9e6)] {
+            let exact = SqrtFn.segment_error(a, b);
+            let generic = GenericSqrt.segment_error(a, b);
+            assert!(
+                (exact - generic).abs() <= 1e-9 * exact.max(1e-12),
+                "a={a} b={b}: {exact} vs {generic}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_closed_form_end_matches_generic_bisection() {
+        struct GenericSqrt;
+        impl Concave for GenericSqrt {
+            fn eval(&self, x: f64) -> f64 {
+                x.sqrt()
+            }
+            fn derivative(&self, x: f64) -> f64 {
+                0.5 / x.sqrt()
+            }
+        }
+        for &a in &[1.0, 64.0, 1e4, 1e6] {
+            let delta = 0.25;
+            let exact = SqrtFn.segment_end(a, delta, 1e9);
+            let generic = GenericSqrt.segment_end(a, delta, 1e9);
+            assert!(
+                ((exact - generic) / exact).abs() < 1e-6,
+                "a={a}: {exact} vs {generic}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_end_gives_exact_delta_error() {
+        for &a in &[4.0, 100.0, 5e5] {
+            for &delta in &[0.5, 0.25, 0.0625] {
+                let b = SqrtFn.segment_end(a, delta, f64::INFINITY);
+                let e = SqrtFn.segment_error(a, b);
+                assert!((e - delta).abs() < 1e-9, "a={a} δ={delta}: e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_end_clamps_to_hi() {
+        let b = SqrtFn.segment_end(4.0, 0.25, 5.0);
+        assert_eq!(b, 5.0);
+    }
+
+    #[test]
+    fn error_is_zero_on_degenerate_interval() {
+        assert_eq!(SqrtFn.segment_error(9.0, 9.0), 0.0);
+        assert_eq!(SqrtFn.segment_error(9.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn gap_maximum_is_interior() {
+        let (a, b) = (16.0, 400.0);
+        let m = (SqrtFn.eval(b) - SqrtFn.eval(a)) / (b - a);
+        let xs = SqrtFn.inv_derivative(m, a, b);
+        assert!(xs > a && xs < b);
+        // x* = ((s+t)/2)²
+        let expect = ((a.sqrt() + b.sqrt()) / 2.0).powi(2);
+        assert!((xs - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,253 @@
+//! Fixed-point coefficient LUTs: the hardware-faithful PWL evaluation.
+//!
+//! Fig. 2(a) of the paper stores per-segment `c1` (slope) and `c0`
+//! (intercept) coefficients in small LUTs; the datapath computes
+//! `√α ≈ c1·α + c0` with one multiplier and one adder. This module
+//! quantizes a [`PwlApprox`] into such LUTs and models the datapath
+//! arithmetic bit-exactly.
+
+use crate::{Concave, PwlApprox, SqrtFn};
+use usbf_fixed::{Fixed, FixedError, QFormat, RoundingMode};
+
+/// Fixed-point formats of the PWL datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutFormats {
+    /// Format of the `c1` slope LUT entries.
+    pub slope: QFormat,
+    /// Format of the `c0` intercept LUT entries.
+    pub intercept: QFormat,
+    /// Format of the argument register (squared distance in samples²).
+    pub argument: QFormat,
+    /// Format of the multiplier output register.
+    pub accumulator: QFormat,
+    /// Format of the result register (delay in samples).
+    pub output: QFormat,
+}
+
+impl LutFormats {
+    /// The defaults used for the paper-scale system: 30 fractional slope
+    /// bits (the product `α·Δc1` stays ≪ δ for α up to ~2²⁵), signed 14.6
+    /// intercepts, integer 25-bit arguments, and a u13.5 output matching
+    /// the TABLESTEER reference format.
+    pub fn paper_default() -> Self {
+        LutFormats {
+            slope: QFormat::unsigned(0, 30),
+            intercept: QFormat::signed(14, 6),
+            argument: QFormat::unsigned(25, 0),
+            accumulator: QFormat::signed(15, 8),
+            output: QFormat::unsigned(13, 5),
+        }
+    }
+
+    /// Picks formats that fit a given table: widens the slope/intercept
+    /// integer parts to hold the table's extremes while keeping the
+    /// default fractional precision.
+    pub fn fitted_to(table: &PwlApprox) -> Self {
+        let mut max_slope = 0.0f64;
+        let mut max_icept = 0.0f64;
+        for s in table.segments() {
+            max_slope = max_slope.max(s.slope.abs());
+            max_icept = max_icept.max(s.intercept.abs());
+        }
+        let slope_int = if max_slope < 1.0 { 0 } else { (max_slope.log2().floor() as u32) + 1 };
+        let icept_int = (max_icept.max(1.0).log2().floor() as u32) + 2;
+        let (_, hi) = table.domain();
+        let arg_int = (hi.max(1.0).log2().floor() as u32) + 1;
+        let out_max = hi.sqrt();
+        let out_int = (out_max.max(1.0).log2().floor() as u32) + 1;
+        LutFormats {
+            slope: QFormat::unsigned(slope_int, 30),
+            intercept: QFormat::signed(icept_int, 6),
+            argument: QFormat::unsigned(arg_int, 0),
+            accumulator: QFormat::signed(out_int + 2, 8),
+            output: QFormat::unsigned(out_int, 5),
+        }
+    }
+}
+
+/// A PWL table with coefficients quantized to fixed point, evaluated with
+/// the bit-true datapath of Fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedPwl {
+    boundaries: Vec<f64>,
+    slopes: Vec<Fixed>,
+    intercepts: Vec<Fixed>,
+    formats: LutFormats,
+}
+
+impl QuantizedPwl {
+    /// Quantizes every segment of `table` into the given formats.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`FixedError`] if any coefficient overflows
+    /// its format.
+    pub fn quantize(table: &PwlApprox, formats: LutFormats) -> Result<Self, FixedError> {
+        let mut boundaries = Vec::with_capacity(table.segment_count() + 1);
+        let mut slopes = Vec::with_capacity(table.segment_count());
+        let mut intercepts = Vec::with_capacity(table.segment_count());
+        for s in table.segments() {
+            boundaries.push(s.x0);
+            slopes.push(Fixed::from_f64(s.slope, formats.slope, RoundingMode::Nearest)?);
+            intercepts.push(Fixed::from_f64(s.intercept, formats.intercept, RoundingMode::Nearest)?);
+        }
+        boundaries.push(table.domain().1);
+        Ok(QuantizedPwl { boundaries, slopes, intercepts, formats })
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// The datapath formats.
+    #[inline]
+    pub fn formats(&self) -> &LutFormats {
+        &self.formats
+    }
+
+    /// Segment index containing `x` (clamped at the ends), by binary
+    /// search.
+    pub fn locate(&self, x: f64) -> usize {
+        let n = self.segment_count();
+        match self.boundaries[..n]
+            .binary_search_by(|b| b.partial_cmp(&x).expect("finite boundaries"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Bit-true evaluation using segment `idx`: quantize α, one fixed-point
+    /// multiply into the accumulator, one full-width add of `c0`, then a
+    /// final rounding into the output register. Saturates (as hardware
+    /// registers do) instead of failing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn eval_at(&self, idx: usize, x: f64) -> f64 {
+        let arg = Fixed::saturating_from_f64(x, self.formats.argument, RoundingMode::Nearest);
+        let prod = match arg.mul_into(self.slopes[idx], self.formats.accumulator, RoundingMode::HalfUp)
+        {
+            Ok(p) => p,
+            Err(_) => Fixed::saturating_from_f64(
+                arg.to_f64() * self.slopes[idx].to_f64(),
+                self.formats.accumulator,
+                RoundingMode::HalfUp,
+            ),
+        };
+        let sum = prod.wide_add(self.intercepts[idx]);
+        Fixed::saturating_from_f64(sum.to_f64(), self.formats.output, RoundingMode::HalfUp)
+            .to_f64()
+    }
+
+    /// Locate + evaluate.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.eval_at(self.locate(x), x)
+    }
+
+    /// Total LUT storage in bits: boundaries (argument format) + slopes +
+    /// intercepts — "a few LUTs" in the paper's words.
+    pub fn storage_bits(&self) -> u64 {
+        let n = self.segment_count() as u64;
+        n * (self.formats.argument.total_bits() as u64
+            + self.formats.slope.total_bits() as u64
+            + self.formats.intercept.total_bits() as u64)
+    }
+
+    /// Upper bound on the *extra* error introduced by quantization on top
+    /// of the PWL error: `α_max·½LSB(c1) + ½LSB(c0) + ½LSB(out)`.
+    pub fn quantization_error_bound(&self) -> f64 {
+        let alpha_max = *self.boundaries.last().expect("non-empty table");
+        alpha_max * self.formats.slope.resolution() / 2.0
+            + self.formats.intercept.resolution() / 2.0
+            + self.formats.output.resolution() / 2.0
+    }
+
+    /// Maximum |quantized eval − √x| over `n` uniform samples — the
+    /// end-to-end fixed-point accuracy probe of §VI-A.
+    pub fn max_error_sampled(&self, n: usize) -> f64 {
+        assert!(n >= 2);
+        let lo = self.boundaries[0];
+        let hi = *self.boundaries.last().expect("non-empty");
+        let mut max = 0.0f64;
+        for i in 0..n {
+            let x = lo + (hi - lo) * i as f64 / (n as f64 - 1.0);
+            max = max.max((self.eval(x) - SqrtFn.eval(x)).abs());
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PwlApprox;
+
+    fn table() -> PwlApprox {
+        PwlApprox::build(&SqrtFn, (64.0, 16.0e6), 0.25).unwrap()
+    }
+
+    #[test]
+    fn quantize_succeeds_with_defaults() {
+        let q = QuantizedPwl::quantize(&table(), LutFormats::paper_default()).unwrap();
+        assert_eq!(q.segment_count(), table().segment_count());
+    }
+
+    #[test]
+    fn quantized_error_stays_near_delta() {
+        let q = QuantizedPwl::quantize(&table(), LutFormats::paper_default()).unwrap();
+        let bound = 0.25 + q.quantization_error_bound();
+        let max = q.max_error_sampled(50_000);
+        assert!(max <= bound + 1e-9, "max = {max}, bound = {bound}");
+        // And quantization cost is small versus δ.
+        assert!(q.quantization_error_bound() < 0.1);
+    }
+
+    #[test]
+    fn fitted_formats_cover_table() {
+        let t = PwlApprox::build(&SqrtFn, (1.0, 1e4), 0.1).unwrap();
+        let f = LutFormats::fitted_to(&t);
+        let q = QuantizedPwl::quantize(&t, f).unwrap();
+        assert!(q.max_error_sampled(10_000) < 0.1 + q.quantization_error_bound() + 1e-9);
+    }
+
+    #[test]
+    fn locate_matches_float_table() {
+        let t = table();
+        let q = QuantizedPwl::quantize(&t, LutFormats::paper_default()).unwrap();
+        for i in 0..1000 {
+            let x = 64.0 + (16.0e6 - 64.0) * i as f64 / 999.0;
+            assert_eq!(q.locate(x), t.locate(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn eval_saturates_out_of_range() {
+        let q = QuantizedPwl::quantize(&table(), LutFormats::paper_default()).unwrap();
+        // Far beyond the domain: output register saturates, no panic.
+        let y = q.eval_at(q.segment_count() - 1, 1e12);
+        assert!(y <= QFormat::unsigned(13, 5).max_value());
+    }
+
+    #[test]
+    fn storage_is_a_few_kilobits() {
+        // ~70 segments × (25 + 30 + 21) bits ≈ 5.3 kb: "a few LUTs".
+        let q = QuantizedPwl::quantize(&table(), LutFormats::paper_default()).unwrap();
+        let bits = q.storage_bits();
+        assert!(bits < 20_000, "bits = {bits}");
+        assert!(bits > 1_000);
+    }
+
+    #[test]
+    fn narrow_slope_format_overflows() {
+        let t = PwlApprox::build(&SqrtFn, (0.01, 10.0), 0.05).unwrap();
+        // Slope near x=0.01 is 1/(2·0.1) = 5 — does not fit u0.30.
+        let err = QuantizedPwl::quantize(&t, LutFormats::paper_default());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! One linear segment of a PWL approximation.
+
+use std::fmt;
+
+/// A linear piece `y = slope·x + intercept` valid on `[x0, x1)` (the last
+/// segment of a table is closed on the right).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Inclusive left edge of the segment's domain.
+    pub x0: f64,
+    /// Right edge of the segment's domain.
+    pub x1: f64,
+    /// Line slope (the `c1` coefficient LUT entry of Fig. 2a).
+    pub slope: f64,
+    /// Line intercept (the `c0` coefficient LUT entry of Fig. 2a).
+    pub intercept: f64,
+}
+
+impl Segment {
+    /// Evaluates the line at `x` (no domain check — callers pick the
+    /// segment).
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Whether `x` lies inside this segment's domain, treating the right
+    /// edge as exclusive.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.x0 && x < self.x1
+    }
+
+    /// Width of the segment's domain.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.4}, {:.4}): y = {:.6e}·x + {:.6}",
+            self.x0, self.x1, self.slope, self.intercept
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_affine() {
+        let s = Segment { x0: 0.0, x1: 10.0, slope: 2.0, intercept: 1.0 };
+        assert_eq!(s.eval(0.0), 1.0);
+        assert_eq!(s.eval(4.5), 10.0);
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let s = Segment { x0: 1.0, x1: 2.0, slope: 0.0, intercept: 0.0 };
+        assert!(s.contains(1.0));
+        assert!(s.contains(1.999));
+        assert!(!s.contains(2.0));
+        assert!(!s.contains(0.999));
+    }
+
+    #[test]
+    fn width() {
+        let s = Segment { x0: 3.0, x1: 7.5, slope: 0.0, intercept: 0.0 };
+        assert_eq!(s.width(), 4.5);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = Segment { x0: 0.0, x1: 1.0, slope: 1.0, intercept: 0.0 };
+        assert!(format!("{s}").contains("y ="));
+    }
+}

@@ -1,0 +1,272 @@
+//! Segment-pointer tracking: evaluation without search.
+//!
+//! The key hardware simplification of §IV-B: "the argument of the second
+//! square root … only changes very little when the focal points S are
+//! computed sequentially … The transitions across the approximating
+//! segments being gradual, it is not needed to search for the correct
+//! piece each time." A [`TrackingEvaluator`] keeps the current segment
+//! index in a register and steps it by comparing the argument against the
+//! neighbouring boundaries — no priority encoder, no binary search.
+
+use crate::{PwlApprox, QuantizedPwl};
+use std::error::Error;
+use std::fmt;
+
+/// Statistics accumulated by a [`TrackingEvaluator`] — used to validate
+/// the "gradual transitions" claim for both scan orders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackerStats {
+    /// Number of evaluations performed.
+    pub evals: u64,
+    /// Total segment-pointer steps taken.
+    pub steps: u64,
+    /// Largest number of steps needed by any single evaluation.
+    pub max_step: u64,
+    /// Number of explicit `seek` (search) operations.
+    pub seeks: u64,
+}
+
+impl TrackerStats {
+    /// Mean steps per evaluation.
+    pub fn mean_steps(&self) -> f64 {
+        if self.evals == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.evals as f64
+        }
+    }
+}
+
+/// Error raised in strict mode when one evaluation would need to move the
+/// segment pointer farther than the configured hardware allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackingError {
+    /// Segment index before the evaluation.
+    pub from: usize,
+    /// Segment index the argument actually belongs to.
+    pub to: usize,
+    /// Maximum per-evaluation step the tracker was configured with.
+    pub allowed: u64,
+}
+
+impl fmt::Display for TrackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "segment jump {} → {} exceeds the {}-step tracking budget",
+            self.from, self.to, self.allowed
+        )
+    }
+}
+
+impl Error for TrackingError {}
+
+/// A stateful PWL evaluator that *tracks* the active segment.
+///
+/// Optionally evaluates through a [`QuantizedPwl`] for bit-true fixed-point
+/// results, and optionally enforces a per-evaluation step budget
+/// (`max_step`) to emulate a hardware design that can only move the
+/// pointer by ±k per cycle.
+///
+/// ```
+/// use usbf_pwl::{PwlApprox, SqrtFn, TrackingEvaluator};
+/// let table = PwlApprox::build(&SqrtFn, (64.0, 1e6), 0.25)?;
+/// let mut tr = TrackingEvaluator::new(&table);
+/// // A slowly drifting argument, as produced by a nappe sweep:
+/// let mut x = 100.0;
+/// while x < 9.9e5 {
+///     let y = tr.eval(x)?;
+///     assert!((y - x.sqrt()).abs() <= 0.25 + 1e-9);
+///     x *= 1.01;
+/// }
+/// assert!(tr.stats().max_step <= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrackingEvaluator<'a> {
+    table: &'a PwlApprox,
+    quant: Option<&'a QuantizedPwl>,
+    idx: usize,
+    max_step: Option<u64>,
+    stats: TrackerStats,
+}
+
+impl<'a> TrackingEvaluator<'a> {
+    /// Creates a tracker over a float-coefficient table, starting at the
+    /// first segment.
+    pub fn new(table: &'a PwlApprox) -> Self {
+        assert!(table.segment_count() > 0, "empty PWL table");
+        TrackingEvaluator { table, quant: None, idx: 0, max_step: None, stats: TrackerStats::default() }
+    }
+
+    /// Creates a tracker that evaluates through quantized coefficient LUTs
+    /// (bit-true datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quant` has a different segment count than `table`.
+    pub fn with_quantized(table: &'a PwlApprox, quant: &'a QuantizedPwl) -> Self {
+        assert_eq!(
+            table.segment_count(),
+            quant.segment_count(),
+            "quantized table must mirror the float table"
+        );
+        TrackingEvaluator { table, quant: Some(quant), idx: 0, max_step: None, stats: TrackerStats::default() }
+    }
+
+    /// Restricts every evaluation to at most `k` pointer steps (strict
+    /// hardware emulation; evaluations needing more return
+    /// [`TrackingError`]).
+    pub fn with_max_step(mut self, k: u64) -> Self {
+        self.max_step = Some(k);
+        self
+    }
+
+    /// Current segment index.
+    #[inline]
+    pub fn segment_index(&self) -> usize {
+        self.idx
+    }
+
+    /// Accumulated statistics.
+    #[inline]
+    pub fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+
+    /// Clears the statistics (keeps the pointer).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrackerStats::default();
+    }
+
+    /// Repositions the pointer by binary search — the operation a
+    /// scanline/nappe *restart* performs (counted separately in the
+    /// stats).
+    pub fn seek(&mut self, x: f64) {
+        self.idx = self.table.locate(x);
+        self.stats.seeks += 1;
+    }
+
+    /// Evaluates at `x`, stepping the segment pointer as needed.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, returns [`TrackingError`] if more than `max_step`
+    /// steps would be required (the pointer is still moved, mimicking a
+    /// design that would produce wrong values for the overflow cycles).
+    pub fn eval(&mut self, x: f64) -> Result<f64, TrackingError> {
+        let target = self.table.locate(x);
+        let moved = (target as i64 - self.idx as i64).unsigned_abs();
+        let from = self.idx;
+        self.idx = target;
+        self.stats.evals += 1;
+        self.stats.steps += moved;
+        self.stats.max_step = self.stats.max_step.max(moved);
+        if let Some(k) = self.max_step {
+            if moved > k {
+                return Err(TrackingError { from, to: target, allowed: k });
+            }
+        }
+        Ok(match self.quant {
+            Some(q) => q.eval_at(target, x),
+            None => self.table.segments()[target].eval(x),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LutFormats, SqrtFn};
+
+    fn table() -> PwlApprox {
+        PwlApprox::build(&SqrtFn, (64.0, 1e6), 0.25).unwrap()
+    }
+
+    #[test]
+    fn tracked_eval_equals_direct_eval() {
+        let t = table();
+        let mut tr = TrackingEvaluator::new(&t);
+        for i in 0..5000 {
+            let x = 64.0 + (1e6 - 64.0) * i as f64 / 4999.0;
+            assert_eq!(tr.eval(x).unwrap(), t.eval(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn slow_drift_steps_at_most_one() {
+        let t = table();
+        let mut tr = TrackingEvaluator::new(&t);
+        let mut x = 64.0;
+        while x < 1e6 {
+            tr.eval(x).unwrap();
+            x += 50.0; // much finer than any segment width
+        }
+        assert!(tr.stats().max_step <= 1, "max_step = {}", tr.stats().max_step);
+        assert!(tr.stats().mean_steps() < 1.0);
+    }
+
+    #[test]
+    fn strict_mode_flags_large_jumps() {
+        let t = table();
+        let mut tr = TrackingEvaluator::new(&t).with_max_step(1);
+        tr.eval(100.0).unwrap();
+        let e = tr.eval(9e5).unwrap_err();
+        assert!(e.to_string().contains("exceeds"));
+        assert!(e.to > e.from + 1);
+        // Pointer still lands on the right segment afterwards.
+        assert_eq!(tr.segment_index(), t.locate(9e5));
+    }
+
+    #[test]
+    fn seek_resets_pointer_without_step_count() {
+        let t = table();
+        let mut tr = TrackingEvaluator::new(&t).with_max_step(1);
+        tr.eval(100.0).unwrap();
+        tr.seek(9e5);
+        assert!(tr.eval(9e5).is_ok());
+        assert_eq!(tr.stats().seeks, 1);
+    }
+
+    #[test]
+    fn reverse_drift_tracks_down() {
+        let t = table();
+        let mut tr = TrackingEvaluator::new(&t);
+        tr.seek(9.9e5);
+        let mut x = 9.9e5;
+        while x > 100.0 {
+            tr.eval(x).unwrap();
+            x -= 100.0;
+        }
+        assert_eq!(tr.segment_index(), t.locate(100.0));
+        assert!(tr.stats().max_step <= 1);
+    }
+
+    #[test]
+    fn quantized_tracker_matches_quantized_direct() {
+        let t = table();
+        let q = QuantizedPwl::quantize(&t, LutFormats::paper_default()).unwrap();
+        let mut tr = TrackingEvaluator::with_quantized(&t, &q);
+        for i in 0..2000 {
+            let x = 64.0 + (1e6 - 64.0) * i as f64 / 1999.0;
+            assert_eq!(tr.eval(x).unwrap(), q.eval(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let t = table();
+        let mut tr = TrackingEvaluator::new(&t);
+        tr.eval(100.0).unwrap();
+        tr.eval(5e5).unwrap();
+        assert_eq!(tr.stats().evals, 2);
+        assert!(tr.stats().steps > 0);
+        tr.reset_stats();
+        assert_eq!(tr.stats(), TrackerStats::default());
+    }
+
+    #[test]
+    fn mean_steps_empty_is_zero() {
+        assert_eq!(TrackerStats::default().mean_steps(), 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Image-quality metrics: how delay accuracy shows up in images.
+
+/// Index of the largest |value| in a profile.
+///
+/// # Panics
+///
+/// Panics if the profile is empty.
+pub fn peak_index(profile: &[f64]) -> usize {
+    assert!(!profile.is_empty(), "empty profile");
+    profile
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite samples"))
+        .map(|(i, _)| i)
+        .expect("non-empty profile")
+}
+
+/// Full width at half maximum of |profile|, in index units, measured
+/// around the global peak with linear interpolation of the half-power
+/// crossings. Returns the full profile length if a crossing never happens
+/// on a side.
+///
+/// # Panics
+///
+/// Panics if the profile is empty.
+pub fn fwhm(profile: &[f64]) -> f64 {
+    let p = peak_index(profile);
+    let half = profile[p].abs() / 2.0;
+    // Walk left.
+    let mut left = 0.0;
+    for i in (0..p).rev() {
+        if profile[i].abs() < half {
+            let hi = profile[i + 1].abs();
+            let lo = profile[i].abs();
+            left = p as f64 - (i as f64 + (half - lo) / (hi - lo));
+            break;
+        }
+        if i == 0 {
+            left = p as f64;
+        }
+    }
+    if p == 0 {
+        left = 0.0;
+    }
+    // Walk right.
+    let mut right = 0.0;
+    for i in p + 1..profile.len() {
+        if profile[i].abs() < half {
+            let hi = profile[i - 1].abs();
+            let lo = profile[i].abs();
+            right = (i as f64 - (half - lo) / (hi - lo)) - p as f64;
+            break;
+        }
+        if i == profile.len() - 1 {
+            right = (profile.len() - 1 - p) as f64;
+        }
+    }
+    if p == profile.len() - 1 {
+        right = 0.0;
+    }
+    left + right
+}
+
+/// Peak sidelobe level in dB: the ratio of the largest |value| outside an
+/// exclusion window of `±main_lobe_halfwidth` around the peak to the peak
+/// itself. More negative is better; returns `-inf` if nothing lies outside
+/// the window.
+///
+/// # Panics
+///
+/// Panics if the profile is empty.
+pub fn peak_sidelobe_db(profile: &[f64], main_lobe_halfwidth: usize) -> f64 {
+    let p = peak_index(profile);
+    let peak = profile[p].abs();
+    let mut side = 0.0f64;
+    for (i, v) in profile.iter().enumerate() {
+        if i + main_lobe_halfwidth < p || i > p + main_lobe_halfwidth {
+            side = side.max(v.abs());
+        }
+    }
+    if side == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * (side / peak).log10()
+    }
+}
+
+/// Root-mean-square difference between two equal-length signals.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty signals");
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Normalized RMSE: [`rmse`] divided by the peak |value| of the reference
+/// `a` — the end-to-end image-degradation metric used to compare engines.
+///
+/// # Panics
+///
+/// Panics if lengths differ, are zero, or `a` is all zeros.
+pub fn nrmse(a: &[f64], b: &[f64]) -> f64 {
+    let peak = a.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    assert!(peak > 0.0, "reference signal is all zeros");
+    rmse(a, b) / peak
+}
+
+/// Contrast between two regions in dB: `20·log10(rms(inside)/rms(outside))`.
+/// For an anechoic cyst, more negative is better.
+///
+/// # Panics
+///
+/// Panics if either region is empty or outside is silent.
+pub fn contrast_db(inside: &[f64], outside: &[f64]) -> f64 {
+    assert!(!inside.is_empty() && !outside.is_empty(), "empty region");
+    let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+    let o = rms(outside);
+    assert!(o > 0.0, "outside region is silent");
+    20.0 * (rms(inside) / o).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_profile(n: usize, center: f64, sigma: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (-((i as f64 - center) / sigma).powi(2) / 2.0).exp())
+            .collect()
+    }
+
+    #[test]
+    fn peak_index_finds_max_abs() {
+        assert_eq!(peak_index(&[0.1, -0.9, 0.5]), 1);
+        assert_eq!(peak_index(&[1.0]), 0);
+    }
+
+    #[test]
+    fn fwhm_of_gaussian_matches_theory() {
+        // FWHM of a Gaussian = 2√(2 ln2)·σ ≈ 2.3548σ.
+        let sigma = 6.0;
+        let p = gaussian_profile(101, 50.0, sigma);
+        let w = fwhm(&p);
+        assert!((w - 2.3548 * sigma).abs() < 0.1, "w = {w}");
+    }
+
+    #[test]
+    fn fwhm_narrower_for_sharper_peak() {
+        let wide = gaussian_profile(101, 50.0, 8.0);
+        let narrow = gaussian_profile(101, 50.0, 2.0);
+        assert!(fwhm(&narrow) < fwhm(&wide));
+    }
+
+    #[test]
+    fn fwhm_peak_at_edge() {
+        let mut p = vec![0.0; 10];
+        p[0] = 1.0;
+        p[1] = 0.2;
+        let w = fwhm(&p);
+        assert!(w < 2.0);
+    }
+
+    #[test]
+    fn sidelobe_level_detects_secondary_peak() {
+        let mut p = gaussian_profile(101, 30.0, 2.0);
+        p[80] = 0.1; // -20 dB sidelobe
+        let psl = peak_sidelobe_db(&p, 10);
+        assert!((psl + 20.0).abs() < 0.5, "psl = {psl}");
+    }
+
+    #[test]
+    fn sidelobe_is_neg_inf_for_clean_peak() {
+        let mut p = vec![0.0; 21];
+        p[10] = 1.0;
+        assert_eq!(peak_sidelobe_db(&p, 3), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rmse_and_nrmse() {
+        let a = [1.0, 0.0, -1.0, 0.0];
+        let b = [1.0, 0.5, -1.0, -0.5];
+        let r = rmse(&a, &b);
+        assert!((r - (0.125f64).sqrt()).abs() < 1e-12);
+        assert!((nrmse(&a, &b) - r).abs() < 1e-12, "peak of a is 1");
+        assert_eq!(rmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn contrast_of_anechoic_region_is_negative() {
+        let inside = vec![0.01; 50];
+        let outside = vec![1.0; 50];
+        let c = contrast_db(&inside, &outside);
+        assert!((c + 40.0).abs() < 0.5, "c = {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_length_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty profile")]
+    fn empty_profile_panics() {
+        peak_index(&[]);
+    }
+}

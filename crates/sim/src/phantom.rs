@@ -1,0 +1,158 @@
+//! Scatterer phantoms: the synthetic tissue being imaged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use usbf_geometry::Vec3;
+
+/// One point scatterer: a position and a reflectivity amplitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scatterer {
+    /// Location in metres.
+    pub position: Vec3,
+    /// Reflectivity (arbitrary linear units).
+    pub amplitude: f64,
+}
+
+/// A collection of point scatterers.
+///
+/// ```
+/// use usbf_geometry::Vec3;
+/// use usbf_sim::Phantom;
+/// let p = Phantom::point(Vec3::new(0.0, 0.0, 0.05));
+/// assert_eq!(p.scatterers().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Phantom {
+    scatterers: Vec<Scatterer>,
+}
+
+impl Phantom {
+    /// An empty phantom (anechoic medium).
+    pub fn empty() -> Self {
+        Phantom::default()
+    }
+
+    /// A single unit-amplitude point target — the classic point-spread-
+    /// function phantom.
+    pub fn point(position: Vec3) -> Self {
+        Phantom { scatterers: vec![Scatterer { position, amplitude: 1.0 }] }
+    }
+
+    /// A phantom from explicit scatterers.
+    pub fn from_scatterers(scatterers: Vec<Scatterer>) -> Self {
+        Phantom { scatterers }
+    }
+
+    /// A regular grid of point targets along the z axis — used to probe
+    /// depth-dependent focusing.
+    pub fn axial_targets(depths: &[f64]) -> Self {
+        Phantom {
+            scatterers: depths
+                .iter()
+                .map(|&z| Scatterer { position: Vec3::new(0.0, 0.0, z), amplitude: 1.0 })
+                .collect(),
+        }
+    }
+
+    /// Uniform random speckle inside an axis-aligned box, with unit mean
+    /// amplitude (uniform in `[0.5, 1.5]`). Deterministic for a given
+    /// seed.
+    pub fn speckle(n: usize, min: Vec3, max: Vec3, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scatterers = (0..n)
+            .map(|_| Scatterer {
+                position: Vec3::new(
+                    rng.random_range(min.x..=max.x),
+                    rng.random_range(min.y..=max.y),
+                    rng.random_range(min.z..=max.z),
+                ),
+                amplitude: rng.random_range(0.5..=1.5),
+            })
+            .collect();
+        Phantom { scatterers }
+    }
+
+    /// An anechoic spherical void ("cyst") carved out of speckle: returns
+    /// the speckle phantom with all scatterers inside the sphere removed.
+    pub fn cyst(n: usize, min: Vec3, max: Vec3, center: Vec3, radius: f64, seed: u64) -> Self {
+        let mut p = Self::speckle(n, min, max, seed);
+        p.scatterers.retain(|s| s.position.distance(center) > radius);
+        p
+    }
+
+    /// The scatterers.
+    pub fn scatterers(&self) -> &[Scatterer] {
+        &self.scatterers
+    }
+
+    /// Adds a scatterer.
+    pub fn push(&mut self, s: Scatterer) {
+        self.scatterers.push(s);
+    }
+
+    /// Merges another phantom into this one.
+    pub fn extend(&mut self, other: &Phantom) {
+        self.scatterers.extend_from_slice(&other.scatterers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_phantom_has_unit_amplitude() {
+        let p = Phantom::point(Vec3::new(0.0, 0.0, 0.03));
+        assert_eq!(p.scatterers()[0].amplitude, 1.0);
+        assert_eq!(p.scatterers()[0].position.z, 0.03);
+    }
+
+    #[test]
+    fn axial_targets_sit_on_axis() {
+        let p = Phantom::axial_targets(&[0.01, 0.02, 0.03]);
+        assert_eq!(p.scatterers().len(), 3);
+        for s in p.scatterers() {
+            assert_eq!((s.position.x, s.position.y), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn speckle_is_deterministic_and_in_bounds() {
+        let min = Vec3::new(-0.01, -0.01, 0.02);
+        let max = Vec3::new(0.01, 0.01, 0.05);
+        let a = Phantom::speckle(100, min, max, 7);
+        let b = Phantom::speckle(100, min, max, 7);
+        assert_eq!(a, b);
+        for s in a.scatterers() {
+            assert!(s.position.x >= min.x && s.position.x <= max.x);
+            assert!(s.position.z >= min.z && s.position.z <= max.z);
+            assert!(s.amplitude >= 0.5 && s.amplitude <= 1.5);
+        }
+        let c = Phantom::speckle(100, min, max, 8);
+        assert_ne!(a, c, "different seeds give different speckle");
+    }
+
+    #[test]
+    fn cyst_is_empty_inside() {
+        let min = Vec3::new(-0.01, -0.01, 0.02);
+        let max = Vec3::new(0.01, 0.01, 0.05);
+        let center = Vec3::new(0.0, 0.0, 0.035);
+        let p = Phantom::cyst(2000, min, max, center, 0.004, 3);
+        assert!(!p.scatterers().is_empty());
+        for s in p.scatterers() {
+            assert!(s.position.distance(center) > 0.004);
+        }
+        // And it removed something.
+        let full = Phantom::speckle(2000, min, max, 3);
+        assert!(p.scatterers().len() < full.scatterers().len());
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut p = Phantom::empty();
+        p.push(Scatterer { position: Vec3::ZERO, amplitude: 2.0 });
+        let q = Phantom::point(Vec3::new(0.0, 0.0, 0.01));
+        p.extend(&q);
+        assert_eq!(p.scatterers().len(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Gaussian-modulated excitation pulse.
+
+use usbf_geometry::SystemSpec;
+
+/// A Gaussian-modulated sinusoid:
+/// `p(t) = exp(−t²/(2σ²)) · cos(2π·fc·t)`, where σ is set so the −6 dB
+/// spectral full width equals the probe bandwidth.
+///
+/// ```
+/// use usbf_sim::Pulse;
+/// let p = Pulse::gaussian(4.0e6, 4.0e6, 32.0e6);
+/// assert!((p.sample(0.0) - 1.0).abs() < 1e-12); // unit peak at t = 0
+/// assert!(p.sample(p.half_duration()).abs() < 0.05); // tail decays
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pulse {
+    center_frequency: f64,
+    sigma: f64,
+    sampling_frequency: f64,
+    half_duration: f64,
+}
+
+impl Pulse {
+    /// Creates a pulse with the given centre frequency, −6 dB bandwidth
+    /// and sampling rate (all Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is not positive.
+    pub fn gaussian(center_frequency: f64, bandwidth: f64, sampling_frequency: f64) -> Self {
+        assert!(center_frequency > 0.0, "center frequency must be positive");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(sampling_frequency > 0.0, "sampling frequency must be positive");
+        // Gaussian envelope exp(−t²/2σ²) ↔ spectrum exp(−(2πf)²σ²/2);
+        // the −6 dB (amplitude ½) full width B satisfies
+        // (π·B)²σ²/2 = ln 2, i.e. σ = √(2 ln 2) / (π·B).
+        let sigma = (2.0 * 2f64.ln()).sqrt() / (std::f64::consts::PI * bandwidth);
+        Pulse {
+            center_frequency,
+            sigma,
+            sampling_frequency,
+            half_duration: 4.0 * sigma,
+        }
+    }
+
+    /// Pulse matching a system spec's transducer (fc, B) and `fs`.
+    pub fn from_spec(spec: &SystemSpec) -> Self {
+        Pulse::gaussian(
+            spec.transducer.center_frequency,
+            spec.transducer.bandwidth,
+            spec.sampling_frequency,
+        )
+    }
+
+    /// Pulse amplitude at time `t` (seconds, 0 = envelope peak).
+    #[inline]
+    pub fn sample(&self, t: f64) -> f64 {
+        if t.abs() > self.half_duration {
+            return 0.0;
+        }
+        (-t * t / (2.0 * self.sigma * self.sigma)).exp()
+            * (2.0 * std::f64::consts::PI * self.center_frequency * t).cos()
+    }
+
+    /// Envelope standard deviation σ in seconds.
+    #[inline]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Half support of the truncated pulse (4σ) in seconds.
+    #[inline]
+    pub fn half_duration(&self) -> f64 {
+        self.half_duration
+    }
+
+    /// Half support in samples at the pulse's sampling rate.
+    pub fn half_duration_samples(&self) -> usize {
+        (self.half_duration * self.sampling_frequency).ceil() as usize
+    }
+
+    /// The sampled waveform over `[−4σ, +4σ]`, one entry per sample
+    /// period; the peak sits at index [`Pulse::half_duration_samples`].
+    pub fn waveform(&self) -> Vec<f64> {
+        let h = self.half_duration_samples() as i64;
+        (-h..=h)
+            .map(|i| self.sample(i as f64 / self.sampling_frequency))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse() -> Pulse {
+        Pulse::gaussian(4.0e6, 4.0e6, 32.0e6)
+    }
+
+    #[test]
+    fn peak_is_unity_at_zero() {
+        assert_eq!(pulse().sample(0.0), 1.0);
+    }
+
+    #[test]
+    fn envelope_is_symmetric() {
+        let p = pulse();
+        for &t in &[1e-7, 2.5e-7, 4e-7] {
+            assert!((p.sample(t) - p.sample(-t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn support_is_truncated() {
+        let p = pulse();
+        assert_eq!(p.sample(p.half_duration() * 1.01), 0.0);
+        assert_eq!(p.sample(-p.half_duration() * 1.01), 0.0);
+    }
+
+    #[test]
+    fn waveform_length_and_peak_position() {
+        let p = pulse();
+        let w = p.waveform();
+        assert_eq!(w.len(), 2 * p.half_duration_samples() + 1);
+        let (peak_idx, _) = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        assert_eq!(peak_idx, p.half_duration_samples());
+    }
+
+    #[test]
+    fn bandwidth_controls_pulse_length() {
+        let wideband = Pulse::gaussian(4.0e6, 4.0e6, 32.0e6);
+        let narrowband = Pulse::gaussian(4.0e6, 1.0e6, 32.0e6);
+        assert!(narrowband.sigma() > wideband.sigma());
+        assert!(narrowband.waveform().len() > wideband.waveform().len());
+    }
+
+    #[test]
+    fn minus_6db_bandwidth_is_respected() {
+        // Numerically verify: |P(fc ± B/2)| ≈ ½ |P(fc)| (−6 dB amplitude)
+        // for the analytic envelope spectrum exp(−(2πΔf)²σ²/2).
+        let p = pulse();
+        let at = |df: f64| (-(2.0 * std::f64::consts::PI * df).powi(2) * p.sigma() * p.sigma() / 2.0).exp();
+        let half = at(2.0e6); // B/2 = 2 MHz
+        assert!((half - 0.5).abs() < 1e-9, "got {half}");
+    }
+
+    #[test]
+    fn from_spec_uses_table1_values() {
+        let p = Pulse::from_spec(&SystemSpec::paper());
+        assert_eq!(p.center_frequency, 4.0e6);
+        // fs/fc = 8 samples per carrier period.
+        let w = p.waveform();
+        assert!(w.len() > 8, "pulse must span multiple samples, got {}", w.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn invalid_bandwidth_rejected() {
+        Pulse::gaussian(4.0e6, 0.0, 32.0e6);
+    }
+}

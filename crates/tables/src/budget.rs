@@ -1,0 +1,267 @@
+//! Memory footprint and DRAM-streaming arithmetic of §V-B.
+
+use usbf_geometry::SystemSpec;
+
+/// How a volume is acquired: the §V-B example reconstructs it in 64
+/// insonifications of 256 scanlines each, at 15 volumes/s → 960
+/// insonifications/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsonificationPlan {
+    /// Insonifications (transmit events) per reconstructed volume.
+    pub insonifications_per_volume: usize,
+    /// Scanlines beamformed from each insonification.
+    pub scanlines_per_insonification: usize,
+}
+
+impl InsonificationPlan {
+    /// The paper's example: 64 insonifications × 256 scanlines.
+    pub fn paper() -> Self {
+        InsonificationPlan { insonifications_per_volume: 64, scanlines_per_insonification: 256 }
+    }
+
+    /// Insonification rate at a given volume rate (960/s in the paper).
+    pub fn insonifications_per_second(&self, frame_rate: f64) -> f64 {
+        self.insonifications_per_volume as f64 * frame_rate
+    }
+
+    /// Checks the plan covers all scanlines of a spec exactly once.
+    pub fn covers(&self, spec: &SystemSpec) -> bool {
+        self.insonifications_per_volume * self.scanlines_per_insonification
+            == spec.volume_grid.scanline_count()
+    }
+}
+
+impl Default for InsonificationPlan {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Storage budget of the TABLESTEER tables for a given word width.
+///
+/// ```
+/// use usbf_geometry::SystemSpec;
+/// use usbf_tables::TableBudget;
+/// let b = TableBudget::for_spec(&SystemSpec::paper(), 18, 18);
+/// assert_eq!(b.reference_entries, 2_500_000);
+/// assert_eq!(b.correction_entries, 832_000);
+/// assert_eq!(b.reference_bits, 45_000_000);           // "45 Mb"
+/// assert!((b.correction_mebibits() - 14.28).abs() < 0.01); // "14.3 Mb"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableBudget {
+    /// Folded reference-table entries.
+    pub reference_entries: u64,
+    /// Steering-correction coefficients.
+    pub correction_entries: u64,
+    /// Bits per reference word.
+    pub reference_word_bits: u32,
+    /// Bits per correction word.
+    pub correction_word_bits: u32,
+    /// Total reference-table bits.
+    pub reference_bits: u64,
+    /// Total correction-table bits.
+    pub correction_bits: u64,
+}
+
+impl TableBudget {
+    /// Computes the budget for a spec (arithmetic only — nothing is
+    /// allocated). Assumes an on-axis origin (quadrant folding applies);
+    /// see [`TableBudget::with_origins`] for the synthetic-aperture
+    /// extension.
+    pub fn for_spec(spec: &SystemSpec, reference_word_bits: u32, correction_word_bits: u32) -> Self {
+        let e = &spec.elements;
+        let v = &spec.volume_grid;
+        let reference_entries =
+            (e.nx().div_ceil(2) * e.ny().div_ceil(2) * v.n_depth()) as u64;
+        let correction_entries =
+            (e.nx() * v.n_theta() * v.n_phi().div_ceil(2) + e.ny() * v.n_phi()) as u64;
+        TableBudget {
+            reference_entries,
+            correction_entries,
+            reference_word_bits,
+            correction_word_bits,
+            reference_bits: reference_entries * reference_word_bits as u64,
+            correction_bits: correction_entries * correction_word_bits as u64,
+        }
+    }
+
+    /// Scales the reference storage for `n` distinct emission origins —
+    /// the synthetic-aperture mode the paper says needs "multiple
+    /// precalculated delay tables, at extra hardware cost" (§V).
+    /// Off-centre origins also lose the quadrant fold, costing another 4×.
+    pub fn with_origins(&self, n: u64, foldable: bool) -> TableBudget {
+        let factor = n * if foldable { 1 } else { 4 };
+        TableBudget {
+            reference_entries: self.reference_entries * factor,
+            reference_bits: self.reference_bits * factor,
+            ..*self
+        }
+    }
+
+    /// Total bits for both tables.
+    pub fn total_bits(&self) -> u64 {
+        self.reference_bits + self.correction_bits
+    }
+
+    /// Reference table in decimal megabits (the paper's "45 Mb").
+    pub fn reference_megabits(&self) -> f64 {
+        self.reference_bits as f64 / 1.0e6
+    }
+
+    /// Correction tables in binary mebibits (the paper's "14.3 Mb" — the
+    /// paper mixes decimal and binary prefixes; 832 000 × 18 bits is
+    /// 14.976 decimal Mb but 14.28 Mib).
+    pub fn correction_mebibits(&self) -> f64 {
+        self.correction_bits as f64 / (1u64 << 20) as f64
+    }
+
+    /// Whether both tables fit a given on-chip memory capacity in bits.
+    pub fn fits_on_chip(&self, capacity_bits: u64) -> bool {
+        self.total_bits() <= capacity_bits
+    }
+}
+
+/// The circular-buffer streaming design of §V-B: instead of holding the
+/// whole reference table on-chip, a slice lives in `bram_banks` BRAM banks
+/// of `bank_words` words each, refilled from external DRAM as nappes are
+/// swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingPlan {
+    /// Number of BRAM banks (also the number of delay-generation blocks).
+    pub bram_banks: usize,
+    /// Words per bank (1k lines in the paper's example).
+    pub bank_words: usize,
+    /// Bits per word (the reference fixed-point width).
+    pub word_bits: u32,
+}
+
+impl StreamingPlan {
+    /// The paper's design point: 128 banks × 1k lines × 18 bits ≈ 2.3 Mb.
+    pub fn paper() -> Self {
+        StreamingPlan { bram_banks: 128, bank_words: 1024, word_bits: 18 }
+    }
+
+    /// On-chip bits used by the circular buffer (≈2.3 Mb for the paper's
+    /// plan).
+    pub fn on_chip_bits(&self) -> u64 {
+        self.bram_banks as u64 * self.bank_words as u64 * self.word_bits as u64
+    }
+
+    /// DRAM bandwidth in bytes/s needed to re-fetch the reference table on
+    /// every insonification ("the full delay table would need to be
+    /// fetched 960 times per second, at a total bandwidth of about
+    /// 5.3 GB/s").
+    pub fn dram_bandwidth_bytes(&self, budget: &TableBudget, insonifications_per_second: f64) -> f64 {
+        budget.reference_bits as f64 / 8.0 * insonifications_per_second
+    }
+
+    /// Refill latency margin in cycles: a bank's worth of lines can be
+    /// loaded while the previous slice is consumed ("an ample margin of 1k
+    /// cycles of latency to fetch new data").
+    pub fn latency_margin_cycles(&self) -> usize {
+        self.bank_words
+    }
+
+    /// On-chip saving versus holding the full reference table resident.
+    pub fn on_chip_saving_bits(&self, budget: &TableBudget) -> i64 {
+        budget.reference_bits as i64 - self.on_chip_bits() as i64
+    }
+}
+
+impl Default for StreamingPlan {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_budget_matches_section_5b() {
+        let b = TableBudget::for_spec(&SystemSpec::paper(), 18, 18);
+        assert_eq!(b.reference_entries, 2_500_000);
+        assert_eq!(b.correction_entries, 832_000);
+        // "2.5×10⁶ × 18 bits = 45 Mb"
+        assert_eq!(b.reference_bits, 45_000_000);
+        // "832×10³ × 18 bits = 14.3 Mb" (mebibits)
+        assert!((b.correction_mebibits() - 14.28).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_14bit_budget() {
+        let b = TableBudget::for_spec(&SystemSpec::paper(), 14, 14);
+        assert_eq!(b.reference_bits, 35_000_000);
+    }
+
+    #[test]
+    fn insonification_plan_gives_960_per_second() {
+        let plan = InsonificationPlan::paper();
+        let spec = SystemSpec::paper();
+        assert!(plan.covers(&spec));
+        assert_eq!(plan.insonifications_per_second(spec.frame_rate), 960.0);
+    }
+
+    #[test]
+    fn streaming_buffer_is_2_3_megabits() {
+        let s = StreamingPlan::paper();
+        assert_eq!(s.on_chip_bits(), 2_359_296);
+        assert!((s.on_chip_bits() as f64 / 1e6 - 2.36).abs() < 0.01);
+    }
+
+    #[test]
+    fn streaming_bandwidth_about_5_3_gbps() {
+        let spec = SystemSpec::paper();
+        let b = TableBudget::for_spec(&spec, 18, 18);
+        let s = StreamingPlan::paper();
+        let bw = s.dram_bandwidth_bytes(&b, 960.0);
+        // 45 Mb / 8 × 960 = 5.4 GB/s ("about 5.3 GB/s").
+        assert!((bw / 1e9 - 5.4).abs() < 0.01, "bw = {bw}");
+    }
+
+    #[test]
+    fn streaming_bandwidth_14b_about_4_1_gbps() {
+        let spec = SystemSpec::paper();
+        let b = TableBudget::for_spec(&spec, 14, 14);
+        let bw = StreamingPlan { word_bits: 14, ..StreamingPlan::paper() }
+            .dram_bandwidth_bytes(&b, 960.0);
+        // 35 Mb / 8 × 960 = 4.2 GB/s ("4.1 GB/s" in Table II).
+        assert!((bw / 1e9 - 4.2).abs() < 0.01, "bw = {bw}");
+    }
+
+    #[test]
+    fn streaming_saves_most_of_the_reference_storage() {
+        let b = TableBudget::for_spec(&SystemSpec::paper(), 18, 18);
+        let s = StreamingPlan::paper();
+        // From 45 Mb resident to 2.3 Mb: > 94% saving.
+        let saving = s.on_chip_saving_bits(&b) as f64 / b.reference_bits as f64;
+        assert!(saving > 0.94, "saving = {saving}");
+    }
+
+    #[test]
+    fn fits_on_chip_thresholds() {
+        let b = TableBudget::for_spec(&SystemSpec::paper(), 18, 18);
+        // Virtex-7 XC7VX1140T: 67.7 Mb BRAM — the resident design fits
+        // ("within the capabilities of high-end FPGAs").
+        assert!(b.fits_on_chip(67_700_000));
+        assert!(!b.fits_on_chip(45_000_000));
+    }
+
+    #[test]
+    fn synthetic_aperture_multiplies_reference_cost() {
+        let b = TableBudget::for_spec(&SystemSpec::paper(), 18, 18);
+        let multi = b.with_origins(4, true);
+        assert_eq!(multi.reference_bits, 4 * b.reference_bits);
+        assert_eq!(multi.correction_bits, b.correction_bits);
+        let off_axis = b.with_origins(4, false);
+        assert_eq!(off_axis.reference_bits, 16 * b.reference_bits);
+    }
+
+    #[test]
+    fn plan_covering_detects_mismatch() {
+        let plan = InsonificationPlan { insonifications_per_volume: 10, scanlines_per_insonification: 10 };
+        assert!(!plan.covers(&SystemSpec::paper()));
+    }
+}

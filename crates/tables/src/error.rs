@@ -1,0 +1,319 @@
+//! Steering-approximation error analysis (§V-A and §VI-A).
+//!
+//! The far-field (first-order Taylor) steering of Eq. 7 is the dominant
+//! inaccuracy of TABLESTEER. The paper reports, for the Table I geometry:
+//!
+//! * a loose **theoretical bound** of ≈6.7 µs (214 samples at 32 MHz) —
+//!   attained in the near field, where the correction term survives while
+//!   the true steering delta vanishes;
+//! * a **practical maximum** of 3.1 µs (99 samples) once entries outside
+//!   element directivity are excluded;
+//! * a **mean absolute error** over the whole volume of ≈44.6 ns
+//!   (≈1.43 samples).
+//!
+//! [`ErrorSweep`] reproduces the practical numbers on a (configurable,
+//! possibly strided) grid; [`theoretical_bound_seconds`] the analytic one.
+
+use crate::{ReferenceTable, SteeringTables};
+use usbf_geometry::{Directivity, ElementIndex, SystemSpec, VoxelIndex};
+
+/// The loose analytic bound on the steering error, in seconds.
+///
+/// As `r → 0` the exact delays `tp(O,S,D)` and `tp(O,R,D)` converge (both
+/// tend to `|OD|/c`), but the applied correction
+/// `−(xD·cosφ·sinθ + yD·sinφ)/c` does not vanish — so the worst-case error
+/// approaches the largest possible |correction|:
+///
+/// ```text
+/// bound = max_{D,θ,φ} |xD·cosφ·sinθ + yD·sinφ| / c
+/// ```
+///
+/// For Table I this is ≈6.6 µs ≈ 212 samples, matching the paper's
+/// "about 6.7 µs, or 214 signal samples".
+pub fn theoretical_bound_seconds(spec: &SystemSpec) -> f64 {
+    let e = &spec.elements;
+    let v = &spec.volume_grid;
+    let x_max = e.x_of(e.nx() - 1).abs().max(e.x_of(0).abs());
+    let y_max = e.y_of(e.ny() - 1).abs().max(e.y_of(0).abs());
+    // Maximize x_max·cosφ·sinθ + y_max·sinφ jointly: θ = θmax, and
+    // A·cosφ + B·sinφ (A = x_max·sinθmax, B = y_max) peaks at
+    // φ = atan(B/A), clamped to the field of view.
+    let a = x_max * v.theta_max().sin();
+    let b = y_max;
+    let phi = b.atan2(a).min(v.phi_max());
+    (a * phi.cos() + b * phi.sin()) / spec.speed_of_sound
+}
+
+/// Signed steering error in **samples** for one (voxel, element) pair:
+/// `(reference + correction) − exact`, all in double precision (isolates
+/// the algorithmic Taylor error from fixed-point effects).
+pub fn steering_error_samples(
+    spec: &SystemSpec,
+    reference: &ReferenceTable,
+    steering: &SteeringTables,
+    vox: VoxelIndex,
+    e: ElementIndex,
+) -> f64 {
+    let approx = reference.delay_samples(vox.id, e) + steering.correction_samples(vox, e);
+    let exact = spec
+        .two_way_delay_samples(spec.volume_grid.position(vox), spec.elements.position(e));
+    approx - exact
+}
+
+/// Grid strides for an error sweep. Stride 1 everywhere is exhaustive;
+/// larger strides trade coverage for speed (the full Table I sweep is
+/// 1.64 × 10¹¹ pairs). Depth index 0 and the last index are always
+/// included for each swept line, since the extremes live at the ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Stride over θ lines.
+    pub stride_theta: usize,
+    /// Stride over φ lines.
+    pub stride_phi: usize,
+    /// Stride over depths.
+    pub stride_depth: usize,
+    /// Stride over element columns.
+    pub stride_elem_x: usize,
+    /// Stride over element rows.
+    pub stride_elem_y: usize,
+}
+
+impl SweepConfig {
+    /// Exhaustive sweep (stride 1 everywhere).
+    pub fn exhaustive() -> Self {
+        SweepConfig { stride_theta: 1, stride_phi: 1, stride_depth: 1, stride_elem_x: 1, stride_elem_y: 1 }
+    }
+
+    /// A uniform stride on every axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn strided(stride: usize) -> Self {
+        assert!(stride > 0, "stride must be nonzero");
+        SweepConfig {
+            stride_theta: stride,
+            stride_phi: stride,
+            stride_depth: stride,
+            stride_elem_x: stride,
+            stride_elem_y: stride,
+        }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::exhaustive()
+    }
+}
+
+/// Results of a steering-error sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSweep {
+    /// Pairs evaluated.
+    pub count: u64,
+    /// Mean |error| in samples.
+    pub mean_abs_samples: f64,
+    /// Maximum |error| in samples.
+    pub max_abs_samples: f64,
+    /// Voxel and element attaining the maximum.
+    pub argmax: (VoxelIndex, ElementIndex),
+    /// Pairs excluded by the directivity filter (0 when unfiltered).
+    pub excluded: u64,
+}
+
+impl ErrorSweep {
+    /// Mean |error| in seconds.
+    pub fn mean_abs_seconds(&self, spec: &SystemSpec) -> f64 {
+        spec.samples_to_seconds(self.mean_abs_samples)
+    }
+
+    /// Max |error| in seconds.
+    pub fn max_abs_seconds(&self, spec: &SystemSpec) -> f64 {
+        spec.samples_to_seconds(self.max_abs_samples)
+    }
+
+    /// Sweeps the steering error over the spec's grid.
+    ///
+    /// With `directivity = Some(d)`, pairs where the element cannot see the
+    /// focal point are excluded — the paper's "filtered away by
+    /// apodization" condition that turns the 214-sample bound into the
+    /// 99-sample practical maximum.
+    pub fn run(
+        spec: &SystemSpec,
+        reference: &ReferenceTable,
+        steering: &SteeringTables,
+        cfg: SweepConfig,
+        directivity: Option<&Directivity>,
+    ) -> ErrorSweep {
+        let v = &spec.volume_grid;
+        let el = &spec.elements;
+        let mut count = 0u64;
+        let mut excluded = 0u64;
+        let mut sum_abs = 0.0f64;
+        let mut max_abs = -1.0f64;
+        let mut argmax = (VoxelIndex::new(0, 0, 0), ElementIndex::new(0, 0));
+
+        let axis = |n: usize, stride: usize| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..n).step_by(stride).collect();
+            if *idx.last().expect("nonzero axis") != n - 1 {
+                idx.push(n - 1);
+            }
+            idx
+        };
+        let thetas = axis(v.n_theta(), cfg.stride_theta);
+        let phis = axis(v.n_phi(), cfg.stride_phi);
+        let depths = axis(v.n_depth(), cfg.stride_depth);
+        let exs = axis(el.nx(), cfg.stride_elem_x);
+        let eys = axis(el.ny(), cfg.stride_elem_y);
+
+        for &it in &thetas {
+            for &ip in &phis {
+                for &id in &depths {
+                    let vox = VoxelIndex::new(it, ip, id);
+                    let s = v.position(vox);
+                    for &iy in &eys {
+                        for &ix in &exs {
+                            let e = ElementIndex::new(ix, iy);
+                            if let Some(d) = directivity {
+                                if !d.accepts(s, el.position(e)) {
+                                    excluded += 1;
+                                    continue;
+                                }
+                            }
+                            let err =
+                                steering_error_samples(spec, reference, steering, vox, e).abs();
+                            count += 1;
+                            sum_abs += err;
+                            if err > max_abs {
+                                max_abs = err;
+                                argmax = (vox, e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ErrorSweep {
+            count,
+            mean_abs_samples: if count == 0 { 0.0 } else { sum_abs / count as f64 },
+            max_abs_samples: max_abs.max(0.0),
+            argmax,
+            excluded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usbf_geometry::deg;
+
+    fn setup() -> (SystemSpec, ReferenceTable, SteeringTables) {
+        let spec = SystemSpec::tiny();
+        let r = ReferenceTable::build(&spec);
+        let s = SteeringTables::build(&spec);
+        (spec, r, s)
+    }
+
+    #[test]
+    fn theoretical_bound_matches_paper_for_table1() {
+        // §V-A: "a bound of about 6.7 µs ... or 214 signal samples".
+        let spec = SystemSpec::paper();
+        let b = theoretical_bound_seconds(&spec);
+        let samples = spec.seconds_to_samples(b);
+        assert!((b * 1e6 - 6.7).abs() < 0.2, "bound = {} µs", b * 1e6);
+        assert!((samples - 214.0).abs() < 6.0, "bound = {samples} samples");
+    }
+
+    #[test]
+    fn unsteered_line_error_is_negligible() {
+        // On the reference scanline the correction is ~0 and the table is
+        // exact by construction.
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            base.transducer.clone(),
+            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            base.origin,
+            base.frame_rate,
+        );
+        let r = ReferenceTable::build(&spec);
+        let s = SteeringTables::build(&spec);
+        for id in 0..spec.volume_grid.n_depth() {
+            for e in spec.elements.iter() {
+                let err = steering_error_samples(&spec, &r, &s, VoxelIndex::new(4, 4, id), e);
+                assert!(err.abs() < 1e-9, "id={id} e={e}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_depth() {
+        // Far field: the Taylor approximation improves as r grows.
+        let (spec, r, s) = setup();
+        let vox_near = VoxelIndex::new(0, 0, 0);
+        let vox_far = VoxelIndex::new(0, 0, spec.volume_grid.n_depth() - 1);
+        let e = ElementIndex::new(0, 0);
+        let near = steering_error_samples(&spec, &r, &s, vox_near, e).abs();
+        let far = steering_error_samples(&spec, &r, &s, vox_far, e).abs();
+        assert!(far < near, "near = {near}, far = {far}");
+    }
+
+    #[test]
+    fn sweep_max_below_theoretical_bound() {
+        let (spec, r, s) = setup();
+        let sweep = ErrorSweep::run(&spec, &r, &s, SweepConfig::exhaustive(), None);
+        let bound = spec.seconds_to_samples(theoretical_bound_seconds(&spec));
+        assert!(sweep.max_abs_samples <= bound, "{} > {}", sweep.max_abs_samples, bound);
+        assert!(sweep.count > 0);
+        assert_eq!(sweep.excluded, 0);
+    }
+
+    #[test]
+    fn directivity_filter_reduces_max_error() {
+        let (spec, r, s) = setup();
+        let unfiltered = ErrorSweep::run(&spec, &r, &s, SweepConfig::exhaustive(), None);
+        let filtered = ErrorSweep::run(
+            &spec,
+            &r,
+            &s,
+            SweepConfig::exhaustive(),
+            Some(&Directivity::new(deg(45.0), 1.0)),
+        );
+        assert!(filtered.excluded > 0);
+        assert!(filtered.max_abs_samples <= unfiltered.max_abs_samples);
+    }
+
+    #[test]
+    fn strided_sweep_approximates_exhaustive_mean() {
+        let (spec, r, s) = setup();
+        let full = ErrorSweep::run(&spec, &r, &s, SweepConfig::exhaustive(), None);
+        let strided = ErrorSweep::run(&spec, &r, &s, SweepConfig::strided(2), None);
+        assert!(strided.count < full.count);
+        // Means agree to within a factor comfortably.
+        let ratio = strided.mean_abs_samples / full.mean_abs_samples;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio = {ratio}");
+        // The strided max is a lower bound of the true max.
+        assert!(strided.max_abs_samples <= full.max_abs_samples + 1e-12);
+    }
+
+    #[test]
+    fn argmax_is_at_grid_extremes() {
+        // Worst errors occur at extreme steering / near field (§VI-A).
+        let (spec, r, s) = setup();
+        let sweep = ErrorSweep::run(&spec, &r, &s, SweepConfig::exhaustive(), None);
+        let (vox, _) = sweep.argmax;
+        let v = &spec.volume_grid;
+        let edge_t = vox.it == 0 || vox.it == v.n_theta() - 1;
+        let edge_p = vox.ip == 0 || vox.ip == v.n_phi() - 1;
+        assert!(edge_t || edge_p, "argmax at {vox}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be nonzero")]
+    fn zero_stride_rejected() {
+        SweepConfig::strided(0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Delay tables for the TABLESTEER architecture (§V of the paper).
+//!
+//! TABLESTEER replaces the infeasible full delay table (~164 × 10⁹
+//! coefficients) with:
+//!
+//! 1. a **reference table** ([`ReferenceTable`]) holding the two-way delays
+//!    for the *unsteered* line of sight only — one `ex × ey` slice per
+//!    depth, folded to one quadrant by symmetry (2.5 × 10⁶ entries for the
+//!    paper's geometry);
+//! 2. **steering-correction tables** ([`SteeringTables`]) — the first-order
+//!    Taylor ("far-field") plane of Eq. 7, factored into
+//!    `ex·(nφ/2)·nθ + ey·nφ = 832 × 10³` precomputed coefficients;
+//! 3. a **directivity pruning mask** ([`PruneMask`], Fig. 3a) marking
+//!    reference entries that can never contribute because the element
+//!    cannot see the on-axis point;
+//! 4. a **memory/bandwidth budget** ([`TableBudget`], [`StreamingPlan`])
+//!    reproducing the §V-B arithmetic: 45 Mb + 14.3 Mb on-chip, or a
+//!    2.3 Mb circular BRAM buffer streamed at ~5.3 GB/s;
+//! 5. **error analysis** ([`error`]) — the Lagrange-style theoretical bound
+//!    and the practical exhaustive sweep of §VI-A (max 3.1 µs ≈ 99 samples
+//!    inside directivity, mean ≈ 44.6 ns ≈ 1.43 samples).
+//!
+//! # Example
+//!
+//! ```
+//! use usbf_geometry::SystemSpec;
+//! use usbf_tables::{ReferenceTable, SteeringTables};
+//!
+//! let spec = SystemSpec::tiny();
+//! let reference = ReferenceTable::build(&spec);
+//! let steering = SteeringTables::build(&spec);
+//! // Steered delay for an off-axis voxel:
+//! let vox = usbf_geometry::VoxelIndex::new(1, 6, 10);
+//! let e = usbf_geometry::ElementIndex::new(2, 5);
+//! let approx = reference.delay_samples(vox.id, e) + steering.correction_samples(vox, e);
+//! let exact = spec.two_way_delay_samples(spec.volume_grid.position(vox), spec.elements.position(e));
+//! assert!((approx - exact).abs() < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+pub mod error;
+mod pruning;
+mod reference;
+mod steering;
+mod streaming;
+
+pub use budget::{InsonificationPlan, StreamingPlan, TableBudget};
+pub use streaming::{CircularBufferSim, StreamingReport};
+pub use pruning::PruneMask;
+pub use reference::ReferenceTable;
+pub use steering::SteeringTables;

@@ -1,0 +1,169 @@
+//! Directivity pruning of the reference table (Fig. 3a).
+
+use usbf_geometry::{Directivity, ElementIndex, SystemSpec, Vec3};
+
+/// A mask over `(depth, element)` reference-table entries: an entry is
+/// *kept* when the element can actually receive echoes from the on-axis
+/// point at that depth, i.e. the point lies inside the element's
+/// directivity cone. "Some table elements are in fact unneeded because
+/// probe elements have limited directivity … and cannot insonify points
+/// steeply off-axis" (§V-A).
+///
+/// ```
+/// use usbf_geometry::{Directivity, SystemSpec};
+/// use usbf_tables::PruneMask;
+/// let spec = SystemSpec::figure3(); // the 16×16×500 demo geometry
+/// let m = PruneMask::build(&spec, &Directivity::paper_default());
+/// assert!(m.pruned_count() > 0);
+/// assert!(m.fraction_kept() > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneMask {
+    kept: Vec<bool>,
+    nx: usize,
+    ny: usize,
+    n_depth: usize,
+    kept_count: usize,
+}
+
+impl PruneMask {
+    /// Computes the mask for all `(depth, element)` pairs of the spec.
+    pub fn build(spec: &SystemSpec, directivity: &Directivity) -> Self {
+        let e = &spec.elements;
+        let v = &spec.volume_grid;
+        let (nx, ny, n_depth) = (e.nx(), e.ny(), v.n_depth());
+        let mut kept = vec![false; nx * ny * n_depth];
+        let mut kept_count = 0;
+        for id in 0..n_depth {
+            let s = Vec3::new(0.0, 0.0, v.depth_of(id));
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let d = e.position(ElementIndex::new(ix, iy));
+                    let k = directivity.accepts(s, d);
+                    kept[(id * ny + iy) * nx + ix] = k;
+                    kept_count += k as usize;
+                }
+            }
+        }
+        PruneMask { kept, nx, ny, n_depth, kept_count }
+    }
+
+    /// Whether the entry for depth `id` and element `e` is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn is_kept(&self, id: usize, e: ElementIndex) -> bool {
+        assert!(id < self.n_depth && e.ix < self.nx && e.iy < self.ny, "index out of range");
+        self.kept[(id * self.ny + e.iy) * self.nx + e.ix]
+    }
+
+    /// Total entries in the (unfolded) table.
+    #[inline]
+    pub fn total_count(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Entries that must be stored.
+    #[inline]
+    pub fn kept_count(&self) -> usize {
+        self.kept_count
+    }
+
+    /// Entries that can be pruned.
+    #[inline]
+    pub fn pruned_count(&self) -> usize {
+        self.total_count() - self.kept_count
+    }
+
+    /// Fraction of entries kept, in `[0, 1]`.
+    pub fn fraction_kept(&self) -> f64 {
+        self.kept_count as f64 / self.total_count() as f64
+    }
+
+    /// Kept entries in one depth slice — the "dots" of one z-level of
+    /// Fig. 3a.
+    pub fn kept_in_slice(&self, id: usize) -> usize {
+        assert!(id < self.n_depth, "depth index {id} out of range");
+        self.kept[id * self.nx * self.ny..(id + 1) * self.nx * self.ny]
+            .iter()
+            .filter(|&&k| k)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usbf_geometry::deg;
+
+    #[test]
+    fn shallow_depths_prune_far_elements() {
+        // Needs depth sampling finer than the aperture: the Fig. 3a
+        // geometry (16×16×500) has a 0.385 mm first depth against a
+        // ~2 mm aperture half-diagonal.
+        let spec = SystemSpec::figure3();
+        let m = PruneMask::build(&spec, &Directivity::paper_default());
+        // At the very first depth only near-centre elements see the point.
+        let corner = ElementIndex::new(0, 0);
+        assert!(!m.is_kept(0, corner));
+        // At the deepest point everything is kept.
+        let last = spec.volume_grid.n_depth() - 1;
+        assert!(m.is_kept(last, corner));
+    }
+
+    #[test]
+    fn kept_count_is_monotone_in_depth() {
+        let spec = SystemSpec::figure3();
+        let m = PruneMask::build(&spec, &Directivity::paper_default());
+        let mut prev = 0;
+        for id in 0..spec.volume_grid.n_depth() {
+            let k = m.kept_in_slice(id);
+            assert!(k >= prev, "cone widens with depth");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn wider_cone_keeps_more() {
+        let spec = SystemSpec::figure3();
+        let narrow = PruneMask::build(&spec, &Directivity::new(deg(20.0), 1.0));
+        let wide = PruneMask::build(&spec, &Directivity::new(deg(60.0), 1.0));
+        assert!(wide.kept_count() > narrow.kept_count());
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let spec = SystemSpec::tiny();
+        let m = PruneMask::build(&spec, &Directivity::paper_default());
+        assert_eq!(m.kept_count() + m.pruned_count(), m.total_count());
+        let by_slice: usize = (0..spec.volume_grid.n_depth()).map(|id| m.kept_in_slice(id)).sum();
+        assert_eq!(by_slice, m.kept_count());
+        assert!(m.fraction_kept() > 0.0 && m.fraction_kept() <= 1.0);
+    }
+
+    #[test]
+    fn mask_is_symmetric() {
+        let spec = SystemSpec::tiny();
+        let m = PruneMask::build(&spec, &Directivity::paper_default());
+        let (nx, ny) = (spec.elements.nx(), spec.elements.ny());
+        for id in [0, 5, 15] {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let a = m.is_kept(id, ElementIndex::new(ix, iy));
+                    let b = m.is_kept(id, ElementIndex::new(nx - 1 - ix, ny - 1 - iy));
+                    assert_eq!(a, b, "mask must share the table's symmetry");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let spec = SystemSpec::tiny();
+        let m = PruneMask::build(&spec, &Directivity::paper_default());
+        m.is_kept(99, ElementIndex::new(0, 0));
+    }
+}

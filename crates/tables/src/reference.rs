@@ -1,0 +1,265 @@
+//! The reference delay table: unsteered two-way delays, folded by symmetry.
+
+use crate::steering::fold_coord;
+use usbf_geometry::{ElementIndex, SystemSpec, Vec3};
+
+/// The reference delay table of §V-A: `tp(O, R, D)` for every on-axis
+/// point `R = (0, 0, r_k)` and every element `D`, in **samples** at `fs`.
+///
+/// When the emission origin lies on the array's vertical axis the delay
+/// depends on the element only through `(|xD|, |yD|)`, so "exactly three
+/// quarters of the matrix are redundant" and one quadrant
+/// (`⌈ex/2⌉ × ⌈ey/2⌉ × nd` entries — 50 × 50 × 1000 = 2.5 × 10⁶ for the
+/// paper) is stored. Off-axis origins fall back to full storage, which is
+/// the "proportionally larger" cost the paper mentions.
+///
+/// ```
+/// use usbf_geometry::{ElementIndex, SystemSpec};
+/// use usbf_tables::ReferenceTable;
+/// let spec = SystemSpec::tiny();
+/// let t = ReferenceTable::build(&spec);
+/// assert!(t.is_folded());
+/// // Symmetric elements share the same stored delay:
+/// let a = t.delay_samples(3, ElementIndex::new(0, 0));
+/// let b = t.delay_samples(3, ElementIndex::new(7, 7));
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceTable {
+    /// Stored delays in samples, laid out `[depth][qy][qx]`.
+    data: Vec<f64>,
+    qx: usize,
+    qy: usize,
+    n_depth: usize,
+    nx: usize,
+    ny: usize,
+    folded: bool,
+}
+
+impl ReferenceTable {
+    /// Builds the table for a system specification. Folds to one quadrant
+    /// when the origin is on the array's vertical axis (x = y = 0).
+    pub fn build(spec: &SystemSpec) -> Self {
+        let e = &spec.elements;
+        let v = &spec.volume_grid;
+        let foldable = spec.origin.x == 0.0 && spec.origin.y == 0.0;
+        let (qx, qy) = if foldable {
+            (e.nx().div_ceil(2), e.ny().div_ceil(2))
+        } else {
+            (e.nx(), e.ny())
+        };
+        let n_depth = v.n_depth();
+        let mut data = vec![0.0f64; qx * qy * n_depth];
+        for id in 0..n_depth {
+            let r = Vec3::new(0.0, 0.0, v.depth_of(id));
+            for jy in 0..qy {
+                for jx in 0..qx {
+                    // Representative element of this quadrant cell: for a
+                    // folded table take the positive-coordinate member.
+                    let (ix, iy) = if foldable {
+                        (
+                            if e.nx() % 2 == 0 { e.nx() / 2 + jx } else { (e.nx() - 1) / 2 + jx },
+                            if e.ny() % 2 == 0 { e.ny() / 2 + jy } else { (e.ny() - 1) / 2 + jy },
+                        )
+                    } else {
+                        (jx, jy)
+                    };
+                    let d = e.position(ElementIndex::new(ix, iy));
+                    data[(id * qy + jy) * qx + jx] = spec.two_way_delay_samples(r, d);
+                }
+            }
+        }
+        ReferenceTable { data, qx, qy, n_depth, nx: e.nx(), ny: e.ny(), folded: foldable }
+    }
+
+    /// Whether quadrant folding was applied.
+    #[inline]
+    pub fn is_folded(&self) -> bool {
+        self.folded
+    }
+
+    /// Stored entry count (`2.5 × 10⁶` for the paper's geometry).
+    #[inline]
+    pub fn entry_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Entry count the *unfolded* table would need.
+    #[inline]
+    pub fn unfolded_entry_count(&self) -> usize {
+        self.nx * self.ny * self.n_depth
+    }
+
+    /// Number of depth slices (nappes).
+    #[inline]
+    pub fn n_depth(&self) -> usize {
+        self.n_depth
+    }
+
+    /// Quadrant dimensions `(qx, qy)` of one depth slice.
+    #[inline]
+    pub fn quadrant_dims(&self) -> (usize, usize) {
+        (self.qx, self.qy)
+    }
+
+    /// Reference delay in samples for depth index `id` and element `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn delay_samples(&self, id: usize, e: ElementIndex) -> f64 {
+        assert!(id < self.n_depth, "depth index {id} out of range");
+        assert!(e.ix < self.nx && e.iy < self.ny, "element {e} out of range");
+        let (jx, jy) = if self.folded {
+            (fold_coord(e.ix, self.nx), fold_coord(e.iy, self.ny))
+        } else {
+            (e.ix, e.iy)
+        };
+        self.data[(id * self.qy + jy) * self.qx + jx]
+    }
+
+    /// Borrowed view of one depth slice (a nappe's worth of reference
+    /// delays, `qy × qx` row-major) — what the streaming architecture
+    /// loads into its circular BRAM buffer.
+    pub fn slice(&self, id: usize) -> &[f64] {
+        assert!(id < self.n_depth, "depth index {id} out of range");
+        &self.data[id * self.qx * self.qy..(id + 1) * self.qx * self.qy]
+    }
+
+    /// Largest stored delay in samples (sets the integer width of the
+    /// fixed-point representation).
+    pub fn max_delay_samples(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usbf_geometry::{SystemSpec, TransducerSpec, VolumeSpec};
+
+    #[test]
+    fn fold_coord_even() {
+        // n = 8: coordinates -3.5p .. 3.5p; |x| buckets 0..3.
+        assert_eq!(fold_coord(4, 8), 0);
+        assert_eq!(fold_coord(3, 8), 0);
+        assert_eq!(fold_coord(7, 8), 3);
+        assert_eq!(fold_coord(0, 8), 3);
+    }
+
+    #[test]
+    fn fold_coord_odd() {
+        assert_eq!(fold_coord(2, 5), 0);
+        assert_eq!(fold_coord(0, 5), 2);
+        assert_eq!(fold_coord(4, 5), 2);
+    }
+
+    #[test]
+    fn folded_table_matches_direct_computation_everywhere() {
+        let spec = SystemSpec::tiny();
+        let t = ReferenceTable::build(&spec);
+        assert!(t.is_folded());
+        for id in (0..spec.volume_grid.n_depth()).step_by(3) {
+            let r = Vec3::new(0.0, 0.0, spec.volume_grid.depth_of(id));
+            for e in spec.elements.iter() {
+                let direct = spec.two_way_delay_samples(r, spec.elements.position(e));
+                let stored = t.delay_samples(id, e);
+                assert!(
+                    (direct - stored).abs() < 1e-9,
+                    "id={id} e={e}: {direct} vs {stored}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn folding_saves_four_x() {
+        let spec = SystemSpec::tiny();
+        let t = ReferenceTable::build(&spec);
+        assert_eq!(t.entry_count() * 4, t.unfolded_entry_count());
+    }
+
+    #[test]
+    fn paper_entry_count_is_2_5_million() {
+        // §V-A: "only 50×50×1000 = 2.5×10⁶ elements need to be stored".
+        // Build a thin-depth variant to keep the test fast, then check the
+        // arithmetic at full scale without building.
+        let spec = SystemSpec::paper();
+        let (qx, qy) = (50, 50);
+        assert_eq!(qx * qy * spec.volume_grid.n_depth(), 2_500_000);
+        let thin = SystemSpec::new(
+            spec.speed_of_sound,
+            spec.sampling_frequency,
+            TransducerSpec { ..spec.transducer.clone() },
+            VolumeSpec { n_depth: 4, ..spec.volume.clone() },
+            spec.origin,
+            spec.frame_rate,
+        );
+        let t = ReferenceTable::build(&thin);
+        assert_eq!(t.quadrant_dims(), (50, 50));
+        assert_eq!(t.entry_count(), 50 * 50 * 4);
+    }
+
+    #[test]
+    fn off_axis_origin_disables_folding() {
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            base.transducer.clone(),
+            base.volume.clone(),
+            Vec3::new(1.0e-3, 0.0, 0.0),
+            base.frame_rate,
+        );
+        let t = ReferenceTable::build(&spec);
+        assert!(!t.is_folded());
+        assert_eq!(t.entry_count(), t.unfolded_entry_count());
+        // And it still matches direct computation.
+        let id = 5;
+        let r = Vec3::new(0.0, 0.0, spec.volume_grid.depth_of(id));
+        for e in spec.elements.iter().take(16) {
+            let direct = spec.two_way_delay_samples(r, spec.elements.position(e));
+            assert!((t.delay_samples(id, e) - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delays_increase_with_depth_on_axis() {
+        let spec = SystemSpec::tiny();
+        let t = ReferenceTable::build(&spec);
+        let e = spec.elements.center_element();
+        let mut prev = 0.0;
+        for id in 0..spec.volume_grid.n_depth() {
+            let d = t.delay_samples(id, e);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn slice_matches_indexed_access() {
+        let spec = SystemSpec::tiny();
+        let t = ReferenceTable::build(&spec);
+        let id = 7;
+        let s = t.slice(id);
+        assert_eq!(s.len(), 4 * 4);
+        let e = ElementIndex::new(5, 6); // folds to (1, 2)
+        assert_eq!(s[2 * 4 + 1], t.delay_samples(id, e));
+    }
+
+    #[test]
+    fn max_delay_bounded_by_spec_worst_case() {
+        let spec = SystemSpec::tiny();
+        let t = ReferenceTable::build(&spec);
+        assert!(t.max_delay_samples() <= spec.max_two_way_delay_samples());
+        assert!(t.max_delay_samples() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth index")]
+    fn depth_out_of_range_panics() {
+        let spec = SystemSpec::tiny();
+        ReferenceTable::build(&spec).delay_samples(16, ElementIndex::new(0, 0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Steering-correction tables: the precomputed Eq. 7 plane coefficients.
+
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+
+/// Maps a symmetric grid index to its half-range index (shared with the
+/// reference-table quadrant fold): entries mirrored around the centre of a
+/// symmetric linspace share an index.
+#[inline]
+pub(crate) fn fold_coord(i: usize, n: usize) -> usize {
+    if n % 2 == 0 {
+        if i >= n / 2 {
+            i - n / 2
+        } else {
+            n / 2 - 1 - i
+        }
+    } else {
+        (i as i64 - ((n - 1) / 2) as i64).unsigned_abs() as usize
+    }
+}
+
+/// The factored steering-correction coefficients of §V-B.
+///
+/// Eq. 7 corrects the reference delay with a plane:
+///
+/// ```text
+/// tp(O,S,D) ≈ tp(O,R,D) − (xD·cosφ·sinθ + yD·sinφ)/c
+/// ```
+///
+/// The x-term needs one value per `(xD, θ, |φ|)` (cos φ is even, so half
+/// the φ range suffices) and the y-term one per `(yD, φ)`:
+/// `100 × 128 × 64 + 100 × 128 = 832 × 10³` coefficients for Table I —
+/// this is what [`SteeringTables::coefficient_count`] reports. Values are
+/// held in **samples** at `fs`.
+///
+/// ```
+/// use usbf_geometry::SystemSpec;
+/// use usbf_tables::SteeringTables;
+/// let spec = SystemSpec::paper();
+/// let t = SteeringTables::build(&spec);
+/// assert_eq!(t.coefficient_count(), 832_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteeringTables {
+    /// `xD·cosφ·sinθ` in samples, laid out `[ix][it][ipf]`.
+    x_corr: Vec<f64>,
+    /// `yD·sinφ` in samples, laid out `[iy][ip]`.
+    y_corr: Vec<f64>,
+    nx: usize,
+    ny: usize,
+    n_theta: usize,
+    n_phi: usize,
+    n_phi_fold: usize,
+}
+
+impl SteeringTables {
+    /// Precomputes both coefficient tables for a system specification.
+    pub fn build(spec: &SystemSpec) -> Self {
+        let e = &spec.elements;
+        let v = &spec.volume_grid;
+        let (nx, ny) = (e.nx(), e.ny());
+        let (n_theta, n_phi) = (v.n_theta(), v.n_phi());
+        let n_phi_fold = n_phi.div_ceil(2);
+        let scale = spec.sampling_frequency / spec.speed_of_sound;
+
+        let mut x_corr = vec![0.0f64; nx * n_theta * n_phi_fold];
+        for ix in 0..nx {
+            let x = e.x_of(ix);
+            for it in 0..n_theta {
+                let st = v.theta_of(it).sin();
+                for ipf in 0..n_phi_fold {
+                    // Representative |φ|: the upper-half member of the fold.
+                    let ip = if n_phi % 2 == 0 { n_phi / 2 + ipf } else { (n_phi - 1) / 2 + ipf };
+                    let cp = v.phi_of(ip).cos();
+                    x_corr[(ix * n_theta + it) * n_phi_fold + ipf] = x * cp * st * scale;
+                }
+            }
+        }
+
+        let mut y_corr = vec![0.0f64; ny * n_phi];
+        for iy in 0..ny {
+            let y = e.y_of(iy);
+            for ip in 0..n_phi {
+                y_corr[iy * n_phi + ip] = y * v.phi_of(ip).sin() * scale;
+            }
+        }
+
+        SteeringTables { x_corr, y_corr, nx, ny, n_theta, n_phi, n_phi_fold }
+    }
+
+    /// Total stored coefficients: `nx·nθ·⌈nφ/2⌉ + ny·nφ` (832 000 for the
+    /// paper's geometry).
+    #[inline]
+    pub fn coefficient_count(&self) -> usize {
+        self.x_corr.len() + self.y_corr.len()
+    }
+
+    /// The `xD·cosφ·sinθ` term in samples for element column `ix` and
+    /// steering `(it, ip)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn x_term_samples(&self, ix: usize, it: usize, ip: usize) -> f64 {
+        assert!(ix < self.nx && it < self.n_theta && ip < self.n_phi, "index out of range");
+        let ipf = fold_coord(ip, self.n_phi);
+        self.x_corr[(ix * self.n_theta + it) * self.n_phi_fold + ipf]
+    }
+
+    /// The `yD·sinφ` term in samples for element row `iy` and elevation
+    /// line `ip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn y_term_samples(&self, iy: usize, ip: usize) -> f64 {
+        assert!(iy < self.ny && ip < self.n_phi, "index out of range");
+        self.y_corr[iy * self.n_phi + ip]
+    }
+
+    /// The full signed correction of Eq. 7 (to be **added** to the
+    /// reference delay), in samples:
+    /// `−(xD·cosφ·sinθ + yD·sinφ)·fs/c`.
+    #[inline]
+    pub fn correction_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        -(self.x_term_samples(e.ix, vox.it, vox.ip) + self.y_term_samples(e.iy, vox.ip))
+    }
+
+    /// Directly computed (unfactored) correction, for validating the
+    /// factorization.
+    pub fn correction_direct(spec: &SystemSpec, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        let dir = spec.volume_grid.direction(vox.it, vox.ip);
+        let (a, b) = dir.steering_coefficients();
+        let p = spec.elements.position(e);
+        -(p.x * a + p.y * b) * spec.sampling_frequency / spec.speed_of_sound
+    }
+
+    /// Largest |correction| in samples — sets the signed fixed-point range
+    /// the correction format must cover.
+    pub fn max_abs_correction_samples(&self) -> f64 {
+        let mx = self.x_corr.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let my = self.y_corr.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        mx + my
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factored_equals_direct_everywhere() {
+        let spec = SystemSpec::tiny();
+        let t = SteeringTables::build(&spec);
+        let v = &spec.volume_grid;
+        for it in 0..v.n_theta() {
+            for ip in 0..v.n_phi() {
+                for e in spec.elements.iter() {
+                    let vox = VoxelIndex::new(it, ip, 0);
+                    let f = t.correction_samples(vox, e);
+                    let d = SteeringTables::correction_direct(&spec, vox, e);
+                    assert!((f - d).abs() < 1e-9, "it={it} ip={ip} e={e}: {f} vs {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_coefficient_count_is_832k() {
+        let spec = SystemSpec::paper();
+        let t = SteeringTables::build(&spec);
+        assert_eq!(t.coefficient_count(), 832_000);
+    }
+
+    #[test]
+    fn unsteered_center_correction_is_zero() {
+        // tiny spec has even grids: no exactly-zero steering line, so use
+        // an odd-resolution variant.
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            base.transducer.clone(),
+            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            base.origin,
+            base.frame_rate,
+        );
+        let t = SteeringTables::build(&spec);
+        let vox = VoxelIndex::new(4, 4, 0); // θ = φ = 0
+        for e in spec.elements.iter() {
+            assert_eq!(t.correction_samples(vox, e), 0.0);
+        }
+    }
+
+    #[test]
+    fn correction_antisymmetric_in_theta() {
+        let spec = SystemSpec::tiny();
+        let t = SteeringTables::build(&spec);
+        let n = spec.volume_grid.n_theta();
+        let e = ElementIndex::new(6, 3);
+        for it in 0..n {
+            let x1 = t.x_term_samples(e.ix, it, 2);
+            let x2 = t.x_term_samples(e.ix, n - 1 - it, 2);
+            assert!((x1 + x2).abs() < 1e-12, "x-term must be odd in θ");
+        }
+    }
+
+    #[test]
+    fn x_term_even_in_phi() {
+        let spec = SystemSpec::tiny();
+        let t = SteeringTables::build(&spec);
+        let n = spec.volume_grid.n_phi();
+        for ip in 0..n {
+            let a = t.x_term_samples(5, 1, ip);
+            let b = t.x_term_samples(5, 1, n - 1 - ip);
+            assert_eq!(a, b, "x-term must be even in φ (cos φ)");
+        }
+    }
+
+    #[test]
+    fn y_term_odd_in_phi() {
+        let spec = SystemSpec::tiny();
+        let t = SteeringTables::build(&spec);
+        let n = spec.volume_grid.n_phi();
+        for ip in 0..n {
+            let a = t.y_term_samples(2, ip);
+            let b = t.y_term_samples(2, n - 1 - ip);
+            assert!((a + b).abs() < 1e-12, "y-term must be odd in φ");
+        }
+    }
+
+    #[test]
+    fn max_correction_bounded_by_aperture() {
+        // |corr| ≤ (|x|max + |y|max)·fs/c.
+        let spec = SystemSpec::tiny();
+        let t = SteeringTables::build(&spec);
+        let e = &spec.elements;
+        let bound = (e.x_of(e.nx() - 1).abs() + e.y_of(e.ny() - 1).abs())
+            * spec.sampling_frequency
+            / spec.speed_of_sound;
+        assert!(t.max_abs_correction_samples() <= bound + 1e-12);
+        assert!(t.max_abs_correction_samples() > 0.0);
+    }
+
+    #[test]
+    fn odd_phi_grid_folds_correctly() {
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            base.transducer.clone(),
+            usbf_geometry::VolumeSpec { n_theta: 7, n_phi: 7, ..base.volume.clone() },
+            base.origin,
+            base.frame_rate,
+        );
+        let t = SteeringTables::build(&spec);
+        for it in 0..7 {
+            for ip in 0..7 {
+                for e in spec.elements.iter().take(8) {
+                    let vox = VoxelIndex::new(it, ip, 0);
+                    let f = t.correction_samples(vox, e);
+                    let d = SteeringTables::correction_direct(&spec, vox, e);
+                    assert!((f - d).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn x_term_out_of_range_panics() {
+        let spec = SystemSpec::tiny();
+        SteeringTables::build(&spec).x_term_samples(99, 0, 0);
+    }
+}

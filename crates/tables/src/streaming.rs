@@ -1,0 +1,212 @@
+//! A functional simulator of the §V-B circular-buffer streaming scheme.
+//!
+//! "The on-FPGA delay table could be a cache of a complete delay table
+//! residing off-chip … this BRAM could be managed as a circular buffer,
+//! loading new delay samples as the old ones have been used, with an ample
+//! margin of 1k cycles of latency to fetch new data."
+//!
+//! [`CircularBufferSim`] plays that schedule cycle by cycle: the
+//! beamformer consumes one reference slice per nappe while the DRAM
+//! interface refills retired slices at a finite link bandwidth. The
+//! simulation reports whether the consumer ever stalls (an *underrun*) and
+//! how much refill margin was left — turning the paper's "ample margin"
+//! claim into a checkable property.
+
+use crate::StreamingPlan;
+
+/// Result of a streaming simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingReport {
+    /// Total consumer cycles simulated (nappes × cycles per nappe).
+    pub cycles: u64,
+    /// Cycles the consumer had to stall waiting for a slice refill.
+    pub stall_cycles: u64,
+    /// Smallest lead (in cycles) the refill engine had over the consumer
+    /// when a new slice was first needed; negative values mean underrun.
+    pub min_margin_cycles: i64,
+    /// Words fetched from DRAM.
+    pub words_fetched: u64,
+}
+
+impl StreamingReport {
+    /// Whether the consumer never stalled.
+    pub fn underrun_free(&self) -> bool {
+        self.stall_cycles == 0
+    }
+}
+
+/// Cycle-level (per-slice granularity) simulator of the circular buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircularBufferSim {
+    plan: StreamingPlan,
+    /// Clock frequency of the consumer (beamformer) in Hz.
+    clock_hz: f64,
+    /// DRAM link bandwidth in bytes/s.
+    link_bytes_per_s: f64,
+    /// Words per reference slice (one nappe's folded quadrant).
+    slice_words: u64,
+    /// Cycles the beamformer spends consuming one slice (one nappe).
+    cycles_per_slice: u64,
+}
+
+impl CircularBufferSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or size is non-positive, or if a slice does not
+    /// fit the buffer.
+    pub fn new(
+        plan: StreamingPlan,
+        clock_hz: f64,
+        link_bytes_per_s: f64,
+        slice_words: u64,
+        cycles_per_slice: u64,
+    ) -> Self {
+        assert!(clock_hz > 0.0 && link_bytes_per_s > 0.0, "rates must be positive");
+        assert!(slice_words > 0 && cycles_per_slice > 0, "sizes must be positive");
+        let capacity = (plan.bram_banks * plan.bank_words) as u64;
+        assert!(
+            slice_words * 2 <= capacity,
+            "double buffering needs 2 slices ({} words) within the {}-word buffer",
+            slice_words * 2,
+            capacity
+        );
+        CircularBufferSim { plan, clock_hz, link_bytes_per_s, slice_words, cycles_per_slice }
+    }
+
+    /// The paper's operating point for a given spec-shaped workload:
+    /// a 50×50-word slice per nappe consumed over `cycles_per_slice`
+    /// cycles at 200 MHz, refilled at `link_bytes_per_s`.
+    pub fn paper_point(link_bytes_per_s: f64) -> Self {
+        // One nappe at paper scale: 128×128 steered points / (128 blocks ×
+        // 128 points per cycle) = 1 cycle per element-row stream — the
+        // real consumer spends 100 cycles per nappe per block (10 000
+        // elements / 100 stagger), so use the per-block view: slice =
+        // 2 500 words per bank-group, consumed over 1 280 cycles.
+        CircularBufferSim::new(
+            StreamingPlan::paper(),
+            200.0e6,
+            link_bytes_per_s,
+            2_500,
+            1_280,
+        )
+    }
+
+    /// Cycles needed to fetch one slice over the DRAM link.
+    pub fn fetch_cycles_per_slice(&self) -> u64 {
+        let bytes = self.slice_words as f64 * self.plan.word_bits as f64 / 8.0;
+        (bytes / self.link_bytes_per_s * self.clock_hz).ceil() as u64
+    }
+
+    /// Runs the schedule over `n_slices` nappes with double buffering:
+    /// while slice `k` is consumed, slice `k+1` is fetched. The consumer
+    /// stalls whenever a fetch has not finished by the time it needs the
+    /// next slice.
+    pub fn run(&self, n_slices: u64) -> StreamingReport {
+        assert!(n_slices > 0, "need at least one slice");
+        let fetch = self.fetch_cycles_per_slice();
+        let consume = self.cycles_per_slice;
+        let mut now: u64 = 0;
+        let mut stall: u64 = 0;
+        let mut min_margin = i64::MAX;
+        // Slice 0 must be fetched before anything starts (prefill; not
+        // counted toward the steady-state margin).
+        let mut fetch_done = fetch;
+        for slice in 0..n_slices {
+            // Lead the refill engine has when the consumer needs this
+            // slice (positive = fetch finished early).
+            if slice > 0 {
+                min_margin = min_margin.min(now as i64 - fetch_done as i64);
+            }
+            if fetch_done > now {
+                stall += fetch_done - now;
+                now = fetch_done;
+            }
+            // Kick off the next fetch and consume the current slice.
+            fetch_done = now + fetch;
+            now += consume;
+        }
+        if min_margin == i64::MAX {
+            min_margin = 0;
+        }
+        StreamingReport {
+            cycles: now,
+            stall_cycles: stall,
+            min_margin_cycles: min_margin,
+            words_fetched: n_slices * self.slice_words,
+        }
+    }
+
+    /// The minimum link bandwidth (bytes/s) for underrun-free steady-state
+    /// streaming: one slice must fetch within one slice-consume time.
+    pub fn min_bandwidth_bytes(&self) -> f64 {
+        let bytes = self.slice_words as f64 * self.plan.word_bits as f64 / 8.0;
+        bytes / (self.cycles_per_slice as f64 / self.clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidth_streams_without_underrun() {
+        // At the §V-B operating point (≈5.4 GB/s) the consumer never
+        // stalls after the initial fill.
+        let sim = CircularBufferSim::paper_point(5.4e9);
+        let r = sim.run(1000);
+        // The first slice fetch is the only wait.
+        assert_eq!(r.stall_cycles, sim.fetch_cycles_per_slice());
+        assert!(sim.fetch_cycles_per_slice() <= sim.plan.bank_words as u64);
+    }
+
+    #[test]
+    fn starved_link_underruns() {
+        let sim = CircularBufferSim::paper_point(0.2e9);
+        let r = sim.run(100);
+        assert!(!r.underrun_free());
+        assert!(r.stall_cycles > 100 * sim.cycles_per_slice / 10);
+    }
+
+    #[test]
+    fn min_bandwidth_is_the_break_even_point() {
+        let sim = CircularBufferSim::paper_point(1.0e9);
+        let min_bw = sim.min_bandwidth_bytes();
+        let above = CircularBufferSim::paper_point(min_bw * 1.05).run(200);
+        let below = CircularBufferSim::paper_point(min_bw * 0.75).run(200);
+        // Above break-even: only the initial fill stalls.
+        let above_steady = above.stall_cycles
+            == CircularBufferSim::paper_point(min_bw * 1.05).fetch_cycles_per_slice();
+        assert!(above_steady, "stalls above break-even: {}", above.stall_cycles);
+        assert!(below.stall_cycles > above.stall_cycles);
+    }
+
+    #[test]
+    fn words_fetched_accounts_every_slice() {
+        let sim = CircularBufferSim::paper_point(5.4e9);
+        let r = sim.run(77);
+        assert_eq!(r.words_fetched, 77 * 2_500);
+    }
+
+    #[test]
+    fn margin_reflects_link_speed() {
+        // A faster link leaves more steady-state refill margin.
+        let fast = CircularBufferSim::paper_point(10.0e9).run(50);
+        let slow = CircularBufferSim::paper_point(4.4e9).run(50);
+        assert!(fast.min_margin_cycles > slow.min_margin_cycles);
+        assert!(fast.min_margin_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double buffering")]
+    fn slice_too_large_for_buffer_rejected() {
+        CircularBufferSim::new(StreamingPlan::paper(), 200.0e6, 5.4e9, 200_000, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_bandwidth_rejected() {
+        CircularBufferSim::new(StreamingPlan::paper(), 200.0e6, 0.0, 2_500, 1_280);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based invariants of the delay tables.
+
+use proptest::prelude::*;
+use usbf_geometry::{SystemSpec, TransducerSpec, Vec3, VolumeSpec, VoxelIndex};
+use usbf_tables::{ReferenceTable, SteeringTables, TableBudget};
+
+fn small_spec(nx: usize, ny: usize, nt: usize, np: usize, nd: usize) -> SystemSpec {
+    let base = SystemSpec::tiny();
+    SystemSpec::new(
+        base.speed_of_sound,
+        base.sampling_frequency,
+        TransducerSpec { nx, ny, ..base.transducer.clone() },
+        VolumeSpec { n_theta: nt, n_phi: np, n_depth: nd, ..base.volume.clone() },
+        Vec3::ZERO,
+        base.frame_rate,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reference_fold_matches_direct_for_any_dims(
+        nx in 1usize..10,
+        ny in 1usize..10,
+        nd in 1usize..8,
+        pick in 0usize..10_000,
+    ) {
+        let spec = small_spec(nx, ny, 2, 2, nd);
+        let t = ReferenceTable::build(&spec);
+        let e = spec.elements.element_at(pick % spec.elements.count());
+        let id = pick % nd;
+        let r = Vec3::new(0.0, 0.0, spec.volume_grid.depth_of(id));
+        let direct = spec.two_way_delay_samples(r, spec.elements.position(e));
+        prop_assert!((t.delay_samples(id, e) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fold_saves_expected_factor(
+        nx in 1usize..12,
+        ny in 1usize..12,
+    ) {
+        let spec = small_spec(nx, ny, 2, 2, 3);
+        let t = ReferenceTable::build(&spec);
+        let expect = nx.div_ceil(2) * ny.div_ceil(2) * 3;
+        prop_assert_eq!(t.entry_count(), expect);
+    }
+
+    #[test]
+    fn steering_factorization_matches_direct_for_any_dims(
+        nx in 1usize..8,
+        ny in 1usize..8,
+        nt in 1usize..8,
+        np in 1usize..8,
+        pick in 0usize..100_000,
+    ) {
+        let spec = small_spec(nx, ny, nt, np, 2);
+        let t = SteeringTables::build(&spec);
+        let e = spec.elements.element_at(pick % spec.elements.count());
+        let it = pick % nt;
+        let ip = (pick / 7) % np;
+        let vox = VoxelIndex::new(it, ip, 0);
+        let f = t.correction_samples(vox, e);
+        let d = SteeringTables::correction_direct(&spec, vox, e);
+        prop_assert!((f - d).abs() < 1e-9, "factored {} vs direct {}", f, d);
+    }
+
+    #[test]
+    fn steering_coefficient_count_formula(
+        nx in 1usize..16,
+        ny in 1usize..16,
+        nt in 1usize..16,
+        np in 1usize..16,
+    ) {
+        let spec = small_spec(nx, ny, nt, np, 2);
+        let t = SteeringTables::build(&spec);
+        prop_assert_eq!(t.coefficient_count(), nx * nt * np.div_ceil(2) + ny * np);
+    }
+
+    #[test]
+    fn budget_matches_entry_arithmetic(
+        nx in 1usize..16,
+        ny in 1usize..16,
+        nd in 1usize..16,
+        bits in 8u32..24,
+    ) {
+        let spec = small_spec(nx, ny, 4, 4, nd);
+        let b = TableBudget::for_spec(&spec, bits, bits);
+        prop_assert_eq!(
+            b.reference_bits,
+            (nx.div_ceil(2) * ny.div_ceil(2) * nd) as u64 * bits as u64
+        );
+        prop_assert_eq!(b.total_bits(), b.reference_bits + b.correction_bits);
+    }
+
+    #[test]
+    fn steered_delay_error_vanishes_in_far_field(
+        it in 0usize..8,
+        ip in 0usize..8,
+        e_pick in 0usize..64,
+    ) {
+        // Far-field property: at the deepest nappe the Taylor remainder is
+        // second order in (aperture/r) — for the tiny geometry's ~1 mm
+        // half-aperture at 192 mm that is well below 0.05 samples. (The
+        // signed error can cross zero, so strict per-pair monotonicity in
+        // depth does not hold; the asymptotic bound does.)
+        let spec = SystemSpec::tiny();
+        let reference = ReferenceTable::build(&spec);
+        let steering = SteeringTables::build(&spec);
+        let e = spec.elements.element_at(e_pick % spec.elements.count());
+        let err = |id: usize| {
+            usbf_tables::error::steering_error_samples(
+                &spec, &reference, &steering, VoxelIndex::new(it, ip, id), e,
+            )
+            .abs()
+        };
+        prop_assert!(err(15) <= 0.05, "far-field error {} too large", err(15));
+        // And it never exceeds the worst shallow-depth error by more than
+        // the same margin.
+        prop_assert!(err(15) <= err(0) + 0.05);
+    }
+}

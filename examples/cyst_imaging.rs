@@ -1,0 +1,76 @@
+//! Anechoic-cyst imaging: does TABLESTEER's steering error hurt contrast?
+//!
+//! A speckle phantom with an anechoic spherical void is imaged with the
+//! exact and TABLESTEER engines; the cyst contrast (inside-vs-outside RMS,
+//! dB) is compared. This is the kind of end-to-end check the paper's
+//! "image quality will be the same … so long as delays are equally
+//! accurate" argument (§II-A) calls for.
+//!
+//! Run with: `cargo run --release --example cyst_imaging`
+
+use usbf::beamform::{Apodization, Beamformer};
+use usbf::core::{DelayEngine, ExactEngine, TableSteerConfig, TableSteerEngine};
+use usbf::geometry::{SystemSpec, Vec3, VoxelIndex};
+use usbf::sim::{metrics, EchoSynthesizer, Phantom, Pulse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SystemSpec::tiny();
+    // Speckle in a mid-depth slab, with a void around the central voxel.
+    let center_vox = VoxelIndex::new(4, 4, 8);
+    let center = spec.volume_grid.position(center_vox);
+    let slab_lo = Vec3::new(-0.03, -0.03, center.z - 0.02);
+    let slab_hi = Vec3::new(0.03, 0.03, center.z + 0.02);
+    let radius = 8.0e-3;
+    let phantom = Phantom::cyst(4000, slab_lo, slab_hi, center, radius, 20250610);
+    println!(
+        "cyst phantom: {} scatterers, void r = {} mm at z = {:.1} mm",
+        phantom.scatterers().len(),
+        radius * 1e3,
+        center.z * 1e3
+    );
+
+    let rf = EchoSynthesizer::new(&spec).synthesize(&phantom, &Pulse::from_spec(&spec));
+    let bf = Beamformer::new(&spec).with_apodization(Apodization::Hann);
+    let exact = ExactEngine::new(&spec);
+    let steer18 = TableSteerEngine::new(&spec, TableSteerConfig::bits18())?;
+    let steer14 = TableSteerEngine::new(&spec, TableSteerConfig::bits14())?;
+
+    let engines: [(&str, &dyn DelayEngine); 3] =
+        [("EXACT", &exact), ("TABLESTEER-18b", &steer18), ("TABLESTEER-14b", &steer14)];
+    println!("\n{:<16} {:>12} {:>14}", "engine", "contrast", "NRMSE vs exact");
+    let mut exact_volume = None;
+    for (label, eng) in engines {
+        let vol = bf.beamform_volume(eng, &rf);
+        // Voxels inside/outside the void at the cyst depth slab.
+        let mut inside = Vec::new();
+        let mut outside = Vec::new();
+        for it in 0..spec.volume.n_theta {
+            for ip in 0..spec.volume.n_phi {
+                for id in 6..=10 {
+                    let vox = VoxelIndex::new(it, ip, id);
+                    let p = spec.volume_grid.position(vox);
+                    let v = vol.get(vox);
+                    if p.distance(center) < radius * 0.7 {
+                        inside.push(v);
+                    } else if p.distance(center) > radius * 1.3 {
+                        outside.push(v);
+                    }
+                }
+            }
+        }
+        let contrast = metrics::contrast_db(&inside, &outside);
+        let nrmse = match &exact_volume {
+            None => {
+                exact_volume = Some(vol.clone());
+                0.0
+            }
+            Some(ev) => metrics::nrmse(ev.as_slice(), vol.as_slice()),
+        };
+        println!("{:<16} {:>9.1} dB {:>14.4}", label, contrast, nrmse);
+    }
+    println!("\n(more negative contrast = darker void = better: the 18-bit design");
+    println!(" tracks the exact image closely, while the aggressive 14-bit");
+    println!(" quantization visibly fills the void — the Table II accuracy/area");
+    println!(" tradeoff made visible in an image)");
+    Ok(())
+}

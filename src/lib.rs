@@ -1,0 +1,43 @@
+//! # usbf — 3D ultrasound beamforming delay generation
+//!
+//! A reproduction of the DATE 2015 paper *"Tackling the Bottleneck of Delay
+//! Tables in 3D Ultrasound Imaging"* (Ibrahim, Hager, Bartolini, Angiolini,
+//! Arditi, Benini, De Micheli).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geometry`] — probes, imaging volumes, scan orders (Table I, Fig. 1);
+//! * [`fixed`] — Q-format fixed-point arithmetic;
+//! * [`pwl`] — piecewise-linear √ approximation with segment tracking (Fig. 2);
+//! * [`tables`] — reference delay tables, symmetry folding, steering (Fig. 3);
+//! * [`core`] — the delay engines: TABLEFREE and TABLESTEER (§IV, §V);
+//! * [`sim`] — synthetic acoustic echoes and image-quality metrics;
+//! * [`beamform`] — delay-and-sum beamforming over any engine;
+//! * [`fpga`] — the Virtex-7 resource/timing model behind Table II.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use usbf::geometry::{SystemSpec, VoxelIndex};
+//! use usbf::core::{DelayEngine, ExactEngine, TableSteerEngine, TableSteerConfig};
+//!
+//! let spec = SystemSpec::tiny();
+//! let exact = ExactEngine::new(&spec);
+//! let steer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+//! let vox = VoxelIndex::new(4, 4, 8);
+//! let e = spec.elements.center_element();
+//! let t_exact = exact.delay_samples(vox, e);
+//! let t_steer = steer.delay_samples(vox, e);
+//! assert!((t_exact - t_steer).abs() < 4.0); // within a few samples near axis
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use usbf_beamform as beamform;
+pub use usbf_core as core;
+pub use usbf_fixed as fixed;
+pub use usbf_fpga as fpga;
+pub use usbf_geometry as geometry;
+pub use usbf_pwl as pwl;
+pub use usbf_sim as sim;
+pub use usbf_tables as tables;

@@ -1,0 +1,101 @@
+//! Failure injection: the library fails loudly and predictably at its
+//! documented limits.
+
+use usbf::core::{
+    DelayEngine, EngineError, NaiveTableEngine, TableFreeConfig, TableFreeEngine,
+    TableSteerConfig, TableSteerEngine,
+};
+use usbf::fixed::{Fixed, FixedError, QFormat, RoundingMode};
+use usbf::geometry::{SystemSpec, TransducerSpec, VolumeSpec, VoxelIndex};
+use usbf::pwl::{PwlApprox, PwlError, SqrtFn, TrackingEvaluator};
+
+#[test]
+fn naive_engine_rejects_paper_scale() {
+    let err = NaiveTableEngine::build(&SystemSpec::paper(), 64 << 30).unwrap_err();
+    match err {
+        EngineError::TableTooLarge { required_bytes, .. } => {
+            assert!(required_bytes > 300e9 as u64);
+        }
+        other => panic!("expected TableTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn tablesteer_rejects_formats_too_narrow_for_the_geometry() {
+    // 8 integer bits cannot hold ~8000-sample delays.
+    let spec = SystemSpec::tiny();
+    let cfg = TableSteerConfig {
+        reference_format: QFormat::unsigned(8, 5),
+        correction_format: QFormat::CORR_18,
+    };
+    let err = TableSteerEngine::new(&spec, cfg).unwrap_err();
+    assert!(matches!(err, EngineError::Fixed(FixedError::Overflow { .. })), "{err:?}");
+}
+
+#[test]
+fn tablefree_rejects_nonsense_delta() {
+    let spec = SystemSpec::tiny();
+    let err = TableFreeEngine::new(&spec, TableFreeConfig::with_delta(0.0)).unwrap_err();
+    assert!(matches!(err, EngineError::Pwl(PwlError::InvalidDelta(_))), "{err:?}");
+}
+
+#[test]
+fn tracking_budget_violation_is_reported_not_hidden() {
+    let table = PwlApprox::build(&SqrtFn, (16.0, 1e6), 0.25).unwrap();
+    let mut tracker = TrackingEvaluator::new(&table).with_max_step(1);
+    tracker.eval(20.0).unwrap();
+    let err = tracker.eval(9.9e5).unwrap_err();
+    assert!(err.allowed == 1 && err.to > err.from);
+    // The tracker recovers: the pointer landed on the right segment.
+    assert!(tracker.eval(9.9e5).is_ok());
+}
+
+#[test]
+fn delay_indices_clamp_into_echo_window() {
+    // Even at the most extreme voxel × element combination, indices stay
+    // inside the buffer — the clamp is observable via the counter.
+    let base = SystemSpec::tiny();
+    let wide = SystemSpec::new(
+        base.speed_of_sound,
+        base.sampling_frequency,
+        TransducerSpec { nx: 100, ny: 100, ..base.transducer.clone() },
+        VolumeSpec { n_depth: 8, ..base.volume.clone() },
+        base.origin,
+        base.frame_rate,
+    );
+    let eng = TableSteerEngine::new(&wide, TableSteerConfig::bits18()).unwrap();
+    let v = &wide.volume_grid;
+    let mut max_idx = 0i64;
+    for e in wide.elements.iter() {
+        let idx = eng.delay_index(VoxelIndex::new(0, 0, v.n_depth() - 1), e);
+        assert!(idx >= 0 && (idx as usize) < wide.echo_buffer_len());
+        max_idx = max_idx.max(idx);
+    }
+    assert_eq!(max_idx as usize, wide.echo_buffer_len() - 1, "clamp hit the rail");
+    assert!(eng.clamp_events() > 0);
+}
+
+#[test]
+fn fixed_point_saturation_is_deterministic_at_the_rails() {
+    let fmt = QFormat::REF_18;
+    let top = Fixed::saturating_from_f64(1e9, fmt, RoundingMode::Nearest);
+    assert_eq!(top.to_f64(), fmt.max_value());
+    let bottom = Fixed::saturating_from_f64(-1e9, fmt, RoundingMode::Nearest);
+    assert_eq!(bottom.to_f64(), 0.0);
+}
+
+#[test]
+fn spec_constructor_rejects_degenerate_geometry() {
+    let base = SystemSpec::tiny();
+    let r = std::panic::catch_unwind(|| {
+        SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            TransducerSpec { nx: 0, ..base.transducer.clone() },
+            base.volume.clone(),
+            base.origin,
+            base.frame_rate,
+        )
+    });
+    assert!(r.is_err(), "zero-element probe must be rejected");
+}
