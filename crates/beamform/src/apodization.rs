@@ -7,11 +7,12 @@ use usbf_geometry::{ElementIndex, TransducerArray};
 /// aperture axis. Rect is the unweighted sum; Hann/Hamming trade main-lobe
 /// width for sidelobe suppression; Tukey interpolates between Rect and
 /// Hann with a taper fraction.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Apodization {
     /// Uniform weights (no apodization).
     Rect,
     /// Hann window: `0.5·(1 + cos(πξ))`.
+    #[default]
     Hann,
     /// Hamming window: `0.54 + 0.46·cos(πξ)`.
     Hamming,
@@ -50,12 +51,6 @@ impl Apodization {
     /// Precomputes the weights of every element in linear order.
     pub fn weights(self, array: &TransducerArray) -> Vec<f64> {
         array.iter().map(|e| self.weight(array, e)).collect()
-    }
-}
-
-impl Default for Apodization {
-    fn default() -> Self {
-        Apodization::Hann
     }
 }
 
@@ -108,7 +103,11 @@ mod tests {
     #[test]
     fn weights_are_symmetric() {
         let a = array();
-        for apod in [Apodization::Hann, Apodization::Hamming, Apodization::Tukey(0.5)] {
+        for apod in [
+            Apodization::Hann,
+            Apodization::Hamming,
+            Apodization::Tukey(0.5),
+        ] {
             for e in a.iter() {
                 let m = ElementIndex::new(a.nx() - 1 - e.ix, a.ny() - 1 - e.iy);
                 assert!(
@@ -131,9 +130,12 @@ mod tests {
     #[test]
     fn all_weights_in_unit_interval() {
         let a = TransducerArray::new(16, 12, 0.2e-3);
-        for apod in
-            [Apodization::Rect, Apodization::Hann, Apodization::Hamming, Apodization::Tukey(0.3)]
-        {
+        for apod in [
+            Apodization::Rect,
+            Apodization::Hann,
+            Apodization::Hamming,
+            Apodization::Tukey(0.3),
+        ] {
             for w in apod.weights(&a) {
                 assert!((0.0..=1.0).contains(&w), "{apod:?}: w = {w}");
             }

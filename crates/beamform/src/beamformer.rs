@@ -1,9 +1,18 @@
 //! The delay-and-sum kernel (Eq. 1) over any delay engine.
+//!
+//! The volume path mirrors the paper's architecture: delays are consumed
+//! as per-nappe slabs ([`DelayEngine::fill_nappe`]) rather than per-voxel
+//! queries, and the steering fan is split into [`NappeSchedule`] tiles
+//! beamformed in parallel — each worker owns one tile's slab and walks
+//! the nappes in depth order, exactly like a Fig. 4 block bound to its
+//! correction registers. The output volume is bit-identical to the scalar
+//! per-voxel path, which is kept as the reference implementation (and as
+//! the executed path for scanline-by-scanline traversal).
 
 use crate::{Apodization, BeamformedVolume};
-use usbf_core::DelayEngine;
+use usbf_core::{DelayEngine, NappeDelays, NappeSchedule, Tile};
 use usbf_geometry::scan::ScanOrder;
-use usbf_geometry::{SystemSpec, VoxelIndex};
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 use usbf_sim::RfFrame;
 
 /// How echo samples are fetched at the computed delay.
@@ -66,12 +75,7 @@ impl Beamformer {
     }
 
     /// Beamforms a single focal point: `Σ_D w·e(D, tp)`.
-    pub fn beamform_voxel(
-        &self,
-        engine: &dyn DelayEngine,
-        rf: &RfFrame,
-        vox: VoxelIndex,
-    ) -> f64 {
+    pub fn beamform_voxel(&self, engine: &dyn DelayEngine, rf: &RfFrame, vox: VoxelIndex) -> f64 {
         let mut acc = 0.0;
         for e in self.spec.elements.iter() {
             let w = self.apodization.weight(&self.spec.elements, e);
@@ -87,13 +91,96 @@ impl Beamformer {
         acc
     }
 
-    /// Beamforms the whole volume in the configured scan order.
+    /// Beamforms the whole volume.
+    ///
+    /// Nappe-by-nappe order (the default) runs the batched pipeline:
+    /// parallel over [`NappeSchedule`] tiles, one delay slab per
+    /// (tile, nappe) via [`DelayEngine::fill_nappe`]. Scanline-by-scanline
+    /// order keeps the scalar per-voxel walk as the reference path. Both
+    /// produce bit-identical volumes.
     pub fn beamform_volume(&self, engine: &dyn DelayEngine, rf: &RfFrame) -> BeamformedVolume {
+        match self.order {
+            ScanOrder::NappeByNappe => {
+                self.beamform_volume_tiled(engine, rf, &NappeSchedule::for_host(&self.spec))
+            }
+            ScanOrder::ScanlineByScanline => {
+                let mut out = BeamformedVolume::zeros(&self.spec);
+                for vox in self.order.iter(&self.spec.volume_grid) {
+                    out.set(vox, self.beamform_voxel(engine, rf, vox));
+                }
+                out
+            }
+        }
+    }
+
+    /// Beamforms the whole volume with an explicit tile schedule: each
+    /// tile is an independent unit of work (run in parallel, one worker
+    /// slab each), and within a tile delays stream one nappe slab at a
+    /// time in depth order.
+    pub fn beamform_volume_tiled(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        schedule: &NappeSchedule,
+    ) -> BeamformedVolume {
+        let weights = self.apodization.weights(&self.spec.elements);
+        let tiles = schedule.tiles();
+        let per_tile: Vec<Vec<f64>> = usbf_par::par_map(&tiles, |_, tile| {
+            self.beamform_tile(engine, rf, *tile, &weights)
+        });
+        let n_depth = self.spec.volume_grid.n_depth();
         let mut out = BeamformedVolume::zeros(&self.spec);
-        for vox in self.order.iter(&self.spec.volume_grid) {
-            out.set(vox, self.beamform_voxel(engine, rf, vox));
+        for (tile, values) in tiles.iter().zip(per_tile) {
+            for (slot, it, ip) in tile.iter_scanlines() {
+                for (id, &v) in values[slot * n_depth..(slot + 1) * n_depth]
+                    .iter()
+                    .enumerate()
+                {
+                    out.set(VoxelIndex::new(it, ip, id), v);
+                }
+            }
         }
         out
+    }
+
+    /// Beamforms one tile of the fan, nappe by nappe, returning values in
+    /// `[scanline-within-tile][depth]` order.
+    fn beamform_tile(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        tile: Tile,
+        weights: &[f64],
+    ) -> Vec<f64> {
+        let n_depth = self.spec.volume_grid.n_depth();
+        let n_elements = self.spec.elements.count();
+        let nx = self.spec.elements.nx();
+        let mut slab = NappeDelays::for_tile(&self.spec, tile);
+        let mut values = vec![0.0; tile.scanlines() * n_depth];
+        for id in 0..n_depth {
+            engine.fill_nappe(id, &mut slab);
+            for slot in 0..tile.scanlines() {
+                let row = slab.row(slot);
+                let mut acc = 0.0;
+                for j in 0..n_elements {
+                    let w = weights[j];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let e = ElementIndex::new(j % nx, j / nx);
+                    let v = match self.interpolation {
+                        // delay_index_from is the engine's own final
+                        // rounding stage, so rounding telemetry (e.g.
+                        // TABLESTEER's clamp counter) sees this path too.
+                        Interpolation::Nearest => rf.sample(e, engine.delay_index_from(row[j])),
+                        Interpolation::Linear => rf.sample_interp(e, row[j]),
+                    };
+                    acc += w * v;
+                }
+                values[slot * n_depth + id] = acc;
+            }
+        }
+        values
     }
 
     /// Beamforms one scanline (all depths along direction `(it, ip)`),
@@ -168,7 +255,10 @@ mod tests {
         let off_focus = bf
             .beamform_voxel(&engine, &rf, VoxelIndex::new(0, 0, 15))
             .abs();
-        assert!(at_focus > 5.0 * off_focus, "focus {at_focus} vs off {off_focus}");
+        assert!(
+            at_focus > 5.0 * off_focus,
+            "focus {at_focus} vs off {off_focus}"
+        );
     }
 
     #[test]
@@ -217,9 +307,85 @@ mod tests {
     }
 
     #[test]
+    fn batched_tiled_path_is_bit_identical_to_scalar_path() {
+        // The tentpole invariant: the parallel nappe-slab pipeline must
+        // reproduce the per-voxel reference walk exactly, for approximate
+        // engines and for both interpolation modes.
+        let (spec, rf) = setup(Vec3::new(0.004, -0.002, 0.055));
+        let exact = ExactEngine::new(&spec);
+        let steer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        for interp in [Interpolation::Nearest, Interpolation::Linear] {
+            for engine in [&exact as &dyn usbf_core::DelayEngine, &steer] {
+                let batched = Beamformer::new(&spec)
+                    .with_interpolation(interp)
+                    .with_order(ScanOrder::NappeByNappe)
+                    .beamform_volume(engine, &rf);
+                let scalar = Beamformer::new(&spec)
+                    .with_interpolation(interp)
+                    .with_order(ScanOrder::ScanlineByScanline)
+                    .beamform_volume(engine, &rf);
+                assert_eq!(batched, scalar, "{} {interp:?}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_path_preserves_clamp_telemetry() {
+        // A wide aperture on the tiny grid steers some corner fetches out
+        // of the echo window; the batched path must count those clamps
+        // exactly like the scalar path does.
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            usbf_geometry::TransducerSpec {
+                nx: 100,
+                ny: 100,
+                ..base.transducer.clone()
+            },
+            base.volume.clone(),
+            base.origin,
+            base.frame_rate,
+        );
+        let rf = RfFrame::zeros(100, 100, spec.echo_buffer_len());
+        let scalar_engine = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        let batched_engine = scalar_engine.clone(); // fresh zeroed counter
+        let bf = |order| {
+            Beamformer::new(&spec)
+                .with_apodization(crate::Apodization::Rect)
+                .with_order(order)
+        };
+        bf(ScanOrder::ScanlineByScanline).beamform_volume(&scalar_engine, &rf);
+        bf(ScanOrder::NappeByNappe).beamform_volume(&batched_engine, &rf);
+        assert!(
+            scalar_engine.clamp_events() > 0,
+            "setup must actually clamp"
+        );
+        assert_eq!(batched_engine.clamp_events(), scalar_engine.clamp_events());
+    }
+
+    #[test]
+    fn every_tile_schedule_gives_the_same_volume() {
+        let (spec, rf) = setup(Vec3::new(0.0, 0.003, 0.06));
+        let engine = ExactEngine::new(&spec);
+        let bf = Beamformer::new(&spec);
+        let reference =
+            bf.beamform_volume_tiled(&engine, &rf, &usbf_core::NappeSchedule::fitted(&spec, 1));
+        for target in [2, 4, 16, 64] {
+            let schedule = usbf_core::NappeSchedule::fitted(&spec, target);
+            let vol = bf.beamform_volume_tiled(&engine, &rf, &schedule);
+            assert_eq!(vol, reference, "{target} tiles");
+        }
+    }
+
+    #[test]
     fn empty_rf_gives_zero_volume() {
         let spec = SystemSpec::tiny();
-        let rf = RfFrame::zeros(spec.elements.nx(), spec.elements.ny(), spec.echo_buffer_len());
+        let rf = RfFrame::zeros(
+            spec.elements.nx(),
+            spec.elements.ny(),
+            spec.echo_buffer_len(),
+        );
         let engine = ExactEngine::new(&spec);
         let vol = Beamformer::new(&spec).beamform_volume(&engine, &rf);
         assert_eq!(vol.max_abs(), 0.0);

@@ -78,12 +78,16 @@ impl BeamformedVolume {
 
     /// Axial profile (all depths) along scanline `(it, ip)`.
     pub fn axial_profile(&self, it: usize, ip: usize) -> Vec<f64> {
-        (0..self.n_depth).map(|id| self.get(VoxelIndex::new(it, ip, id))).collect()
+        (0..self.n_depth)
+            .map(|id| self.get(VoxelIndex::new(it, ip, id)))
+            .collect()
     }
 
     /// Lateral (θ) profile at fixed `(ip, id)`.
     pub fn lateral_profile(&self, ip: usize, id: usize) -> Vec<f64> {
-        (0..self.n_theta).map(|it| self.get(VoxelIndex::new(it, ip, id))).collect()
+        (0..self.n_theta)
+            .map(|it| self.get(VoxelIndex::new(it, ip, id)))
+            .collect()
     }
 
     /// The raw values in scanline-major order.

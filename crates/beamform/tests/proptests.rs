@@ -8,8 +8,10 @@ use usbf_geometry::{SystemSpec, VoxelIndex};
 use usbf_sim::{EchoSynthesizer, Phantom, Pulse};
 
 fn rf_for(spec: &SystemSpec, vox: VoxelIndex) -> usbf_sim::RfFrame {
-    EchoSynthesizer::new(spec)
-        .synthesize(&Phantom::point(spec.volume_grid.position(vox)), &Pulse::from_spec(spec))
+    EchoSynthesizer::new(spec).synthesize(
+        &Phantom::point(spec.volume_grid.position(vox)),
+        &Pulse::from_spec(spec),
+    )
 }
 
 proptest! {

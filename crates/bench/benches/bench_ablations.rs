@@ -29,7 +29,11 @@ fn bench_ablations(c: &mut Criterion) {
     let triples: Vec<(f64, f64, f64)> = (0..4096)
         .map(|i| {
             let x = i as f64;
-            (x.mul_add(1.9, 3.3) % 8000.0, (x * 0.37) % 300.0 - 150.0, (x * 0.11) % 300.0 - 150.0)
+            (
+                x.mul_add(1.9, 3.3) % 8000.0,
+                (x * 0.37) % 300.0 - 150.0,
+                (x * 0.11) % 300.0 - 150.0,
+            )
         })
         .collect();
     let mut g = c.benchmark_group("ablation_fixed_width_flips");
@@ -39,9 +43,7 @@ fn bench_ablations(c: &mut Criterion) {
         ("bits18", QFormat::REF_18, QFormat::CORR_18),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| {
-                rounding_flip_stats(rf, cf, triples.iter().copied(), RoundingMode::HalfUp)
-            })
+            b.iter(|| rounding_flip_stats(rf, cf, triples.iter().copied(), RoundingMode::HalfUp))
         });
     }
     g.finish();
@@ -71,7 +73,9 @@ fn bench_ablations(c: &mut Criterion) {
         centred.frame_rate,
     );
     let mut g = c.benchmark_group("ablation_fold_reference_build");
-    g.bench_function("centred_folded", |b| b.iter(|| ReferenceTable::build(black_box(&centred))));
+    g.bench_function("centred_folded", |b| {
+        b.iter(|| ReferenceTable::build(black_box(&centred)))
+    });
     g.bench_function("displaced_unfolded", |b| {
         b.iter(|| ReferenceTable::build(black_box(&displaced)))
     });

@@ -25,7 +25,12 @@ fn bench_tables(c: &mut Criterion) {
     let v = &spec.volume_grid;
     let el = &spec.elements;
     let lookups: Vec<(VoxelIndex, ElementIndex)> = (0..4096)
-        .map(|i| (v.voxel_at((i * 6131) % v.voxel_count()), el.element_at((i * 31) % el.count())))
+        .map(|i| {
+            (
+                v.voxel_at((i * 6131) % v.voxel_count()),
+                el.element_at((i * 31) % el.count()),
+            )
+        })
         .collect();
 
     let mut g = c.benchmark_group("steered_lookup");

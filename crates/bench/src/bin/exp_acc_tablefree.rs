@@ -21,7 +21,11 @@ fn main() {
     println!("{}", section("E3: TABLEFREE accuracy at paper scale"));
     println!(
         "{}",
-        compare_line("PWL segments (δ = 0.25)", "70", &engine.segment_count().to_string())
+        compare_line(
+            "PWL segments (δ = 0.25)",
+            "70",
+            &engine.segment_count().to_string()
+        )
     );
 
     // Strided sweep: 13 θ × 13 φ × 51 depth × 100 elements ≈ 0.9M pairs.
@@ -32,7 +36,10 @@ fn main() {
         compare_line(
             "pre-rounding |error| (samples)",
             "mean 0.204, max 0.5",
-            &format!("mean {:.4}, max {:.4}  ({} pairs)", smp.mean_abs, smp.max_abs, smp.count)
+            &format!(
+                "mean {:.4}, max {:.4}  ({} pairs)",
+                smp.mean_abs, smp.max_abs, smp.count
+            )
         )
     );
 
@@ -72,7 +79,10 @@ fn main() {
     println!("{}", section("Ablation: exact transmit √ (§IV note)"));
     let tx_exact = TableFreeEngine::new(
         &spec,
-        TableFreeConfig { exact_transmit: true, ..TableFreeConfig::paper() },
+        TableFreeConfig {
+            exact_transmit: true,
+            ..TableFreeConfig::paper()
+        },
     )
     .expect("engine builds");
     let smp_tx = stats::sample_error(&tx_exact, &exact, &spec, vox_stride, el_stride);
@@ -86,10 +96,19 @@ fn main() {
     );
 
     println!("{}", section("Ablation: δ sweep (accuracy vs LUT area)"));
-    println!("{:>8} {:>10} {:>14} {:>12}", "δ", "segments", "mean sel err", "max sel err");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12}",
+        "δ", "segments", "mean sel err", "max sel err"
+    );
     for &delta in &[0.5, 0.25, 0.125] {
         let e = TableFreeEngine::new(&spec, TableFreeConfig::with_delta(delta)).expect("builds");
         let s = stats::selection_error(&e, &exact, &spec, vox_stride * 4, el_stride);
-        println!("{:>8} {:>10} {:>14.4} {:>12}", delta, e.segment_count(), s.mean_abs, s.max_abs);
+        println!(
+            "{:>8} {:>10} {:>14.4} {:>12}",
+            delta,
+            e.segment_count(),
+            s.mean_abs,
+            s.max_abs
+        );
     }
 }

@@ -21,7 +21,11 @@ fn main() {
         compare_line(
             "worst-case steering error bound",
             "6.7 µs = 214 samples",
-            &format!("{:.2} µs = {:.0} samples", bound * 1e6, spec.seconds_to_samples(bound))
+            &format!(
+                "{:.2} µs = {:.0} samples",
+                bound * 1e6,
+                spec.seconds_to_samples(bound)
+            )
         )
     );
 
@@ -75,11 +79,20 @@ fn main() {
         )
     );
 
-    println!("{}", section("E4: directivity-filtered sweep (the practical maximum)"));
+    println!(
+        "{}",
+        section("E4: directivity-filtered sweep (the practical maximum)")
+    );
     // The paper does not state its acceptance angle; a 65° cone reproduces
     // its 3.1 µs / 99-sample practical maximum (calibrated — the stricter
     // 45° default gives ~1.5 µs / ~50 samples).
-    for (label, cutoff) in [("45° (library default)", Directivity::paper_default().cutoff()), ("65° (matches paper)", usbf_geometry::deg(65.0))] {
+    for (label, cutoff) in [
+        (
+            "45° (library default)",
+            Directivity::paper_default().cutoff(),
+        ),
+        ("65° (matches paper)", usbf_geometry::deg(65.0)),
+    ] {
         let dir = Directivity::new(cutoff, 1.0);
         let filtered = ErrorSweep::run(&spec, &reference, &steering, cfg, Some(&dir));
         println!(

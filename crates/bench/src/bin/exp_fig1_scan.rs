@@ -14,7 +14,10 @@ fn main() {
     let spec = SystemSpec::reduced();
     let v = &spec.volume_grid;
 
-    println!("{}", section("F1: traversal equivalence (reduced 32x32x128 grid)"));
+    println!(
+        "{}",
+        section("F1: traversal equivalence (reduced 32x32x128 grid)")
+    );
     let a: HashSet<_> = ScanOrder::ScanlineByScanline.iter(v).collect();
     let b: HashSet<_> = ScanOrder::NappeByNappe.iter(v).collect();
     println!(
@@ -38,9 +41,14 @@ fn main() {
         }
         println!("{:<24} depth-slice switches: {switches}", order.to_string());
     }
-    println!("(nappe order touches each table slice once — the premise of the §V-B streaming design)");
+    println!(
+        "(nappe order touches each table slice once — the premise of the §V-B streaming design)"
+    );
 
-    println!("{}", section("F1 x §IV-B: TABLEFREE segment tracking per order"));
+    println!(
+        "{}",
+        section("F1 x §IV-B: TABLEFREE segment tracking per order")
+    );
     let engine = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("engine builds");
     println!(
         "{:<24} {:>8} {:>12} {:>10}",
@@ -57,5 +65,7 @@ fn main() {
         );
     }
     println!("(nappe order: transitions are gradual, no segment search needed — §IV-B;");
-    println!(" scanline order: every restart snaps the pointer back, the paper's noted inefficiency)");
+    println!(
+        " scanline order: every restart snaps the pointer back, the paper's noted inefficiency)"
+    );
 }

@@ -24,7 +24,11 @@ fn main() {
     let pwl = PwlApprox::build(&SqrtFn, (lo, hi), 0.25).expect("paper domain builds");
     println!(
         "{}",
-        compare_line("segments for δ = 0.25", "70", &pwl.segment_count().to_string())
+        compare_line(
+            "segments for δ = 0.25",
+            "70",
+            &pwl.segment_count().to_string()
+        )
     );
     println!(
         "{}",
@@ -49,7 +53,11 @@ fn main() {
         compare_line(
             "coefficient LUT storage",
             "\"a few LUTs\"",
-            &format!("{} bits ({:.1} kb)", quant.storage_bits(), quant.storage_bits() as f64 / 1e3)
+            &format!(
+                "{} bits ({:.1} kb)",
+                quant.storage_bits(),
+                quant.storage_bits() as f64 / 1e3
+            )
         )
     );
     println!(
@@ -75,7 +83,10 @@ fn main() {
     }
 
     println!("{}", section("Ablation: δ → segment count / mean error"));
-    println!("{:>8} {:>10} {:>12} {:>14}", "δ", "segments", "max error", "mean error");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14}",
+        "δ", "segments", "max error", "mean error"
+    );
     for &delta in &[1.0, 0.5, 0.25, 0.125, 0.0625] {
         let p = PwlApprox::build(&SqrtFn, (lo, hi), delta).expect("builds");
         println!(

@@ -11,7 +11,10 @@ use usbf_tables::{PruneMask, ReferenceTable, SteeringTables};
 fn main() {
     // Fig. 3a uses a 16×16×500 demo geometry "for simplicity".
     let spec = SystemSpec::figure3();
-    println!("{}", section("F3a: directivity-pruned reference table (16x16x500)"));
+    println!(
+        "{}",
+        section("F3a: directivity-pruned reference table (16x16x500)")
+    );
     let mask = PruneMask::build(&spec, &Directivity::paper_default());
     println!(
         "{}",
@@ -26,7 +29,11 @@ fn main() {
         compare_line(
             "pruned by directivity (45° cone)",
             "(cone-shaped void, Fig. 3a)",
-            &format!("{} ({:.1}%)", mask.pruned_count(), 100.0 * (1.0 - mask.fraction_kept()))
+            &format!(
+                "{} ({:.1}%)",
+                mask.pruned_count(),
+                100.0 * (1.0 - mask.fraction_kept())
+            )
         )
     );
     println!("kept per depth slice (series, every 50th nappe):");
@@ -55,7 +62,10 @@ fn main() {
     // the paper's plot spans ±1e-5 s for a steering near the fan edge.
     let paper = SystemSpec::paper();
     let steering = SteeringTables::build(&paper);
-    println!("{}", section("F3c: steering-correction plane (paper geometry)"));
+    println!(
+        "{}",
+        section("F3c: steering-correction plane (paper geometry)")
+    );
     let (it, ip) = (110, 96); // a representative steered line of sight
     let theta = paper.volume_grid.theta_of(it).to_degrees();
     let phi = paper.volume_grid.phi_of(ip).to_degrees();
@@ -63,14 +73,24 @@ fn main() {
     println!("xD index, yD index, correction [µs]");
     for &iy in &[0usize, 33, 66, 99] {
         for &ix in &[0usize, 33, 66, 99] {
-            let c = steering.correction_samples(VoxelIndex::new(it, ip, 0), ElementIndex::new(ix, iy));
-            println!("{:>8}, {:>8}, {:+.3}", ix, iy, paper.samples_to_seconds(c) * 1e6);
+            let c =
+                steering.correction_samples(VoxelIndex::new(it, ip, 0), ElementIndex::new(ix, iy));
+            println!(
+                "{:>8}, {:>8}, {:+.3}",
+                ix,
+                iy,
+                paper.samples_to_seconds(c) * 1e6
+            );
         }
     }
     let max_corr = paper.samples_to_seconds(steering.max_abs_correction_samples()) * 1e6;
     println!(
         "{}",
-        compare_line("plane range over all steerings", "±10 µs (Fig. 3c axis)", &format!("±{max_corr:.1} µs"))
+        compare_line(
+            "plane range over all steerings",
+            "±10 µs (Fig. 3c axis)",
+            &format!("±{max_corr:.1} µs")
+        )
     );
 
     // Fig. 3d: a section of the compensated (steered) delay table: delays
@@ -90,5 +110,7 @@ fn main() {
             .collect();
         println!("{:>11}, {}", id, row.join(", "));
     }
-    println!("\n(each row is one horizontal cut of Fig. 3d: reference delays shifted by a tilted plane)");
+    println!(
+        "\n(each row is one horizontal cut of Fig. 3d: reference delays shifted by a tilted plane)"
+    );
 }

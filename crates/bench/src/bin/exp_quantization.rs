@@ -36,12 +36,35 @@ fn main() {
         })
         .collect();
 
-    println!("{}", section("E5: index-flip fractions (10e6 random values)"));
+    println!(
+        "{}",
+        section("E5: index-flip fractions (10e6 random values)")
+    );
     let configs: [(&str, QFormat, QFormat, &str); 4] = [
-        ("13-bit integer delays", QFormat::INT_13, QFormat::signed(13, 0), "33%"),
-        ("13-bit int ref + 13.4 corr", QFormat::INT_13, QFormat::CORR_18, "(33% regime)"),
-        ("14-bit (13.1 / s13.0)", QFormat::REF_14, QFormat::CORR_14, "(between)"),
-        ("18-bit (13.5 / s13.4)", QFormat::REF_18, QFormat::CORR_18, "less than 2%"),
+        (
+            "13-bit integer delays",
+            QFormat::INT_13,
+            QFormat::signed(13, 0),
+            "33%",
+        ),
+        (
+            "13-bit int ref + 13.4 corr",
+            QFormat::INT_13,
+            QFormat::CORR_18,
+            "(33% regime)",
+        ),
+        (
+            "14-bit (13.1 / s13.0)",
+            QFormat::REF_14,
+            QFormat::CORR_14,
+            "(between)",
+        ),
+        (
+            "18-bit (13.5 / s13.4)",
+            QFormat::REF_18,
+            QFormat::CORR_18,
+            "less than 2%",
+        ),
     ];
     for (label, rf, cf, paper) in configs {
         let s = rounding_flip_stats(rf, cf, triples.iter().copied(), RoundingMode::HalfUp);

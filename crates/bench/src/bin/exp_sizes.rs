@@ -25,7 +25,10 @@ fn main() {
         compare_line(
             "as 16-bit table",
             "(impractical)",
-            &format!("{:.0} GB", NaiveTableEngine::required_bytes(&spec) as f64 / 1e9)
+            &format!(
+                "{:.0} GB",
+                NaiveTableEngine::required_bytes(&spec) as f64 / 1e9
+            )
         )
     );
     // A typical 2D system: 128-element linear array, 128 scanlines × 1000
@@ -33,7 +36,11 @@ fn main() {
     let coeffs_2d: u64 = 128 * 128 * 1000;
     println!(
         "{}",
-        compare_line("2D system (128 el., 128x1000)", "a few million", &format!("{:.1}e6", coeffs_2d as f64 / 1e6))
+        compare_line(
+            "2D system (128 el., 128x1000)",
+            "a few million",
+            &format!("{:.1}e6", coeffs_2d as f64 / 1e6)
+        )
     );
 
     println!("{}", section("E2 (§II-C): delay access bandwidth"));
@@ -66,14 +73,22 @@ fn main() {
     );
     println!(
         "{}",
-        compare_line("reference storage", "45 Mb", &format!("{:.1} Mb", b18.reference_megabits()))
+        compare_line(
+            "reference storage",
+            "45 Mb",
+            &format!("{:.1} Mb", b18.reference_megabits())
+        )
     );
     println!(
         "{}",
         compare_line(
             "correction storage",
             "14.3 Mb",
-            &format!("{:.2} Mib ({:.2} Mb decimal — the paper mixes prefixes)", b18.correction_mebibits(), b18.correction_bits as f64 / 1e6)
+            &format!(
+                "{:.2} Mib ({:.2} Mb decimal — the paper mixes prefixes)",
+                b18.correction_mebibits(),
+                b18.correction_bits as f64 / 1e6
+            )
         )
     );
 
@@ -118,18 +133,28 @@ fn main() {
         )
     );
     let b14 = TableBudget::for_spec(&spec, 14, 14);
-    let stream14 = StreamingPlan { word_bits: 14, ..StreamingPlan::paper() };
+    let stream14 = StreamingPlan {
+        word_bits: 14,
+        ..StreamingPlan::paper()
+    };
     println!(
         "{}",
         compare_line(
             "DRAM bandwidth (14b)",
             "4.1 GB/s (Table II)",
-            &format!("{:.2} GB/s", stream14.dram_bandwidth_bytes(&b14, rate) / 1e9)
+            &format!(
+                "{:.2} GB/s",
+                stream14.dram_bandwidth_bytes(&b14, rate) / 1e9
+            )
         )
     );
     println!(
         "{}",
-        compare_line("refill latency margin", "1k cycles", &format!("{} cycles", stream.latency_margin_cycles()))
+        compare_line(
+            "refill latency margin",
+            "1k cycles",
+            &format!("{} cycles", stream.latency_margin_cycles())
+        )
     );
 
     println!("{}", section("E6/F4: throughput arithmetic"));

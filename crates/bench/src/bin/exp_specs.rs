@@ -8,21 +8,41 @@ use usbf_geometry::SystemSpec;
 fn main() {
     let s = SystemSpec::paper();
     println!("{}", section("T1: Table I — system specification"));
-    println!("{}", compare_line("speed of sound c", "1540 m/s", &format!("{} m/s", s.speed_of_sound)));
     println!(
         "{}",
-        compare_line("center frequency fc", "4 MHz", &format!("{} MHz", s.transducer.center_frequency / 1e6))
+        compare_line(
+            "speed of sound c",
+            "1540 m/s",
+            &format!("{} m/s", s.speed_of_sound)
+        )
     );
     println!(
         "{}",
-        compare_line("wavelength λ = c/fc", "0.385 mm", &format!("{:.4} mm", s.wavelength() * 1e3))
+        compare_line(
+            "center frequency fc",
+            "4 MHz",
+            &format!("{} MHz", s.transducer.center_frequency / 1e6)
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "wavelength λ = c/fc",
+            "0.385 mm",
+            &format!("{:.4} mm", s.wavelength() * 1e3)
+        )
     );
     println!(
         "{}",
         compare_line(
             "transducer matrix",
             "100x100 @ λ/2",
-            &format!("{}x{} @ {:.5} mm", s.transducer.nx, s.transducer.ny, s.transducer.pitch * 1e3)
+            &format!(
+                "{}x{} @ {:.5} mm",
+                s.transducer.nx,
+                s.transducer.ny,
+                s.transducer.pitch * 1e3
+            )
         )
     );
     println!(
@@ -30,7 +50,11 @@ fn main() {
         compare_line(
             "matrix dimensions d",
             "50λ = 19.25 mm",
-            &format!("{:.2} mm (element centres span {:.2} mm)", 100.0 * s.transducer.pitch * 1e3, s.elements.aperture().0 * 1e3)
+            &format!(
+                "{:.2} mm (element centres span {:.2} mm)",
+                100.0 * s.transducer.pitch * 1e3,
+                s.elements.aperture().0 * 1e3
+            )
         )
     );
     println!(
@@ -49,28 +73,43 @@ fn main() {
     );
     println!(
         "{}",
-        compare_line("sampling frequency fs", "32 MHz", &format!("{} MHz", s.sampling_frequency / 1e6))
+        compare_line(
+            "sampling frequency fs",
+            "32 MHz",
+            &format!("{} MHz", s.sampling_frequency / 1e6)
+        )
     );
     println!(
         "{}",
         compare_line(
             "focal points",
             "128x128x1000",
-            &format!("{}x{}x{}", s.volume.n_theta, s.volume.n_phi, s.volume.n_depth)
+            &format!(
+                "{}x{}x{}",
+                s.volume.n_theta, s.volume.n_phi, s.volume.n_depth
+            )
         )
     );
 
     println!("{}", section("Derived quantities"));
     println!(
         "{}",
-        compare_line("delay granularity 1/fs", "~30 ns", &format!("{:.2} ns", 1e9 / s.sampling_frequency))
+        compare_line(
+            "delay granularity 1/fs",
+            "~30 ns",
+            &format!("{:.2} ns", 1e9 / s.sampling_frequency)
+        )
     );
     println!(
         "{}",
         compare_line(
             "echo buffer (two-way 1000λ)",
             ">8000 samples, 13-bit",
-            &format!("{} samples, {}-bit", s.echo_buffer_len(), s.echo_index_bits())
+            &format!(
+                "{} samples, {}-bit",
+                s.echo_buffer_len(),
+                s.echo_index_bits()
+            )
         )
     );
     println!(

@@ -4,8 +4,12 @@
 //! Run with: `cargo run --release -p usbf-bench --bin exp_table2`
 
 use usbf_bench::{compare_line, inaccuracy_selection, section};
-use usbf_core::{stats, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine};
-use usbf_fpga::{map_tablefree, map_tablesteer, render_table2, ArchReport, CostModel, Device, SteerVariant};
+use usbf_core::{
+    stats, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
+};
+use usbf_fpga::{
+    map_tablefree, map_tablesteer, render_table2, ArchReport, CostModel, Device, SteerVariant,
+};
 use usbf_geometry::{Directivity, SystemSpec};
 use usbf_tables::error::{ErrorSweep, SweepConfig};
 use usbf_tables::{ReferenceTable, SteeringTables};
@@ -27,7 +31,13 @@ fn main() {
     // avg 1.44-1.55, max 100 — a directivity-filtered sweep.
     let reference = ReferenceTable::build(&spec);
     let steering = SteeringTables::build(&spec);
-    let cfg = SweepConfig { stride_theta: 8, stride_phi: 8, stride_depth: 20, stride_elem_x: 7, stride_elem_y: 7 };
+    let cfg = SweepConfig {
+        stride_theta: 8,
+        stride_phi: 8,
+        stride_depth: 20,
+        stride_elem_x: 7,
+        stride_elem_y: 7,
+    };
     // 65° acceptance cone: calibrated to the paper's implicit apodization
     // criterion (see exp_acc_tablesteer — reproduces the 99-sample max).
     let dir = Directivity::new(usbf_geometry::deg(65.0), 1.0);
@@ -36,18 +46,37 @@ fn main() {
     // variant's coarser grid shows up in the avg column (1.55 vs 1.44).
     let q14 = TableSteerConfig::bits14();
     let q18 = TableSteerConfig::bits18();
-    let extra14 = (q14.reference_format.resolution() + 2.0 * q14.correction_format.resolution()) / 4.0;
-    let extra18 = (q18.reference_format.resolution() + 2.0 * q18.correction_format.resolution()) / 4.0;
-    let ts14_inacc = format!("avg {:.2}, max {:.0}", sweep.mean_abs_samples + extra14, sweep.max_abs_samples);
-    let ts18_inacc = format!("avg {:.2}, max {:.0}", sweep.mean_abs_samples + extra18, sweep.max_abs_samples);
+    let extra14 =
+        (q14.reference_format.resolution() + 2.0 * q14.correction_format.resolution()) / 4.0;
+    let extra18 =
+        (q18.reference_format.resolution() + 2.0 * q18.correction_format.resolution()) / 4.0;
+    let ts14_inacc = format!(
+        "avg {:.2}, max {:.0}",
+        sweep.mean_abs_samples + extra14,
+        sweep.max_abs_samples
+    );
+    let ts18_inacc = format!(
+        "avg {:.2}, max {:.0}",
+        sweep.mean_abs_samples + extra18,
+        sweep.max_abs_samples
+    );
 
-    println!("{}", section("T2: Table II — Virtex-7 XC7VX1140T-2 (model)"));
+    println!(
+        "{}",
+        section("T2: Table II — Virtex-7 XC7VX1140T-2 (model)")
+    );
     let rows = vec![
         ArchReport::new(map_tablefree(&spec, &device, &cost), &device).with_inaccuracy(tf_inacc),
-        ArchReport::new(map_tablesteer(&spec, &device, &cost, SteerVariant::Bits14), &device)
-            .with_inaccuracy(ts14_inacc),
-        ArchReport::new(map_tablesteer(&spec, &device, &cost, SteerVariant::Bits18), &device)
-            .with_inaccuracy(ts18_inacc),
+        ArchReport::new(
+            map_tablesteer(&spec, &device, &cost, SteerVariant::Bits14),
+            &device,
+        )
+        .with_inaccuracy(ts14_inacc),
+        ArchReport::new(
+            map_tablesteer(&spec, &device, &cost, SteerVariant::Bits18),
+            &device,
+        )
+        .with_inaccuracy(ts18_inacc),
     ];
     println!("{}", render_table2(&rows));
 
@@ -64,7 +93,10 @@ fn main() {
         compare_line(
             "TABLEFREE channels on 2x-LUT device",
             "toward 100x100 @ 10-15 fps (16nm + tuning)",
-            &format!("{}x{} @ {:.1} fps", m.channels.0, m.channels.1, m.frame_rate)
+            &format!(
+                "{}x{} @ {:.1} fps",
+                m.channels.0, m.channels.1, m.frame_rate
+            )
         )
     );
 
@@ -76,11 +108,19 @@ fn main() {
         compare_line(
             "quantized table storage",
             "45 Mb + 14.3 Mb",
-            &format!("{:.1} Mb + {:.2} Mib", ref_bits as f64 / 1e6, corr_bits as f64 / (1u64 << 20) as f64)
+            &format!(
+                "{:.1} Mb + {:.2} Mib",
+                ref_bits as f64 / 1e6,
+                corr_bits as f64 / (1u64 << 20) as f64
+            )
         )
     );
     println!(
         "{}",
-        compare_line("TABLEFREE PWL segments", "70", &tf_engine.segment_count().to_string())
+        compare_line(
+            "TABLEFREE PWL segments",
+            "70",
+            &tf_engine.segment_count().to_string()
+        )
     );
 }

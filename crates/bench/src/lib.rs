@@ -39,9 +39,18 @@ mod tests {
 
     #[test]
     fn inaccuracy_formats() {
-        let sel = SelectionErrorStats { count: 10, mean_abs: 0.25, max_abs: 2, histogram: vec![8, 2] };
+        let sel = SelectionErrorStats {
+            count: 10,
+            mean_abs: 0.25,
+            max_abs: 2,
+            histogram: vec![8, 2],
+        };
         assert_eq!(inaccuracy_selection(&sel), "avg 0.2500, max 2");
-        let smp = SampleErrorStats { count: 10, mean_abs: 1.44, max_abs: 99.6 };
+        let smp = SampleErrorStats {
+            count: 10,
+            mean_abs: 1.44,
+            max_abs: 99.6,
+        };
         assert_eq!(inaccuracy_samples(&smp), "avg 1.44, max 100");
     }
 

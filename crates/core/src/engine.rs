@@ -1,5 +1,6 @@
 //! The delay-engine abstraction and shared error type.
 
+use crate::NappeDelays;
 use std::error::Error;
 use std::fmt;
 use usbf_geometry::{ElementIndex, VoxelIndex};
@@ -13,11 +14,21 @@ use usbf_geometry::{ElementIndex, VoxelIndex};
 ///   fractional samples, before final index rounding; this is what accuracy
 ///   analyses compare;
 /// * [`DelayEngine::delay_index`] — the integer echo-buffer index the
-///   hardware would emit (final `floor(x + ½)` rounding stage).
+///   hardware would emit (final `floor(x + ½)` rounding stage);
+///
+/// plus the batched streaming view of the paper's architecture:
+///
+/// * [`DelayEngine::fill_nappe`] — all delays for one nappe (one depth
+///   step) over a fan tile at once, the granularity the hardware streams
+///   at. Specialized implementations exploit nappe-to-nappe locality but
+///   must stay **bit-exact** with the scalar path.
+///
+/// Engines are `Sync` so beamformers can fan one engine out across
+/// schedule tiles on multiple threads.
 ///
 /// Implementations must be deterministic: repeated queries for the same
 /// `(vox, e)` return identical values.
-pub trait DelayEngine {
+pub trait DelayEngine: Sync {
     /// Short architecture name (e.g. `"TABLEFREE"`), used in reports.
     fn name(&self) -> &'static str;
 
@@ -27,12 +38,32 @@ pub trait DelayEngine {
     /// Integer echo-buffer index: the rounded delay, clamped to
     /// `[0, echo_buffer_len)`.
     fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
-        let idx = (self.delay_samples(vox, e) + 0.5).floor() as i64;
+        self.delay_index_from(self.delay_samples(vox, e))
+    }
+
+    /// Final rounding stage: echo-buffer index for an already-computed
+    /// fractional delay (`floor(x + ½)`, clamped). Both the scalar
+    /// [`DelayEngine::delay_index`] and batched slab consumers route
+    /// through this, so engines with rounding telemetry (TABLESTEER's
+    /// clamp counter) observe every path.
+    fn delay_index_from(&self, samples: f64) -> i64 {
+        let idx = (samples + 0.5).floor() as i64;
         idx.clamp(0, self.echo_buffer_len() as i64 - 1)
     }
 
     /// Length of the echo buffer this engine indexes into.
     fn echo_buffer_len(&self) -> usize;
+
+    /// Fills `out` with every delay of nappe `nappe_idx` over the slab's
+    /// fan tile.
+    ///
+    /// The default falls back to one [`DelayEngine::delay_samples`] query
+    /// per entry. Specialized implementations (TABLEFREE's tracked PWL
+    /// walk, TABLESTEER's per-scanline correction reuse) must produce
+    /// bit-identical slabs — `tests/engine_consistency.rs` enforces this.
+    fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        out.fill_scalar(self, nappe_idx);
+    }
 }
 
 /// Errors from engine construction.
@@ -55,7 +86,10 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::TableTooLarge { required_bytes, limit_bytes } => write!(
+            EngineError::TableTooLarge {
+                required_bytes,
+                limit_bytes,
+            } => write!(
                 f,
                 "delay table needs {required_bytes} bytes, exceeding the {limit_bytes}-byte budget"
             ),
@@ -122,7 +156,10 @@ mod tests {
 
     #[test]
     fn error_display_and_source() {
-        let e = EngineError::TableTooLarge { required_bytes: 100, limit_bytes: 10 };
+        let e = EngineError::TableTooLarge {
+            required_bytes: 100,
+            limit_bytes: 10,
+        };
         assert!(e.to_string().contains("exceeding"));
         assert!(e.source().is_none());
         let e: EngineError = usbf_pwl::PwlError::InvalidDelta(0.0).into();

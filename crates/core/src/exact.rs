@@ -1,7 +1,7 @@
 //! The double-precision golden model.
 
-use crate::DelayEngine;
-use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+use crate::{DelayEngine, NappeDelays};
+use usbf_geometry::{ElementIndex, SystemSpec, Vec3, VoxelIndex};
 
 /// Exact Eq. 2 evaluation in double precision — the reference every
 /// approximate architecture is compared against ("we compared our
@@ -19,13 +19,23 @@ use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 #[derive(Debug, Clone)]
 pub struct ExactEngine {
     spec: SystemSpec,
+    /// Element positions in linear order, cached for the batched fill.
+    elem_pos: Vec<Vec3>,
     echo_len: usize,
 }
 
 impl ExactEngine {
     /// Creates the golden model for a system specification.
     pub fn new(spec: &SystemSpec) -> Self {
-        ExactEngine { spec: spec.clone(), echo_len: spec.echo_buffer_len() }
+        ExactEngine {
+            elem_pos: spec
+                .elements
+                .iter()
+                .map(|e| spec.elements.position(e))
+                .collect(),
+            spec: spec.clone(),
+            echo_len: spec.echo_buffer_len(),
+        }
     }
 
     /// The underlying specification.
@@ -48,6 +58,29 @@ impl DelayEngine for ExactEngine {
     fn echo_buffer_len(&self) -> usize {
         self.echo_len
     }
+
+    /// Batched nappe fill: the focal-point position and the transmit leg
+    /// `|S − O|` are computed once per focal point and shared across all
+    /// elements (the scalar path re-derives both per query). Bit-exact:
+    /// the per-element expression `((tx + |S − D|) / c) · fs` is unchanged.
+    fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let spec = &self.spec;
+        let fs = spec.sampling_frequency;
+        let c = spec.speed_of_sound;
+        let buf = out.begin_fill(nappe_idx);
+        for (slot, it, ip) in tile.iter_scanlines() {
+            let s = spec
+                .volume_grid
+                .position(VoxelIndex::new(it, ip, nappe_idx));
+            let tx = s.distance(spec.origin);
+            let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
+            for (j, value) in row.iter_mut().enumerate() {
+                *value = (tx + s.distance(self.elem_pos[j])) / c * fs;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -62,8 +95,16 @@ mod tests {
         let spec = SystemSpec::new(
             base.speed_of_sound,
             base.sampling_frequency,
-            usbf_geometry::TransducerSpec { nx: 9, ny: 9, ..base.transducer.clone() },
-            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            usbf_geometry::TransducerSpec {
+                nx: 9,
+                ny: 9,
+                ..base.transducer.clone()
+            },
+            usbf_geometry::VolumeSpec {
+                n_theta: 9,
+                n_phi: 9,
+                ..base.volume.clone()
+            },
             base.origin,
             base.frame_rate,
         );

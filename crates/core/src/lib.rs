@@ -43,6 +43,7 @@
 mod engine;
 mod exact;
 mod naive;
+mod nappe;
 mod schedule;
 pub mod stats;
 mod tablefree;
@@ -51,6 +52,7 @@ mod tablesteer;
 pub use engine::{DelayEngine, EngineError};
 pub use exact::ExactEngine;
 pub use naive::NaiveTableEngine;
-pub use tablefree::{TableFreeConfig, TableFreeEngine};
+pub use nappe::NappeDelays;
 pub use schedule::{NappeSchedule, Tile};
+pub use tablefree::{TableFreeConfig, TableFreeEngine};
 pub use tablesteer::{SteerBlockSpec, TableSteerConfig, TableSteerEngine};

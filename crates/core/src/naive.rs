@@ -1,6 +1,6 @@
 //! The §II-B baseline: a fully precomputed per-(voxel, element) table.
 
-use crate::{DelayEngine, EngineError, ExactEngine};
+use crate::{DelayEngine, EngineError, ExactEngine, NappeDelays};
 use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 
 /// The naive architecture the paper rules out: every delay index
@@ -41,7 +41,10 @@ impl NaiveTableEngine {
     pub fn build(spec: &SystemSpec, limit_bytes: u64) -> Result<Self, EngineError> {
         let required = Self::required_bytes(spec);
         if required > limit_bytes {
-            return Err(EngineError::TableTooLarge { required_bytes: required, limit_bytes });
+            return Err(EngineError::TableTooLarge {
+                required_bytes: required,
+                limit_bytes,
+            });
         }
         let exact = ExactEngine::new(spec);
         let echo_len = spec.echo_buffer_len();
@@ -89,6 +92,24 @@ impl DelayEngine for NaiveTableEngine {
     fn echo_buffer_len(&self) -> usize {
         self.echo_len
     }
+
+    /// Batched nappe fill: each scanline's element block is one contiguous
+    /// run of the precomputed table, widened `u16 → f64` in place of
+    /// per-query indexed lookups.
+    fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let (n_phi, n_depth) = (self.n_phi, self.n_depth);
+        let buf = out.begin_fill(nappe_idx);
+        for (slot, it, ip) in tile.iter_scanlines() {
+            let vi = (it * n_phi + ip) * n_depth + nappe_idx;
+            let src = &self.table[vi * self.elements_per_voxel..(vi + 1) * self.elements_per_voxel];
+            let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
+            for (value, &raw) in row.iter_mut().zip(src) {
+                *value = raw as i64 as f64;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +142,10 @@ mod tests {
     fn storage_accounting() {
         let spec = SystemSpec::tiny();
         let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
-        assert_eq!(naive.storage_bytes(), NaiveTableEngine::required_bytes(&spec));
+        assert_eq!(
+            naive.storage_bytes(),
+            NaiveTableEngine::required_bytes(&spec)
+        );
         // tiny: 8·8·16 voxels × 64 elements × 2 B = 131 072 B.
         assert_eq!(naive.storage_bytes(), 131_072);
     }
@@ -133,7 +157,10 @@ mod tests {
         assert!(NaiveTableEngine::build(&spec, required).is_ok());
         let err = NaiveTableEngine::build(&spec, required - 1).unwrap_err();
         match err {
-            EngineError::TableTooLarge { required_bytes, limit_bytes } => {
+            EngineError::TableTooLarge {
+                required_bytes,
+                limit_bytes,
+            } => {
                 assert_eq!(required_bytes, required);
                 assert_eq!(limit_bytes, required - 1);
             }

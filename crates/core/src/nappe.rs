@@ -1,0 +1,247 @@
+//! Batched per-nappe delay slabs — the streaming unit of the paper's
+//! architecture.
+//!
+//! The paper's central observation is that delays should not be looked up
+//! (or recomputed) voxel by voxel: a nappe-by-nappe traversal lets every
+//! consumer stream one *slab* of delays per depth step, with strong
+//! nappe-to-nappe locality. [`NappeDelays`] is that slab on the host side:
+//! all delays for one nappe, restricted to one [`Tile`] of the steering
+//! fan (a [`NappeSchedule`](crate::NappeSchedule) block's ownership), for
+//! every element.
+//!
+//! Engines fill slabs through [`DelayEngine::fill_nappe`]
+//! (crate::DelayEngine::fill_nappe); the default implementation falls back
+//! to scalar [`delay_samples`](crate::DelayEngine::delay_samples) queries,
+//! and is the bit-exactness reference for the specialized batched paths.
+
+use crate::schedule::Tile;
+use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+
+/// One nappe's delays over a tile of the steering fan: layout
+/// `[scanline within tile (θ-major, φ-inner)][element (linear order)]`,
+/// in fractional samples at the system's `fs` — exactly what
+/// [`delay_samples`](crate::DelayEngine::delay_samples) returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NappeDelays {
+    samples: Vec<f64>,
+    tile: Tile,
+    n_elements: usize,
+    elements_nx: usize,
+    nappe: Option<usize>,
+}
+
+impl NappeDelays {
+    /// Allocates a zeroed slab covering `tile` of `spec`'s steering fan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the fan.
+    pub fn for_tile(spec: &SystemSpec, tile: Tile) -> Self {
+        let v = &spec.volume_grid;
+        assert!(
+            tile.theta_start < tile.theta_end
+                && tile.phi_start < tile.phi_end
+                && tile.theta_end <= v.n_theta()
+                && tile.phi_end <= v.n_phi(),
+            "tile {tile:?} outside the {}x{} fan",
+            v.n_theta(),
+            v.n_phi()
+        );
+        let n_elements = spec.elements.count();
+        NappeDelays {
+            samples: vec![0.0; tile.scanlines() * n_elements],
+            tile,
+            n_elements,
+            elements_nx: spec.elements.nx(),
+            nappe: None,
+        }
+    }
+
+    /// Allocates a slab covering the whole steering fan.
+    pub fn full(spec: &SystemSpec) -> Self {
+        let v = &spec.volume_grid;
+        Self::for_tile(
+            spec,
+            Tile {
+                theta_start: 0,
+                theta_end: v.n_theta(),
+                phi_start: 0,
+                phi_end: v.n_phi(),
+            },
+        )
+    }
+
+    /// The fan tile this slab covers.
+    #[inline]
+    pub fn tile(&self) -> Tile {
+        self.tile
+    }
+
+    /// Elements per scanline row.
+    #[inline]
+    pub fn n_elements(&self) -> usize {
+        self.n_elements
+    }
+
+    /// Element-matrix width, for mapping linear element slots back to
+    /// [`ElementIndex`] (`j → (j % nx, j / nx)`).
+    #[inline]
+    pub fn elements_nx(&self) -> usize {
+        self.elements_nx
+    }
+
+    /// The nappe currently held, if any fill has happened.
+    #[inline]
+    pub fn nappe(&self) -> Option<usize> {
+        self.nappe
+    }
+
+    /// Scanlines in the tile.
+    #[inline]
+    pub fn scanline_count(&self) -> usize {
+        self.tile.scanlines()
+    }
+
+    /// Row slot of scanline `(it, ip)` within the tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scanline is outside the tile.
+    #[inline]
+    pub fn slot_of(&self, it: usize, ip: usize) -> usize {
+        self.tile.slot_of(it, ip)
+    }
+
+    /// Iterates `(slot, it, ip)` over the tile in slab row order.
+    pub fn scanlines(&self) -> impl Iterator<Item = (usize, usize, usize)> {
+        self.tile.iter_scanlines()
+    }
+
+    /// One scanline's delays for all elements, in linear element order.
+    #[inline]
+    pub fn row(&self, slot: usize) -> &[f64] {
+        &self.samples[slot * self.n_elements..(slot + 1) * self.n_elements]
+    }
+
+    /// Delay for scanline `(it, ip)` and element `e` — the batched
+    /// counterpart of [`delay_samples`](crate::DelayEngine::delay_samples)
+    /// at the held nappe.
+    #[inline]
+    pub fn at(&self, it: usize, ip: usize, e: ElementIndex) -> f64 {
+        self.row(self.slot_of(it, ip))[e.iy * self.elements_nx + e.ix]
+    }
+
+    /// The whole slab, row-major.
+    #[inline]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Marks the slab as holding `nappe_idx` and hands out the raw buffer
+    /// for an engine's batched fill.
+    pub fn begin_fill(&mut self, nappe_idx: usize) -> &mut [f64] {
+        self.nappe = Some(nappe_idx);
+        &mut self.samples
+    }
+
+    /// Scalar reference fill: one
+    /// [`delay_samples`](crate::DelayEngine::delay_samples) query per slab
+    /// entry. This is the [`DelayEngine::fill_nappe`]
+    /// (crate::DelayEngine::fill_nappe) default, and the bit-exactness
+    /// oracle for every specialized batched path.
+    pub fn fill_scalar<E: crate::DelayEngine + ?Sized>(&mut self, engine: &E, nappe_idx: usize) {
+        let tile = self.tile;
+        let n_elements = self.n_elements;
+        let nx = self.elements_nx;
+        let buf = self.begin_fill(nappe_idx);
+        for (s, it, ip) in tile.iter_scanlines() {
+            let vox = VoxelIndex::new(it, ip, nappe_idx);
+            let row = &mut buf[s * n_elements..(s + 1) * n_elements];
+            for (j, out) in row.iter_mut().enumerate() {
+                *out = engine.delay_samples(vox, ElementIndex::new(j % nx, j / nx));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayEngine, ExactEngine};
+
+    #[test]
+    fn full_slab_covers_fan_and_elements() {
+        let spec = SystemSpec::tiny();
+        let slab = NappeDelays::full(&spec);
+        assert_eq!(slab.scanline_count(), 64);
+        assert_eq!(slab.n_elements(), 64);
+        assert_eq!(slab.samples().len(), 64 * 64);
+        assert_eq!(slab.nappe(), None);
+    }
+
+    #[test]
+    fn slots_enumerate_theta_major_phi_inner() {
+        let spec = SystemSpec::tiny();
+        let tile = Tile {
+            theta_start: 2,
+            theta_end: 4,
+            phi_start: 1,
+            phi_end: 4,
+        };
+        let slab = NappeDelays::for_tile(&spec, tile);
+        let order: Vec<_> = slab.scanlines().collect();
+        assert_eq!(order[0], (0, 2, 1));
+        assert_eq!(order[1], (1, 2, 2));
+        assert_eq!(order[3], (3, 3, 1));
+        for &(s, it, ip) in &order {
+            assert_eq!(slab.slot_of(it, ip), s);
+        }
+    }
+
+    #[test]
+    fn scalar_fill_matches_point_queries() {
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let tile = Tile {
+            theta_start: 1,
+            theta_end: 3,
+            phi_start: 0,
+            phi_end: 2,
+        };
+        let mut slab = NappeDelays::for_tile(&spec, tile);
+        slab.fill_scalar(&engine, 5);
+        assert_eq!(slab.nappe(), Some(5));
+        for (_, it, ip) in slab.scanlines() {
+            for e in spec.elements.iter() {
+                let vox = VoxelIndex::new(it, ip, 5);
+                assert_eq!(slab.at(it, ip, e), engine.delay_samples(vox, e));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside tile")]
+    fn out_of_tile_scanline_panics() {
+        let spec = SystemSpec::tiny();
+        let tile = Tile {
+            theta_start: 0,
+            theta_end: 2,
+            phi_start: 0,
+            phi_end: 2,
+        };
+        NappeDelays::for_tile(&spec, tile).slot_of(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn oversized_tile_rejected() {
+        let spec = SystemSpec::tiny();
+        let tile = Tile {
+            theta_start: 0,
+            theta_end: 9,
+            phi_start: 0,
+            phi_end: 8,
+        };
+        NappeDelays::for_tile(&spec, tile);
+    }
+}

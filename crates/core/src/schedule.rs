@@ -51,6 +51,29 @@ impl Tile {
     pub fn contains(&self, it: usize, ip: usize) -> bool {
         it >= self.theta_start && it < self.theta_end && ip >= self.phi_start && ip < self.phi_end
     }
+
+    /// Row slot of scanline `(it, ip)` in the tile's canonical order
+    /// (θ-major, φ-inner) — the layout of every per-nappe delay slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scanline is outside the tile.
+    #[inline]
+    pub fn slot_of(&self, it: usize, ip: usize) -> usize {
+        assert!(
+            self.contains(it, ip),
+            "scanline ({it},{ip}) outside tile {self:?}"
+        );
+        (it - self.theta_start) * (self.phi_end - self.phi_start) + (ip - self.phi_start)
+    }
+
+    /// Iterates `(slot, it, ip)` over the tile in canonical slot order —
+    /// the single source of truth for slab row enumeration.
+    pub fn iter_scanlines(self) -> impl Iterator<Item = (usize, usize, usize)> {
+        let phi_w = self.phi_end - self.phi_start;
+        (0..self.scanlines())
+            .map(move |s| (s, self.theta_start + s / phi_w, self.phi_start + s % phi_w))
+    }
 }
 
 impl NappeSchedule {
@@ -64,7 +87,8 @@ impl NappeSchedule {
     pub fn new(spec: &SystemSpec, block: SteerBlockSpec) -> Self {
         let v = &spec.volume_grid;
         assert!(
-            v.n_theta() % block.x_per_cycle == 0 && v.n_phi() % block.y_per_cycle == 0,
+            v.n_theta().is_multiple_of(block.x_per_cycle)
+                && v.n_phi().is_multiple_of(block.y_per_cycle),
             "fan {}x{} must tile into {}x{} blocks",
             v.n_theta(),
             v.n_phi(),
@@ -90,6 +114,63 @@ impl NappeSchedule {
     /// 128 × 128 fan.
     pub fn paper() -> Self {
         NappeSchedule::new(&SystemSpec::paper(), SteerBlockSpec::paper())
+    }
+
+    /// A schedule fitted to any spec: picks the largest tile shape (by
+    /// scanlines per tile) whose grid still yields at least
+    /// `target_tiles` blocks, among the divisors of the fan dimensions.
+    /// Falls back to 1 × 1 tiles when the whole fan has fewer scanlines
+    /// than `target_tiles`. Deterministic for a given `(spec, target)`.
+    pub fn fitted(spec: &SystemSpec, target_tiles: usize) -> Self {
+        let v = &spec.volume_grid;
+        let (nt, np) = (v.n_theta(), v.n_phi());
+        let target = target_tiles.max(1);
+        let divisors = |n: usize| (1..=n).filter(move |d| n.is_multiple_of(*d));
+        let mut best: Option<(usize, usize)> = None;
+        for dx in divisors(nt) {
+            for dy in divisors(np) {
+                if (nt / dx) * (np / dy) < target {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bx, by)) => {
+                        let (area, barea) = (dx * dy, bx * by);
+                        area > barea || (area == barea && dx.abs_diff(dy) < bx.abs_diff(by))
+                    }
+                };
+                if better {
+                    best = Some((dx, dy));
+                }
+            }
+        }
+        let (dx, dy) = best.unwrap_or((1, 1));
+        let block = SteerBlockSpec {
+            n_blocks: (nt / dx) * (np / dy),
+            x_per_cycle: dx,
+            y_per_cycle: dy,
+        };
+        NappeSchedule::new(spec, block)
+    }
+
+    /// A schedule sized for host-side parallel beamforming: enough tiles
+    /// to keep every core busy with headroom for load balancing.
+    pub fn for_host(spec: &SystemSpec) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::fitted(spec, threads * 4)
+    }
+
+    /// Number of blocks (= tiles) in the schedule.
+    pub fn n_blocks(&self) -> usize {
+        self.block.n_blocks
+    }
+
+    /// All tiles in block order — the parallel work list of a batched
+    /// beamformer.
+    pub fn tiles(&self) -> Vec<Tile> {
+        (0..self.block.n_blocks).map(|b| self.tile_of(b)).collect()
     }
 
     /// The underlying block structure.
@@ -122,7 +203,10 @@ impl NappeSchedule {
     ///
     /// Panics if the scanline is out of range.
     pub fn block_of(&self, it: usize, ip: usize) -> usize {
-        assert!(it < self.n_theta && ip < self.n_phi, "scanline out of range");
+        assert!(
+            it < self.n_theta && ip < self.n_phi,
+            "scanline out of range"
+        );
         let tiles_phi = self.n_phi / self.block.y_per_cycle;
         (it / self.block.x_per_cycle) * tiles_phi + ip / self.block.y_per_cycle
     }
@@ -221,7 +305,11 @@ mod tests {
         let s = NappeSchedule::paper();
         for t in [0usize, 1, 999, 5000] {
             let addrs: HashSet<usize> = (0..128).map(|b| s.element_at_cycle(b, t)).collect();
-            assert_eq!(addrs.len(), 128, "all blocks read distinct addresses at cycle {t}");
+            assert_eq!(
+                addrs.len(),
+                128,
+                "all blocks read distinct addresses at cycle {t}"
+            );
         }
     }
 
@@ -230,6 +318,67 @@ mod tests {
         let s = NappeSchedule::paper();
         let seen: HashSet<usize> = (0..10_000).map(|t| s.element_at_cycle(7, t)).collect();
         assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn fitted_partitions_any_fan() {
+        for (spec, target) in [
+            (SystemSpec::tiny(), 4),
+            (SystemSpec::tiny(), 16),
+            (SystemSpec::reduced(), 7),
+            (SystemSpec::figure3(), 3),
+        ] {
+            let s = NappeSchedule::fitted(&spec, target);
+            assert!(
+                s.n_blocks() >= target,
+                "{} blocks < target {target}",
+                s.n_blocks()
+            );
+            let v = &spec.volume_grid;
+            let mut seen = vec![false; v.scanline_count()];
+            for t in s.tiles() {
+                for it in t.theta_start..t.theta_end {
+                    for ip in t.phi_start..t.phi_end {
+                        let i = it * v.n_phi() + ip;
+                        assert!(!seen[i], "({it},{ip}) covered twice");
+                        seen[i] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every scanline covered");
+        }
+    }
+
+    #[test]
+    fn fitted_prefers_large_tiles() {
+        // 8×8 fan, 4 tiles: the best split is 2×2 tiles of 4×8... no —
+        // largest tile area with ≥4 tiles is 4×4 (16 scanlines, 4 tiles).
+        let s = NappeSchedule::fitted(&SystemSpec::tiny(), 4);
+        assert_eq!(s.n_blocks(), 4);
+        assert_eq!(s.tiles()[0].scanlines(), 16);
+    }
+
+    #[test]
+    fn fitted_with_oversized_target_degrades_to_unit_tiles() {
+        let s = NappeSchedule::fitted(&SystemSpec::tiny(), 1_000_000);
+        assert_eq!(s.n_blocks(), 64);
+        assert_eq!(s.tiles()[0].scanlines(), 1);
+    }
+
+    #[test]
+    fn fitted_matches_paper_layout_at_paper_scale() {
+        // With the paper's own 128-block target the fitted schedule tiles
+        // the 128×128 fan into 128 tiles of 128 scanlines, same as Fig. 4.
+        let s = NappeSchedule::fitted(&SystemSpec::paper(), 128);
+        assert_eq!(s.n_blocks(), 128);
+        assert_eq!(s.tiles()[0].scanlines(), 128);
+    }
+
+    #[test]
+    fn for_host_yields_a_valid_schedule() {
+        let s = NappeSchedule::for_host(&SystemSpec::tiny());
+        assert!(s.n_blocks() >= 1);
+        assert_eq!(s.tiles().len(), s.n_blocks());
     }
 
     #[test]
@@ -243,7 +392,10 @@ mod tests {
     fn reduced_spec_tiles_with_adjusted_blocks() {
         // 32×32 fan with 8×16 tiles → 4×2 = 8 blocks.
         let spec = SystemSpec::reduced();
-        let block = SteerBlockSpec { n_blocks: 8, ..SteerBlockSpec::paper() };
+        let block = SteerBlockSpec {
+            n_blocks: 8,
+            ..SteerBlockSpec::paper()
+        };
         let s = NappeSchedule::new(&spec, block);
         assert_eq!(s.cycles_per_nappe(), 1024);
         assert_eq!(s.tile_of(7).scanlines(), 128);

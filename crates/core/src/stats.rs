@@ -84,7 +84,11 @@ pub fn selection_error(
     }
     SelectionErrorStats {
         count,
-        mean_abs: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+        mean_abs: if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        },
         max_abs: max,
         histogram,
     }
@@ -128,7 +132,9 @@ pub fn sample_error(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine};
+    use crate::{
+        ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
+    };
 
     #[test]
     fn exact_vs_exact_is_zero() {
@@ -151,7 +157,11 @@ mod tests {
         let ex = ExactEngine::new(&spec);
         let s = selection_error(&tf, &ex, &spec, 1, 1);
         assert!(s.max_abs <= 2, "max = {}", s.max_abs);
-        assert!(s.mean_abs > 0.05 && s.mean_abs < 0.5, "mean = {}", s.mean_abs);
+        assert!(
+            s.mean_abs > 0.05 && s.mean_abs < 0.5,
+            "mean = {}",
+            s.mean_abs
+        );
     }
 
     #[test]
@@ -163,7 +173,11 @@ mod tests {
         let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
         let ex = ExactEngine::new(&spec);
         let s = sample_error(&tf, &ex, &spec, 1, 1);
-        assert!(s.mean_abs > 0.1 && s.mean_abs < 0.35, "mean = {}", s.mean_abs);
+        assert!(
+            s.mean_abs > 0.1 && s.mean_abs < 0.35,
+            "mean = {}",
+            s.mean_abs
+        );
         assert!(s.max_abs <= 0.6, "max = {}", s.max_abs);
     }
 
@@ -179,7 +193,10 @@ mod tests {
             base.speed_of_sound,
             base.sampling_frequency,
             base.transducer.clone(),
-            usbf_geometry::VolumeSpec { depth_max: 8.0e-3, ..base.volume.clone() },
+            usbf_geometry::VolumeSpec {
+                depth_max: 8.0e-3,
+                ..base.volume.clone()
+            },
             base.origin,
             base.frame_rate,
         );
@@ -188,7 +205,12 @@ mod tests {
         let ex = ExactEngine::new(&spec);
         let sf = selection_error(&tf, &ex, &spec, 2, 1);
         let ss = selection_error(&ts, &ex, &spec, 2, 1);
-        assert!(ss.mean_abs > sf.mean_abs, "steer {} vs free {}", ss.mean_abs, sf.mean_abs);
+        assert!(
+            ss.mean_abs > sf.mean_abs,
+            "steer {} vs free {}",
+            ss.mean_abs,
+            sf.mean_abs
+        );
         assert!(ss.max_abs > sf.max_abs);
     }
 

@@ -1,9 +1,9 @@
 //! TABLEFREE: on-the-fly delay computation (§IV, Fig. 2).
 
-use crate::{DelayEngine, EngineError};
+use crate::{DelayEngine, EngineError, NappeDelays};
 use std::sync::atomic::{AtomicU64, Ordering};
 use usbf_geometry::scan::ScanOrder;
-use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
+use usbf_geometry::{ElementIndex, SystemSpec, Vec3, VoxelIndex};
 use usbf_pwl::{LutFormats, PwlApprox, QuantizedPwl, SqrtFn, TrackerStats, TrackingEvaluator};
 
 /// Configuration of the TABLEFREE engine.
@@ -26,12 +26,19 @@ impl TableFreeConfig {
     /// The paper's operating point: δ = 0.25, fitted LUT formats, both
     /// square roots approximated.
     pub fn paper() -> Self {
-        TableFreeConfig { delta: 0.25, lut_formats: None, exact_transmit: false }
+        TableFreeConfig {
+            delta: 0.25,
+            lut_formats: None,
+            exact_transmit: false,
+        }
     }
 
     /// Same as [`TableFreeConfig::paper`] but with a custom δ.
     pub fn with_delta(delta: f64) -> Self {
-        TableFreeConfig { delta, ..Self::paper() }
+        TableFreeConfig {
+            delta,
+            ..Self::paper()
+        }
     }
 }
 
@@ -61,6 +68,8 @@ pub struct TableFreeEngine {
     config: TableFreeConfig,
     pwl: PwlApprox,
     quant: QuantizedPwl,
+    /// Element positions in linear order, cached for the batched fill.
+    elem_pos: Vec<Vec3>,
     echo_len: usize,
     samples_per_metre: f64,
     sqrt_evals: AtomicU64,
@@ -74,6 +83,7 @@ impl Clone for TableFreeEngine {
             config: self.config,
             pwl: self.pwl.clone(),
             quant: self.quant.clone(),
+            elem_pos: self.elem_pos.clone(),
             echo_len: self.echo_len,
             samples_per_metre: self.samples_per_metre,
             sqrt_evals: AtomicU64::new(0),
@@ -91,9 +101,16 @@ impl TableFreeEngine {
     pub fn new(spec: &SystemSpec, config: TableFreeConfig) -> Result<Self, EngineError> {
         let (lo, hi) = Self::sqrt_domain(spec);
         let pwl = PwlApprox::build(&SqrtFn, (lo, hi), config.delta)?;
-        let formats = config.lut_formats.unwrap_or_else(|| LutFormats::fitted_to(&pwl));
+        let formats = config
+            .lut_formats
+            .unwrap_or_else(|| LutFormats::fitted_to(&pwl));
         let quant = QuantizedPwl::quantize(&pwl, formats)?;
         Ok(TableFreeEngine {
+            elem_pos: spec
+                .elements
+                .iter()
+                .map(|e| spec.elements.position(e))
+                .collect(),
             spec: spec.clone(),
             config,
             pwl,
@@ -213,6 +230,58 @@ impl DelayEngine for TableFreeEngine {
     fn echo_buffer_len(&self) -> usize {
         self.echo_len
     }
+
+    /// Batched nappe fill (§IV-B's streaming view): the transmit square
+    /// root is evaluated once per focal point instead of once per
+    /// (focal point, element), and both PWL evaluations walk a tracked
+    /// segment pointer instead of binary-searching — the arguments a
+    /// nappe-major sweep produces drift slowly, which is exactly the
+    /// paper's "no segment search needed" operating regime. Bit-exact
+    /// with the scalar path because every arithmetic expression is
+    /// unchanged and the tracked locate returns the binary search's
+    /// segment.
+    fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let spm = self.samples_per_metre;
+        let o = self.spec.origin;
+        let exact_transmit = self.config.exact_transmit;
+        let buf = out.begin_fill(nappe_idx);
+        let mut tx_hint = 0usize;
+        let mut rx_hint = 0usize;
+        for (slot, it, ip) in tile.iter_scanlines() {
+            let s = self
+                .spec
+                .volume_grid
+                .position(VoxelIndex::new(it, ip, nappe_idx));
+            let tx_alpha = {
+                let dx = (s.x - o.x) * spm;
+                let dy = (s.y - o.y) * spm;
+                let dz = (s.z - o.z) * spm;
+                dx * dx + dy * dy + dz * dz
+            };
+            let tx = if exact_transmit {
+                tx_alpha.sqrt()
+            } else {
+                self.quant.eval_tracked(&mut tx_hint, tx_alpha)
+            };
+            let dz = s.z * spm;
+            let dz2 = dz * dz;
+            let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
+            for (j, value) in row.iter_mut().enumerate() {
+                let d = self.elem_pos[j];
+                let dx = (s.x - d.x) * spm;
+                let dy = (s.y - d.y) * spm;
+                let rx_alpha = dx * dx + dy * dy + dz2;
+                *value = tx + self.quant.eval_tracked(&mut rx_hint, rx_alpha);
+            }
+        }
+        // One bulk update keeps the op counter consistent with the scalar
+        // path's per-evaluation increments.
+        let per_voxel = n_elements as u64 + u64::from(!exact_transmit);
+        self.sqrt_evals
+            .fetch_add(tile.scanlines() as u64 * per_voxel, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +331,10 @@ mod tests {
         let both = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
         let tx_exact = TableFreeEngine::new(
             &spec,
-            TableFreeConfig { exact_transmit: true, ..TableFreeConfig::paper() },
+            TableFreeConfig {
+                exact_transmit: true,
+                ..TableFreeConfig::paper()
+            },
         )
         .unwrap();
         let ex = ExactEngine::new(&spec);
@@ -308,7 +380,10 @@ mod tests {
         assert_eq!(tf.sqrt_evals() - before, 2);
         let tx_exact = TableFreeEngine::new(
             &SystemSpec::tiny(),
-            TableFreeConfig { exact_transmit: true, ..TableFreeConfig::paper() },
+            TableFreeConfig {
+                exact_transmit: true,
+                ..TableFreeConfig::paper()
+            },
         )
         .unwrap();
         tx_exact.delay_samples(VoxelIndex::new(0, 0, 0), ElementIndex::new(0, 0));
@@ -324,13 +399,15 @@ mod tests {
         // depth advance at a nappe boundary moves a few segments at once.
         let spec = SystemSpec::reduced();
         let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
-        let stats = tf.tracking_stats_for_element(
-            spec.elements.center_element(),
-            ScanOrder::NappeByNappe,
-        );
+        let stats =
+            tf.tracking_stats_for_element(spec.elements.center_element(), ScanOrder::NappeByNappe);
         assert_eq!(stats.evals as usize, spec.volume_grid.voxel_count());
         assert!(stats.max_step <= 4, "max_step = {}", stats.max_step);
-        assert!(stats.mean_steps() < 0.05, "mean_steps = {}", stats.mean_steps());
+        assert!(
+            stats.mean_steps() < 0.05,
+            "mean_steps = {}",
+            stats.mean_steps()
+        );
     }
 
     #[test]
@@ -341,8 +418,8 @@ mod tests {
         // forcing a large pointer jump (a hardware design would need a
         // reset/seek there).
         let (_spec, tf, _) = engines();
-        let stats = tf
-            .tracking_stats_for_element(ElementIndex::new(0, 0), ScanOrder::ScanlineByScanline);
+        let stats =
+            tf.tracking_stats_for_element(ElementIndex::new(0, 0), ScanOrder::ScanlineByScanline);
         assert!(
             stats.max_step > 4,
             "scanline restarts should force large jumps, got {}",
@@ -359,6 +436,53 @@ mod tests {
             for e in spec.elements.iter() {
                 let a = tf.rx_alpha(vox, e);
                 assert!(a >= lo && a <= hi, "α = {a} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_nappe_bit_exact_with_scalar_path() {
+        let (spec, tf, _) = engines();
+        let mut batched = NappeDelays::full(&spec);
+        let mut scalar = NappeDelays::full(&spec);
+        for id in 0..spec.volume_grid.n_depth() {
+            tf.fill_nappe(id, &mut batched);
+            scalar.fill_scalar(&tf, id);
+            for (a, b) in batched.samples().iter().zip(scalar.samples()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "nappe {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_nappe_counts_ops_like_scalar() {
+        let spec = SystemSpec::tiny();
+        let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        let mut slab = NappeDelays::full(&spec);
+        tf.fill_nappe(0, &mut slab);
+        // 64 scanlines × (64 rx + 1 tx) evaluations.
+        assert_eq!(tf.sqrt_evals(), 64 * 65);
+    }
+
+    #[test]
+    fn fill_nappe_tile_matches_full_slab() {
+        let (spec, tf, _) = engines();
+        let tile = crate::Tile {
+            theta_start: 2,
+            theta_end: 6,
+            phi_start: 4,
+            phi_end: 8,
+        };
+        let mut tile_slab = NappeDelays::for_tile(&spec, tile);
+        let mut full = NappeDelays::full(&spec);
+        tf.fill_nappe(9, &mut tile_slab);
+        tf.fill_nappe(9, &mut full);
+        for (_, it, ip) in tile_slab.scanlines() {
+            for e in spec.elements.iter() {
+                assert_eq!(
+                    tile_slab.at(it, ip, e).to_bits(),
+                    full.at(it, ip, e).to_bits()
+                );
             }
         }
     }

@@ -1,10 +1,22 @@
 //! TABLESTEER: reference delay table plus fixed-point steering (§V, Fig. 4).
 
-use crate::{DelayEngine, EngineError};
+use crate::{DelayEngine, EngineError, NappeDelays};
 use std::sync::atomic::{AtomicU64, Ordering};
 use usbf_fixed::{Fixed, QFormat, RoundingMode};
 use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
-use usbf_tables::{ReferenceTable, SteeringTables};
+use usbf_tables::{fold_coord, ReferenceTable, SteeringTables};
+
+/// Folds an element coordinate into the stored quadrant: identity when the
+/// table is unfolded (`q == n`), otherwise the tables crate's own
+/// [`fold_coord`] — the single source of truth for the storage fold.
+#[inline]
+fn fold(i: usize, n: usize, q: usize) -> usize {
+    if q == n {
+        i // unfolded storage
+    } else {
+        fold_coord(i, n)
+    }
+}
 
 /// Fixed-point configuration of the TABLESTEER datapath.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,19 +31,28 @@ impl TableSteerConfig {
     /// The 18-bit design of §V-B: unsigned 13.5 reference, signed 13.4
     /// corrections (Table II row TABLESTEER-18b).
     pub fn bits18() -> Self {
-        TableSteerConfig { reference_format: QFormat::REF_18, correction_format: QFormat::CORR_18 }
+        TableSteerConfig {
+            reference_format: QFormat::REF_18,
+            correction_format: QFormat::CORR_18,
+        }
     }
 
     /// The 14-bit design (Table II row TABLESTEER-14b): unsigned 13.1
     /// reference, signed 13.0 corrections.
     pub fn bits14() -> Self {
-        TableSteerConfig { reference_format: QFormat::REF_14, correction_format: QFormat::CORR_14 }
+        TableSteerConfig {
+            reference_format: QFormat::REF_14,
+            correction_format: QFormat::CORR_14,
+        }
     }
 
     /// The §VI-A "13 bit integers" baseline: integer reference delays with
     /// 13.4 corrections.
     pub fn int13() -> Self {
-        TableSteerConfig { reference_format: QFormat::INT_13, correction_format: QFormat::CORR_18 }
+        TableSteerConfig {
+            reference_format: QFormat::INT_13,
+            correction_format: QFormat::CORR_18,
+        }
     }
 
     /// Word width of the reference storage (what the BRAM banks hold).
@@ -57,7 +78,11 @@ pub struct SteerBlockSpec {
 impl SteerBlockSpec {
     /// The paper's design point: 128 blocks × (8 × 16) corrections.
     pub fn paper() -> Self {
-        SteerBlockSpec { n_blocks: 128, x_per_cycle: 8, y_per_cycle: 16 }
+        SteerBlockSpec {
+            n_blocks: 128,
+            x_per_cycle: 8,
+            y_per_cycle: 16,
+        }
     }
 
     /// Steered delay samples produced per cycle per block
@@ -116,7 +141,13 @@ pub struct TableSteerEngine {
     /// Quantized reference delays, same layout as iterating
     /// `(id, iy, ix)` over the *unfolded* grid would see via the fold.
     ref_fixed: Vec<Fixed>,
-    /// Quantized x-term per `(ix, it, ip)` (unfolded φ view).
+    /// Quadrant fold of every element column / row (identity when the
+    /// table is unfolded), resolved once at construction.
+    fold_x: Vec<usize>,
+    fold_y: Vec<usize>,
+    /// Quantized y-corrections for every `(φ line, element row)` pair,
+    /// indexed `ip · ny + iy`. Depth- and θ-independent, so built once.
+    cy_fixed: Vec<Fixed>,
     echo_len: usize,
     clamp_events: AtomicU64,
 }
@@ -130,6 +161,9 @@ impl Clone for TableSteerEngine {
             reference: self.reference.clone(),
             steering: self.steering.clone(),
             ref_fixed: self.ref_fixed.clone(),
+            fold_x: self.fold_x.clone(),
+            fold_y: self.fold_y.clone(),
+            cy_fixed: self.cy_fixed.clone(),
             echo_len: self.echo_len,
             clamp_events: AtomicU64::new(0),
         }
@@ -154,7 +188,30 @@ impl TableSteerEngine {
         let mut ref_fixed = Vec::with_capacity(qx * qy * n_depth);
         for id in 0..n_depth {
             for &v in reference.slice(id) {
-                ref_fixed.push(Fixed::from_f64(v, config.reference_format, RoundingMode::Nearest)?);
+                ref_fixed.push(Fixed::from_f64(
+                    v,
+                    config.reference_format,
+                    RoundingMode::Nearest,
+                )?);
+            }
+        }
+        // Depth-independent state for the batched fill path: quadrant
+        // fold of every element coordinate and the quantized
+        // y-correction registers per (φ line, element row).
+        let nx = spec.elements.nx();
+        let ny = spec.elements.ny();
+        let fold_x: Vec<usize> = (0..nx).map(|ix| fold(ix, nx, qx)).collect();
+        let fold_y: Vec<usize> = (0..ny).map(|iy| fold(iy, ny, qy)).collect();
+        let fmt = config.correction_format;
+        let n_phi = spec.volume_grid.n_phi();
+        let mut cy_fixed = Vec::with_capacity(n_phi * ny);
+        for ip in 0..n_phi {
+            for iy in 0..ny {
+                cy_fixed.push(Fixed::saturating_from_f64(
+                    -steering.y_term_samples(iy, ip),
+                    fmt,
+                    RoundingMode::Nearest,
+                ));
             }
         }
         Ok(TableSteerEngine {
@@ -163,6 +220,9 @@ impl TableSteerEngine {
             reference,
             steering,
             ref_fixed,
+            fold_x,
+            fold_y,
+            cy_fixed,
             echo_len: spec.echo_buffer_len(),
             clamp_events: AtomicU64::new(0),
         })
@@ -202,7 +262,8 @@ impl TableSteerEngine {
 
     /// Storage of both quantized tables in bits `(reference, corrections)`.
     pub fn storage_bits(&self) -> (u64, u64) {
-        let ref_bits = self.ref_fixed.len() as u64 * self.config.reference_format.total_bits() as u64;
+        let ref_bits =
+            self.ref_fixed.len() as u64 * self.config.reference_format.total_bits() as u64;
         let corr_bits = self.steering.coefficient_count() as u64
             * self.config.correction_format.total_bits() as u64;
         (ref_bits, corr_bits)
@@ -210,28 +271,10 @@ impl TableSteerEngine {
 
     #[inline]
     fn ref_fixed_at(&self, id: usize, e: ElementIndex) -> Fixed {
-        // Recover the folded linear index via the float table's fold by
-        // matching its slice layout: delay_samples already resolves the
-        // fold, so locate the raw value through the quadrant coordinates.
+        // Recover the folded linear index via the cached quadrant fold of
+        // each element coordinate (matches the float table's fold).
         let (qx, qy) = self.reference.quadrant_dims();
-        let nx = self.spec.elements.nx();
-        let ny = self.spec.elements.ny();
-        let fold = |i: usize, n: usize, q: usize| -> usize {
-            if q == n {
-                i // unfolded storage
-            } else if n % 2 == 0 {
-                if i >= n / 2 {
-                    i - n / 2
-                } else {
-                    n / 2 - 1 - i
-                }
-            } else {
-                (i as i64 - ((n - 1) / 2) as i64).unsigned_abs() as usize
-            }
-        };
-        let jx = fold(e.ix, nx, qx);
-        let jy = fold(e.iy, ny, qy);
-        self.ref_fixed[(id * qy + jy) * qx + jx]
+        self.ref_fixed[(id * qy + self.fold_y[e.iy]) * qx + self.fold_x[e.ix]]
     }
 
     /// The two quantized correction terms for a query, as the hardware
@@ -258,8 +301,11 @@ impl DelayEngine for TableSteerEngine {
         r.wide_add(cx).wide_add(cy).to_f64()
     }
 
-    fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
-        let idx = (self.delay_samples(vox, e) + 0.5).floor() as i64;
+    /// Final rounding with clamp telemetry: both the scalar `delay_index`
+    /// and the batched beamformer route through this, so `clamp_events`
+    /// counts out-of-window fetches on every path.
+    fn delay_index_from(&self, samples: f64) -> i64 {
+        let idx = (samples + 0.5).floor() as i64;
         let clamped = idx.clamp(0, self.echo_len as i64 - 1);
         if clamped != idx {
             self.clamp_events.fetch_add(1, Ordering::Relaxed);
@@ -269,6 +315,47 @@ impl DelayEngine for TableSteerEngine {
 
     fn echo_buffer_len(&self) -> usize {
         self.echo_len
+    }
+
+    /// Batched nappe fill — the Fig. 4 schedule in software. Within one
+    /// insonification the correction registers of a block never change:
+    /// the quadrant fold maps and the quantized y-corrections are
+    /// depth-independent and cached at construction, and the quantized
+    /// x-corrections are built once per scanline **row** (`nx`
+    /// conversions) instead of `2·nx·ny` float→fixed conversions per
+    /// scanline; the reference BRAM is read as one contiguous nappe
+    /// slice, exactly what the §V-B circular buffer streams. Bit-exact
+    /// with the scalar path: identical `Fixed` values flow through the
+    /// identical `r + cx + cy` wide-add chain.
+    fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let (qx, qy) = self.reference.quadrant_dims();
+        let nx = self.spec.elements.nx();
+        let ny = self.spec.elements.ny();
+        let fmt = self.config.correction_format;
+        let ref_slice = &self.ref_fixed[nappe_idx * qy * qx..(nappe_idx + 1) * qy * qx];
+        let mut cx = vec![Fixed::saturating_from_f64(0.0, fmt, RoundingMode::Nearest); nx];
+        let buf = out.begin_fill(nappe_idx);
+        for (slot, it, ip) in tile.iter_scanlines() {
+            for (ix, c) in cx.iter_mut().enumerate() {
+                *c = Fixed::saturating_from_f64(
+                    -self.steering.x_term_samples(ix, it, ip),
+                    fmt,
+                    RoundingMode::Nearest,
+                );
+            }
+            let cy_col = &self.cy_fixed[ip * ny..(ip + 1) * ny];
+            let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
+            for (iy, chunk) in row.chunks_mut(nx).enumerate() {
+                let ref_row = &ref_slice[self.fold_y[iy] * qx..];
+                let cyv = cy_col[iy];
+                for (ix, value) in chunk.iter_mut().enumerate() {
+                    let r = ref_row[self.fold_x[ix]];
+                    *value = r.wide_add(cx[ix]).wide_add(cyv).to_f64();
+                }
+            }
+        }
     }
 }
 
@@ -320,7 +407,11 @@ mod tests {
             base.speed_of_sound,
             base.sampling_frequency,
             base.transducer.clone(),
-            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            usbf_geometry::VolumeSpec {
+                n_theta: 9,
+                n_phi: 9,
+                ..base.volume.clone()
+            },
             base.origin,
             base.frame_rate,
         );
@@ -349,7 +440,10 @@ mod tests {
                 q14 += (e14.delay_samples(vox, e) - e14.float_delay_samples(vox, e)).abs();
             }
         }
-        assert!(q14 > q18, "14-bit quantization error {q14} should exceed 18-bit {q18}");
+        assert!(
+            q14 > q18,
+            "14-bit quantization error {q14} should exceed 18-bit {q18}"
+        );
     }
 
     #[test]
@@ -398,7 +492,11 @@ mod tests {
         let wide = SystemSpec::new(
             base.speed_of_sound,
             base.sampling_frequency,
-            usbf_geometry::TransducerSpec { nx: 100, ny: 100, ..base.transducer.clone() },
+            usbf_geometry::TransducerSpec {
+                nx: 100,
+                ny: 100,
+                ..base.transducer.clone()
+            },
             base.volume.clone(),
             base.origin,
             base.frame_rate,
@@ -409,6 +507,64 @@ mod tests {
             let _ = ts.delay_index(VoxelIndex::new(0, 0, vw.n_depth() - 1), e);
         }
         assert!(ts.clamp_events() > 0);
+    }
+
+    #[test]
+    fn fill_nappe_bit_exact_with_scalar_path() {
+        let (spec, ts, _) = engines();
+        let mut batched = NappeDelays::full(&spec);
+        let mut scalar = NappeDelays::full(&spec);
+        for id in 0..spec.volume_grid.n_depth() {
+            ts.fill_nappe(id, &mut batched);
+            scalar.fill_scalar(&ts, id);
+            for (a, b) in batched.samples().iter().zip(scalar.samples()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "nappe {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_nappe_bit_exact_on_unfolded_table() {
+        // Off-axis origin disables quadrant folding; the batched fold maps
+        // must degenerate to identity.
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            base.transducer.clone(),
+            base.volume.clone(),
+            usbf_geometry::Vec3::new(1.0e-3, -0.5e-3, 0.0),
+            base.frame_rate,
+        );
+        let ts = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        assert!(!ts.reference().is_folded());
+        let mut batched = NappeDelays::full(&spec);
+        let mut scalar = NappeDelays::full(&spec);
+        ts.fill_nappe(7, &mut batched);
+        scalar.fill_scalar(&ts, 7);
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn fill_nappe_tile_matches_scalar_queries() {
+        let (spec, ts, _) = engines();
+        let tile = crate::Tile {
+            theta_start: 1,
+            theta_end: 5,
+            phi_start: 2,
+            phi_end: 6,
+        };
+        let mut slab = NappeDelays::for_tile(&spec, tile);
+        ts.fill_nappe(3, &mut slab);
+        for (_, it, ip) in slab.scanlines() {
+            for e in spec.elements.iter() {
+                let vox = VoxelIndex::new(it, ip, 3);
+                assert_eq!(
+                    slab.at(it, ip, e).to_bits(),
+                    ts.delay_samples(vox, e).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

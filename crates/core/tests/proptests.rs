@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use usbf_core::{
-    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig,
-    TableSteerEngine,
+    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
 };
 use usbf_geometry::{SystemSpec, VoxelIndex};
 use usbf_tables::error::theoretical_bound_seconds;

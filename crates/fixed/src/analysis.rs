@@ -133,7 +133,12 @@ mod tests {
     fn exact_inputs_never_flip() {
         // Integer-valued inputs are exactly representable: no flips.
         let samples = (0..1000).map(|i| (i as f64, (i % 7) as f64 - 3.0, (i % 5) as f64 - 2.0));
-        let s = rounding_flip_stats(QFormat::INT_13, QFormat::CORR_18, samples, RoundingMode::HalfUp);
+        let s = rounding_flip_stats(
+            QFormat::INT_13,
+            QFormat::CORR_18,
+            samples,
+            RoundingMode::HalfUp,
+        );
         assert_eq!(s.flipped, 0);
         assert_eq!(s.max_abs_index_diff, 0);
     }
@@ -173,10 +178,16 @@ mod tests {
         // when the corrections keep ≥4 fractional bits (the paper stores
         // them in 13.4 in both cited cases): total perturbation stays below
         // 0.5 + 2·2⁻⁵ < 1 − u for the final round.
-        for (rf, cf) in [(QFormat::INT_13, QFormat::CORR_18), (QFormat::REF_18, QFormat::CORR_18)]
-        {
+        for (rf, cf) in [
+            (QFormat::INT_13, QFormat::CORR_18),
+            (QFormat::REF_18, QFormat::CORR_18),
+        ] {
             let s = rounding_flip_stats(rf, cf, triples(100_000, 44), RoundingMode::HalfUp);
-            assert!(s.max_abs_index_diff <= 1, "{rf}/{cf}: {}", s.max_abs_index_diff);
+            assert!(
+                s.max_abs_index_diff <= 1,
+                "{rf}/{cf}: {}",
+                s.max_abs_index_diff
+            );
         }
         // The aggressive 14-bit pair (integer corrections) admits rare ±2
         // flips in the tail: three half-sample perturbations can align.
@@ -208,8 +219,16 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let a = FlipStats { total: 10, flipped: 2, max_abs_index_diff: 1 };
-        let b = FlipStats { total: 30, flipped: 3, max_abs_index_diff: 2 };
+        let a = FlipStats {
+            total: 10,
+            flipped: 2,
+            max_abs_index_diff: 1,
+        };
+        let b = FlipStats {
+            total: 30,
+            flipped: 3,
+            max_abs_index_diff: 2,
+        };
         let m = a.merge(b);
         assert_eq!(m.total, 40);
         assert_eq!(m.flipped, 5);
@@ -235,6 +254,9 @@ mod tests {
             RoundingMode::HalfUp,
         );
         assert_eq!(s.flipped_fraction(), 0.0);
-        assert_eq!(quantization_rmse_lsb(QFormat::INT_13, std::iter::empty()), 0.0);
+        assert_eq!(
+            quantization_rmse_lsb(QFormat::INT_13, std::iter::empty()),
+            0.0
+        );
     }
 }

@@ -24,16 +24,36 @@ pub struct QFormat {
 impl QFormat {
     /// Reference-delay format of the 18-bit TABLESTEER design: unsigned
     /// 13.5 (§V-B).
-    pub const REF_18: QFormat = QFormat { int_bits: 13, frac_bits: 5, signed: false };
+    pub const REF_18: QFormat = QFormat {
+        int_bits: 13,
+        frac_bits: 5,
+        signed: false,
+    };
     /// Correction format of the 18-bit design: signed 13.4 (§V-B).
-    pub const CORR_18: QFormat = QFormat { int_bits: 13, frac_bits: 4, signed: true };
+    pub const CORR_18: QFormat = QFormat {
+        int_bits: 13,
+        frac_bits: 4,
+        signed: true,
+    };
     /// Reference-delay format of the 14-bit design: unsigned 13.1.
-    pub const REF_14: QFormat = QFormat { int_bits: 13, frac_bits: 1, signed: false };
+    pub const REF_14: QFormat = QFormat {
+        int_bits: 13,
+        frac_bits: 1,
+        signed: false,
+    };
     /// Correction format of the 14-bit design: signed 13.0.
-    pub const CORR_14: QFormat = QFormat { int_bits: 13, frac_bits: 0, signed: true };
+    pub const CORR_14: QFormat = QFormat {
+        int_bits: 13,
+        frac_bits: 0,
+        signed: true,
+    };
     /// Plain 13-bit unsigned integer delays (the §VI-A "13 bit integers"
     /// baseline).
-    pub const INT_13: QFormat = QFormat { int_bits: 13, frac_bits: 0, signed: false };
+    pub const INT_13: QFormat = QFormat {
+        int_bits: 13,
+        frac_bits: 0,
+        signed: false,
+    };
 
     /// Creates an unsigned format with the given integer and fractional
     /// bit counts.
@@ -43,9 +63,19 @@ impl QFormat {
     /// Panics if the total width is 0 or exceeds 62 bits (the headroom kept
     /// for intermediate sums in `i64` arithmetic).
     pub const fn unsigned(int_bits: u32, frac_bits: u32) -> Self {
-        assert!(int_bits + frac_bits > 0, "format must have at least one bit");
-        assert!(int_bits + frac_bits <= 62, "format too wide for i64 backing");
-        QFormat { int_bits, frac_bits, signed: false }
+        assert!(
+            int_bits + frac_bits > 0,
+            "format must have at least one bit"
+        );
+        assert!(
+            int_bits + frac_bits <= 62,
+            "format too wide for i64 backing"
+        );
+        QFormat {
+            int_bits,
+            frac_bits,
+            signed: false,
+        }
     }
 
     /// Creates a signed (two's complement) format; the sign bit is *in
@@ -55,9 +85,19 @@ impl QFormat {
     ///
     /// Panics if the total width is 0 or exceeds 62 bits.
     pub const fn signed(int_bits: u32, frac_bits: u32) -> Self {
-        assert!(int_bits + frac_bits > 0, "format must have at least one bit");
-        assert!(int_bits + frac_bits <= 61, "format too wide for i64 backing");
-        QFormat { int_bits, frac_bits, signed: true }
+        assert!(
+            int_bits + frac_bits > 0,
+            "format must have at least one bit"
+        );
+        assert!(
+            int_bits + frac_bits <= 61,
+            "format too wide for i64 backing"
+        );
+        QFormat {
+            int_bits,
+            frac_bits,
+            signed: true,
+        }
     }
 
     /// Number of integer bits.
@@ -88,7 +128,7 @@ impl QFormat {
     /// Value of one least-significant bit: `2^-frac_bits`.
     #[inline]
     pub fn resolution(&self) -> f64 {
-        (self.frac_bits as f64 * -1.0).exp2()
+        (-(self.frac_bits as f64)).exp2()
     }
 
     /// Largest representable raw integer.

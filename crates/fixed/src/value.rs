@@ -118,7 +118,10 @@ impl Fixed {
         if scaled < format.min_raw() as f64 || scaled > format.max_raw() as f64 {
             return Err(FixedError::Overflow { format });
         }
-        Ok(Fixed { raw: scaled as i64, format })
+        Ok(Fixed {
+            raw: scaled as i64,
+            format,
+        })
     }
 
     /// Quantizes a real value, clamping to the format's range instead of
@@ -187,7 +190,10 @@ impl Fixed {
         let fa = fmt.frac_bits();
         let a = self.raw << (fa - self.format.frac_bits());
         let b = rhs.raw << (fa - rhs.format.frac_bits());
-        Fixed { raw: a + b, format: fmt }
+        Fixed {
+            raw: a + b,
+            format: fmt,
+        }
     }
 
     /// Checked addition of two values in the *same* format.
@@ -198,7 +204,10 @@ impl Fixed {
     /// [`FixedError::Overflow`] when the sum leaves the format's range.
     pub fn checked_add(&self, rhs: Fixed) -> Result<Fixed, FixedError> {
         if self.format != rhs.format {
-            return Err(FixedError::FormatMismatch { lhs: self.format, rhs: rhs.format });
+            return Err(FixedError::FormatMismatch {
+                lhs: self.format,
+                rhs: rhs.format,
+            });
         }
         Fixed::from_raw(self.raw + rhs.raw, self.format)
     }
@@ -209,9 +218,15 @@ impl Fixed {
     ///
     /// Panics if the formats differ.
     pub fn saturating_add(&self, rhs: Fixed) -> Fixed {
-        assert_eq!(self.format, rhs.format, "saturating_add requires equal formats");
+        assert_eq!(
+            self.format, rhs.format,
+            "saturating_add requires equal formats"
+        );
         let raw = (self.raw + rhs.raw).clamp(self.format.min_raw(), self.format.max_raw());
-        Fixed { raw, format: self.format }
+        Fixed {
+            raw,
+            format: self.format,
+        }
     }
 
     /// Full-precision multiply: the raw product with summed fractional
@@ -283,7 +298,10 @@ mod tests {
         let fmt = QFormat::REF_18;
         for &x in &[0.0, 0.015625, 1234.5678, 8191.96875] {
             let f = Fixed::from_f64(x, fmt, RoundingMode::Nearest).unwrap();
-            assert!(f.quantization_error(x) <= fmt.resolution() / 2.0 + 1e-15, "x = {x}");
+            assert!(
+                f.quantization_error(x) <= fmt.resolution() / 2.0 + 1e-15,
+                "x = {x}"
+            );
         }
     }
 
@@ -311,14 +329,22 @@ mod tests {
     #[test]
     fn saturating_from_f64_clamps() {
         let fmt = QFormat::unsigned(3, 1);
-        assert_eq!(Fixed::saturating_from_f64(100.0, fmt, RoundingMode::Nearest).to_f64(), 7.5);
-        assert_eq!(Fixed::saturating_from_f64(-5.0, fmt, RoundingMode::Nearest).to_f64(), 0.0);
+        assert_eq!(
+            Fixed::saturating_from_f64(100.0, fmt, RoundingMode::Nearest).to_f64(),
+            7.5
+        );
+        assert_eq!(
+            Fixed::saturating_from_f64(-5.0, fmt, RoundingMode::Nearest).to_f64(),
+            0.0
+        );
     }
 
     #[test]
     fn convert_widening_is_exact() {
         let a = Fixed::from_f64(12.25, QFormat::CORR_18, RoundingMode::Nearest).unwrap();
-        let b = a.convert(QFormat::signed(14, 8), RoundingMode::Nearest).unwrap();
+        let b = a
+            .convert(QFormat::signed(14, 8), RoundingMode::Nearest)
+            .unwrap();
         assert_eq!(b.to_f64(), 12.25);
     }
 
@@ -344,9 +370,15 @@ mod tests {
     fn checked_add_detects_mismatch_and_overflow() {
         let a = Fixed::from_f64(1.0, QFormat::REF_18, RoundingMode::Nearest).unwrap();
         let b = Fixed::from_f64(1.0, QFormat::CORR_18, RoundingMode::Nearest).unwrap();
-        assert!(matches!(a.checked_add(b), Err(FixedError::FormatMismatch { .. })));
+        assert!(matches!(
+            a.checked_add(b),
+            Err(FixedError::FormatMismatch { .. })
+        ));
         let big = Fixed::from_f64(8000.0, QFormat::REF_18, RoundingMode::Nearest).unwrap();
-        assert!(matches!(big.checked_add(big), Err(FixedError::Overflow { .. })));
+        assert!(matches!(
+            big.checked_add(big),
+            Err(FixedError::Overflow { .. })
+        ));
     }
 
     #[test]
@@ -361,7 +393,9 @@ mod tests {
     fn mul_into_matches_float_product() {
         let a = Fixed::from_f64(3.25, QFormat::signed(8, 4), RoundingMode::Nearest).unwrap();
         let b = Fixed::from_f64(-2.5, QFormat::signed(8, 4), RoundingMode::Nearest).unwrap();
-        let p = a.mul_into(b, QFormat::signed(16, 8), RoundingMode::Nearest).unwrap();
+        let p = a
+            .mul_into(b, QFormat::signed(16, 8), RoundingMode::Nearest)
+            .unwrap();
         assert!((p.to_f64() - (3.25 * -2.5)).abs() <= QFormat::signed(16, 8).resolution());
     }
 

@@ -133,7 +133,10 @@ mod tests {
         assert!((total18 / 712_000.0 - 1.0).abs() < 0.01, "18b = {total18}");
         // 14-bit: ≈90% (Table II: 91%).
         let total14 = c.steer_lane_luts(14) * 136.0 * 128.0;
-        assert!((total14 / 712_000.0 - 0.905).abs() < 0.01, "14b = {total14}");
+        assert!(
+            (total14 / 712_000.0 - 0.905).abs() < 0.01,
+            "14b = {total14}"
+        );
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub fn map_tablefree(spec: &SystemSpec, device: &Device, cost: &CostModel) -> Ma
     let units_fit = (device.luts as f64 / unit_luts).floor() as u64;
     let side = (units_fit as f64).sqrt().floor() as usize;
     let clock = cost.fmax_logic_mult_hz;
-    let frame_rate = clock / (spec.volume_grid.voxel_count() as f64 * cost.tablefree_cycle_overhead);
+    let frame_rate =
+        clock / (spec.volume_grid.voxel_count() as f64 * cost.tablefree_cycle_overhead);
     Mapping {
         name: "TABLEFREE".to_owned(),
         luts: (units_fit as f64 * unit_luts).round() as u64,
@@ -106,7 +107,10 @@ pub fn map_tablesteer(
 ) -> Mapping {
     let word_bits = variant.word_bits();
     let blocks = spec.volume_grid.n_theta();
-    let block = SteerBlockSpec { n_blocks: blocks, ..SteerBlockSpec::paper() };
+    let block = SteerBlockSpec {
+        n_blocks: blocks,
+        ..SteerBlockSpec::paper()
+    };
     let lanes = (block.adders_per_block() * blocks) as f64;
 
     let budget = TableBudget::for_spec(spec, word_bits, word_bits);
@@ -124,12 +128,15 @@ pub fn map_tablesteer(
         // Generic fallback: 256 scanlines per insonification.
         (spec.volume_grid.scanline_count() as f64 / 256.0).max(1.0) * spec.frame_rate
     };
-    let stream = StreamingPlan { bram_banks: blocks, bank_words: 1024, word_bits };
+    let stream = StreamingPlan {
+        bram_banks: blocks,
+        bank_words: 1024,
+        word_bits,
+    };
     let bw = stream.dram_bandwidth_bytes(&budget, insonif_rate);
 
     let throughput = block.delays_per_second(clock);
-    let frame_rate =
-        throughput / (spec.naive_table_entries() as f64 * cost.steer_cycle_overhead);
+    let frame_rate = throughput / (spec.naive_table_entries() as f64 * cost.steer_cycle_overhead);
 
     Mapping {
         name: variant.label().to_owned(),
@@ -149,7 +156,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (SystemSpec, Device, CostModel) {
-        (SystemSpec::paper(), Device::virtex7_xc7vx1140t(), CostModel::calibrated())
+        (
+            SystemSpec::paper(),
+            Device::virtex7_xc7vx1140t(),
+            CostModel::calibrated(),
+        )
     }
 
     #[test]
@@ -174,9 +185,17 @@ mod tests {
         let (spec, dev, cost) = setup();
         let m = map_tablesteer(&spec, &dev, &cost, SteerVariant::Bits18);
         // 100% LUTs, 30% registers, 25% BRAM, 200 MHz, 5.3 GB/s.
-        assert!(dev.lut_fraction(m.luts) > 0.99 && m.fits(&dev), "luts = {}", m.luts);
+        assert!(
+            dev.lut_fraction(m.luts) > 0.99 && m.fits(&dev),
+            "luts = {}",
+            m.luts
+        );
         assert!((dev.register_fraction(m.registers) - 0.30).abs() < 0.01);
-        assert!((dev.bram_fraction(m.bram36) - 0.25).abs() < 0.01, "bram = {}", m.bram36);
+        assert!(
+            (dev.bram_fraction(m.bram36) - 0.25).abs() < 0.01,
+            "bram = {}",
+            m.bram36
+        );
         assert_eq!(m.clock_hz, 200.0e6);
         assert!((m.offchip_bytes_per_s / 1e9 - 5.4).abs() < 0.2);
         assert!((m.throughput_delays_per_s / 1e12 - 3.28).abs() < 0.01);
@@ -189,7 +208,11 @@ mod tests {
         let (spec, dev, cost) = setup();
         let m = map_tablesteer(&spec, &dev, &cost, SteerVariant::Bits14);
         // 91% LUTs, 25% registers, 25% BRAM, 4.1 GB/s.
-        assert!((dev.lut_fraction(m.luts) - 0.91).abs() < 0.02, "luts = {}", m.luts);
+        assert!(
+            (dev.lut_fraction(m.luts) - 0.91).abs() < 0.02,
+            "luts = {}",
+            m.luts
+        );
         assert!((dev.register_fraction(m.registers) - 0.25).abs() < 0.01);
         assert!((dev.bram_fraction(m.bram36) - 0.25).abs() < 0.01);
         assert!((m.offchip_bytes_per_s / 1e9 - 4.2).abs() < 0.2);
@@ -203,7 +226,12 @@ mod tests {
         let us = Device::ultrascale_projection();
         let m = map_tablefree(&spec, &us, &cost);
         assert!(m.channels.0 >= 59, "channels = {:?}", m.channels);
-        assert!(m.channels.0 > map_tablefree(&spec, &Device::virtex7_xc7vx1140t(), &cost).channels.0);
+        assert!(
+            m.channels.0
+                > map_tablefree(&spec, &Device::virtex7_xc7vx1140t(), &cost)
+                    .channels
+                    .0
+        );
     }
 
     #[test]

@@ -44,8 +44,14 @@ impl ArchReport {
 pub fn table2(spec: &SystemSpec, device: &Device, cost: &CostModel) -> Vec<ArchReport> {
     vec![
         ArchReport::new(map_tablefree(spec, device, cost), device),
-        ArchReport::new(map_tablesteer(spec, device, cost, SteerVariant::Bits14), device),
-        ArchReport::new(map_tablesteer(spec, device, cost, SteerVariant::Bits18), device),
+        ArchReport::new(
+            map_tablesteer(spec, device, cost, SteerVariant::Bits14),
+            device,
+        ),
+        ArchReport::new(
+            map_tablesteer(spec, device, cost, SteerVariant::Bits18),
+            device,
+        ),
     ]
 }
 

@@ -46,11 +46,17 @@ pub fn tablefree_clock_sweep(
     hi_hz: f64,
     n: usize,
 ) -> Vec<ClockPoint> {
-    assert!(n >= 2 && hi_hz > lo_hz && lo_hz > 0.0, "invalid sweep range");
+    assert!(
+        n >= 2 && hi_hz > lo_hz && lo_hz > 0.0,
+        "invalid sweep range"
+    );
     (0..n)
         .map(|i| {
             let clock_hz = lo_hz + (hi_hz - lo_hz) * i as f64 / (n as f64 - 1.0);
-            ClockPoint { clock_hz, frame_rate: tablefree_frame_rate(clock_hz, spec, cost) }
+            ClockPoint {
+                clock_hz,
+                frame_rate: tablefree_frame_rate(clock_hz, spec, cost),
+            }
         })
         .collect()
 }
@@ -68,8 +74,11 @@ pub fn steer_max_word_bits(
     assert!(min_bits <= max_bits, "empty width range");
     let lanes = {
         let blocks = spec.volume_grid.n_theta();
-        (usbf_core::SteerBlockSpec { n_blocks: blocks, ..usbf_core::SteerBlockSpec::paper() }
-            .adders_per_block()
+        (usbf_core::SteerBlockSpec {
+            n_blocks: blocks,
+            ..usbf_core::SteerBlockSpec::paper()
+        }
+        .adders_per_block()
             * blocks) as f64
     };
     (min_bits..=max_bits)
@@ -91,8 +100,8 @@ pub fn steer_fits_fully_resident(
     let budget = usbf_tables::TableBudget::for_spec(spec, variant.word_bits(), variant.word_bits());
     // Replace the streaming banks with full residency: reference words in
     // 2k-word BRAM36 banks plus the correction banks already counted.
-    let resident_banks = budget.reference_entries.div_ceil(2048)
-        + budget.correction_entries.div_ceil(2048);
+    let resident_banks =
+        budget.reference_entries.div_ceil(2048) + budget.correction_entries.div_ceil(2048);
     m.luts <= device.luts && resident_banks <= device.bram36
 }
 
@@ -101,7 +110,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (SystemSpec, Device, CostModel) {
-        (SystemSpec::paper(), Device::virtex7_xc7vx1140t(), CostModel::calibrated())
+        (
+            SystemSpec::paper(),
+            Device::virtex7_xc7vx1140t(),
+            CostModel::calibrated(),
+        )
     }
 
     #[test]
@@ -136,7 +149,10 @@ mod tests {
         let pts = tablefree_clock_sweep(&spec, &cost, 100.0e6, 400.0e6, 31);
         assert_eq!(pts.len(), 31);
         assert!(pts.windows(2).all(|w| w[1].frame_rate > w[0].frame_rate));
-        let at_10fps = pts.iter().find(|p| p.frame_rate >= 10.0).expect("reachable");
+        let at_10fps = pts
+            .iter()
+            .find(|p| p.frame_rate >= 10.0)
+            .expect("reachable");
         assert!(at_10fps.clock_hz > 200.0e6 && at_10fps.clock_hz < 230.0e6);
     }
 
@@ -146,7 +162,10 @@ mod tests {
         // 18-bit fits exactly (Table II: 100%); 19 would not.
         assert_eq!(steer_max_word_bits(&spec, &dev, &cost, 12, 24), Some(18));
         // A smaller device caps the width lower.
-        let small = Device { luts: 650_000, ..dev.clone() };
+        let small = Device {
+            luts: 650_000,
+            ..dev.clone()
+        };
         let w = steer_max_word_bits(&spec, &small, &cost, 12, 24).expect("still fits");
         assert!(w < 18, "w = {w}");
     }
@@ -156,9 +175,22 @@ mod tests {
         // 45 Mb + 14.3 Mb < 67.7 Mb: "within the capabilities of high-end
         // FPGAs" — but the LUT budget stays the binding constraint.
         let (spec, dev, cost) = setup();
-        assert!(steer_fits_fully_resident(&spec, &dev, &cost, SteerVariant::Bits18));
-        let tiny_bram = Device { bram36: 400, ..dev.clone() };
-        assert!(!steer_fits_fully_resident(&spec, &tiny_bram, &cost, SteerVariant::Bits18));
+        assert!(steer_fits_fully_resident(
+            &spec,
+            &dev,
+            &cost,
+            SteerVariant::Bits18
+        ));
+        let tiny_bram = Device {
+            bram36: 400,
+            ..dev.clone()
+        };
+        assert!(!steer_fits_fully_resident(
+            &spec,
+            &tiny_bram,
+            &cost,
+            SteerVariant::Bits18
+        ));
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl Directivity {
             "cutoff must be in (0, π/2], got {cutoff}"
         );
         assert!(rolloff_exp >= 0.0, "roll-off exponent must be non-negative");
-        Directivity { cos_cutoff: cutoff.cos(), cutoff, rolloff_exp }
+        Directivity {
+            cos_cutoff: cutoff.cos(),
+            cutoff,
+            rolloff_exp,
+        }
     }
 
     /// The paper-scale default: a 45° acceptance cone with linear cosine

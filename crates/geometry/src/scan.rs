@@ -108,8 +108,15 @@ pub fn nappe(volume: &ImagingVolume, id: usize) -> impl Iterator<Item = VoxelInd
 }
 
 /// Iterates over one scanline (all depths along direction `(it, ip)`).
-pub fn scanline(volume: &ImagingVolume, it: usize, ip: usize) -> impl Iterator<Item = VoxelIndex> + '_ {
-    assert!(it < volume.n_theta() && ip < volume.n_phi(), "scanline ({it},{ip}) out of range");
+pub fn scanline(
+    volume: &ImagingVolume,
+    it: usize,
+    ip: usize,
+) -> impl Iterator<Item = VoxelIndex> + '_ {
+    assert!(
+        it < volume.n_theta() && ip < volume.n_phi(),
+        "scanline ({it},{ip}) out of range"
+    );
     (0..volume.n_depth()).map(move |id| VoxelIndex::new(it, ip, id))
 }
 
@@ -145,7 +152,7 @@ mod tests {
         let v = vol();
         let first: Vec<_> = ScanOrder::ScanlineByScanline.iter(&v).take(5).collect();
         for (k, vox) in first.iter().enumerate() {
-            assert_eq!(**&vox, VoxelIndex::new(0, 0, k));
+            assert_eq!(*vox, VoxelIndex::new(0, 0, k));
         }
     }
 
@@ -179,8 +186,9 @@ mod tests {
     #[test]
     fn scanline_helper_matches_full_order() {
         let v = vol();
-        let by_helper: Vec<_> =
-            scanlines(&v).flat_map(|(it, ip)| scanline(&v, it, ip)).collect();
+        let by_helper: Vec<_> = scanlines(&v)
+            .flat_map(|(it, ip)| scanline(&v, it, ip))
+            .collect();
         let by_order: Vec<_> = ScanOrder::ScanlineByScanline.iter(&v).collect();
         assert_eq!(by_helper, by_order);
     }

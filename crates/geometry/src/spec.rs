@@ -83,8 +83,14 @@ impl SystemSpec {
         frame_rate: f64,
     ) -> Self {
         assert!(speed_of_sound > 0.0, "speed of sound must be positive");
-        assert!(sampling_frequency > 0.0, "sampling frequency must be positive");
-        assert!(transducer.center_frequency > 0.0, "center frequency must be positive");
+        assert!(
+            sampling_frequency > 0.0,
+            "sampling frequency must be positive"
+        );
+        assert!(
+            transducer.center_frequency > 0.0,
+            "center frequency must be positive"
+        );
         assert!(frame_rate > 0.0, "frame rate must be positive");
         let elements = TransducerArray::new(transducer.nx, transducer.ny, transducer.pitch);
         let volume_grid = ImagingVolume::new(
@@ -107,13 +113,7 @@ impl SystemSpec {
         }
     }
 
-    fn with_scale(
-        nx: usize,
-        ny: usize,
-        n_theta: usize,
-        n_phi: usize,
-        n_depth: usize,
-    ) -> Self {
+    fn with_scale(nx: usize, ny: usize, n_theta: usize, n_phi: usize, n_depth: usize) -> Self {
         let fc = 4.0e6;
         let lambda = SPEED_OF_SOUND / fc;
         let transducer = TransducerSpec {
@@ -282,10 +282,9 @@ impl SystemSpec {
     /// window `2·depth_max·fs` — 13 for the paper's geometry ("slightly
     /// more than 8000 samples … requires 13-bit precision", §V-B).
     pub fn echo_index_bits(&self) -> u32 {
-        let window =
-            (2.0 * self.volume.depth_max / self.speed_of_sound * self.sampling_frequency).ceil()
-                as u64
-                + 1;
+        let window = (2.0 * self.volume.depth_max / self.speed_of_sound * self.sampling_frequency)
+            .ceil() as u64
+            + 1;
         64 - (window - 1).leading_zeros()
     }
 
@@ -361,7 +360,12 @@ mod tests {
 
     #[test]
     fn presets_are_consistent() {
-        for s in [SystemSpec::paper(), SystemSpec::reduced(), SystemSpec::figure3(), SystemSpec::tiny()] {
+        for s in [
+            SystemSpec::paper(),
+            SystemSpec::reduced(),
+            SystemSpec::figure3(),
+            SystemSpec::tiny(),
+        ] {
             assert_eq!(s.elements.nx(), s.transducer.nx);
             assert_eq!(s.volume_grid.n_depth(), s.volume.n_depth);
             assert!(s.echo_buffer_len() > 0);
@@ -387,6 +391,13 @@ mod tests {
     #[should_panic(expected = "frame rate must be positive")]
     fn invalid_frame_rate_rejected() {
         let s = SystemSpec::paper();
-        SystemSpec::new(s.speed_of_sound, s.sampling_frequency, s.transducer, s.volume, Vec3::ZERO, 0.0);
+        SystemSpec::new(
+            s.speed_of_sound,
+            s.sampling_frequency,
+            s.transducer,
+            s.volume,
+            Vec3::ZERO,
+            0.0,
+        );
     }
 }

@@ -36,7 +36,10 @@ impl SphericalDirection {
     }
 
     /// The unsteered reference direction along `+z`.
-    pub const REFERENCE: SphericalDirection = SphericalDirection { theta: 0.0, phi: 0.0 };
+    pub const REFERENCE: SphericalDirection = SphericalDirection {
+        theta: 0.0,
+        phi: 0.0,
+    };
 
     /// Unit vector of this direction per Eq. 5.
     #[inline]

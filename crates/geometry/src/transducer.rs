@@ -57,7 +57,10 @@ impl TransducerArray {
     ///
     /// Panics if either dimension is zero or the pitch is not positive.
     pub fn new(nx: usize, ny: usize, pitch: f64) -> Self {
-        assert!(nx > 0 && ny > 0, "transducer must have at least one element");
+        assert!(
+            nx > 0 && ny > 0,
+            "transducer must have at least one element"
+        );
         assert!(pitch > 0.0, "pitch must be positive, got {pitch}");
         TransducerArray { nx, ny, pitch }
     }

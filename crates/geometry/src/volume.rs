@@ -71,7 +71,10 @@ impl ImagingVolume {
         n_phi: usize,
         n_depth: usize,
     ) -> Self {
-        assert!(n_theta > 0 && n_phi > 0 && n_depth > 0, "grid dimensions must be nonzero");
+        assert!(
+            n_theta > 0 && n_phi > 0 && n_depth > 0,
+            "grid dimensions must be nonzero"
+        );
         assert!(depth_max > 0.0, "depth must be positive, got {depth_max}");
         assert!(
             theta_max > 0.0 && theta_max < std::f64::consts::FRAC_PI_2,
@@ -81,7 +84,14 @@ impl ImagingVolume {
             phi_max > 0.0 && phi_max < std::f64::consts::FRAC_PI_2,
             "phi_max must be in (0, π/2), got {phi_max}"
         );
-        ImagingVolume { theta_max, phi_max, depth_max, n_theta, n_phi, n_depth }
+        ImagingVolume {
+            theta_max,
+            phi_max,
+            depth_max,
+            n_theta,
+            n_phi,
+            n_depth,
+        }
     }
 
     /// Azimuth half-angle θmax in radians.
@@ -193,7 +203,10 @@ impl ImagingVolume {
     ///
     /// Panics if `i >= self.voxel_count()`.
     pub fn voxel_at(&self, i: usize) -> VoxelIndex {
-        assert!(i < self.voxel_count(), "linear voxel index {i} out of range");
+        assert!(
+            i < self.voxel_count(),
+            "linear voxel index {i} out of range"
+        );
         let id = i % self.n_depth;
         let rest = i / self.n_depth;
         VoxelIndex::new(rest / self.n_phi, rest % self.n_phi, id)
@@ -203,7 +216,14 @@ impl ImagingVolume {
     /// resolution — used to down-sample sweeps while keeping the physical
     /// extent of the paper's geometry.
     pub fn with_resolution(&self, n_theta: usize, n_phi: usize, n_depth: usize) -> Self {
-        ImagingVolume::new(self.theta_max, self.phi_max, self.depth_max, n_theta, n_phi, n_depth)
+        ImagingVolume::new(
+            self.theta_max,
+            self.phi_max,
+            self.depth_max,
+            n_theta,
+            n_phi,
+            n_depth,
+        )
     }
 }
 

@@ -1,0 +1,142 @@
+//! Minimal data-parallelism layer over `std::thread::scope`.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the small rayon-style API subset the workspace needs — a parallel
+//! indexed map with dynamic work claiming — implemented with scoped
+//! threads and one atomic counter. Workers race to claim the next item,
+//! so uneven per-item costs (e.g. schedule tiles of different sizes)
+//! still balance.
+//!
+//! ```
+//! let squares = usbf_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for `n_items` of work: the machine's
+/// available parallelism, capped by the item count (never zero).
+pub fn thread_count(n_items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(n_items).max(1)
+}
+
+/// Maps `f` over `items` on [`thread_count`] scoped threads, returning the
+/// results in input order. `f` receives `(index, &item)`.
+///
+/// Items are claimed dynamically (one atomic fetch-add per item), so
+/// stragglers don't serialize the pool. Panics in `f` propagate.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = thread_count(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for chunk in chunks.drain(..) {
+        for (i, r) in chunk {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Runs `f` for every index in `0..n`, in parallel, discarding results.
+pub fn par_for_each_index<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    par_map(&indices, |_, &i| f(i));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = par_map(&[41u32], |_, &x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let sum = AtomicU64::new(0);
+        par_for_each_index(100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn thread_count_is_capped_by_items() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        // Enough items that the parallel path is taken on any machine.
+        let items: Vec<usize> = (0..64).collect();
+        par_map(&items, |_, &x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -71,22 +71,27 @@ impl PwlApprox {
     /// would be needed.
     pub fn build(f: &impl Concave, domain: (f64, f64), delta: f64) -> Result<Self, PwlError> {
         let (lo, hi) = domain;
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return Err(PwlError::EmptyDomain { lo, hi });
         }
-        if !(delta > 0.0) || !delta.is_finite() {
+        if !delta.is_finite() || delta <= 0.0 {
             return Err(PwlError::InvalidDelta(delta));
         }
         let mut segments = Vec::new();
         let mut a = lo;
         while a < hi {
             if segments.len() >= DEFAULT_SEGMENT_BUDGET {
-                return Err(PwlError::TooManySegments { budget: DEFAULT_SEGMENT_BUDGET });
+                return Err(PwlError::TooManySegments {
+                    budget: DEFAULT_SEGMENT_BUDGET,
+                });
             }
             let mut b = f.segment_end(a, delta, hi);
-            if !(b > a) {
+            let progressed = b > a; // NaN also fails this, triggering the fallback
+            if !progressed {
                 // Defensive progress guarantee for near-degenerate cases.
-                b = (a + (hi - a) * 1e-6).min(hi).max(a + f64::EPSILON * a.abs().max(1.0));
+                b = (a + (hi - a) * 1e-6)
+                    .min(hi)
+                    .max(a + f64::EPSILON * a.abs().max(1.0));
             }
             let fa = f.eval(a);
             let fb = f.eval(b);
@@ -94,7 +99,12 @@ impl PwlApprox {
             let err = f.segment_error(a, b);
             // Minimax line: chord raised by half the gap (gap = 2·err).
             let intercept = fa - m * a + err;
-            segments.push(Segment { x0: a, x1: b, slope: m, intercept });
+            segments.push(Segment {
+                x0: a,
+                x1: b,
+                slope: m,
+                intercept,
+            });
             a = b;
         }
         Ok(PwlApprox { segments, delta })
@@ -150,7 +160,10 @@ impl PwlApprox {
     /// Exact maximum error of the table against `f` (uses the per-segment
     /// minimax closed form, not sampling).
     pub fn max_error_exact(&self, f: &impl Concave) -> f64 {
-        self.segments.iter().map(|s| f.segment_error(s.x0, s.x1)).fold(0.0, f64::max)
+        self.segments
+            .iter()
+            .map(|s| f.segment_error(s.x0, s.x1))
+            .fold(0.0, f64::max)
     }
 
     /// Mean absolute error of the table against `f`, sampled on `n`
@@ -196,7 +209,10 @@ mod tests {
         let p = PwlApprox::build(&SqrtFn, (16.0, 1e6), 0.25).unwrap();
         for s in &p.segments()[..p.segment_count() - 1] {
             let e = SqrtFn.segment_error(s.x0, s.x1);
-            assert!((e - 0.25).abs() < 1e-9, "greedy segments hit δ exactly, got {e}");
+            assert!(
+                (e - 0.25).abs() < 1e-9,
+                "greedy segments hit δ exactly, got {e}"
+            );
         }
     }
 

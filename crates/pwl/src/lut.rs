@@ -49,7 +49,11 @@ impl LutFormats {
             max_slope = max_slope.max(s.slope.abs());
             max_icept = max_icept.max(s.intercept.abs());
         }
-        let slope_int = if max_slope < 1.0 { 0 } else { (max_slope.log2().floor() as u32) + 1 };
+        let slope_int = if max_slope < 1.0 {
+            0
+        } else {
+            (max_slope.log2().floor() as u32) + 1
+        };
         let icept_int = (max_icept.max(1.0).log2().floor() as u32) + 2;
         let (_, hi) = table.domain();
         let arg_int = (hi.max(1.0).log2().floor() as u32) + 1;
@@ -88,11 +92,24 @@ impl QuantizedPwl {
         let mut intercepts = Vec::with_capacity(table.segment_count());
         for s in table.segments() {
             boundaries.push(s.x0);
-            slopes.push(Fixed::from_f64(s.slope, formats.slope, RoundingMode::Nearest)?);
-            intercepts.push(Fixed::from_f64(s.intercept, formats.intercept, RoundingMode::Nearest)?);
+            slopes.push(Fixed::from_f64(
+                s.slope,
+                formats.slope,
+                RoundingMode::Nearest,
+            )?);
+            intercepts.push(Fixed::from_f64(
+                s.intercept,
+                formats.intercept,
+                RoundingMode::Nearest,
+            )?);
         }
         boundaries.push(table.domain().1);
-        Ok(QuantizedPwl { boundaries, slopes, intercepts, formats })
+        Ok(QuantizedPwl {
+            boundaries,
+            slopes,
+            intercepts,
+            formats,
+        })
     }
 
     /// Number of segments.
@@ -130,8 +147,11 @@ impl QuantizedPwl {
     /// Panics if `idx` is out of range.
     pub fn eval_at(&self, idx: usize, x: f64) -> f64 {
         let arg = Fixed::saturating_from_f64(x, self.formats.argument, RoundingMode::Nearest);
-        let prod = match arg.mul_into(self.slopes[idx], self.formats.accumulator, RoundingMode::HalfUp)
-        {
+        let prod = match arg.mul_into(
+            self.slopes[idx],
+            self.formats.accumulator,
+            RoundingMode::HalfUp,
+        ) {
             Ok(p) => p,
             Err(_) => Fixed::saturating_from_f64(
                 arg.to_f64() * self.slopes[idx].to_f64(),
@@ -140,14 +160,39 @@ impl QuantizedPwl {
             ),
         };
         let sum = prod.wide_add(self.intercepts[idx]);
-        Fixed::saturating_from_f64(sum.to_f64(), self.formats.output, RoundingMode::HalfUp)
-            .to_f64()
+        Fixed::saturating_from_f64(sum.to_f64(), self.formats.output, RoundingMode::HalfUp).to_f64()
     }
 
     /// Locate + evaluate.
     #[inline]
     pub fn eval(&self, x: f64) -> f64 {
         self.eval_at(self.locate(x), x)
+    }
+
+    /// Segment index containing `x`, found by walking from `hint` — the
+    /// §IV-B tracking policy ("transitions across segments are gradual, so
+    /// no search is needed"). Returns exactly what [`QuantizedPwl::locate`]
+    /// returns, in O(steps) instead of O(log n) when arguments drift
+    /// slowly, as a nappe-major sweep produces.
+    pub fn locate_from(&self, hint: usize, x: f64) -> usize {
+        let n = self.segment_count();
+        let mut i = hint.min(n - 1);
+        while i > 0 && x < self.boundaries[i] {
+            i -= 1;
+        }
+        while i + 1 < n && x >= self.boundaries[i + 1] {
+            i += 1;
+        }
+        i
+    }
+
+    /// Tracked locate + evaluate: walks the segment pointer from `*hint`,
+    /// stores the found segment back into it, and evaluates there.
+    /// Bit-identical to [`QuantizedPwl::eval`].
+    #[inline]
+    pub fn eval_tracked(&self, hint: &mut usize, x: f64) -> f64 {
+        *hint = self.locate_from(*hint, x);
+        self.eval_at(*hint, x)
     }
 
     /// Total LUT storage in bits: boundaries (argument format) + slopes +
@@ -223,6 +268,33 @@ mod tests {
         for i in 0..1000 {
             let x = 64.0 + (16.0e6 - 64.0) * i as f64 / 999.0;
             assert_eq!(q.locate(x), t.locate(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn locate_from_any_hint_matches_binary_search() {
+        let q = QuantizedPwl::quantize(&table(), LutFormats::paper_default()).unwrap();
+        let n = q.segment_count();
+        for i in 0..2000 {
+            let x = 64.0 + (16.0e6 - 64.0) * i as f64 / 1999.0;
+            let expected = q.locate(x);
+            for hint in [0, n / 2, n - 1, expected] {
+                assert_eq!(q.locate_from(hint, x), expected, "x = {x}, hint = {hint}");
+            }
+        }
+        // Out-of-domain arguments clamp exactly like binary search.
+        assert_eq!(q.locate_from(n - 1, 1.0), q.locate(1.0));
+        assert_eq!(q.locate_from(0, 1e12), q.locate(1e12));
+    }
+
+    #[test]
+    fn eval_tracked_is_bit_identical_to_eval() {
+        let q = QuantizedPwl::quantize(&table(), LutFormats::paper_default()).unwrap();
+        let mut hint = 0usize;
+        // A drifting argument stream, as one element's unit sees per nappe.
+        for i in 0..5000 {
+            let x = 64.0 + (16.0e6 - 64.0) * (i as f64 / 4999.0).powi(2);
+            assert_eq!(q.eval_tracked(&mut hint, x).to_bits(), q.eval(x).to_bits());
         }
     }
 

@@ -54,14 +54,24 @@ mod tests {
 
     #[test]
     fn eval_is_affine() {
-        let s = Segment { x0: 0.0, x1: 10.0, slope: 2.0, intercept: 1.0 };
+        let s = Segment {
+            x0: 0.0,
+            x1: 10.0,
+            slope: 2.0,
+            intercept: 1.0,
+        };
         assert_eq!(s.eval(0.0), 1.0);
         assert_eq!(s.eval(4.5), 10.0);
     }
 
     #[test]
     fn contains_half_open() {
-        let s = Segment { x0: 1.0, x1: 2.0, slope: 0.0, intercept: 0.0 };
+        let s = Segment {
+            x0: 1.0,
+            x1: 2.0,
+            slope: 0.0,
+            intercept: 0.0,
+        };
         assert!(s.contains(1.0));
         assert!(s.contains(1.999));
         assert!(!s.contains(2.0));
@@ -70,13 +80,23 @@ mod tests {
 
     #[test]
     fn width() {
-        let s = Segment { x0: 3.0, x1: 7.5, slope: 0.0, intercept: 0.0 };
+        let s = Segment {
+            x0: 3.0,
+            x1: 7.5,
+            slope: 0.0,
+            intercept: 0.0,
+        };
         assert_eq!(s.width(), 4.5);
     }
 
     #[test]
     fn display_nonempty() {
-        let s = Segment { x0: 0.0, x1: 1.0, slope: 1.0, intercept: 0.0 };
+        let s = Segment {
+            x0: 0.0,
+            x1: 1.0,
+            slope: 1.0,
+            intercept: 0.0,
+        };
         assert!(format!("{s}").contains("y ="));
     }
 }

@@ -96,7 +96,13 @@ impl<'a> TrackingEvaluator<'a> {
     /// first segment.
     pub fn new(table: &'a PwlApprox) -> Self {
         assert!(table.segment_count() > 0, "empty PWL table");
-        TrackingEvaluator { table, quant: None, idx: 0, max_step: None, stats: TrackerStats::default() }
+        TrackingEvaluator {
+            table,
+            quant: None,
+            idx: 0,
+            max_step: None,
+            stats: TrackerStats::default(),
+        }
     }
 
     /// Creates a tracker that evaluates through quantized coefficient LUTs
@@ -111,7 +117,13 @@ impl<'a> TrackingEvaluator<'a> {
             quant.segment_count(),
             "quantized table must mirror the float table"
         );
-        TrackingEvaluator { table, quant: Some(quant), idx: 0, max_step: None, stats: TrackerStats::default() }
+        TrackingEvaluator {
+            table,
+            quant: Some(quant),
+            idx: 0,
+            max_step: None,
+            stats: TrackerStats::default(),
+        }
     }
 
     /// Restricts every evaluation to at most `k` pointer steps (strict
@@ -164,7 +176,11 @@ impl<'a> TrackingEvaluator<'a> {
         self.stats.max_step = self.stats.max_step.max(moved);
         if let Some(k) = self.max_step {
             if moved > k {
-                return Err(TrackingError { from, to: target, allowed: k });
+                return Err(TrackingError {
+                    from,
+                    to: target,
+                    allowed: k,
+                });
             }
         }
         Ok(match self.quant {
@@ -202,7 +218,11 @@ mod tests {
             tr.eval(x).unwrap();
             x += 50.0; // much finer than any segment width
         }
-        assert!(tr.stats().max_step <= 1, "max_step = {}", tr.stats().max_step);
+        assert!(
+            tr.stats().max_step <= 1,
+            "max_step = {}",
+            tr.stats().max_step
+        );
         assert!(tr.stats().mean_steps() < 1.0);
     }
 

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, `BatchSize` and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement loop:
+//! a short warm-up, then timed batches until the measurement budget is
+//! spent, reporting the per-iteration mean, min and max and (when a
+//! throughput is configured) elements per second.
+//!
+//! Environment knobs:
+//!
+//! * `USBF_BENCH_MEASURE_MS` — measurement budget per benchmark
+//!   (default 1000);
+//! * `USBF_BENCH_WARMUP_MS` — warm-up budget (default 200).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Input-size declaration used to scale reported rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// always re-runs setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Per-benchmark timing driver, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~50 timed batches within the measurement budget.
+        let batch = ((self.measure.as_secs_f64() / 50.0 / per_iter.max(1e-9)) as u64).max(1);
+        let mut iters: u64 = 0;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.measure {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = batch_start.elapsed().div_f64(batch as f64);
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+            iters += batch;
+        }
+        let mean = start.elapsed().div_f64(iters.max(1) as f64);
+        self.sample = Some(Sample {
+            mean,
+            min,
+            max,
+            iters,
+        });
+    }
+
+    /// Times `routine` with a fresh `setup()` input per call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while total < self.measure {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            let elapsed = t.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+            iters += 1;
+        }
+        let mean = total.div_f64(iters.max(1) as f64);
+        self.sample = Some(Sample {
+            mean,
+            min,
+            max,
+            iters,
+        });
+    }
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration input size for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; use `USBF_BENCH_MEASURE_MS`.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a plain argument.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Criterion {
+            warmup: env_ms("USBF_BENCH_WARMUP_MS", 200),
+            measure: env_ms("USBF_BENCH_MEASURE_MS", 1000),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with `criterion_group!` expansions.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            sample: None,
+        };
+        f(&mut b);
+        match b.sample {
+            None => println!("{id:<48} (no measurement: bencher not driven)"),
+            Some(s) => {
+                let mut line = format!(
+                    "{id:<48} time: [{} {} {}]",
+                    fmt_duration(s.min),
+                    fmt_duration(s.mean),
+                    fmt_duration(s.max)
+                );
+                if let Some(t) = throughput {
+                    let secs = s.mean.as_secs_f64();
+                    let rate = match t {
+                        Throughput::Elements(n) => fmt_rate(n as f64 / secs, "elem"),
+                        Throughput::Bytes(n) => fmt_rate(n as f64 / secs, "B"),
+                    };
+                    line.push_str(&format!("  thrpt: [{rate}]"));
+                }
+                line.push_str(&format!("  ({} iters)", s.iters));
+                println!("{line}");
+            }
+        }
+    }
+}
+
+/// Declares a group function running each target, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn iter_produces_a_sample() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_produces_a_sample() {
+        let mut c = fast_criterion();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    #[test]
+    fn formatting_is_sane() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500.0 ns");
+        assert!(fmt_duration(Duration::from_micros(1500)).contains("ms"));
+        assert!(fmt_rate(2.5e9, "elem").starts_with("2.500 G"));
+        assert!(fmt_rate(1.0, "elem").contains("1.0 elem/s"));
+    }
+}

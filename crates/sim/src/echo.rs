@@ -21,7 +21,12 @@ pub struct EchoOptions {
 
 impl Default for EchoOptions {
     fn default() -> Self {
-        EchoOptions { spreading: false, directivity: None, noise_rms: 0.0, seed: 0 }
+        EchoOptions {
+            spreading: false,
+            directivity: None,
+            noise_rms: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -39,7 +44,10 @@ impl EchoSynthesizer {
     /// Creates a synthesizer with default (noiseless, omnidirectional)
     /// options.
     pub fn new(spec: &SystemSpec) -> Self {
-        EchoSynthesizer { spec: spec.clone(), options: EchoOptions::default() }
+        EchoSynthesizer {
+            spec: spec.clone(),
+            options: EchoOptions::default(),
+        }
     }
 
     /// Sets the synthesis options.
@@ -95,8 +103,7 @@ impl EchoSynthesizer {
                     // Box–Muller: two uniforms → one standard normal.
                     let u1: f64 = rng.random_range(f64::EPSILON..1.0);
                     let u2: f64 = rng.random_range(0.0..1.0);
-                    let n =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     *v += self.options.noise_rms * n;
                 }
             }
@@ -118,7 +125,8 @@ mod tests {
     fn echo_lands_at_exact_delay() {
         let spec = spec();
         let target = Vec3::new(0.0, 0.0, 0.05);
-        let rf = EchoSynthesizer::new(&spec).synthesize(&Phantom::point(target), &Pulse::from_spec(&spec));
+        let rf = EchoSynthesizer::new(&spec)
+            .synthesize(&Phantom::point(target), &Pulse::from_spec(&spec));
         // Find the peak of one element's trace; it must sit at the
         // rounded two-way delay.
         let e = ElementIndex::new(3, 3);
@@ -129,13 +137,17 @@ mod tests {
             .enumerate()
             .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
             .unwrap();
-        assert!((peak as f64 - expect).abs() <= 1.0, "peak {peak} vs expected {expect}");
+        assert!(
+            (peak as f64 - expect).abs() <= 1.0,
+            "peak {peak} vs expected {expect}"
+        );
     }
 
     #[test]
     fn empty_phantom_gives_silence() {
         let spec = spec();
-        let rf = EchoSynthesizer::new(&spec).synthesize(&Phantom::empty(), &Pulse::from_spec(&spec));
+        let rf =
+            EchoSynthesizer::new(&spec).synthesize(&Phantom::empty(), &Pulse::from_spec(&spec));
         assert_eq!(rf.max_abs(), 0.0);
     }
 
@@ -144,8 +156,10 @@ mod tests {
         let spec = spec();
         let near = Phantom::point(Vec3::new(0.0, 0.0, 0.02));
         let far = Phantom::point(Vec3::new(0.0, 0.0, 0.12));
-        let synth = EchoSynthesizer::new(&spec)
-            .with_options(EchoOptions { spreading: true, ..EchoOptions::default() });
+        let synth = EchoSynthesizer::new(&spec).with_options(EchoOptions {
+            spreading: true,
+            ..EchoOptions::default()
+        });
         let pulse = Pulse::from_spec(&spec);
         let rf_near = synth.synthesize(&near, &pulse);
         let rf_far = synth.synthesize(&far, &pulse);
@@ -169,7 +183,11 @@ mod tests {
     #[test]
     fn noise_is_deterministic_per_seed() {
         let spec = spec();
-        let opts = EchoOptions { noise_rms: 0.1, seed: 42, ..EchoOptions::default() };
+        let opts = EchoOptions {
+            noise_rms: 0.1,
+            seed: 42,
+            ..EchoOptions::default()
+        };
         let synth = EchoSynthesizer::new(&spec).with_options(opts.clone());
         let pulse = Pulse::from_spec(&spec);
         let a = synth.synthesize(&Phantom::empty(), &pulse);
@@ -185,7 +203,11 @@ mod tests {
     fn noise_rms_is_calibrated() {
         let spec = spec();
         let rf = EchoSynthesizer::new(&spec)
-            .with_options(EchoOptions { noise_rms: 0.5, seed: 1, ..EchoOptions::default() })
+            .with_options(EchoOptions {
+                noise_rms: 0.5,
+                seed: 1,
+                ..EchoOptions::default()
+            })
             .synthesize(&Phantom::empty(), &Pulse::from_spec(&spec));
         let n = (rf.n_elements() * rf.n_samples()) as f64;
         let rms = (rf.energy() / n).sqrt();

@@ -67,7 +67,9 @@ pub fn envelope_db(rf: &[f64], fc: f64, fs: f64, floor_db: f64) -> Vec<f64> {
     let env = envelope(rf, fc, fs);
     let peak = env.iter().fold(0.0f64, |m, &v| m.max(v));
     assert!(peak > 0.0, "silent signal has no dB envelope");
-    env.iter().map(|&v| (20.0 * (v / peak).log10()).max(floor_db)).collect()
+    env.iter()
+        .map(|&v| (20.0 * (v / peak).log10()).max(floor_db))
+        .collect()
 }
 
 #[cfg(test)]
@@ -80,8 +82,9 @@ mod tests {
 
     #[test]
     fn tone_envelope_is_flat() {
-        let rf: Vec<f64> =
-            (0..512).map(|i| (2.0 * std::f64::consts::PI * FC * i as f64 / FS).cos()).collect();
+        let rf: Vec<f64> = (0..512)
+            .map(|i| (2.0 * std::f64::consts::PI * FC * i as f64 / FS).cos())
+            .collect();
         let env = envelope(&rf, FC, FS);
         for &e in &env[32..480] {
             assert!((e - 1.0).abs() < 0.03, "e = {e}");
@@ -119,14 +122,23 @@ mod tests {
         // The envelope bridges the carrier nulls: two samples off the
         // pulse centre the RF crosses zero (quarter carrier period at
         // fs/fc = 8), but the true envelope is still ≈0.8 there.
-        assert!(rf[202].abs() < 0.1, "expected carrier null, rf = {}", rf[202]);
-        assert!(env[202] > 0.5, "envelope must bridge the null, env = {}", env[202]);
+        assert!(
+            rf[202].abs() < 0.1,
+            "expected carrier null, rf = {}",
+            rf[202]
+        );
+        assert!(
+            env[202] > 0.5,
+            "envelope must bridge the null, env = {}",
+            env[202]
+        );
     }
 
     #[test]
     fn envelope_db_peak_is_zero() {
-        let rf: Vec<f64> =
-            (0..256).map(|i| (2.0 * std::f64::consts::PI * FC * i as f64 / FS).cos()).collect();
+        let rf: Vec<f64> = (0..256)
+            .map(|i| (2.0 * std::f64::consts::PI * FC * i as f64 / FS).cos())
+            .collect();
         let db = envelope_db(&rf, FC, FS, -60.0);
         let max = db.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!((max - 0.0).abs() < 1e-9);

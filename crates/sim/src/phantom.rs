@@ -35,7 +35,12 @@ impl Phantom {
     /// A single unit-amplitude point target — the classic point-spread-
     /// function phantom.
     pub fn point(position: Vec3) -> Self {
-        Phantom { scatterers: vec![Scatterer { position, amplitude: 1.0 }] }
+        Phantom {
+            scatterers: vec![Scatterer {
+                position,
+                amplitude: 1.0,
+            }],
+        }
     }
 
     /// A phantom from explicit scatterers.
@@ -49,7 +54,10 @@ impl Phantom {
         Phantom {
             scatterers: depths
                 .iter()
-                .map(|&z| Scatterer { position: Vec3::new(0.0, 0.0, z), amplitude: 1.0 })
+                .map(|&z| Scatterer {
+                    position: Vec3::new(0.0, 0.0, z),
+                    amplitude: 1.0,
+                })
                 .collect(),
         }
     }
@@ -76,7 +84,8 @@ impl Phantom {
     /// the speckle phantom with all scatterers inside the sphere removed.
     pub fn cyst(n: usize, min: Vec3, max: Vec3, center: Vec3, radius: f64, seed: u64) -> Self {
         let mut p = Self::speckle(n, min, max, seed);
-        p.scatterers.retain(|s| s.position.distance(center) > radius);
+        p.scatterers
+            .retain(|s| s.position.distance(center) > radius);
         p
     }
 
@@ -150,7 +159,10 @@ mod tests {
     #[test]
     fn push_and_extend() {
         let mut p = Phantom::empty();
-        p.push(Scatterer { position: Vec3::ZERO, amplitude: 2.0 });
+        p.push(Scatterer {
+            position: Vec3::ZERO,
+            amplitude: 2.0,
+        });
         let q = Phantom::point(Vec3::new(0.0, 0.0, 0.01));
         p.extend(&q);
         assert_eq!(p.scatterers().len(), 2);

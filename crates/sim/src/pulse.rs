@@ -30,7 +30,10 @@ impl Pulse {
     pub fn gaussian(center_frequency: f64, bandwidth: f64, sampling_frequency: f64) -> Self {
         assert!(center_frequency > 0.0, "center frequency must be positive");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        assert!(sampling_frequency > 0.0, "sampling frequency must be positive");
+        assert!(
+            sampling_frequency > 0.0,
+            "sampling frequency must be positive"
+        );
         // Gaussian envelope exp(−t²/2σ²) ↔ spectrum exp(−(2πf)²σ²/2);
         // the −6 dB (amplitude ½) full width B satisfies
         // (π·B)²σ²/2 = ln 2, i.e. σ = √(2 ln 2) / (π·B).
@@ -143,7 +146,9 @@ mod tests {
         // Numerically verify: |P(fc ± B/2)| ≈ ½ |P(fc)| (−6 dB amplitude)
         // for the analytic envelope spectrum exp(−(2πΔf)²σ²/2).
         let p = pulse();
-        let at = |df: f64| (-(2.0 * std::f64::consts::PI * df).powi(2) * p.sigma() * p.sigma() / 2.0).exp();
+        let at = |df: f64| {
+            (-(2.0 * std::f64::consts::PI * df).powi(2) * p.sigma() * p.sigma() / 2.0).exp()
+        };
         let half = at(2.0e6); // B/2 = 2 MHz
         assert!((half - 0.5).abs() < 1e-9, "got {half}");
     }
@@ -154,7 +159,11 @@ mod tests {
         assert_eq!(p.center_frequency, 4.0e6);
         // fs/fc = 8 samples per carrier period.
         let w = p.waveform();
-        assert!(w.len() > 8, "pulse must span multiple samples, got {}", w.len());
+        assert!(
+            w.len() > 8,
+            "pulse must span multiple samples, got {}",
+            w.len()
+        );
     }
 
     #[test]

@@ -21,8 +21,16 @@ impl RfFrame {
     ///
     /// Panics if any dimension is zero.
     pub fn zeros(nx: usize, ny: usize, n_samples: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && n_samples > 0, "dimensions must be nonzero");
-        RfFrame { data: vec![0.0; nx * ny * n_samples], nx, ny, n_samples }
+        assert!(
+            nx > 0 && ny > 0 && n_samples > 0,
+            "dimensions must be nonzero"
+        );
+        RfFrame {
+            data: vec![0.0; nx * ny * n_samples],
+            nx,
+            ny,
+            n_samples,
+        }
     }
 
     /// Number of element traces.
@@ -121,7 +129,8 @@ mod tests {
     #[test]
     fn energy_and_max_abs() {
         let mut rf = RfFrame::zeros(1, 2, 3);
-        rf.trace_mut(ElementIndex::new(0, 0)).copy_from_slice(&[1.0, -2.0, 0.0]);
+        rf.trace_mut(ElementIndex::new(0, 0))
+            .copy_from_slice(&[1.0, -2.0, 0.0]);
         assert_eq!(rf.max_abs(), 2.0);
         assert_eq!(rf.energy(), 5.0);
     }

@@ -16,7 +16,10 @@ pub struct InsonificationPlan {
 impl InsonificationPlan {
     /// The paper's example: 64 insonifications × 256 scanlines.
     pub fn paper() -> Self {
-        InsonificationPlan { insonifications_per_volume: 64, scanlines_per_insonification: 256 }
+        InsonificationPlan {
+            insonifications_per_volume: 64,
+            scanlines_per_insonification: 256,
+        }
     }
 
     /// Insonification rate at a given volume rate (960/s in the paper).
@@ -69,11 +72,14 @@ impl TableBudget {
     /// allocated). Assumes an on-axis origin (quadrant folding applies);
     /// see [`TableBudget::with_origins`] for the synthetic-aperture
     /// extension.
-    pub fn for_spec(spec: &SystemSpec, reference_word_bits: u32, correction_word_bits: u32) -> Self {
+    pub fn for_spec(
+        spec: &SystemSpec,
+        reference_word_bits: u32,
+        correction_word_bits: u32,
+    ) -> Self {
         let e = &spec.elements;
         let v = &spec.volume_grid;
-        let reference_entries =
-            (e.nx().div_ceil(2) * e.ny().div_ceil(2) * v.n_depth()) as u64;
+        let reference_entries = (e.nx().div_ceil(2) * e.ny().div_ceil(2) * v.n_depth()) as u64;
         let correction_entries =
             (e.nx() * v.n_theta() * v.n_phi().div_ceil(2) + e.ny() * v.n_phi()) as u64;
         TableBudget {
@@ -139,7 +145,11 @@ pub struct StreamingPlan {
 impl StreamingPlan {
     /// The paper's design point: 128 banks × 1k lines × 18 bits ≈ 2.3 Mb.
     pub fn paper() -> Self {
-        StreamingPlan { bram_banks: 128, bank_words: 1024, word_bits: 18 }
+        StreamingPlan {
+            bram_banks: 128,
+            bank_words: 1024,
+            word_bits: 18,
+        }
     }
 
     /// On-chip bits used by the circular buffer (≈2.3 Mb for the paper's
@@ -152,7 +162,11 @@ impl StreamingPlan {
     /// every insonification ("the full delay table would need to be
     /// fetched 960 times per second, at a total bandwidth of about
     /// 5.3 GB/s").
-    pub fn dram_bandwidth_bytes(&self, budget: &TableBudget, insonifications_per_second: f64) -> f64 {
+    pub fn dram_bandwidth_bytes(
+        &self,
+        budget: &TableBudget,
+        insonifications_per_second: f64,
+    ) -> f64 {
         budget.reference_bits as f64 / 8.0 * insonifications_per_second
     }
 
@@ -225,8 +239,11 @@ mod tests {
     fn streaming_bandwidth_14b_about_4_1_gbps() {
         let spec = SystemSpec::paper();
         let b = TableBudget::for_spec(&spec, 14, 14);
-        let bw = StreamingPlan { word_bits: 14, ..StreamingPlan::paper() }
-            .dram_bandwidth_bytes(&b, 960.0);
+        let bw = StreamingPlan {
+            word_bits: 14,
+            ..StreamingPlan::paper()
+        }
+        .dram_bandwidth_bytes(&b, 960.0);
         // 35 Mb / 8 × 960 = 4.2 GB/s ("4.1 GB/s" in Table II).
         assert!((bw / 1e9 - 4.2).abs() < 0.01, "bw = {bw}");
     }
@@ -261,7 +278,10 @@ mod tests {
 
     #[test]
     fn plan_covering_detects_mismatch() {
-        let plan = InsonificationPlan { insonifications_per_volume: 10, scanlines_per_insonification: 10 };
+        let plan = InsonificationPlan {
+            insonifications_per_volume: 10,
+            scanlines_per_insonification: 10,
+        };
         assert!(!plan.covers(&SystemSpec::paper()));
     }
 }

@@ -55,8 +55,8 @@ pub fn steering_error_samples(
     e: ElementIndex,
 ) -> f64 {
     let approx = reference.delay_samples(vox.id, e) + steering.correction_samples(vox, e);
-    let exact = spec
-        .two_way_delay_samples(spec.volume_grid.position(vox), spec.elements.position(e));
+    let exact =
+        spec.two_way_delay_samples(spec.volume_grid.position(vox), spec.elements.position(e));
     approx - exact
 }
 
@@ -81,7 +81,13 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// Exhaustive sweep (stride 1 everywhere).
     pub fn exhaustive() -> Self {
-        SweepConfig { stride_theta: 1, stride_phi: 1, stride_depth: 1, stride_elem_x: 1, stride_elem_y: 1 }
+        SweepConfig {
+            stride_theta: 1,
+            stride_phi: 1,
+            stride_depth: 1,
+            stride_elem_x: 1,
+            stride_elem_y: 1,
+        }
     }
 
     /// A uniform stride on every axis.
@@ -196,7 +202,11 @@ impl ErrorSweep {
         }
         ErrorSweep {
             count,
-            mean_abs_samples: if count == 0 { 0.0 } else { sum_abs / count as f64 },
+            mean_abs_samples: if count == 0 {
+                0.0
+            } else {
+                sum_abs / count as f64
+            },
             max_abs_samples: max_abs.max(0.0),
             argmax,
             excluded,
@@ -235,7 +245,11 @@ mod tests {
             base.speed_of_sound,
             base.sampling_frequency,
             base.transducer.clone(),
-            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            usbf_geometry::VolumeSpec {
+                n_theta: 9,
+                n_phi: 9,
+                ..base.volume.clone()
+            },
             base.origin,
             base.frame_rate,
         );
@@ -266,7 +280,12 @@ mod tests {
         let (spec, r, s) = setup();
         let sweep = ErrorSweep::run(&spec, &r, &s, SweepConfig::exhaustive(), None);
         let bound = spec.seconds_to_samples(theoretical_bound_seconds(&spec));
-        assert!(sweep.max_abs_samples <= bound, "{} > {}", sweep.max_abs_samples, bound);
+        assert!(
+            sweep.max_abs_samples <= bound,
+            "{} > {}",
+            sweep.max_abs_samples,
+            bound
+        );
         assert!(sweep.count > 0);
         assert_eq!(sweep.excluded, 0);
     }

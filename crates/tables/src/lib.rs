@@ -48,7 +48,7 @@ mod steering;
 mod streaming;
 
 pub use budget::{InsonificationPlan, StreamingPlan, TableBudget};
-pub use streaming::{CircularBufferSim, StreamingReport};
 pub use pruning::PruneMask;
 pub use reference::ReferenceTable;
-pub use steering::SteeringTables;
+pub use steering::{fold_coord, SteeringTables};
+pub use streaming::{CircularBufferSim, SliceWindow, StreamingReport};

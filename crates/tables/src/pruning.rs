@@ -45,7 +45,13 @@ impl PruneMask {
                 }
             }
         }
-        PruneMask { kept, nx, ny, n_depth, kept_count }
+        PruneMask {
+            kept,
+            nx,
+            ny,
+            n_depth,
+            kept_count,
+        }
     }
 
     /// Whether the entry for depth `id` and element `e` is needed.
@@ -55,7 +61,10 @@ impl PruneMask {
     /// Panics if the indices are out of range.
     #[inline]
     pub fn is_kept(&self, id: usize, e: ElementIndex) -> bool {
-        assert!(id < self.n_depth && e.ix < self.nx && e.iy < self.ny, "index out of range");
+        assert!(
+            id < self.n_depth && e.ix < self.nx && e.iy < self.ny,
+            "index out of range"
+        );
         self.kept[(id * self.ny + e.iy) * self.nx + e.ix]
     }
 
@@ -138,7 +147,9 @@ mod tests {
         let spec = SystemSpec::tiny();
         let m = PruneMask::build(&spec, &Directivity::paper_default());
         assert_eq!(m.kept_count() + m.pruned_count(), m.total_count());
-        let by_slice: usize = (0..spec.volume_grid.n_depth()).map(|id| m.kept_in_slice(id)).sum();
+        let by_slice: usize = (0..spec.volume_grid.n_depth())
+            .map(|id| m.kept_in_slice(id))
+            .sum();
         assert_eq!(by_slice, m.kept_count());
         assert!(m.fraction_kept() > 0.0 && m.fraction_kept() <= 1.0);
     }

@@ -58,8 +58,16 @@ impl ReferenceTable {
                     // folded table take the positive-coordinate member.
                     let (ix, iy) = if foldable {
                         (
-                            if e.nx() % 2 == 0 { e.nx() / 2 + jx } else { (e.nx() - 1) / 2 + jx },
-                            if e.ny() % 2 == 0 { e.ny() / 2 + jy } else { (e.ny() - 1) / 2 + jy },
+                            if e.nx().is_multiple_of(2) {
+                                e.nx() / 2 + jx
+                            } else {
+                                (e.nx() - 1) / 2 + jx
+                            },
+                            if e.ny().is_multiple_of(2) {
+                                e.ny() / 2 + jy
+                            } else {
+                                (e.ny() - 1) / 2 + jy
+                            },
                         )
                     } else {
                         (jx, jy)
@@ -69,7 +77,15 @@ impl ReferenceTable {
                 }
             }
         }
-        ReferenceTable { data, qx, qy, n_depth, nx: e.nx(), ny: e.ny(), folded: foldable }
+        ReferenceTable {
+            data,
+            qx,
+            qy,
+            n_depth,
+            nx: e.nx(),
+            ny: e.ny(),
+            folded: foldable,
+        }
     }
 
     /// Whether quadrant folding was applied.
@@ -191,8 +207,13 @@ mod tests {
         let thin = SystemSpec::new(
             spec.speed_of_sound,
             spec.sampling_frequency,
-            TransducerSpec { ..spec.transducer.clone() },
-            VolumeSpec { n_depth: 4, ..spec.volume.clone() },
+            TransducerSpec {
+                ..spec.transducer.clone()
+            },
+            VolumeSpec {
+                n_depth: 4,
+                ..spec.volume.clone()
+            },
             spec.origin,
             spec.frame_rate,
         );

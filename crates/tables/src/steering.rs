@@ -4,10 +4,12 @@ use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 
 /// Maps a symmetric grid index to its half-range index (shared with the
 /// reference-table quadrant fold): entries mirrored around the centre of a
-/// symmetric linspace share an index.
+/// symmetric linspace share an index. Exported so consumers indexing
+/// folded storage (e.g. TABLESTEER's quantized reference) use the same
+/// fold as the tables themselves.
 #[inline]
-pub(crate) fn fold_coord(i: usize, n: usize) -> usize {
-    if n % 2 == 0 {
+pub fn fold_coord(i: usize, n: usize) -> usize {
+    if n.is_multiple_of(2) {
         if i >= n / 2 {
             i - n / 2
         } else {
@@ -69,7 +71,11 @@ impl SteeringTables {
                 let st = v.theta_of(it).sin();
                 for ipf in 0..n_phi_fold {
                     // Representative |φ|: the upper-half member of the fold.
-                    let ip = if n_phi % 2 == 0 { n_phi / 2 + ipf } else { (n_phi - 1) / 2 + ipf };
+                    let ip = if n_phi % 2 == 0 {
+                        n_phi / 2 + ipf
+                    } else {
+                        (n_phi - 1) / 2 + ipf
+                    };
                     let cp = v.phi_of(ip).cos();
                     x_corr[(ix * n_theta + it) * n_phi_fold + ipf] = x * cp * st * scale;
                 }
@@ -84,7 +90,15 @@ impl SteeringTables {
             }
         }
 
-        SteeringTables { x_corr, y_corr, nx, ny, n_theta, n_phi, n_phi_fold }
+        SteeringTables {
+            x_corr,
+            y_corr,
+            nx,
+            ny,
+            n_theta,
+            n_phi,
+            n_phi_fold,
+        }
     }
 
     /// Total stored coefficients: `nx·nθ·⌈nφ/2⌉ + ny·nφ` (832 000 for the
@@ -102,7 +116,10 @@ impl SteeringTables {
     /// Panics if an index is out of range.
     #[inline]
     pub fn x_term_samples(&self, ix: usize, it: usize, ip: usize) -> f64 {
-        assert!(ix < self.nx && it < self.n_theta && ip < self.n_phi, "index out of range");
+        assert!(
+            ix < self.nx && it < self.n_theta && ip < self.n_phi,
+            "index out of range"
+        );
         let ipf = fold_coord(ip, self.n_phi);
         self.x_corr[(ix * self.n_theta + it) * self.n_phi_fold + ipf]
     }
@@ -182,7 +199,11 @@ mod tests {
             base.speed_of_sound,
             base.sampling_frequency,
             base.transducer.clone(),
-            usbf_geometry::VolumeSpec { n_theta: 9, n_phi: 9, ..base.volume.clone() },
+            usbf_geometry::VolumeSpec {
+                n_theta: 9,
+                n_phi: 9,
+                ..base.volume.clone()
+            },
             base.origin,
             base.frame_rate,
         );
@@ -236,8 +257,7 @@ mod tests {
         let spec = SystemSpec::tiny();
         let t = SteeringTables::build(&spec);
         let e = &spec.elements;
-        let bound = (e.x_of(e.nx() - 1).abs() + e.y_of(e.ny() - 1).abs())
-            * spec.sampling_frequency
+        let bound = (e.x_of(e.nx() - 1).abs() + e.y_of(e.ny() - 1).abs()) * spec.sampling_frequency
             / spec.speed_of_sound;
         assert!(t.max_abs_correction_samples() <= bound + 1e-12);
         assert!(t.max_abs_correction_samples() > 0.0);
@@ -250,7 +270,11 @@ mod tests {
             base.speed_of_sound,
             base.sampling_frequency,
             base.transducer.clone(),
-            usbf_geometry::VolumeSpec { n_theta: 7, n_phi: 7, ..base.volume.clone() },
+            usbf_geometry::VolumeSpec {
+                n_theta: 7,
+                n_phi: 7,
+                ..base.volume.clone()
+            },
             base.origin,
             base.frame_rate,
         );

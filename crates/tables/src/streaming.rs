@@ -63,8 +63,14 @@ impl CircularBufferSim {
         slice_words: u64,
         cycles_per_slice: u64,
     ) -> Self {
-        assert!(clock_hz > 0.0 && link_bytes_per_s > 0.0, "rates must be positive");
-        assert!(slice_words > 0 && cycles_per_slice > 0, "sizes must be positive");
+        assert!(
+            clock_hz > 0.0 && link_bytes_per_s > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            slice_words > 0 && cycles_per_slice > 0,
+            "sizes must be positive"
+        );
         let capacity = (plan.bram_banks * plan.bank_words) as u64;
         assert!(
             slice_words * 2 <= capacity,
@@ -72,7 +78,13 @@ impl CircularBufferSim {
             slice_words * 2,
             capacity
         );
-        CircularBufferSim { plan, clock_hz, link_bytes_per_s, slice_words, cycles_per_slice }
+        CircularBufferSim {
+            plan,
+            clock_hz,
+            link_bytes_per_s,
+            slice_words,
+            cycles_per_slice,
+        }
     }
 
     /// The paper's operating point for a given spec-shaped workload:
@@ -146,6 +158,100 @@ impl CircularBufferSim {
     }
 }
 
+/// Residency tracker for the circular reference buffer: which depth
+/// slices are on chip while a consumer walks the volume.
+///
+/// The §V-B scheme keeps a window of consecutive nappe slices resident
+/// (double buffering = 2). A nappe-major consumer — e.g. a beamformer
+/// filling per-nappe delay slabs — only ever advances by one slice and
+/// never revisits, so every access hits the window. Any other traversal
+/// (scanline-major most prominently) re-requests evicted slices; the
+/// tracker counts those *refetches*, quantifying the paper's claim that
+/// nappe order is what makes streaming viable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceWindow {
+    window_slices: usize,
+    newest: Option<usize>,
+    accesses: u64,
+    refetches: u64,
+    fetches: u64,
+}
+
+impl SliceWindow {
+    /// A window holding `window_slices` consecutive slices (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_slices` is zero.
+    pub fn new(window_slices: usize) -> Self {
+        assert!(window_slices > 0, "window must hold at least one slice");
+        SliceWindow {
+            window_slices,
+            newest: None,
+            accesses: 0,
+            refetches: 0,
+            fetches: 0,
+        }
+    }
+
+    /// The double-buffered window of the paper's operating point.
+    pub fn paper() -> Self {
+        SliceWindow::new(2)
+    }
+
+    /// Records a consumer access to slice `id`, streaming slices forward
+    /// as needed. Returns `true` when the slice was already resident or
+    /// reachable by streaming forward (the steady-state path), `false`
+    /// when the consumer forced a refetch of an evicted slice (a backward
+    /// jump larger than the window).
+    pub fn access(&mut self, id: usize) -> bool {
+        self.accesses += 1;
+        match self.newest {
+            Some(newest) if id <= newest => {
+                if newest - id < self.window_slices {
+                    true // resident
+                } else {
+                    // Evicted: rewind the stream to put `id` at the head.
+                    self.refetches += 1;
+                    self.fetches += 1;
+                    self.newest = Some(id);
+                    false
+                }
+            }
+            prior => {
+                // Stream forward (or initial fill) up to `id`.
+                let from = match prior {
+                    Some(newest) => newest + 1,
+                    None => 0,
+                };
+                self.fetches += (id + 1 - from.min(id + 1)) as u64;
+                self.newest = Some(id);
+                true
+            }
+        }
+    }
+
+    /// Total consumer accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Slice fetches from backing memory (steady-state: one per nappe).
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Accesses that forced an evicted slice to be refetched.
+    pub fn refetches(&self) -> u64 {
+        self.refetches
+    }
+
+    /// Whether every access hit the streaming window so far.
+    pub fn streaming_clean(&self) -> bool {
+        self.refetches == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,7 +284,11 @@ mod tests {
         // Above break-even: only the initial fill stalls.
         let above_steady = above.stall_cycles
             == CircularBufferSim::paper_point(min_bw * 1.05).fetch_cycles_per_slice();
-        assert!(above_steady, "stalls above break-even: {}", above.stall_cycles);
+        assert!(
+            above_steady,
+            "stalls above break-even: {}",
+            above.stall_cycles
+        );
         assert!(below.stall_cycles > above.stall_cycles);
     }
 
@@ -196,6 +306,57 @@ mod tests {
         let slow = CircularBufferSim::paper_point(4.4e9).run(50);
         assert!(fast.min_margin_cycles > slow.min_margin_cycles);
         assert!(fast.min_margin_cycles > 0);
+    }
+
+    #[test]
+    fn nappe_major_walk_is_streaming_clean() {
+        let mut w = SliceWindow::paper();
+        for id in 0..1000 {
+            assert!(w.access(id), "nappe {id} should stream forward");
+            // Within a nappe the slice is re-read for every scanline: all
+            // hits.
+            for _ in 0..16 {
+                assert!(w.access(id));
+            }
+        }
+        assert!(w.streaming_clean());
+        assert_eq!(w.fetches(), 1000, "each slice fetched exactly once");
+        assert_eq!(w.accesses(), 1000 * 17);
+    }
+
+    #[test]
+    fn scanline_major_walk_thrashes_the_window() {
+        let mut w = SliceWindow::paper();
+        let n_depth = 64;
+        let scanlines = 8;
+        for _ in 0..scanlines {
+            for id in 0..n_depth {
+                w.access(id);
+            }
+        }
+        assert!(!w.streaming_clean());
+        // Every scanline restart rewinds the stream; the full depth range
+        // streams again per scanline instead of once per frame — 8× the
+        // memory traffic of the nappe-major walk.
+        assert_eq!(w.refetches(), (scanlines - 1) as u64);
+        assert_eq!(w.fetches(), (scanlines * n_depth) as u64);
+    }
+
+    #[test]
+    fn small_backward_jumps_inside_window_are_hits() {
+        let mut w = SliceWindow::new(4);
+        for id in 0..10 {
+            w.access(id);
+        }
+        assert!(w.access(9) && w.access(8) && w.access(6));
+        assert!(w.streaming_clean());
+        assert!(!w.access(5), "beyond the 4-slice window");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_window_rejected() {
+        SliceWindow::new(0);
     }
 
     #[test]

@@ -9,8 +9,17 @@ fn small_spec(nx: usize, ny: usize, nt: usize, np: usize, nd: usize) -> SystemSp
     SystemSpec::new(
         base.speed_of_sound,
         base.sampling_frequency,
-        TransducerSpec { nx, ny, ..base.transducer.clone() },
-        VolumeSpec { n_theta: nt, n_phi: np, n_depth: nd, ..base.volume.clone() },
+        TransducerSpec {
+            nx,
+            ny,
+            ..base.transducer.clone()
+        },
+        VolumeSpec {
+            n_theta: nt,
+            n_phi: np,
+            n_depth: nd,
+            ..base.volume.clone()
+        },
         Vec3::ZERO,
         base.frame_rate,
     )

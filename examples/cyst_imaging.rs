@@ -35,9 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steer18 = TableSteerEngine::new(&spec, TableSteerConfig::bits18())?;
     let steer14 = TableSteerEngine::new(&spec, TableSteerConfig::bits14())?;
 
-    let engines: [(&str, &dyn DelayEngine); 3] =
-        [("EXACT", &exact), ("TABLESTEER-18b", &steer18), ("TABLESTEER-14b", &steer14)];
-    println!("\n{:<16} {:>12} {:>14}", "engine", "contrast", "NRMSE vs exact");
+    let engines: [(&str, &dyn DelayEngine); 3] = [
+        ("EXACT", &exact),
+        ("TABLESTEER-18b", &steer18),
+        ("TABLESTEER-14b", &steer14),
+    ];
+    println!(
+        "\n{:<16} {:>12} {:>14}",
+        "engine", "contrast", "NRMSE vs exact"
+    );
     let mut exact_volume = None;
     for (label, eng) in engines {
         let vol = bf.beamform_volume(eng, &rf);

@@ -10,8 +10,7 @@
 
 use usbf::beamform::{Apodization, Beamformer};
 use usbf::core::{
-    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig,
-    TableSteerEngine,
+    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
 };
 use usbf::geometry::{SystemSpec, VoxelIndex};
 use usbf::sim::{metrics, EchoSynthesizer, Phantom, Pulse};
@@ -27,8 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.volume_grid.depth_of(vox.id) * 1e3
     );
 
-    let rf = EchoSynthesizer::new(&spec).synthesize(&Phantom::point(target), &Pulse::from_spec(&spec));
-    println!("synthesized RF: {} elements x {} samples\n", rf.n_elements(), rf.n_samples());
+    let rf =
+        EchoSynthesizer::new(&spec).synthesize(&Phantom::point(target), &Pulse::from_spec(&spec));
+    println!(
+        "synthesized RF: {} elements x {} samples\n",
+        rf.n_elements(),
+        rf.n_samples()
+    );
 
     let exact = ExactEngine::new(&spec);
     let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper())?;
@@ -66,9 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nlateral (θ) profile through the target:");
     let lat_exact = bf_lateral(&bf, &exact, &rf, &spec, vox);
-    for (name, eng) in
-        [("EXACT", &exact as &dyn DelayEngine), ("TABLEFREE", &tablefree), ("TABLESTEER-18b", &tablesteer18)]
-    {
+    for (name, eng) in [
+        ("EXACT", &exact as &dyn DelayEngine),
+        ("TABLEFREE", &tablefree),
+        ("TABLESTEER-18b", &tablesteer18),
+    ] {
         let lat = bf_lateral(&bf, eng, &rf, &spec, vox);
         println!(
             "{:<16} peak θ-line {:>3}, lateral FWHM {:.2} lines, NRMSE {:.4}",

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = SystemSpec::paper();
     let budget = TableBudget::for_spec(&paper, 18, 18);
     println!("=== Synthetic-aperture table cost (paper scale, 18-bit) ===");
-    println!("single centred origin : {:>6.1} Mb reference", budget.reference_megabits());
+    println!(
+        "single centred origin : {:>6.1} Mb reference",
+        budget.reference_megabits()
+    );
     for n in [2u64, 4, 8] {
         let multi = budget.with_origins(n, true);
         println!(

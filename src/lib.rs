@@ -30,6 +30,22 @@
 //! let t_steer = steer.delay_samples(vox, e);
 //! assert!((t_exact - t_steer).abs() < 4.0); // within a few samples near axis
 //! ```
+//!
+//! Delays are consumed in bulk, one nappe slab at a time — the paper's
+//! streaming granularity and the hot path of the batched beamformer:
+//!
+//! ```
+//! use usbf::core::{DelayEngine, NappeDelays, TableSteerEngine, TableSteerConfig};
+//! use usbf::geometry::{SystemSpec, VoxelIndex};
+//!
+//! let spec = SystemSpec::tiny();
+//! let steer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+//! let mut slab = NappeDelays::full(&spec);
+//! steer.fill_nappe(8, &mut slab);
+//! let e = spec.elements.center_element();
+//! // Batched fills are bit-exact with scalar queries.
+//! assert_eq!(slab.at(4, 4, e), steer.delay_samples(VoxelIndex::new(4, 4, 8), e));
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -2,10 +2,12 @@
 //! sum → image metrics.
 
 use usbf::beamform::{Apodization, Beamformer, Interpolation};
-use usbf::core::{DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine};
+use usbf::core::{
+    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
+};
 use usbf::geometry::scan::ScanOrder;
 use usbf::geometry::{SystemSpec, VoxelIndex};
-use usbf::sim::{metrics, EchoSynthesizer, EchoOptions, Phantom, Pulse};
+use usbf::sim::{metrics, EchoOptions, EchoSynthesizer, Phantom, Pulse};
 
 fn point_setup(spec: &SystemSpec, vox: VoxelIndex) -> usbf::sim::RfFrame {
     let target = spec.volume_grid.position(vox);
@@ -33,14 +35,16 @@ fn approximate_engines_preserve_most_of_the_peak() {
     let vox = VoxelIndex::new(4, 4, 8);
     let rf = point_setup(&spec, vox);
     let bf = Beamformer::new(&spec).with_apodization(Apodization::Rect);
-    let exact_peak = bf
-        .beamform_voxel(&ExactEngine::new(&spec), &rf, vox)
-        .abs();
+    let exact_peak = bf.beamform_voxel(&ExactEngine::new(&spec), &rf, vox).abs();
     let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
     let ts = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
     for (name, eng) in [("TABLEFREE", &tf as &dyn DelayEngine), ("TABLESTEER", &ts)] {
         let peak = bf.beamform_voxel(eng, &rf, vox).abs();
-        assert!(peak > 0.85 * exact_peak, "{name} peak ratio {}", peak / exact_peak);
+        assert!(
+            peak > 0.85 * exact_peak,
+            "{name} peak ratio {}",
+            peak / exact_peak
+        );
     }
 }
 
@@ -80,7 +84,11 @@ fn apodization_trades_peak_for_sidelobes() {
             bandwidth: 0.4e6,
             ..base.transducer.clone()
         },
-        usbf::geometry::VolumeSpec { n_theta: 65, n_phi: 9, ..base.volume.clone() },
+        usbf::geometry::VolumeSpec {
+            n_theta: 65,
+            n_phi: 9,
+            ..base.volume.clone()
+        },
         base.origin,
         base.frame_rate,
     );
@@ -100,7 +108,10 @@ fn apodization_trades_peak_for_sidelobes() {
     // …and Hann widens the main lobe…
     let fwhm_rect = metrics::fwhm(&lat_rect);
     let fwhm_hann = metrics::fwhm(&lat_hann);
-    assert!(fwhm_hann > fwhm_rect, "hann {fwhm_hann} vs rect {fwhm_rect}");
+    assert!(
+        fwhm_hann > fwhm_rect,
+        "hann {fwhm_hann} vs rect {fwhm_rect}"
+    );
     // …while suppressing sidelobes outside each window's own main lobe.
     let psl_rect = metrics::peak_sidelobe_db(&lat_rect, fwhm_rect.ceil() as usize + 2);
     let psl_hann = metrics::peak_sidelobe_db(&lat_hann, fwhm_hann.ceil() as usize + 2);
@@ -146,7 +157,11 @@ fn noisy_speckle_image_is_stable_across_engines() {
         99,
     );
     let rf = EchoSynthesizer::new(&spec)
-        .with_options(EchoOptions { noise_rms: 0.05, seed: 1, ..EchoOptions::default() })
+        .with_options(EchoOptions {
+            noise_rms: 0.05,
+            seed: 1,
+            ..EchoOptions::default()
+        })
         .synthesize(&phantom, &Pulse::from_spec(&spec));
     let bf = Beamformer::new(&spec);
     let ve = bf.beamform_volume(&ExactEngine::new(&spec), &rf);

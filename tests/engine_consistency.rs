@@ -2,11 +2,35 @@
 //! within their documented error envelopes, across geometries.
 
 use usbf::core::{
-    stats, DelayEngine, ExactEngine, NaiveTableEngine, TableFreeConfig, TableFreeEngine,
-    TableSteerConfig, TableSteerEngine,
+    stats, DelayEngine, ExactEngine, NaiveTableEngine, NappeDelays, NappeSchedule, TableFreeConfig,
+    TableFreeEngine, TableSteerConfig, TableSteerEngine,
 };
 use usbf::geometry::{SystemSpec, Vec3};
 use usbf::tables::error::theoretical_bound_seconds;
+
+/// Asserts that an engine's batched `fill_nappe` is bit-exact with the
+/// scalar `delay_samples` walk over the given slab tile and nappes.
+fn assert_fill_nappe_bit_exact(
+    engine: &dyn DelayEngine,
+    spec: &SystemSpec,
+    tile: usbf::core::Tile,
+    nappes: &[usize],
+) {
+    let mut batched = NappeDelays::for_tile(spec, tile);
+    let mut scalar = NappeDelays::for_tile(spec, tile);
+    for &id in nappes {
+        engine.fill_nappe(id, &mut batched);
+        scalar.fill_scalar(engine, id);
+        for (slot, (a, b)) in batched.samples().iter().zip(scalar.samples()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: nappe {id}, slab entry {slot}: {a} vs {b}",
+                engine.name()
+            );
+        }
+    }
+}
 
 #[test]
 fn all_engines_agree_on_tiny_geometry() {
@@ -27,7 +51,12 @@ fn all_engines_agree_on_tiny_geometry() {
     // TABLESTEER: algorithmic error below the theoretical bound.
     let bound = spec.seconds_to_samples(theoretical_bound_seconds(&spec)) + 1.0;
     let s = stats::sample_error(&tablesteer, &exact, &spec, 1, 1);
-    assert!(s.max_abs <= bound, "TABLESTEER max = {} > {}", s.max_abs, bound);
+    assert!(
+        s.max_abs <= bound,
+        "TABLESTEER max = {} > {}",
+        s.max_abs,
+        bound
+    );
 }
 
 #[test]
@@ -63,7 +92,11 @@ fn engine_trait_objects_are_interchangeable() {
     let e = spec.elements.center_element();
     let reference = engines[0].delay_samples(vox, e);
     for eng in &engines {
-        assert!((eng.delay_samples(vox, e) - reference).abs() < 2.0, "{}", eng.name());
+        assert!(
+            (eng.delay_samples(vox, e) - reference).abs() < 2.0,
+            "{}",
+            eng.name()
+        );
         assert!(eng.delay_index(vox, e) >= 0);
         assert_eq!(eng.echo_buffer_len(), spec.echo_buffer_len());
     }
@@ -88,13 +121,79 @@ fn off_axis_origin_consistency() {
     assert!(s.max_abs < 1.0, "TABLEFREE off-axis max = {}", s.max_abs);
 
     let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
-    assert!(!tablesteer.reference().is_folded(), "off-axis origin cannot fold");
+    assert!(
+        !tablesteer.reference().is_folded(),
+        "off-axis origin cannot fold"
+    );
     // Note: the steering correction assumes a centred origin; with a
     // displaced origin the reference table carries the origin offset and
     // the correction plane stays a valid far-field approximation.
     let s = stats::sample_error(&tablesteer, &exact, &spec, 3, 1);
     let bound = spec.seconds_to_samples(theoretical_bound_seconds(&spec)) + 60.0;
     assert!(s.max_abs < bound, "TABLESTEER off-axis max = {}", s.max_abs);
+}
+
+#[test]
+fn batched_fill_is_bit_exact_for_all_engines_on_tiny() {
+    // All four engines, every nappe, whole fan, every element.
+    let spec = SystemSpec::tiny();
+    let exact = ExactEngine::new(&spec);
+    let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
+    let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+    let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    let full = NappeDelays::full(&spec).tile();
+    let nappes: Vec<usize> = (0..spec.volume_grid.n_depth()).collect();
+    for engine in [&exact as &dyn DelayEngine, &naive, &tablefree, &tablesteer] {
+        assert_fill_nappe_bit_exact(engine, &spec, full, &nappes);
+    }
+}
+
+#[test]
+fn batched_fill_is_bit_exact_at_full_scale() {
+    // The paper's full Table I geometry: 100×100 elements, 128×128×1000
+    // focal points. One whole-fan slab is 163.8M delays, so check one
+    // schedule tile (a Fig. 4 block's 8×16 ownership, all 10 000
+    // elements) at shallow, middle and deep nappes — 3 × 1.28M delays per
+    // engine. NAIVE is excluded: its full-scale table is the 328 GB
+    // non-starter the paper rules out.
+    let spec = SystemSpec::paper();
+    let schedule = NappeSchedule::paper();
+    let tile = schedule.tile_of(77);
+    let nappes = [0usize, 499, 999];
+    let exact = ExactEngine::new(&spec);
+    assert_fill_nappe_bit_exact(&exact, &spec, tile, &nappes);
+    let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+    assert_fill_nappe_bit_exact(&tablefree, &spec, tile, &nappes);
+    let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    assert_fill_nappe_bit_exact(&tablesteer, &spec, tile, &nappes);
+}
+
+#[test]
+fn batched_fill_is_bit_exact_on_off_axis_origin() {
+    // Synthetic-aperture mode: displaced emission origin, unfolded
+    // reference table, exact-transmit TABLEFREE ablation.
+    let base = SystemSpec::tiny();
+    let spec = SystemSpec::new(
+        base.speed_of_sound,
+        base.sampling_frequency,
+        base.transducer.clone(),
+        base.volume.clone(),
+        Vec3::new(1.5e-3, -1.0e-3, 0.0),
+        base.frame_rate,
+    );
+    let full = NappeDelays::full(&spec).tile();
+    let nappes: Vec<usize> = (0..spec.volume_grid.n_depth()).collect();
+    let tablefree = TableFreeEngine::new(
+        &spec,
+        TableFreeConfig {
+            exact_transmit: true,
+            ..TableFreeConfig::paper()
+        },
+    )
+    .unwrap();
+    assert_fill_nappe_bit_exact(&tablefree, &spec, full, &nappes);
+    let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits14()).unwrap();
+    assert_fill_nappe_bit_exact(&tablesteer, &spec, full, &nappes);
 }
 
 #[test]
@@ -106,5 +205,9 @@ fn reduced_geometry_selection_errors_match_paper_regime() {
     let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
     let s = stats::selection_error(&tablefree, &exact, &spec, 97, 7);
     assert!(s.max_abs <= 2, "max = {}", s.max_abs);
-    assert!(s.mean_abs > 0.1 && s.mean_abs < 0.4, "mean = {}", s.mean_abs);
+    assert!(
+        s.mean_abs > 0.1 && s.mean_abs < 0.4,
+        "mean = {}",
+        s.mean_abs
+    );
 }

@@ -2,8 +2,8 @@
 //! documented limits.
 
 use usbf::core::{
-    DelayEngine, EngineError, NaiveTableEngine, TableFreeConfig, TableFreeEngine,
-    TableSteerConfig, TableSteerEngine,
+    DelayEngine, EngineError, NaiveTableEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig,
+    TableSteerEngine,
 };
 use usbf::fixed::{Fixed, FixedError, QFormat, RoundingMode};
 use usbf::geometry::{SystemSpec, TransducerSpec, VolumeSpec, VoxelIndex};
@@ -29,14 +29,20 @@ fn tablesteer_rejects_formats_too_narrow_for_the_geometry() {
         correction_format: QFormat::CORR_18,
     };
     let err = TableSteerEngine::new(&spec, cfg).unwrap_err();
-    assert!(matches!(err, EngineError::Fixed(FixedError::Overflow { .. })), "{err:?}");
+    assert!(
+        matches!(err, EngineError::Fixed(FixedError::Overflow { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
 fn tablefree_rejects_nonsense_delta() {
     let spec = SystemSpec::tiny();
     let err = TableFreeEngine::new(&spec, TableFreeConfig::with_delta(0.0)).unwrap_err();
-    assert!(matches!(err, EngineError::Pwl(PwlError::InvalidDelta(_))), "{err:?}");
+    assert!(
+        matches!(err, EngineError::Pwl(PwlError::InvalidDelta(_))),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -58,8 +64,15 @@ fn delay_indices_clamp_into_echo_window() {
     let wide = SystemSpec::new(
         base.speed_of_sound,
         base.sampling_frequency,
-        TransducerSpec { nx: 100, ny: 100, ..base.transducer.clone() },
-        VolumeSpec { n_depth: 8, ..base.volume.clone() },
+        TransducerSpec {
+            nx: 100,
+            ny: 100,
+            ..base.transducer.clone()
+        },
+        VolumeSpec {
+            n_depth: 8,
+            ..base.volume.clone()
+        },
         base.origin,
         base.frame_rate,
     );
@@ -71,7 +84,11 @@ fn delay_indices_clamp_into_echo_window() {
         assert!(idx >= 0 && (idx as usize) < wide.echo_buffer_len());
         max_idx = max_idx.max(idx);
     }
-    assert_eq!(max_idx as usize, wide.echo_buffer_len() - 1, "clamp hit the rail");
+    assert_eq!(
+        max_idx as usize,
+        wide.echo_buffer_len() - 1,
+        "clamp hit the rail"
+    );
     assert!(eng.clamp_events() > 0);
 }
 
@@ -91,7 +108,10 @@ fn spec_constructor_rejects_degenerate_geometry() {
         SystemSpec::new(
             base.speed_of_sound,
             base.sampling_frequency,
-            TransducerSpec { nx: 0, ..base.transducer.clone() },
+            TransducerSpec {
+                nx: 0,
+                ..base.transducer.clone()
+            },
             base.volume.clone(),
             base.origin,
             base.frame_rate,

@@ -83,7 +83,10 @@ fn ultrascale_projection_improves_tablefree_only_capacity() {
     // Double LUTs → √2× channels per side (42 → ~59).
     assert!(tf_us.channels.0 > tf_v7.channels.0);
     let ratio = tf_us.channels.0 as f64 / tf_v7.channels.0 as f64;
-    assert!((ratio - std::f64::consts::SQRT_2).abs() < 0.05, "ratio = {ratio}");
+    assert!(
+        (ratio - std::f64::consts::SQRT_2).abs() < 0.05,
+        "ratio = {ratio}"
+    );
     // Frame rate is clock-bound, not capacity-bound: unchanged.
     assert_eq!(tf_us.frame_rate, tf_v7.frame_rate);
 }
@@ -93,6 +96,10 @@ fn smaller_probes_fit_tablefree_fully() {
     // The reduced 32×32 spec needs 1024 units — comfortably below the
     // ~1766 that fit: TABLEFREE supports it outright.
     let spec = SystemSpec::reduced();
-    let m = map_tablefree(&spec, &Device::virtex7_xc7vx1140t(), &CostModel::calibrated());
+    let m = map_tablefree(
+        &spec,
+        &Device::virtex7_xc7vx1140t(),
+        &CostModel::calibrated(),
+    );
     assert!(m.channels.0 * m.channels.1 >= spec.elements.count());
 }
