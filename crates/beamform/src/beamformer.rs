@@ -15,6 +15,31 @@ use usbf_geometry::scan::ScanOrder;
 use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 use usbf_sim::RfFrame;
 
+/// The schedule the parallel volume paths run on: fitted to the pool
+/// that will execute it (~4 tiles per worker for claim balancing), not
+/// to raw core count — the two differ when `USBF_POOL_THREADS` resizes
+/// the global pool.
+pub(crate) fn pool_fitted_schedule(
+    spec: &SystemSpec,
+    pool: &usbf_par::ThreadPool,
+) -> NappeSchedule {
+    NappeSchedule::fitted(spec, pool.threads().max(1) * 4)
+}
+
+/// Scatters one tile's beamformed values (in
+/// `[scanline-within-tile][depth]` order) into the output volume — the
+/// single copy of the tile→volume layout mapping, shared by the cold
+/// tiled path and [`VolumeLoop`](crate::VolumeLoop) so the two stay
+/// bit-identical by construction.
+pub(crate) fn scatter_tile(out: &mut BeamformedVolume, tile: Tile, values: &[f64], n_depth: usize) {
+    for (slot, it, ip) in tile.iter_scanlines() {
+        let column = &values[slot * n_depth..(slot + 1) * n_depth];
+        for (id, &v) in column.iter().enumerate() {
+            out.set(VoxelIndex::new(it, ip, id), v);
+        }
+    }
+}
+
 /// How echo samples are fetched at the computed delay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Interpolation {
@@ -74,6 +99,18 @@ impl Beamformer {
         self.order
     }
 
+    /// The system spec this beamformer is bound to.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Apodization weights for every element, in linear element order —
+    /// the `w` of Eq. 1, precomputed once per volume (or once per
+    /// [`VolumeLoop`](crate::VolumeLoop) lifetime).
+    pub fn element_weights(&self) -> Vec<f64> {
+        self.apodization.weights(&self.spec.elements)
+    }
+
     /// Beamforms a single focal point: `Σ_D w·e(D, tp)`.
     pub fn beamform_voxel(&self, engine: &dyn DelayEngine, rf: &RfFrame, vox: VoxelIndex) -> f64 {
         let mut acc = 0.0;
@@ -94,14 +131,34 @@ impl Beamformer {
     /// Beamforms the whole volume.
     ///
     /// Nappe-by-nappe order (the default) runs the batched pipeline:
-    /// parallel over [`NappeSchedule`] tiles, one delay slab per
-    /// (tile, nappe) via [`DelayEngine::fill_nappe`]. Scanline-by-scanline
-    /// order keeps the scalar per-voxel walk as the reference path. Both
-    /// produce bit-identical volumes.
+    /// parallel over [`NappeSchedule`] tiles on the persistent
+    /// `usbf_par` pool, one delay slab per (tile, nappe) via
+    /// [`DelayEngine::fill_nappe`]. Scanline-by-scanline order keeps the
+    /// scalar per-voxel walk as the reference path. Both produce
+    /// bit-identical volumes. For repeated frames, prefer
+    /// [`VolumeLoop`](crate::VolumeLoop), which reuses this path's slabs
+    /// and buffers across calls.
+    ///
+    /// ```
+    /// use usbf_beamform::Beamformer;
+    /// use usbf_core::ExactEngine;
+    /// use usbf_geometry::SystemSpec;
+    /// use usbf_sim::RfFrame;
+    ///
+    /// let spec = SystemSpec::tiny();
+    /// let rf = RfFrame::zeros(
+    ///     spec.elements.nx(),
+    ///     spec.elements.ny(),
+    ///     spec.echo_buffer_len(),
+    /// );
+    /// let vol = Beamformer::new(&spec).beamform_volume(&ExactEngine::new(&spec), &rf);
+    /// assert_eq!(vol.len(), spec.volume_grid.voxel_count());
+    /// ```
     pub fn beamform_volume(&self, engine: &dyn DelayEngine, rf: &RfFrame) -> BeamformedVolume {
         match self.order {
             ScanOrder::NappeByNappe => {
-                self.beamform_volume_tiled(engine, rf, &NappeSchedule::for_host(&self.spec))
+                let schedule = pool_fitted_schedule(&self.spec, usbf_par::global());
+                self.beamform_volume_tiled(engine, rf, &schedule)
             }
             ScanOrder::ScanlineByScanline => {
                 let mut out = BeamformedVolume::zeros(&self.spec);
@@ -131,14 +188,7 @@ impl Beamformer {
         let n_depth = self.spec.volume_grid.n_depth();
         let mut out = BeamformedVolume::zeros(&self.spec);
         for (tile, values) in tiles.iter().zip(per_tile) {
-            for (slot, it, ip) in tile.iter_scanlines() {
-                for (id, &v) in values[slot * n_depth..(slot + 1) * n_depth]
-                    .iter()
-                    .enumerate()
-                {
-                    out.set(VoxelIndex::new(it, ip, id), v);
-                }
-            }
+            scatter_tile(&mut out, *tile, &values, n_depth);
         }
         out
     }
@@ -152,13 +202,41 @@ impl Beamformer {
         tile: Tile,
         weights: &[f64],
     ) -> Vec<f64> {
+        let mut slab = NappeDelays::for_tile(&self.spec, tile);
+        let mut values = vec![0.0; tile.scanlines() * self.spec.volume_grid.n_depth()];
+        self.beamform_tile_into(engine, rf, weights, &mut slab, &mut values);
+        values
+    }
+
+    /// Beamforms one tile into caller-owned buffers: `slab` is the
+    /// reusable per-worker delay slab (its tile selects the fan region)
+    /// and `values` receives the result in
+    /// `[scanline-within-tile][depth]` order. This is the allocation-free
+    /// kernel [`VolumeLoop`](crate::VolumeLoop) drives every frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not exactly `tile.scanlines() × n_depth`
+    /// long.
+    pub fn beamform_tile_into(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        weights: &[f64],
+        slab: &mut NappeDelays,
+        values: &mut [f64],
+    ) {
+        let tile = slab.tile();
         let n_depth = self.spec.volume_grid.n_depth();
         let n_elements = self.spec.elements.count();
         let nx = self.spec.elements.nx();
-        let mut slab = NappeDelays::for_tile(&self.spec, tile);
-        let mut values = vec![0.0; tile.scanlines() * n_depth];
+        assert_eq!(
+            values.len(),
+            tile.scanlines() * n_depth,
+            "values buffer must cover the tile"
+        );
         for id in 0..n_depth {
-            engine.fill_nappe(id, &mut slab);
+            engine.fill_nappe(id, slab);
             for slot in 0..tile.scanlines() {
                 let row = slab.row(slot);
                 let mut acc = 0.0;
@@ -180,7 +258,6 @@ impl Beamformer {
                 values[slot * n_depth + id] = acc;
             }
         }
-        values
     }
 
     /// Beamforms one scanline (all depths along direction `(it, ip)`),

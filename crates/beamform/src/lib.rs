@@ -12,7 +12,10 @@
 //! * [`Beamformer`] — per-voxel delay-and-sum with nearest-index fetch
 //!   (the paper's datapath) or linear interpolation (extension);
 //! * [`BeamformedVolume`] — the reconstructed volume with profile/slice
-//!   accessors for image-quality metrics.
+//!   accessors for image-quality metrics;
+//! * [`VolumeLoop`] — the real-time frame loop: repeated volumes on the
+//!   persistent `usbf_par` worker pool with preallocated delay slabs and
+//!   buffers, bit-identical to the cold path.
 //!
 //! # Example
 //!
@@ -40,9 +43,11 @@
 mod apodization;
 mod beamformer;
 mod volume;
+mod volume_loop;
 
 pub use apodization::Apodization;
 pub use beamformer::{Beamformer, Interpolation};
 pub use volume::BeamformedVolume;
+pub use volume_loop::VolumeLoop;
 
 pub use usbf_core::DelayEngine;

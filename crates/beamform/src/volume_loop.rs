@@ -1,0 +1,255 @@
+//! The real-time frame loop: repeated volumes with warm, preallocated
+//! state on the persistent worker pool.
+//!
+//! The paper's architecture exists to sustain delay generation at 3D
+//! frame rates — the delays for a volume are regenerated for **every
+//! insonification**, thousands of times per second. A loop that calls
+//! [`Beamformer::beamform_volume`] per frame pays, each time, for a tile
+//! schedule, one delay slab and one values buffer per tile, a fresh
+//! output volume, and (historically) freshly spawned threads.
+//! [`VolumeLoop`] hoists all of that out of the frame path: it owns a
+//! handle to the persistent [`ThreadPool`], one [`NappeDelays`] slab and
+//! values buffer per schedule tile, and a reusable output volume. After
+//! the first frame, beamforming a volume performs **no thread spawns and
+//! no slab, buffer or volume allocations** — only the per-task queue
+//! boxes of the pool's scope machinery.
+
+use crate::{BeamformedVolume, Beamformer};
+use std::sync::Arc;
+use usbf_core::{DelayEngine, NappeDelays, NappeSchedule, Tile};
+use usbf_par::ThreadPool;
+use usbf_sim::RfFrame;
+
+/// Warm per-tile state: one worker's delay slab and output staging
+/// buffer, allocated once and refilled every frame.
+struct TileState {
+    slab: NappeDelays,
+    values: Vec<f64>,
+}
+
+/// A persistent volume-rate beamforming loop.
+///
+/// Bit-exactness invariant: for the same engine, RF frame and schedule,
+/// [`VolumeLoop::beamform`] produces a volume **bit-identical** to a cold
+/// [`Beamformer::beamform_volume`] call — the loop only reuses memory; it
+/// never reorders the arithmetic.
+///
+/// ```
+/// use usbf_beamform::{Beamformer, VolumeLoop};
+/// use usbf_core::ExactEngine;
+/// use usbf_geometry::SystemSpec;
+/// use usbf_sim::RfFrame;
+///
+/// let spec = SystemSpec::tiny();
+/// let engine = ExactEngine::new(&spec);
+/// let rf = RfFrame::zeros(
+///     spec.elements.nx(),
+///     spec.elements.ny(),
+///     spec.echo_buffer_len(),
+/// );
+/// let beamformer = Beamformer::new(&spec);
+/// let cold = beamformer.beamform_volume(&engine, &rf);
+/// let mut rt = VolumeLoop::new(beamformer);
+/// for _ in 0..3 {
+///     let vol = rt.beamform(&engine, &rf); // warm path, no reallocation
+///     assert_eq!(vol, &cold);
+/// }
+/// assert_eq!(rt.frames(), 3);
+/// ```
+pub struct VolumeLoop {
+    beamformer: Beamformer,
+    pool: Arc<ThreadPool>,
+    tiles: Vec<Tile>,
+    states: Vec<TileState>,
+    weights: Vec<f64>,
+    out: BeamformedVolume,
+    frames: u64,
+}
+
+impl VolumeLoop {
+    /// Builds a loop on the global pool with a schedule fitted to that
+    /// pool's worker count — the same schedule
+    /// [`Beamformer::beamform_volume`] uses, so outputs stay
+    /// bit-identical to the cold path (they are bit-identical for *any*
+    /// schedule, but sharing one also matches the work split).
+    pub fn new(beamformer: Beamformer) -> Self {
+        let pool = usbf_par::global_arc();
+        let schedule = crate::beamformer::pool_fitted_schedule(beamformer.spec(), &pool);
+        Self::with_pool(beamformer, pool, &schedule)
+    }
+
+    /// Builds a loop on an explicit pool and schedule. All allocation
+    /// happens here: one slab and one values buffer per schedule tile,
+    /// plus the output volume.
+    pub fn with_pool(
+        beamformer: Beamformer,
+        pool: Arc<ThreadPool>,
+        schedule: &NappeSchedule,
+    ) -> Self {
+        let spec = beamformer.spec().clone();
+        let n_depth = spec.volume_grid.n_depth();
+        let tiles = schedule.tiles();
+        let states = tiles
+            .iter()
+            .map(|&tile| TileState {
+                slab: NappeDelays::for_tile(&spec, tile),
+                values: vec![0.0; tile.scanlines() * n_depth],
+            })
+            .collect();
+        let weights = beamformer.element_weights();
+        let out = BeamformedVolume::zeros(&spec);
+        VolumeLoop {
+            beamformer,
+            pool,
+            tiles,
+            states,
+            weights,
+            out,
+            frames: 0,
+        }
+    }
+
+    /// Beamforms one frame into the loop's reusable volume and returns
+    /// it. Each schedule tile is one pool task writing into its own warm
+    /// slab and staging buffer; the sequential scatter into the output volume is
+    /// deterministic, so repeated frames of identical input are
+    /// bit-identical (and identical to the cold path).
+    pub fn beamform(&mut self, engine: &dyn DelayEngine, rf: &RfFrame) -> &BeamformedVolume {
+        let beamformer = &self.beamformer;
+        let weights = &self.weights;
+        let states = &mut self.states;
+        self.pool.scope(|s| {
+            for state in states.iter_mut() {
+                s.spawn(move || {
+                    beamformer.beamform_tile_into(
+                        engine,
+                        rf,
+                        weights,
+                        &mut state.slab,
+                        &mut state.values,
+                    );
+                });
+            }
+        });
+        let n_depth = beamformer.spec().volume_grid.n_depth();
+        for (tile, state) in self.tiles.iter().zip(&self.states) {
+            crate::beamformer::scatter_tile(&mut self.out, *tile, &state.values, n_depth);
+        }
+        self.frames += 1;
+        &self.out
+    }
+
+    /// The most recently beamformed volume (zeros before the first
+    /// frame).
+    pub fn volume(&self) -> &BeamformedVolume {
+        &self.out
+    }
+
+    /// Frames beamformed since construction.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Number of schedule tiles (= parallel tasks per frame).
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The beamformer configuration driving the loop.
+    pub fn beamformer(&self) -> &Beamformer {
+        &self.beamformer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usbf_core::{ExactEngine, TableSteerConfig, TableSteerEngine};
+    use usbf_geometry::SystemSpec;
+    use usbf_sim::{EchoSynthesizer, Phantom, Pulse};
+
+    fn setup() -> (SystemSpec, RfFrame) {
+        let spec = SystemSpec::tiny();
+        // A point target sitting exactly on a voxel, so volumes carry
+        // real signal energy.
+        let target = spec
+            .volume_grid
+            .position(usbf_geometry::VoxelIndex::new(4, 4, 8));
+        let rf = EchoSynthesizer::new(&spec)
+            .synthesize(&Phantom::point(target), &Pulse::from_spec(&spec));
+        (spec, rf)
+    }
+
+    #[test]
+    fn warm_loop_is_bit_identical_to_cold_beamform_volume() {
+        let (spec, rf) = setup();
+        let exact = ExactEngine::new(&spec);
+        let steer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        for engine in [&exact as &dyn DelayEngine, &steer] {
+            let beamformer = Beamformer::new(&spec);
+            let cold = beamformer.beamform_volume(engine, &rf);
+            let mut rt = VolumeLoop::new(beamformer);
+            for frame in 0..5 {
+                let warm = rt.beamform(engine, &rf);
+                assert_eq!(warm, &cold, "{} frame {frame}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_loop_reuses_slabs_and_buffers() {
+        let (spec, rf) = setup();
+        let engine = ExactEngine::new(&spec);
+        let mut rt = VolumeLoop::new(Beamformer::new(&spec));
+        rt.beamform(&engine, &rf);
+        let slab_ptrs: Vec<*const f64> = rt
+            .states
+            .iter()
+            .map(|s| s.slab.samples().as_ptr())
+            .collect();
+        let value_ptrs: Vec<*const f64> = rt.states.iter().map(|s| s.values.as_ptr()).collect();
+        let out_ptr = rt.out.as_slice().as_ptr();
+        for _ in 0..10 {
+            rt.beamform(&engine, &rf);
+        }
+        // No slab, staging-buffer or output-volume reallocation after
+        // warm-up: the frame path only writes into memory owned since
+        // construction.
+        for (state, (&sp, &vp)) in rt
+            .states
+            .iter()
+            .zip(slab_ptrs.iter().zip(value_ptrs.iter()))
+        {
+            assert_eq!(state.slab.samples().as_ptr(), sp);
+            assert_eq!(state.values.as_ptr(), vp);
+        }
+        assert_eq!(rt.out.as_slice().as_ptr(), out_ptr);
+        assert_eq!(rt.frames(), 11);
+    }
+
+    #[test]
+    fn explicit_pool_and_schedule_match_default_path() {
+        let (spec, rf) = setup();
+        let engine = ExactEngine::new(&spec);
+        let cold = Beamformer::new(&spec).beamform_volume(&engine, &rf);
+        for target_tiles in [1, 4, 16] {
+            let schedule = NappeSchedule::fitted(&spec, target_tiles);
+            let pool = Arc::new(ThreadPool::new(3));
+            let mut rt = VolumeLoop::with_pool(Beamformer::new(&spec), pool, &schedule);
+            assert!(rt.tile_count() >= target_tiles);
+            assert_eq!(rt.beamform(&engine, &rf), &cold, "{target_tiles} tiles");
+        }
+    }
+
+    #[test]
+    fn volume_accessor_tracks_last_frame() {
+        let (spec, rf) = setup();
+        let engine = ExactEngine::new(&spec);
+        let mut rt = VolumeLoop::new(Beamformer::new(&spec));
+        assert_eq!(rt.volume().max_abs(), 0.0);
+        assert_eq!(rt.frames(), 0);
+        let peak = rt.beamform(&engine, &rf).max_abs();
+        assert!(peak > 0.0);
+        assert_eq!(rt.volume().max_abs(), peak);
+    }
+}

@@ -61,6 +61,25 @@ pub trait DelayEngine: Sync {
     /// per entry. Specialized implementations (TABLEFREE's tracked PWL
     /// walk, TABLESTEER's per-scanline correction reuse) must produce
     /// bit-identical slabs — `tests/engine_consistency.rs` enforces this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nappe_idx` is outside the slab's depth range (checked
+    /// in release builds at the [`NappeDelays::begin_fill`] boundary).
+    ///
+    /// ```
+    /// use usbf_core::{DelayEngine, ExactEngine, NappeDelays};
+    /// use usbf_geometry::{SystemSpec, VoxelIndex};
+    ///
+    /// let spec = SystemSpec::tiny();
+    /// let engine = ExactEngine::new(&spec);
+    /// let mut slab = NappeDelays::full(&spec);
+    /// engine.fill_nappe(8, &mut slab);
+    /// // The slab holds exactly what per-voxel queries would return:
+    /// let e = spec.elements.center_element();
+    /// let vox = VoxelIndex::new(4, 4, 8);
+    /// assert_eq!(slab.at(4, 4, e), engine.delay_samples(vox, e));
+    /// ```
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
         out.fill_scalar(self, nappe_idx);
     }

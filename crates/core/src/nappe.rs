@@ -27,6 +27,7 @@ pub struct NappeDelays {
     tile: Tile,
     n_elements: usize,
     elements_nx: usize,
+    n_depth: usize,
     nappe: Option<usize>,
 }
 
@@ -53,6 +54,7 @@ impl NappeDelays {
             tile,
             n_elements,
             elements_nx: spec.elements.nx(),
+            n_depth: v.n_depth(),
             nappe: None,
         }
     }
@@ -137,18 +139,49 @@ impl NappeDelays {
         &self.samples
     }
 
+    /// Depth steps (nappes) of the volume grid this slab was built for —
+    /// the exclusive upper bound on fillable nappe indices.
+    #[inline]
+    pub fn n_depth(&self) -> usize {
+        self.n_depth
+    }
+
+    /// Clears the held-nappe marker, returning the slab to its
+    /// freshly-allocated state without touching the buffer. Useful when
+    /// handing a recycled slab to a different consumer; plain refills
+    /// don't need it — [`begin_fill`](Self::begin_fill) overwrites the
+    /// marker unconditionally, which is how warm loops reuse slabs.
+    pub fn reset(&mut self) {
+        self.nappe = None;
+    }
+
     /// Marks the slab as holding `nappe_idx` and hands out the raw buffer
     /// for an engine's batched fill.
+    ///
+    /// Every engine's [`fill_nappe`](crate::DelayEngine::fill_nappe)
+    /// routes through here, so this is the single validation point for
+    /// the slab API.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in release builds too — the engines' own geometry checks
+    /// are `debug_assert`s) if `nappe_idx` is outside the volume grid's
+    /// depth range.
     pub fn begin_fill(&mut self, nappe_idx: usize) -> &mut [f64] {
+        assert!(
+            nappe_idx < self.n_depth,
+            "nappe index {nappe_idx} out of range: the volume grid has {} depth steps",
+            self.n_depth
+        );
         self.nappe = Some(nappe_idx);
         &mut self.samples
     }
 
     /// Scalar reference fill: one
     /// [`delay_samples`](crate::DelayEngine::delay_samples) query per slab
-    /// entry. This is the [`DelayEngine::fill_nappe`]
-    /// (crate::DelayEngine::fill_nappe) default, and the bit-exactness
-    /// oracle for every specialized batched path.
+    /// entry. This is the
+    /// [`fill_nappe`](crate::DelayEngine::fill_nappe) default, and the
+    /// bit-exactness oracle for every specialized batched path.
     pub fn fill_scalar<E: crate::DelayEngine + ?Sized>(&mut self, engine: &E, nappe_idx: usize) {
         let tile = self.tile;
         let n_elements = self.n_elements;
@@ -217,6 +250,31 @@ mod tests {
                 assert_eq!(slab.at(it, ip, e), engine.delay_samples(vox, e));
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_depth_nappe_rejected_at_fill_boundary() {
+        // Release-mode boundary check: the geometry layer only
+        // debug_asserts depth indices, so the slab API must reject them
+        // unconditionally for every engine (all fills route through
+        // begin_fill).
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let mut slab = NappeDelays::full(&spec);
+        engine.fill_nappe(16, &mut slab); // tiny grid has n_depth == 16
+    }
+
+    #[test]
+    fn reset_clears_held_nappe() {
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let mut slab = NappeDelays::full(&spec);
+        assert_eq!(slab.n_depth(), 16);
+        engine.fill_nappe(3, &mut slab);
+        assert_eq!(slab.nappe(), Some(3));
+        slab.reset();
+        assert_eq!(slab.nappe(), None);
     }
 
     #[test]

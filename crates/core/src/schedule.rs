@@ -20,6 +20,22 @@ use crate::SteerBlockSpec;
 use usbf_geometry::SystemSpec;
 
 /// A static assignment of steering-fan tiles to delay-computation blocks.
+///
+/// ```
+/// use usbf_core::NappeSchedule;
+/// use usbf_geometry::SystemSpec;
+///
+/// // The paper's Fig. 4 layout: 128 blocks, each owning an 8 × 16 tile
+/// // of the 128 × 128 fan and streaming one nappe of delays per step.
+/// let schedule = NappeSchedule::paper();
+/// assert_eq!(schedule.n_blocks(), 128);
+/// assert_eq!(schedule.tile_of(0).scanlines(), 128);
+///
+/// // Host-side: fit a schedule to any spec with enough tiles to keep a
+/// // worker pool busy (the parallel work list of `beamform_volume`).
+/// let fitted = NappeSchedule::fitted(&SystemSpec::tiny(), 4);
+/// assert_eq!(fitted.tiles().len(), fitted.n_blocks());
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NappeSchedule {
     block: SteerBlockSpec,

@@ -1,0 +1,108 @@
+//! The unit a pool executes: a queue of tasks plus a completion latch.
+//!
+//! Every [`scope`](crate::ThreadPool::scope) (and therefore every
+//! [`par_map`](crate::par_map)) creates one [`JobCore`]: a mutex-guarded
+//! task queue, a count of spawned-but-unfinished tasks and a condition
+//! variable the scope owner parks on. Workers drain the queue
+//! opportunistically and leave when it runs dry; the owner additionally
+//! waits until every in-flight task (and any task those tasks spawned)
+//! has finished, which is the property that makes lifetime-erased
+//! borrowed tasks sound.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// A lifetime-erased task. The erasure happens in
+/// [`PoolScope::spawn`](crate::PoolScope::spawn); the scope owner's
+/// [`JobCore::drain`] barrier restores the borrow discipline.
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state guarded by one mutex: simple to reason about, and the
+/// tasks this pool carries are coarse (schedule tiles, claim loops), so
+/// per-task locking is noise.
+struct State {
+    queue: VecDeque<Task>,
+    /// Tasks pushed but not yet finished (queued or executing).
+    pending: usize,
+    /// Set once the scope's user closure has returned: no more tasks can
+    /// arrive except from still-running tasks, which `pending` tracks.
+    closed: bool,
+}
+
+/// Shared core of one scope's worth of work.
+pub(crate) struct JobCore {
+    state: Mutex<State>,
+    complete: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl JobCore {
+    pub(crate) fn new() -> Self {
+        JobCore {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: 0,
+                closed: false,
+            }),
+            complete: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Enqueues a task and wakes anyone parked on the latch (the owner
+    /// drains newly spawned work itself if every worker is busy).
+    pub(crate) fn push(&self, task: Task) {
+        let mut state = self.state.lock().unwrap();
+        state.pending += 1;
+        state.queue.push_back(task);
+        drop(state);
+        self.complete.notify_all();
+    }
+
+    /// Marks the user closure as returned; completion is now
+    /// `pending == 0`.
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.complete.notify_all();
+    }
+
+    /// Runs queued tasks. Workers (`owner == false`) return as soon as
+    /// the queue is empty — they must stay available for other jobs. The
+    /// scope owner keeps waiting until the job is complete: queue empty,
+    /// closed, and no task still executing anywhere.
+    pub(crate) fn drain(&self, owner: bool) {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(task) = state.queue.pop_front() {
+                drop(state);
+                self.run_one(task);
+                state = self.state.lock().unwrap();
+                continue;
+            }
+            if !owner || (state.closed && state.pending == 0) {
+                return;
+            }
+            state = self.complete.wait(state).unwrap();
+        }
+    }
+
+    /// Executes one task, capturing the first panic for the owner to
+    /// re-throw after the barrier.
+    fn run_one(&self, task: Task) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.state.lock().unwrap().pending -= 1;
+        self.complete.notify_all();
+    }
+
+    /// The first panic payload raised by any task, if one panicked.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}

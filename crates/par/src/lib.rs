@@ -1,81 +1,81 @@
-//! Minimal data-parallelism layer over `std::thread::scope`.
+//! Persistent worker-pool runtime for the workspace's data parallelism.
 //!
 //! The build environment has no registry access, so this crate provides
-//! the small rayon-style API subset the workspace needs — a parallel
-//! indexed map with dynamic work claiming — implemented with scoped
-//! threads and one atomic counter. Workers race to claim the next item,
-//! so uneven per-item costs (e.g. schedule tiles of different sizes)
-//! still balance.
+//! the small rayon-style API subset the workspace needs — now backed by a
+//! **persistent [`ThreadPool`]** instead of per-call scoped threads. The
+//! paper's streaming architecture beamforms thousands of volumes per
+//! second; spawning a thread per tile per volume is exactly the kind of
+//! per-frame cost it amortizes away, so workers here are created once,
+//! parked on per-worker channel queues, and handed jobs by reference.
+//!
+//! Three layers:
+//!
+//! * [`ThreadPool`] — the pool itself: `new(threads)` or the process-wide
+//!   [`global`] instance (sized from `USBF_POOL_THREADS` or the available
+//!   parallelism);
+//! * [`ThreadPool::scope`] / [`PoolScope::spawn`] — structured borrowed
+//!   tasks, shaped like [`std::thread::scope`] but executed by the pool;
+//! * [`par_map`] / [`par_map_indexed`] / [`par_for_each_index`] — the
+//!   drop-in parallel maps every call site already uses, with dynamic
+//!   work claiming so stragglers don't serialize the pool.
+//!
+//! The calling thread always participates in its own job, which makes
+//! nested `scope`/`par_map` calls from inside tasks deadlock-free: the
+//! inner job is drained by its own caller even when every worker is busy.
 //!
 //! ```
 //! let squares = usbf_par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod job;
+mod pool;
+mod scope;
 
-/// Number of worker threads to use for `n_items` of work: the machine's
-/// available parallelism, capped by the item count (never zero).
+pub use pool::{global, global_arc, ThreadPool};
+pub use scope::PoolScope;
+
+/// Number of claimants [`par_map`] would use for `n_items` of work: the
+/// default pool size ([`ThreadPool::default_threads`]), capped by the
+/// item count (never zero). A pure query — it does not build the global
+/// pool.
 pub fn thread_count(n_items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(n_items).max(1)
+    ThreadPool::default_threads().min(n_items).max(1)
 }
 
-/// Maps `f` over `items` on [`thread_count`] scoped threads, returning the
-/// results in input order. `f` receives `(index, &item)`.
+/// Maps `f` over `items` on the global pool, returning the results in
+/// input order. `f` receives `(index, &item)`.
 ///
 /// Items are claimed dynamically (one atomic fetch-add per item), so
-/// stragglers don't serialize the pool. Panics in `f` propagate.
+/// stragglers don't serialize the pool. Panics in `f` propagate. This is
+/// the historical entry point and is identical to [`par_map_indexed`];
+/// no threads are spawned by the call — the persistent workers of
+/// [`global`] do the work.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = thread_count(items.len());
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
-    });
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for chunk in chunks.drain(..) {
-        for (i, r) in chunk {
-            out[i] = Some(r);
-        }
-    }
-    out.into_iter()
-        .map(|r| r.expect("every index claimed exactly once"))
-        .collect()
+    global().par_map_indexed(items, f)
 }
 
-/// Runs `f` for every index in `0..n`, in parallel, discarding results.
+/// Explicitly named alias of [`par_map`]: maps `(index, &item) → R` over
+/// the global pool, preserving input order.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    global().par_map_indexed(items, f)
+}
+
+/// Runs `f` for every index in `0..n`, in parallel on the global pool,
+/// discarding results.
 pub fn par_for_each_index<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
@@ -87,7 +87,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn map_preserves_order() {
@@ -128,9 +128,26 @@ mod tests {
     }
 
     #[test]
+    fn indexed_alias_matches_par_map() {
+        let items: Vec<u32> = (0..32).collect();
+        assert_eq!(
+            par_map(&items, |i, &x| x as usize + i),
+            par_map_indexed(&items, |i, &x| x as usize + i)
+        );
+    }
+
+    #[test]
+    fn global_pool_is_built_once() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert_eq!(global_arc().threads(), global().threads());
+    }
+
+    #[test]
     #[should_panic]
     fn worker_panic_propagates() {
-        // Enough items that the parallel path is taken on any machine.
+        // Enough items that a parallel path is taken on any machine.
         let items: Vec<usize> = (0..64).collect();
         par_map(&items, |_, &x| {
             if x == 13 {

@@ -1,0 +1,141 @@
+//! The persistent worker pool.
+
+use crate::job::JobCore;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// A pool of persistent worker threads with a channel-based job injector.
+///
+/// Workers are spawned **once**, at construction, and parked on their own
+/// `mpsc` queue; every [`scope`](ThreadPool::scope) /
+/// [`par_map_indexed`](ThreadPool::par_map_indexed) call announces its job
+/// to the per-worker queues instead of spawning threads, which is what
+/// removes the per-frame thread-creation cost from real-time volume loops
+/// (see `usbf_beamform::VolumeLoop`). The calling thread always
+/// participates in its own job, so a pool is deadlock-free even when all
+/// workers are busy — nested `scope`/`par_map` calls from inside tasks
+/// simply run on the threads already committed to them.
+///
+/// ```
+/// let pool = usbf_par::ThreadPool::new(2);
+/// let squares = pool.par_map_indexed(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// // The same two workers serve every subsequent call.
+/// let sums = pool.par_map_indexed(&[1u64, 2], |i, &x| x + i as u64);
+/// assert_eq!(sums, vec![1, 3]);
+/// ```
+pub struct ThreadPool {
+    senders: Vec<Sender<Arc<JobCore>>>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    next_announce: AtomicUsize,
+}
+
+impl ThreadPool {
+    /// Builds a pool with exactly `threads` persistent workers.
+    ///
+    /// A pool of 0 or 1 threads is valid: `par_map` and `scope` tasks
+    /// then run inline on the caller (matching the old spawn-per-call
+    /// behaviour on single-core hosts), with no queueing or
+    /// coordination cost.
+    pub fn new(threads: usize) -> Self {
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx): (Sender<Arc<JobCore>>, Receiver<Arc<JobCore>>) = mpsc::channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("usbf-par-{i}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn pool worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ThreadPool {
+            senders,
+            handles,
+            threads,
+            next_announce: AtomicUsize::new(0),
+        }
+    }
+
+    /// Builds a pool sized like [`default_threads`](Self::default_threads).
+    pub fn with_default_size() -> Self {
+        Self::new(Self::default_threads())
+    }
+
+    /// The default worker count: the `USBF_POOL_THREADS` environment
+    /// variable if set and positive, otherwise the machine's available
+    /// parallelism.
+    pub fn default_threads() -> usize {
+        if let Some(n) = std::env::var("USBF_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Number of persistent workers (not counting callers, which also
+    /// run tasks of their own jobs).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Announces a job to one worker queue, round-robin: every spawn
+    /// pokes a worker, so a burst of spawns reaches every worker without
+    /// waking the whole pool per task. Workers that are busy see the
+    /// announcement after finishing their current job; stale
+    /// announcements for completed jobs cost one empty queue check.
+    pub(crate) fn announce(&self, job: &Arc<JobCore>) {
+        if self.senders.is_empty() {
+            return;
+        }
+        let i = self.next_announce.fetch_add(1, Ordering::Relaxed) % self.senders.len();
+        // A send only fails while the pool is being dropped; the
+        // announcing scope still drains its own queue, so tasks are
+        // never lost.
+        let _ = self.senders[i].send(Arc::clone(job));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect every queue so workers fall out of `recv`, then join.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Arc<JobCore>>) {
+    while let Ok(job) = rx.recv() {
+        job.drain(false);
+    }
+}
+
+static GLOBAL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+
+fn global_cell() -> &'static Arc<ThreadPool> {
+    GLOBAL.get_or_init(|| Arc::new(ThreadPool::with_default_size()))
+}
+
+/// The process-wide shared pool, built on first use and sized by
+/// [`ThreadPool::default_threads`]. All free functions
+/// ([`par_map`](crate::par_map) and friends) run on it.
+pub fn global() -> &'static ThreadPool {
+    global_cell()
+}
+
+/// The global pool as a cloneable handle, for owners that want to store
+/// it (e.g. `usbf_beamform::VolumeLoop`).
+pub fn global_arc() -> Arc<ThreadPool> {
+    Arc::clone(global_cell())
+}

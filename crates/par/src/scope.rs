@@ -1,0 +1,155 @@
+//! Structured task scopes over the persistent pool, and the parallel
+//! maps built on them.
+
+use crate::job::{JobCore, Task};
+use crate::pool::ThreadPool;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A scope handle for spawning borrowed tasks onto a [`ThreadPool`],
+/// shaped like [`std::thread::Scope`]: tasks may borrow anything that
+/// outlives the `scope` call, and the call does not return until every
+/// spawned task has finished. Tasks may themselves spawn further tasks
+/// onto the same scope.
+pub struct PoolScope<'scope, 'env: 'scope> {
+    job: Arc<JobCore>,
+    pool: &'scope ThreadPool,
+    /// Invariance over 'scope, exactly like `std::thread::Scope`.
+    scope: PhantomData<&'scope mut &'scope ()>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    /// Queues `f` for execution by the pool (or by the scope owner, who
+    /// always helps drain its own scope). Panics in tasks are captured
+    /// and re-thrown by the enclosing [`ThreadPool::scope`] call after
+    /// all other tasks finish.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        // Pools of ≤ 1 thread run the task inline, right here: no box,
+        // no queue, no condvar — single-core hosts pay no coordination
+        // cost. (A panic then unwinds through the scope closure and is
+        // re-thrown by `scope` exactly like a captured task panic.)
+        if self.pool.threads() <= 1 {
+            f();
+            return;
+        }
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `ThreadPool::scope` does not return (or unwind) before
+        // `JobCore::drain(true)` observes `pending == 0`, i.e. before
+        // every pushed task has run to completion; a task therefore never
+        // outlives the `'scope` borrows it captures. Each box is popped
+        // and consumed by exactly one drain loop, so the erased closure
+        // runs at most once.
+        #[allow(unsafe_code)]
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.job.push(task);
+        self.pool.announce(&self.job);
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with a [`PoolScope`] on which borrowed tasks can be
+    /// spawned; returns once the closure **and every spawned task** have
+    /// finished, executing tasks on the persistent workers and on the
+    /// calling thread (never on freshly spawned threads).
+    ///
+    /// If a task panics, the first panic is re-thrown here after the
+    /// barrier; if `f` itself panics, its panic takes precedence — the
+    /// same discipline as [`std::thread::scope`].
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    /// let pool = usbf_par::ThreadPool::new(2);
+    /// let sum = AtomicU64::new(0);
+    /// pool.scope(|s| {
+    ///     for i in 0..8u64 {
+    ///         let sum = &sum;
+    ///         s.spawn(move || {
+    ///             sum.fetch_add(i, Ordering::Relaxed);
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(sum.load(Ordering::Relaxed), 28);
+    /// ```
+    pub fn scope<'env, F, T>(&'env self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> T,
+    {
+        let scope = PoolScope {
+            job: Arc::new(JobCore::new()),
+            pool: self,
+            scope: PhantomData,
+            env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // The barrier runs even when `f` panicked: tasks it already
+        // spawned must finish before their borrows go away.
+        scope.job.close();
+        scope.job.drain(true);
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = scope.job.take_panic() {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Maps `f` over `items` on the pool's workers, returning results in
+    /// input order; `f` receives `(index, &item)`.
+    ///
+    /// Work is claimed dynamically (one atomic fetch-add per item) by
+    /// `min(threads, items)` claim loops plus the calling thread, so
+    /// uneven per-item costs still balance and the call completes even
+    /// when every worker is busy with other jobs. Single-item inputs and
+    /// pools of ≤ 1 thread run inline on the caller. Panics in `f`
+    /// propagate to the caller.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads() <= 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        let f = &f;
+        self.scope(|s| {
+            for _ in 0..self.threads().min(n) {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    if !local.is_empty() {
+                        collected.lock().unwrap().extend(local);
+                    }
+                });
+            }
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in collected.into_inner().unwrap() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
+    }
+}

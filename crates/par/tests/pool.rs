@@ -1,0 +1,195 @@
+//! Behavioural tests for the persistent pool: reuse, panic propagation,
+//! nesting, and structured-scope semantics. Pools here are built with an
+//! explicit worker count so the multi-worker paths are exercised even on
+//! single-core CI hosts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use usbf_par::ThreadPool;
+
+#[test]
+fn pool_is_reused_across_many_par_map_calls() {
+    let pool = ThreadPool::new(4);
+    assert_eq!(pool.threads(), 4);
+    for round in 0..200usize {
+        let items: Vec<usize> = (0..64).collect();
+        let out = pool.par_map_indexed(&items, |i, &x| x * 2 + round + (i - x));
+        assert_eq!(out, (0..64).map(|x| x * 2 + round).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn par_map_matches_serial_reference() {
+    let pool = ThreadPool::new(3);
+    let items: Vec<f64> = (0..500).map(|i| i as f64 * 0.25).collect();
+    let serial: Vec<f64> = items.iter().map(|x| x.sqrt() + 1.0).collect();
+    let parallel = pool.par_map_indexed(&items, |_, x| x.sqrt() + 1.0);
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn scope_tasks_borrow_caller_state() {
+    let pool = ThreadPool::new(2);
+    let sum = AtomicU64::new(0);
+    let data: Vec<u64> = (1..=100).collect();
+    pool.scope(|s| {
+        for chunk in data.chunks(10) {
+            s.spawn(|| {
+                sum.fetch_add(chunk.iter().sum(), Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 5050);
+}
+
+#[test]
+fn tasks_can_spawn_onto_their_own_scope() {
+    let pool = ThreadPool::new(2);
+    let count = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                count.fetch_add(1, Ordering::Relaxed);
+                // Nested spawn onto the same scope, from inside a task.
+                s.spawn(|| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn nested_par_map_inside_par_map_completes() {
+    // Inner jobs are drained by their own callers, so nesting cannot
+    // deadlock even when the pool is saturated by the outer call.
+    let pool = ThreadPool::new(2);
+    let outer: Vec<usize> = (0..8).collect();
+    let totals = pool.par_map_indexed(&outer, |_, &o| {
+        let inner: Vec<usize> = (0..50).collect();
+        pool.par_map_indexed(&inner, |_, &i| i + o)
+            .into_iter()
+            .sum::<usize>()
+    });
+    for (o, total) in totals.into_iter().enumerate() {
+        assert_eq!(total, (0..50).sum::<usize>() + 50 * o);
+    }
+}
+
+#[test]
+fn nested_scope_inside_scope_completes() {
+    let pool = ThreadPool::new(2);
+    let hits = AtomicUsize::new(0);
+    pool.scope(|outer| {
+        for _ in 0..3 {
+            outer.spawn(|| {
+                pool.scope(|inner| {
+                    for _ in 0..3 {
+                        inner.spawn(|| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 9);
+}
+
+#[test]
+fn panic_in_task_propagates_and_pool_survives() {
+    let pool = ThreadPool::new(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|| panic!("task panic payload"));
+        });
+    }));
+    let payload = result.expect_err("scope must re-throw the task panic");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("<non-str payload>");
+    assert_eq!(msg, "task panic payload");
+
+    // The pool must remain fully usable after a panicked job.
+    let items: Vec<usize> = (0..64).collect();
+    let out = pool.par_map_indexed(&items, |_, &x| x + 1);
+    assert_eq!(out, (1..=64).collect::<Vec<_>>());
+}
+
+#[test]
+fn panic_in_par_map_item_propagates() {
+    let pool = ThreadPool::new(4);
+    let items: Vec<usize> = (0..64).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.par_map_indexed(&items, |_, &x| {
+            if x == 13 {
+                panic!("boom");
+            }
+            x
+        })
+    }));
+    assert!(result.is_err(), "panic in f must reach the caller");
+    // Subsequent calls still work.
+    assert_eq!(pool.par_map_indexed(&items, |_, &x| x), items);
+}
+
+#[test]
+fn sibling_tasks_finish_even_when_one_panics() {
+    let pool = ThreadPool::new(2);
+    let done = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for i in 0..6 {
+                let done = &done;
+                s.spawn(move || {
+                    if i == 2 {
+                        panic!("one bad task");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    assert!(result.is_err());
+    // The barrier ran every sibling before re-throwing.
+    assert_eq!(done.load(Ordering::Relaxed), 5);
+}
+
+#[test]
+fn scope_returns_closure_value() {
+    let pool = ThreadPool::new(2);
+    let value = pool.scope(|s| {
+        s.spawn(|| {});
+        42u32
+    });
+    assert_eq!(value, 42);
+}
+
+#[test]
+fn dropping_a_pool_joins_its_workers() {
+    let pool = ThreadPool::new(3);
+    let items: Vec<usize> = (0..32).collect();
+    let _ = pool.par_map_indexed(&items, |_, &x| x);
+    drop(pool); // must not hang or leak threads that outlive the join
+}
+
+#[test]
+fn zero_and_one_thread_pools_run_inline() {
+    for threads in [0usize, 1] {
+        let pool = ThreadPool::new(threads);
+        let items: Vec<usize> = (0..16).collect();
+        assert_eq!(
+            pool.par_map_indexed(&items, |_, &x| x * 3),
+            (0..16).map(|x| x * 3).collect::<Vec<_>>()
+        );
+        let hit = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                hit.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+}

@@ -3,7 +3,8 @@
 //! The build environment has no registry access, so this shim implements
 //! the API subset the workspace's property tests use: the [`proptest!`]
 //! macro (with optional `#![proptest_config(..)]`), range / tuple /
-//! [`any`] strategies, [`Strategy::prop_map`], and the
+//! [`any`](strategy::any) strategies,
+//! [`Strategy::prop_map`](strategy::Strategy::prop_map), and the
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
 //! Differences from real proptest, by design:

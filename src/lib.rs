@@ -12,8 +12,13 @@
 //! * [`tables`] — reference delay tables, symmetry folding, steering (Fig. 3);
 //! * [`core`] — the delay engines: TABLEFREE and TABLESTEER (§IV, §V);
 //! * [`sim`] — synthetic acoustic echoes and image-quality metrics;
-//! * [`beamform`] — delay-and-sum beamforming over any engine;
-//! * [`fpga`] — the Virtex-7 resource/timing model behind Table II.
+//! * [`beamform`] — delay-and-sum beamforming over any engine, plus the
+//!   real-time [`VolumeLoop`](beamform::VolumeLoop) frame loop;
+//! * [`fpga`] — the Virtex-7 resource/timing model behind Table II;
+//! * [`par`] — the persistent worker-pool runtime the parallel paths run on.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the map from crates
+//! and modules to the paper's sections.
 //!
 //! # Quickstart
 //!
@@ -54,6 +59,7 @@ pub use usbf_core as core;
 pub use usbf_fixed as fixed;
 pub use usbf_fpga as fpga;
 pub use usbf_geometry as geometry;
+pub use usbf_par as par;
 pub use usbf_pwl as pwl;
 pub use usbf_sim as sim;
 pub use usbf_tables as tables;

@@ -1,0 +1,52 @@
+//! Facade-level test of the real-time loop: the persistent pool +
+//! `VolumeLoop` must reproduce the cold beamforming path bit-for-bit
+//! across many frames, for both paper architectures.
+
+use usbf::beamform::{Beamformer, VolumeLoop};
+use usbf::core::{
+    DelayEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
+    TableSteerEngine,
+};
+use usbf::geometry::{SystemSpec, VoxelIndex};
+use usbf::sim::{EchoSynthesizer, Phantom, Pulse};
+
+#[test]
+fn volume_loop_matches_cold_path_for_both_paper_engines() {
+    let spec = SystemSpec::tiny();
+    let target = spec.volume_grid.position(VoxelIndex::new(3, 5, 9));
+    let rf =
+        EchoSynthesizer::new(&spec).synthesize(&Phantom::point(target), &Pulse::from_spec(&spec));
+    let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+    let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    for engine in [&tablefree as &dyn DelayEngine, &tablesteer] {
+        let cold = Beamformer::new(&spec).beamform_volume(engine, &rf);
+        let mut rt = VolumeLoop::new(Beamformer::new(&spec));
+        for frame in 0..20 {
+            let warm = rt.beamform(engine, &rf);
+            assert_eq!(warm, &cold, "{} frame {frame}", engine.name());
+        }
+        assert_eq!(rt.frames(), 20);
+    }
+}
+
+#[test]
+fn volume_loop_on_explicit_pool_survives_schedule_variety() {
+    let spec = SystemSpec::tiny();
+    let rf = usbf::sim::RfFrame::zeros(
+        spec.elements.nx(),
+        spec.elements.ny(),
+        spec.echo_buffer_len(),
+    );
+    let engine = usbf::core::ExactEngine::new(&spec);
+    let pool = std::sync::Arc::new(usbf::par::ThreadPool::new(2));
+    for target_tiles in [1, 2, 8, 64] {
+        let schedule = NappeSchedule::fitted(&spec, target_tiles);
+        let mut rt = VolumeLoop::with_pool(
+            Beamformer::new(&spec),
+            std::sync::Arc::clone(&pool),
+            &schedule,
+        );
+        let vol = rt.beamform(&engine, &rf);
+        assert_eq!(vol.max_abs(), 0.0, "{target_tiles} tiles, empty RF");
+    }
+}
