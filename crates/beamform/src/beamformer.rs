@@ -67,6 +67,7 @@ pub struct Beamformer {
 impl Beamformer {
     /// Creates a beamformer with Hann apodization, nearest-index fetch and
     /// nappe-by-nappe traversal (the paper's preferred order).
+    #[must_use]
     pub fn new(spec: &SystemSpec) -> Self {
         Beamformer {
             spec: spec.clone(),
@@ -77,18 +78,21 @@ impl Beamformer {
     }
 
     /// Sets the apodization window.
+    #[must_use = "with_apodization returns the configured beamformer; dropping it discards the window"]
     pub fn with_apodization(mut self, apodization: Apodization) -> Self {
         self.apodization = apodization;
         self
     }
 
     /// Sets the sample-fetch interpolation.
+    #[must_use = "with_interpolation returns the configured beamformer; dropping it discards the mode"]
     pub fn with_interpolation(mut self, interpolation: Interpolation) -> Self {
         self.interpolation = interpolation;
         self
     }
 
     /// Sets the traversal order (Algorithm 1 flavour).
+    #[must_use = "with_order returns the configured beamformer; dropping it discards the order"]
     pub fn with_order(mut self, order: ScanOrder) -> Self {
         self.order = order;
         self

@@ -1,0 +1,611 @@
+//! The overlapped frame pipeline: acquisition of frame `n+1` runs
+//! concurrently with beamforming of frame `n`.
+//!
+//! The paper's bandwidth argument (§II-C) is about sustaining volume
+//! *rates*: delays for every insonification must be regenerated
+//! thousands of times per second, and §V-B's throughput arithmetic
+//! assumes the delay blocks never sit idle. A host loop that acquires a
+//! frame, then beamforms it, then acquires the next one serializes two
+//! stages that hardware overlaps as a matter of course (the front end
+//! fills one buffer while the beamformer drains another).
+//! [`FramePipeline`] is that overlap on the host side:
+//!
+//! * a pluggable [`FrameSource`] produces RF frames into caller-owned
+//!   buffers ([`SynthesizedFrames`] runs an
+//!   [`EchoSynthesizer`](usbf_sim::EchoSynthesizer) per frame;
+//!   [`FrameRing`] replays prerecorded frames);
+//! * one persistent **acquisition thread** (spawned once, at
+//!   construction) fills the back buffer of a two-deep ring while the
+//!   calling thread and the shared worker pool beamform the front one;
+//! * two [`VolumeLoop`] states on one pool double-buffer the output, so
+//!   the previous frame's volume stays intact (for display or frame
+//!   differencing) while the current one is written.
+//!
+//! A warm pipelined frame performs **zero thread spawns, zero
+//! slab/buffer/volume allocations and zero per-tile job allocations**:
+//! the RF buffers shuttle between the pipeline and the acquisition
+//! thread by move, and each `VolumeLoop` drives its preregistered
+//! [`JobHandle`](usbf_par::JobHandle). Output is bit-identical to
+//! running the same frames through a serial [`VolumeLoop`], for any
+//! engine and any pool size — the pipeline only reorders *when* work
+//! happens, never *what* is computed.
+
+use crate::{BeamformedVolume, Beamformer, VolumeLoop};
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use usbf_core::{DelayEngine, NappeSchedule};
+use usbf_par::ThreadPool;
+use usbf_sim::{EchoSynthesizer, Phantom, Pulse, RfFrame};
+
+/// A producer of RF frames: the acquisition side of the pipeline.
+///
+/// `next_frame` fills a caller-owned buffer (never allocates); it is the
+/// host-side stand-in for a probe front end writing into DMA memory.
+/// Sources run on the pipeline's acquisition thread, so they only need
+/// `Send`. A panic inside `next_frame` is caught by the pipeline and
+/// surfaced as [`PipelineError::Source`]; the source is then reused for
+/// the following frame, so panicking sources should remain internally
+/// consistent across unwinds.
+pub trait FrameSource: Send {
+    /// Fills `out` with the next frame's receive data.
+    fn next_frame(&mut self, out: &mut RfFrame);
+}
+
+/// Any `FnMut(&mut RfFrame) + Send` is a frame source — convenient for
+/// tests and ad-hoc generators.
+impl<F: FnMut(&mut RfFrame) + Send> FrameSource for F {
+    fn next_frame(&mut self, out: &mut RfFrame) {
+        self(out)
+    }
+}
+
+/// A [`FrameSource`] that synthesizes each frame with an
+/// [`EchoSynthesizer`], cycling through a list of phantoms (one phantom
+/// per frame — a moving target is a list of its positions over time).
+pub struct SynthesizedFrames {
+    synth: EchoSynthesizer,
+    pulse: Pulse,
+    phantoms: Vec<Phantom>,
+    next: usize,
+}
+
+impl SynthesizedFrames {
+    /// Creates a source cycling through `phantoms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phantoms` is empty.
+    #[must_use]
+    pub fn new(synth: EchoSynthesizer, pulse: Pulse, phantoms: Vec<Phantom>) -> Self {
+        assert!(!phantoms.is_empty(), "need at least one phantom");
+        SynthesizedFrames {
+            synth,
+            pulse,
+            phantoms,
+            next: 0,
+        }
+    }
+}
+
+impl FrameSource for SynthesizedFrames {
+    fn next_frame(&mut self, out: &mut RfFrame) {
+        let phantom = &self.phantoms[self.next % self.phantoms.len()];
+        self.next += 1;
+        self.synth.synthesize_into(phantom, &self.pulse, out);
+    }
+}
+
+/// A [`FrameSource`] replaying a ring of prerecorded frames — the
+/// reproducible-input source determinism tests and benchmarks drive.
+pub struct FrameRing {
+    frames: Vec<RfFrame>,
+    next: usize,
+}
+
+impl FrameRing {
+    /// Creates a ring over `frames`, replayed in order, forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    #[must_use]
+    pub fn new(frames: Vec<RfFrame>) -> Self {
+        assert!(!frames.is_empty(), "need at least one frame");
+        FrameRing { frames, next: 0 }
+    }
+}
+
+impl FrameSource for FrameRing {
+    fn next_frame(&mut self, out: &mut RfFrame) {
+        out.copy_from(&self.frames[self.next % self.frames.len()]);
+        self.next += 1;
+    }
+}
+
+/// Why a pipelined frame failed. The pipeline itself survives any of
+/// these: the next [`FramePipeline::next_volume`] call proceeds with a
+/// fresh acquisition on the same pool, source and loop states.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The frame source panicked during acquisition.
+    Source(String),
+    /// Beamforming panicked (e.g. a delay engine rejected an input).
+    Beamform(String),
+    /// The acquisition thread is gone — only possible after an internal
+    /// failure of the pipeline itself, never after a source panic.
+    Disconnected,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Source(msg) => write!(f, "frame source panicked: {msg}"),
+            PipelineError::Beamform(msg) => write!(f, "beamforming panicked: {msg}"),
+            PipelineError::Disconnected => write!(f, "acquisition thread disconnected"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+/// Lifetime counters of a [`FramePipeline`], taken with
+/// [`FramePipeline::stats`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineStats {
+    /// Frames beamformed successfully.
+    pub frames: u64,
+    /// Frames lost to source or beamform errors.
+    pub errors: u64,
+    /// Total time `next_volume` spent blocked waiting for acquisition —
+    /// the latency the overlap did *not* hide.
+    pub acquire_wait: Duration,
+    /// Total time spent beamforming.
+    pub beamform_busy: Duration,
+    /// Wall time since the first acquisition was submitted.
+    pub wall: Duration,
+}
+
+impl PipelineStats {
+    /// Sustained volume rate since the first frame.
+    pub fn frames_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.frames as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Mean time a frame waited on acquisition (the exposed, un-hidden
+    /// ingest latency; 0 means acquisition was always ready first).
+    /// Averaged over *attempted* frames — errored frames accrue wait
+    /// time too, so they belong in the denominator.
+    pub fn mean_acquire_wait(&self) -> Duration {
+        let attempts = self.frames + self.errors;
+        if attempts == 0 {
+            return Duration::ZERO;
+        }
+        self.acquire_wait / attempts as u32
+    }
+
+    /// Mean beamforming time per attempted frame (errored frames accrue
+    /// beamforming time up to the panic, so they are averaged in).
+    pub fn mean_beamform(&self) -> Duration {
+        let attempts = self.frames + self.errors;
+        if attempts == 0 {
+            return Duration::ZERO;
+        }
+        self.beamform_busy / attempts as u32
+    }
+
+    /// Fraction of wall time *not* spent blocked on acquisition — 1.0
+    /// means ingest was fully hidden behind beamforming.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 1.0;
+        }
+        1.0 - (self.acquire_wait.as_secs_f64() / self.wall.as_secs_f64()).min(1.0)
+    }
+}
+
+/// Reply from the acquisition thread: the filled buffer, or the buffer
+/// back plus the source's panic message.
+type IngestReply = Result<RfFrame, (RfFrame, String)>;
+
+/// The overlapped real-time runtime: double-buffered acquisition and
+/// beamforming over one shared [`ThreadPool`]. See `ARCHITECTURE.md`
+/// for how this maps onto the paper's real-time requirement.
+///
+/// ```
+/// use usbf_beamform::{Beamformer, FramePipeline, FrameRing, VolumeLoop};
+/// use usbf_core::ExactEngine;
+/// use usbf_geometry::SystemSpec;
+/// use usbf_sim::RfFrame;
+///
+/// let spec = SystemSpec::tiny();
+/// let engine = ExactEngine::new(&spec);
+/// let rf = RfFrame::zeros(8, 8, spec.echo_buffer_len());
+/// // Pipelined frames are bit-identical to a serial VolumeLoop:
+/// let mut serial = VolumeLoop::new(Beamformer::new(&spec));
+/// let reference = serial.beamform(&engine, &rf).clone();
+/// let mut pipe = FramePipeline::new(Beamformer::new(&spec), FrameRing::new(vec![rf]));
+/// for _ in 0..3 {
+///     let vol = pipe.next_volume(&engine).expect("no injected failures");
+///     assert_eq!(vol, &reference);
+/// }
+/// assert_eq!(pipe.frames(), 3);
+/// ```
+pub struct FramePipeline {
+    loops: [VolumeLoop; 2],
+    req_tx: Option<Sender<RfFrame>>,
+    done_rx: Receiver<IngestReply>,
+    ingest: Option<JoinHandle<()>>,
+    /// Buffers currently owned by the pipeline (not at the acquisition
+    /// thread). Starts with both ring slots.
+    idle: Vec<RfFrame>,
+    /// Whether an acquisition is in flight (at most one).
+    in_flight: bool,
+    frames: u64,
+    errors: u64,
+    acquire_wait: Duration,
+    beamform_busy: Duration,
+    started: Option<Instant>,
+}
+
+impl FramePipeline {
+    /// Builds a pipeline on the global pool with the same fitted
+    /// schedule [`VolumeLoop::new`] uses, so pipelined volumes stay
+    /// bit-identical to serial ones by construction.
+    #[must_use]
+    pub fn new<S: FrameSource + 'static>(beamformer: Beamformer, source: S) -> Self {
+        let pool = usbf_par::global_arc();
+        let schedule = crate::beamformer::pool_fitted_schedule(beamformer.spec(), &pool);
+        Self::with_pool(beamformer, source, pool, &schedule)
+    }
+
+    /// Builds a pipeline on an explicit pool and schedule. All
+    /// allocation happens here: two RF ring buffers, two [`VolumeLoop`]
+    /// states (each with its warm slabs, staging buffers, output volume
+    /// and preregistered pool job), and the acquisition thread — the
+    /// only thread this runtime ever spawns.
+    #[must_use]
+    pub fn with_pool<S: FrameSource + 'static>(
+        beamformer: Beamformer,
+        source: S,
+        pool: Arc<ThreadPool>,
+        schedule: &NappeSchedule,
+    ) -> Self {
+        let spec = beamformer.spec();
+        let make_buffer = || {
+            RfFrame::zeros(
+                spec.elements.nx(),
+                spec.elements.ny(),
+                spec.echo_buffer_len(),
+            )
+        };
+        let idle = vec![make_buffer(), make_buffer()];
+        let loops = [
+            VolumeLoop::with_pool(beamformer.clone(), Arc::clone(&pool), schedule),
+            VolumeLoop::with_pool(beamformer, Arc::clone(&pool), schedule),
+        ];
+        let (req_tx, req_rx) = mpsc::channel::<RfFrame>();
+        let (done_tx, done_rx) = mpsc::channel::<IngestReply>();
+        let ingest = std::thread::Builder::new()
+            .name("usbf-ingest".to_string())
+            .spawn(move || ingest_loop(source, req_rx, done_tx))
+            .expect("spawn acquisition thread");
+        FramePipeline {
+            loops,
+            req_tx: Some(req_tx),
+            done_rx,
+            ingest: Some(ingest),
+            idle,
+            in_flight: false,
+            frames: 0,
+            errors: 0,
+            acquire_wait: Duration::ZERO,
+            beamform_busy: Duration::ZERO,
+            started: None,
+        }
+    }
+
+    /// Starts acquiring the next frame if no acquisition is in flight.
+    ///
+    /// [`next_volume`](Self::next_volume) calls this itself (before
+    /// waiting, and again right after taking a filled buffer — that
+    /// second call *is* the overlap), so a plain `next_volume` loop is
+    /// already pipelined; calling `submit` earlier only lets acquisition
+    /// also overlap caller-side work between frames.
+    pub fn submit(&mut self) {
+        if self.in_flight {
+            return;
+        }
+        let Some(buffer) = self.idle.pop() else {
+            return;
+        };
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        if let Some(tx) = &self.req_tx {
+            // A send failure means the acquisition thread is gone; keep
+            // the buffer and let next_volume report Disconnected.
+            match tx.send(buffer) {
+                Ok(()) => self.in_flight = true,
+                Err(mpsc::SendError(buffer)) => self.idle.push(buffer),
+            }
+        }
+    }
+
+    /// Completes one pipeline step: waits for the in-flight acquisition,
+    /// immediately submits the following one (overlapping it with this
+    /// frame's beamforming), beamforms the acquired frame and returns
+    /// its volume.
+    ///
+    /// On [`PipelineError::Source`] or [`PipelineError::Beamform`] the
+    /// frame is dropped but the pipeline stays healthy: the buffers are
+    /// recycled, the pool and both loop states remain warm, and the next
+    /// call produces a correct volume.
+    pub fn next_volume(
+        &mut self,
+        engine: &dyn DelayEngine,
+    ) -> Result<&BeamformedVolume, PipelineError> {
+        self.submit();
+        if !self.in_flight {
+            return Err(PipelineError::Disconnected);
+        }
+        let wait_start = Instant::now();
+        let reply = self
+            .done_rx
+            .recv()
+            .map_err(|_| PipelineError::Disconnected)?;
+        self.in_flight = false;
+        self.acquire_wait += wait_start.elapsed();
+        let rf = match reply {
+            Ok(rf) => rf,
+            Err((buffer, message)) => {
+                self.idle.push(buffer);
+                self.errors += 1;
+                return Err(PipelineError::Source(message));
+            }
+        };
+        // The overlap: frame n+1 starts filling while frame n beamforms.
+        self.submit();
+        let which = (self.frames % 2) as usize;
+        let beamform_start = Instant::now();
+        let result = {
+            let target = &mut self.loops[which];
+            catch_unwind(AssertUnwindSafe(|| {
+                let _ = target.beamform(engine, &rf);
+            }))
+        };
+        self.beamform_busy += beamform_start.elapsed();
+        self.idle.push(rf);
+        match result {
+            Ok(()) => {
+                self.frames += 1;
+                Ok(self.loops[which].volume())
+            }
+            Err(payload) => {
+                self.errors += 1;
+                Err(PipelineError::Beamform(panic_message(payload)))
+            }
+        }
+    }
+
+    /// The most recently completed volume (`None` before the first
+    /// successful frame). Thanks to the two loop states this stays
+    /// intact while the *next* frame is being beamformed into the other
+    /// state.
+    pub fn volume(&self) -> Option<&BeamformedVolume> {
+        if self.frames == 0 {
+            return None;
+        }
+        Some(self.loops[((self.frames - 1) % 2) as usize].volume())
+    }
+
+    /// The volume before the most recent one (`None` until two frames
+    /// have completed) — the second half of the double buffer, e.g. for
+    /// frame-to-frame differencing.
+    pub fn previous_volume(&self) -> Option<&BeamformedVolume> {
+        if self.frames < 2 {
+            return None;
+        }
+        Some(self.loops[(self.frames % 2) as usize].volume())
+    }
+
+    /// Frames beamformed successfully since construction.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Frames lost to source or beamform errors.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Schedule tiles per frame (= parallel tasks per loop state).
+    pub fn tile_count(&self) -> usize {
+        self.loops[0].tile_count()
+    }
+
+    /// A snapshot of the pipeline's lifetime counters.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            frames: self.frames,
+            errors: self.errors,
+            acquire_wait: self.acquire_wait,
+            beamform_busy: self.beamform_busy,
+            wall: self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO),
+        }
+    }
+}
+
+impl Drop for FramePipeline {
+    fn drop(&mut self) {
+        // Closing the request channel ends the acquisition loop; join so
+        // no thread outlives the pipeline.
+        self.req_tx = None;
+        if let Some(handle) = self.ingest.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The acquisition thread: fill each buffer the pipeline sends, return
+/// it (or the panic that interrupted it), repeat until the pipeline
+/// drops. Source panics are caught here so one bad frame never kills
+/// the thread.
+fn ingest_loop<S: FrameSource>(
+    mut source: S,
+    req_rx: Receiver<RfFrame>,
+    done_tx: Sender<IngestReply>,
+) {
+    while let Ok(mut buffer) = req_rx.recv() {
+        let result = catch_unwind(AssertUnwindSafe(|| source.next_frame(&mut buffer)));
+        let reply = match result {
+            Ok(()) => Ok(buffer),
+            Err(payload) => Err((buffer, panic_message(payload))),
+        };
+        if done_tx.send(reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usbf_core::ExactEngine;
+    use usbf_geometry::{SystemSpec, Vec3, VoxelIndex};
+
+    fn recorded_frames(spec: &SystemSpec, n: usize) -> Vec<RfFrame> {
+        let synth = EchoSynthesizer::new(spec);
+        let pulse = Pulse::from_spec(spec);
+        (0..n)
+            .map(|i| {
+                let vox = VoxelIndex::new(2 + i % 4, 3, 5 + i);
+                synth.synthesize(&Phantom::point(spec.volume_grid.position(vox)), &pulse)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_frames_match_serial_volume_loop_bit_for_bit() {
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let frames = recorded_frames(&spec, 3);
+        let pool = Arc::new(ThreadPool::new(2));
+        let schedule = NappeSchedule::fitted(&spec, 8);
+        let mut serial =
+            VolumeLoop::with_pool(Beamformer::new(&spec), Arc::clone(&pool), &schedule);
+        let reference: Vec<BeamformedVolume> = frames
+            .iter()
+            .map(|rf| serial.beamform(&engine, rf).clone())
+            .collect();
+        let mut pipe = FramePipeline::with_pool(
+            Beamformer::new(&spec),
+            FrameRing::new(frames),
+            pool,
+            &schedule,
+        );
+        for round in 0..9 {
+            let vol = pipe.next_volume(&engine).expect("healthy pipeline");
+            assert_eq!(vol, &reference[round % 3], "frame {round}");
+        }
+        assert_eq!(pipe.frames(), 9);
+        assert_eq!(pipe.errors(), 0);
+    }
+
+    #[test]
+    fn double_buffer_keeps_previous_volume_intact() {
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let frames = recorded_frames(&spec, 2);
+        let mut pipe = FramePipeline::new(Beamformer::new(&spec), FrameRing::new(frames));
+        assert!(pipe.volume().is_none());
+        let first = pipe.next_volume(&engine).unwrap().clone();
+        assert_eq!(pipe.volume(), Some(&first));
+        assert!(pipe.previous_volume().is_none());
+        let second = pipe.next_volume(&engine).unwrap().clone();
+        assert_ne!(first, second, "distinct inputs give distinct volumes");
+        assert_eq!(pipe.volume(), Some(&second));
+        assert_eq!(pipe.previous_volume(), Some(&first));
+    }
+
+    #[test]
+    fn synthesized_source_matches_offline_synthesis() {
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let pulse = Pulse::from_spec(&spec);
+        let targets: Vec<Vec3> = (0..3)
+            .map(|i| spec.volume_grid.position(VoxelIndex::new(4, 4, 6 + 2 * i)))
+            .collect();
+        let phantoms: Vec<Phantom> = targets.iter().map(|&t| Phantom::point(t)).collect();
+        let source =
+            SynthesizedFrames::new(EchoSynthesizer::new(&spec), pulse.clone(), phantoms.clone());
+        let mut pipe = FramePipeline::new(Beamformer::new(&spec), source);
+        let mut serial = VolumeLoop::new(Beamformer::new(&spec));
+        let synth = EchoSynthesizer::new(&spec);
+        for (i, phantom) in phantoms.iter().enumerate() {
+            let rf = synth.synthesize(phantom, &pulse);
+            let expect = serial.beamform(&engine, &rf).clone();
+            let got = pipe.next_volume(&engine).expect("healthy pipeline");
+            assert_eq!(got, &expect, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn stats_track_frames_and_busy_time() {
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let mut pipe = FramePipeline::new(
+            Beamformer::new(&spec),
+            FrameRing::new(recorded_frames(&spec, 1)),
+        );
+        for _ in 0..5 {
+            pipe.next_volume(&engine).unwrap();
+        }
+        let stats = pipe.stats();
+        assert_eq!(stats.frames, 5);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.beamform_busy > Duration::ZERO);
+        assert!(stats.wall >= stats.beamform_busy);
+        assert!(stats.frames_per_second() > 0.0);
+        assert!(stats.overlap_fraction() >= 0.0 && stats.overlap_fraction() <= 1.0);
+        assert!(stats.mean_beamform() > Duration::ZERO);
+        let _ = stats.mean_acquire_wait();
+    }
+
+    #[test]
+    fn closure_sources_and_submit_ahead_work() {
+        let spec = SystemSpec::tiny();
+        let engine = ExactEngine::new(&spec);
+        let calls = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let recorder = Arc::clone(&calls);
+        let source = move |out: &mut RfFrame| {
+            out.fill(0.0);
+            recorder.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        };
+        let mut pipe = FramePipeline::new(Beamformer::new(&spec), source);
+        pipe.submit(); // explicit early submit: acquisition starts now
+        let vol = pipe.next_volume(&engine).unwrap();
+        assert_eq!(vol.max_abs(), 0.0);
+        assert_eq!(pipe.frames(), 1);
+        // The first acquisition plus the overlapped second one.
+        assert!(calls.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    }
+}

@@ -15,7 +15,11 @@
 //!   accessors for image-quality metrics;
 //! * [`VolumeLoop`] — the real-time frame loop: repeated volumes on the
 //!   persistent `usbf_par` worker pool with preallocated delay slabs and
-//!   buffers, bit-identical to the cold path.
+//!   buffers and a preregistered pool job, bit-identical to the cold
+//!   path;
+//! * [`FramePipeline`] — the overlapped runtime: acquisition of frame
+//!   `n+1` (any [`FrameSource`]) runs concurrently with beamforming of
+//!   frame `n` over two double-buffered `VolumeLoop` states.
 //!
 //! # Example
 //!
@@ -42,11 +46,15 @@
 
 mod apodization;
 mod beamformer;
+mod frame_pipeline;
 mod volume;
 mod volume_loop;
 
 pub use apodization::Apodization;
 pub use beamformer::{Beamformer, Interpolation};
+pub use frame_pipeline::{
+    FramePipeline, FrameRing, FrameSource, PipelineError, PipelineStats, SynthesizedFrames,
+};
 pub use volume::BeamformedVolume;
 pub use volume_loop::VolumeLoop;
 

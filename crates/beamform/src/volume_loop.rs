@@ -9,15 +9,17 @@
 //! output volume, and (historically) freshly spawned threads.
 //! [`VolumeLoop`] hoists all of that out of the frame path: it owns a
 //! handle to the persistent [`ThreadPool`], one [`NappeDelays`] slab and
-//! values buffer per schedule tile, and a reusable output volume. After
-//! the first frame, beamforming a volume performs **no thread spawns and
-//! no slab, buffer or volume allocations** — only the per-task queue
-//! boxes of the pool's scope machinery.
+//! values buffer per schedule tile, a reusable output volume, and a
+//! preregistered [`JobHandle`] on the pool. After the first frame,
+//! beamforming a volume performs **no thread spawns, no slab, buffer or
+//! volume allocations, and no per-tile job allocations** — the job's
+//! completion barrier is allocated once at construction and re-announced
+//! per frame with a borrowed closure.
 
 use crate::{BeamformedVolume, Beamformer};
 use std::sync::Arc;
 use usbf_core::{DelayEngine, NappeDelays, NappeSchedule, Tile};
-use usbf_par::ThreadPool;
+use usbf_par::{JobHandle, ThreadPool};
 use usbf_sim::RfFrame;
 
 /// Warm per-tile state: one worker's delay slab and output staging
@@ -58,7 +60,7 @@ struct TileState {
 /// ```
 pub struct VolumeLoop {
     beamformer: Beamformer,
-    pool: Arc<ThreadPool>,
+    job: JobHandle,
     tiles: Vec<Tile>,
     states: Vec<TileState>,
     weights: Vec<f64>,
@@ -72,6 +74,7 @@ impl VolumeLoop {
     /// [`Beamformer::beamform_volume`] uses, so outputs stay
     /// bit-identical to the cold path (they are bit-identical for *any*
     /// schedule, but sharing one also matches the work split).
+    #[must_use]
     pub fn new(beamformer: Beamformer) -> Self {
         let pool = usbf_par::global_arc();
         let schedule = crate::beamformer::pool_fitted_schedule(beamformer.spec(), &pool);
@@ -80,7 +83,9 @@ impl VolumeLoop {
 
     /// Builds a loop on an explicit pool and schedule. All allocation
     /// happens here: one slab and one values buffer per schedule tile,
-    /// plus the output volume.
+    /// the output volume, and the preregistered pool job the frame path
+    /// re-announces.
+    #[must_use]
     pub fn with_pool(
         beamformer: Beamformer,
         pool: Arc<ThreadPool>,
@@ -100,7 +105,7 @@ impl VolumeLoop {
         let out = BeamformedVolume::zeros(&spec);
         VolumeLoop {
             beamformer,
-            pool,
+            job: ThreadPool::register(&pool),
             tiles,
             states,
             weights,
@@ -110,26 +115,16 @@ impl VolumeLoop {
     }
 
     /// Beamforms one frame into the loop's reusable volume and returns
-    /// it. Each schedule tile is one pool task writing into its own warm
-    /// slab and staging buffer; the sequential scatter into the output volume is
-    /// deterministic, so repeated frames of identical input are
-    /// bit-identical (and identical to the cold path).
+    /// it. Each schedule tile is one task of the loop's preregistered
+    /// pool job, writing into its own warm slab and staging buffer; the
+    /// sequential scatter into the output volume is deterministic, so
+    /// repeated frames of identical input are bit-identical (and
+    /// identical to the cold path), for **any** pool size.
     pub fn beamform(&mut self, engine: &dyn DelayEngine, rf: &RfFrame) -> &BeamformedVolume {
         let beamformer = &self.beamformer;
         let weights = &self.weights;
-        let states = &mut self.states;
-        self.pool.scope(|s| {
-            for state in states.iter_mut() {
-                s.spawn(move || {
-                    beamformer.beamform_tile_into(
-                        engine,
-                        rf,
-                        weights,
-                        &mut state.slab,
-                        &mut state.values,
-                    );
-                });
-            }
+        self.job.run(&mut self.states, &|_, state: &mut TileState| {
+            beamformer.beamform_tile_into(engine, rf, weights, &mut state.slab, &mut state.values);
         });
         let n_depth = beamformer.spec().volume_grid.n_depth();
         for (tile, state) in self.tiles.iter().zip(&self.states) {

@@ -2,12 +2,50 @@
 
 use proptest::prelude::*;
 use usbf_core::{
-    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
+    DelayEngine, ExactEngine, NaiveTableEngine, NappeDelays, NappeSchedule, TableFreeConfig,
+    TableFreeEngine, TableSteerConfig, TableSteerEngine, Tile,
 };
-use usbf_geometry::{SystemSpec, VoxelIndex};
+use usbf_geometry::{SystemSpec, TransducerSpec, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND};
 use usbf_tables::error::theoretical_bound_seconds;
 
 use std::sync::OnceLock;
+
+/// A randomized tiny geometry with the paper's physical extents: small
+/// enough that all four engines build and fill in microseconds, varied
+/// enough that slab layouts, fold maps and PWL walks see every
+/// even/odd × wide/narrow combination.
+fn random_spec(nx: usize, ny: usize, n_theta: usize, n_phi: usize, n_depth: usize) -> SystemSpec {
+    let fc = 4.0e6;
+    let lambda = SPEED_OF_SOUND / fc;
+    SystemSpec::new(
+        SPEED_OF_SOUND,
+        32.0e6,
+        TransducerSpec {
+            center_frequency: fc,
+            bandwidth: 4.0e6,
+            nx,
+            ny,
+            pitch: lambda / 2.0,
+        },
+        VolumeSpec {
+            theta_max: usbf_geometry::deg(36.5),
+            phi_max: usbf_geometry::deg(36.5),
+            depth_max: 500.0 * lambda,
+            n_theta,
+            n_phi,
+            n_depth,
+        },
+        Vec3::ZERO,
+        15.0,
+    )
+}
+
+/// A random fan tile: `(a, b)` picks start/width within `n` lines.
+fn random_span(n: usize, a: usize, b: usize) -> (usize, usize) {
+    let start = a % n;
+    let width = 1 + b % (n - start);
+    (start, start + width)
+}
 
 struct Fixture {
     spec: SystemSpec,
@@ -84,6 +122,71 @@ proptest! {
         for eng in [&f.exact as &dyn DelayEngine, &f.tablefree, &f.tablesteer] {
             prop_assert_eq!(eng.delay_samples(vox, e), eng.delay_samples(vox, e));
             prop_assert_eq!(eng.delay_index(vox, e), eng.delay_index(vox, e));
+        }
+    }
+
+    #[test]
+    fn batched_fills_bit_identical_to_scalar_for_all_engines_on_random_geometries(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        n_theta in 2usize..8,
+        n_phi in 2usize..8,
+        n_depth in 4usize..12,
+        tile_theta in (0usize..1000, 0usize..1000),
+        tile_phi in (0usize..1000, 0usize..1000),
+        nappe_pick in 0usize..1000,
+    ) {
+        let spec = random_spec(nx, ny, n_theta, n_phi, n_depth);
+        let exact = ExactEngine::new(&spec);
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).expect("tiny table fits");
+        let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds");
+        let tablesteer =
+            TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds");
+        let (theta_start, theta_end) = random_span(n_theta, tile_theta.0, tile_theta.1);
+        let (phi_start, phi_end) = random_span(n_phi, tile_phi.0, tile_phi.1);
+        let tile = Tile { theta_start, theta_end, phi_start, phi_end };
+        let nappe = nappe_pick % n_depth;
+        for engine in [&exact as &dyn DelayEngine, &naive, &tablefree, &tablesteer] {
+            let mut batched = NappeDelays::for_tile(&spec, tile);
+            engine.fill_nappe(nappe, &mut batched);
+            let mut scalar = NappeDelays::for_tile(&spec, tile);
+            scalar.fill_scalar(engine, nappe);
+            prop_assert_eq!(
+                batched.samples(), scalar.samples(),
+                "{} {}x{} elements, {}x{}x{} fan, tile {:?}, nappe {}",
+                engine.name(), nx, ny, n_theta, n_phi, n_depth, tile, nappe
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_schedules_partition_random_fans_exactly(
+        n_theta in 1usize..17,
+        n_phi in 1usize..17,
+        target_tiles in 1usize..40,
+    ) {
+        let spec = random_spec(2, 2, n_theta, n_phi, 4);
+        let schedule = NappeSchedule::fitted(&spec, target_tiles);
+        let mut covered = vec![0u32; n_theta * n_phi];
+        for tile in schedule.tiles() {
+            prop_assert!(tile.theta_end <= n_theta && tile.phi_end <= n_phi);
+            for it in tile.theta_start..tile.theta_end {
+                for ip in tile.phi_start..tile.phi_end {
+                    covered[it * n_phi + ip] += 1;
+                }
+            }
+        }
+        // Exactly partitioned: every scanline in exactly one tile.
+        prop_assert!(
+            covered.iter().all(|&c| c == 1),
+            "fan {}x{} target {}: coverage {:?}",
+            n_theta, n_phi, target_tiles, covered
+        );
+        // And the slot enumeration agrees with the partition.
+        for tile in schedule.tiles() {
+            let mut slots: Vec<usize> = tile.iter_scanlines().map(|(s, _, _)| s).collect();
+            slots.sort_unstable();
+            prop_assert_eq!(slots, (0..tile.scanlines()).collect::<Vec<_>>());
         }
     }
 

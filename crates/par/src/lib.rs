@@ -8,13 +8,18 @@
 //! per-frame cost it amortizes away, so workers here are created once,
 //! parked on per-worker channel queues, and handed jobs by reference.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`ThreadPool`] — the pool itself: `new(threads)` or the process-wide
 //!   [`global`] instance (sized from `USBF_POOL_THREADS` or the available
 //!   parallelism);
 //! * [`ThreadPool::scope`] / [`PoolScope::spawn`] — structured borrowed
 //!   tasks, shaped like [`std::thread::scope`] but executed by the pool;
+//! * [`ThreadPool::register`] / [`JobHandle::run`] — preregistered job
+//!   slots for frame loops: the completion barrier is allocated once and
+//!   re-announced per frame, with borrowed closures dispatched through a
+//!   function pointer, so a warm run performs **zero per-task heap
+//!   allocations** (no `Arc` churn, no task boxing);
 //! * [`par_map`] / [`par_map_indexed`] / [`par_for_each_index`] — the
 //!   drop-in parallel maps every call site already uses, with dynamic
 //!   work claiming so stragglers don't serialize the pool.
@@ -33,9 +38,11 @@
 
 mod job;
 mod pool;
+mod registered;
 mod scope;
 
 pub use pool::{global, global_arc, ThreadPool};
+pub use registered::JobHandle;
 pub use scope::PoolScope;
 
 /// Number of claimants [`par_map`] would use for `n_items` of work: the

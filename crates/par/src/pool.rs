@@ -1,11 +1,22 @@
 //! The persistent worker pool.
 
 use crate::job::JobCore;
+use crate::registered::RegisteredCore;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::thread::JoinHandle;
+
+/// What a worker queue carries: either a one-shot scoped job (its core
+/// allocated by the announcing `scope` call) or a preregistered job slot
+/// (its core allocated once, at `ThreadPool::register`). Announcing
+/// either kind only clones an `Arc` — the distinction is who paid for
+/// the allocation, and when.
+pub(crate) enum WorkItem {
+    Scoped(Arc<JobCore>),
+    Registered(Arc<RegisteredCore>),
+}
 
 /// A pool of persistent worker threads with a channel-based job injector.
 ///
@@ -28,7 +39,7 @@ use std::thread::JoinHandle;
 /// assert_eq!(sums, vec![1, 3]);
 /// ```
 pub struct ThreadPool {
-    senders: Vec<Sender<Arc<JobCore>>>,
+    senders: Vec<Sender<WorkItem>>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
     next_announce: AtomicUsize,
@@ -45,7 +56,7 @@ impl ThreadPool {
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
-            let (tx, rx): (Sender<Arc<JobCore>>, Receiver<Arc<JobCore>>) = mpsc::channel();
+            let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = mpsc::channel();
             let handle = std::thread::Builder::new()
                 .name(format!("usbf-par-{i}"))
                 .spawn(move || worker_loop(rx))
@@ -101,7 +112,25 @@ impl ThreadPool {
         // A send only fails while the pool is being dropped; the
         // announcing scope still drains its own queue, so tasks are
         // never lost.
-        let _ = self.senders[i].send(Arc::clone(job));
+        let _ = self.senders[i].send(WorkItem::Scoped(Arc::clone(job)));
+    }
+
+    /// Announces a preregistered job to `count` distinct worker queues,
+    /// round-robin. One announcement per *worker*, never per task: the
+    /// job's tasks are claimed by index from the shared core, so waking
+    /// `min(threads, tasks)` workers is all the fan-out a run needs.
+    pub(crate) fn announce_registered(&self, core: &Arc<RegisteredCore>, count: usize) {
+        if self.senders.is_empty() {
+            return;
+        }
+        let n = count.min(self.senders.len());
+        let start = self.next_announce.fetch_add(n, Ordering::Relaxed);
+        for k in 0..n {
+            let i = (start + k) % self.senders.len();
+            // As with scoped jobs, a failed send only happens mid-drop;
+            // the run's owner drains its own job regardless.
+            let _ = self.senders[i].send(WorkItem::Registered(Arc::clone(core)));
+        }
     }
 }
 
@@ -115,9 +144,12 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(rx: Receiver<Arc<JobCore>>) {
-    while let Ok(job) = rx.recv() {
-        job.drain(false);
+fn worker_loop(rx: Receiver<WorkItem>) {
+    while let Ok(item) = rx.recv() {
+        match item {
+            WorkItem::Scoped(job) => job.drain(false),
+            WorkItem::Registered(core) => core.drain(false),
+        }
     }
 }
 

@@ -1,0 +1,238 @@
+//! Preregistered job slots: frame-rate dispatch with the per-frame
+//! allocations removed.
+//!
+//! A [`scope`](crate::ThreadPool::scope) call allocates one
+//! `Arc<JobCore>` per job and one boxed closure per spawned task. For a
+//! one-shot parallel section that is noise, but a real-time volume loop
+//! announces the *same* job shape thousands of times per second — the
+//! per-tile boxes are the last per-frame heap traffic on the dispatch
+//! path. A [`JobHandle`] removes them: the completion barrier is
+//! allocated **once**, at [`ThreadPool::register`], and every
+//! [`JobHandle::run`] re-announces it with a borrowed closure dispatched
+//! through a monomorphized function pointer — no task boxing, no
+//! `Arc` creation, no per-tile allocation of any kind.
+//!
+//! Tasks are indexed rather than enqueued: `run(states, &f)` claims each
+//! index in `0..states.len()` exactly once (one atomic-free claim under
+//! the job mutex), handing task `i` exclusive access to `states[i]`.
+//! That fits the fixed work shape of a frame loop — one task per
+//! schedule tile, each owning its warm slab — and is what lets the
+//! borrow discipline stay sound without erasing one closure per task.
+
+use crate::pool::ThreadPool;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The monomorphized trampoline stored for the duration of one run:
+/// `(closure, task index, state base pointer)`.
+type CallFn = fn(*const (), usize, *mut ());
+
+/// Mutable state of the current (or most recent) run, guarded by one
+/// mutex. The raw pointers are only ever dereferenced by tasks claimed
+/// while `active` is true, and [`JobHandle::run`] does not return until
+/// every claimed task has finished — which is what makes the borrowed
+/// closure and state slice sound.
+struct RunState {
+    call: Option<CallFn>,
+    f: *const (),
+    states: *mut (),
+    /// Next task index to claim.
+    next: usize,
+    /// One past the last task index of this run.
+    n_tasks: usize,
+    /// Claimed but not yet finished tasks.
+    in_flight: usize,
+    /// True between announce and barrier completion; stale worker
+    /// wake-ups observe `false` and leave immediately.
+    active: bool,
+}
+
+// SAFETY: the raw pointers inside `RunState` are only dereferenced by
+// tasks claimed under the mutex while `active` is true; `JobHandle::run`
+// owns the pointed-to borrows and blocks until `next == n_tasks` and
+// `in_flight == 0` before deactivating and returning, so no thread can
+// observe them dangling. The pointed-to types are constrained by
+// `JobHandle::run`'s bounds (`F: Sync`, `S: Send`).
+#[allow(unsafe_code)]
+unsafe impl Send for RunState {}
+
+/// Shared core of one preregistered job: the completion barrier that is
+/// allocated once and reused by every run.
+pub(crate) struct RegisteredCore {
+    run: Mutex<RunState>,
+    complete: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl RegisteredCore {
+    fn new() -> Self {
+        RegisteredCore {
+            run: Mutex::new(RunState {
+                call: None,
+                f: std::ptr::null(),
+                states: std::ptr::null_mut(),
+                next: 0,
+                n_tasks: 0,
+                in_flight: 0,
+                active: false,
+            }),
+            complete: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Claims and runs tasks. Workers (`owner == false`) leave as soon as
+    /// no task is claimable — the job may be inactive, finished, or not
+    /// yet announced again. The owner keeps waiting until every task of
+    /// the current run has been claimed **and** finished.
+    pub(crate) fn drain(&self, owner: bool) {
+        let mut run = self.run.lock().unwrap();
+        loop {
+            if run.active && run.next < run.n_tasks {
+                let i = run.next;
+                run.next += 1;
+                run.in_flight += 1;
+                let (call, f, states) =
+                    (run.call.expect("active run has a call"), run.f, run.states);
+                drop(run);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| call(f, i, states))) {
+                    let mut slot = self.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+                run = self.run.lock().unwrap();
+                run.in_flight -= 1;
+                self.complete.notify_all();
+                continue;
+            }
+            if !owner || (run.next >= run.n_tasks && run.in_flight == 0) {
+                return;
+            }
+            run = self.complete.wait(run).unwrap();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// A reusable, preregistered job slot on a [`ThreadPool`], created by
+/// [`ThreadPool::register`].
+///
+/// Where [`ThreadPool::scope`] allocates a fresh job core and boxes one
+/// closure per spawned task, a `JobHandle` owns its completion barrier
+/// for life and dispatches every run through a borrowed closure — a warm
+/// [`run`](JobHandle::run) performs **zero** heap allocations beyond the
+/// pool's internal worker wake-ups (which are per-worker, never
+/// per-task). This is the dispatch path real-time frame loops sit on:
+/// `usbf_beamform::VolumeLoop` registers one handle at construction and
+/// re-announces it every frame.
+///
+/// ```
+/// let pool = std::sync::Arc::new(usbf_par::ThreadPool::new(2));
+/// let mut job = usbf_par::ThreadPool::register(&pool);
+/// let mut totals = vec![0u64; 8];
+/// for frame in 1..=3u64 {
+///     // Borrowed closure, one task per slot: no boxing, no Arc churn.
+///     job.run(&mut totals, &|i, slot: &mut u64| *slot += frame + i as u64);
+/// }
+/// assert_eq!(totals[0], 6);
+/// assert_eq!(totals[7], 27);
+/// ```
+#[must_use = "a registered job does nothing until `run` is called"]
+pub struct JobHandle {
+    core: Arc<RegisteredCore>,
+    pool: Arc<ThreadPool>,
+}
+
+impl JobHandle {
+    /// Runs `f(i, &mut states[i])` for every `i` in `0..states.len()`,
+    /// in parallel on the pool's workers and the calling thread, and
+    /// returns once **all** tasks have finished.
+    ///
+    /// Each index is claimed exactly once per run, so every task has
+    /// exclusive access to its state slot; `f` may borrow anything that
+    /// outlives the call (per-frame inputs like an RF frame or a delay
+    /// engine go here, not into the registration). Pools of ≤ 1 thread
+    /// and single-task runs execute inline on the caller.
+    ///
+    /// If a task panics, the first panic is re-thrown here after the
+    /// completion barrier, and the handle (and pool) remain fully usable
+    /// for subsequent runs.
+    pub fn run<S, F>(&mut self, states: &mut [S], f: &F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        let n = states.len();
+        if n == 0 {
+            return;
+        }
+        if self.pool.threads() <= 1 || n == 1 {
+            for (i, state) in states.iter_mut().enumerate() {
+                f(i, state);
+            }
+            return;
+        }
+
+        /// Monomorphized trampoline: recovers the typed closure and state
+        /// slice from the erased pointers captured for this run.
+        fn call_shim<S, F: Fn(usize, &mut S)>(f: *const (), i: usize, states: *mut ()) {
+            // SAFETY: `run` stores `f` and `states` from live borrows and
+            // blocks on the barrier until every claimed task finishes, so
+            // both pointers are valid for the whole task. Each index is
+            // claimed exactly once per run, so `states.add(i)` is an
+            // exclusive `&mut S`.
+            #[allow(unsafe_code)]
+            unsafe {
+                (*(f as *const F))(i, &mut *(states as *mut S).add(i));
+            }
+        }
+
+        {
+            let mut run = self.core.run.lock().unwrap();
+            debug_assert!(!run.active, "JobHandle::run is not reentrant");
+            run.call = Some(call_shim::<S, F>);
+            run.f = f as *const F as *const ();
+            run.states = states.as_mut_ptr() as *mut ();
+            run.next = 0;
+            run.n_tasks = n;
+            run.in_flight = 0;
+            run.active = true;
+        }
+        self.pool
+            .announce_registered(&self.core, n.min(self.pool.threads()));
+        self.core.drain(true);
+        {
+            let mut run = self.core.run.lock().unwrap();
+            run.active = false;
+            run.call = None;
+            run.f = std::ptr::null();
+            run.states = std::ptr::null_mut();
+        }
+        if let Some(payload) = self.core.take_panic() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// The pool this job is registered on.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+}
+
+impl ThreadPool {
+    /// Registers a reusable job slot on this pool, allocating its
+    /// completion barrier once. Every subsequent [`JobHandle::run`]
+    /// re-announces the same slot — no per-frame `Arc`, no per-task
+    /// boxing. See [`JobHandle`] for the dispatch contract.
+    pub fn register(self: &Arc<Self>) -> JobHandle {
+        JobHandle {
+            core: Arc::new(RegisteredCore::new()),
+            pool: Arc::clone(self),
+        }
+    }
+}

@@ -176,6 +176,111 @@ fn dropping_a_pool_joins_its_workers() {
 }
 
 #[test]
+fn registered_job_runs_every_task_exactly_once() {
+    let pool = std::sync::Arc::new(ThreadPool::new(4));
+    let mut job = ThreadPool::register(&pool);
+    let mut counts = vec![0u32; 37];
+    for round in 0..50 {
+        job.run(&mut counts, &|i, c: &mut u32| {
+            assert!(i < 37);
+            *c += 1;
+        });
+        assert!(counts.iter().all(|&c| c == round + 1), "round {round}");
+    }
+}
+
+#[test]
+fn registered_job_matches_serial_reference() {
+    let pool = std::sync::Arc::new(ThreadPool::new(3));
+    let mut job = ThreadPool::register(&pool);
+    let mut out = vec![0.0f64; 500];
+    let input: Vec<f64> = (0..500).map(|i| i as f64 * 0.25).collect();
+    job.run(&mut out, &|i, slot: &mut f64| *slot = input[i].sqrt() + 1.0);
+    let serial: Vec<f64> = input.iter().map(|x| x.sqrt() + 1.0).collect();
+    assert_eq!(out, serial);
+}
+
+#[test]
+fn registered_job_tasks_borrow_per_frame_inputs() {
+    // The closure is borrowed per run, so per-frame data (here `frame`)
+    // can be captured by reference without any 'static requirement.
+    let pool = std::sync::Arc::new(ThreadPool::new(2));
+    let mut job = ThreadPool::register(&pool);
+    let mut sums = vec![0u64; 16];
+    for frame in 0..10u64 {
+        let weights: Vec<u64> = (0..16).map(|i| i + frame).collect();
+        job.run(&mut sums, &|i, s: &mut u64| *s += weights[i]);
+    }
+    for (i, &s) in sums.iter().enumerate() {
+        assert_eq!(s, (0..10).map(|f| i as u64 + f).sum::<u64>());
+    }
+}
+
+#[test]
+fn registered_job_panic_propagates_and_handle_survives() {
+    let pool = std::sync::Arc::new(ThreadPool::new(4));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0usize; 32];
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        job.run(&mut slots, &|i, s: &mut usize| {
+            if i == 13 {
+                panic!("registered task panic");
+            }
+            *s = i;
+        });
+    }));
+    assert!(result.is_err(), "panic in a task must reach the caller");
+    // The same handle (and pool) must keep working afterwards.
+    job.run(&mut slots, &|i, s: &mut usize| *s = i + 1);
+    assert_eq!(slots, (1..=32).collect::<Vec<_>>());
+    let items: Vec<usize> = (0..16).collect();
+    assert_eq!(pool.par_map_indexed(&items, |_, &x| x), items);
+}
+
+#[test]
+fn multiple_registered_jobs_share_one_pool() {
+    let pool = std::sync::Arc::new(ThreadPool::new(2));
+    let mut a = ThreadPool::register(&pool);
+    let mut b = ThreadPool::register(&pool);
+    let mut xs = vec![0u32; 20];
+    let mut ys = vec![0u32; 30];
+    for _ in 0..20 {
+        a.run(&mut xs, &|_, x: &mut u32| *x += 1);
+        b.run(&mut ys, &|_, y: &mut u32| *y += 2);
+    }
+    assert!(xs.iter().all(|&x| x == 20));
+    assert!(ys.iter().all(|&y| y == 40));
+}
+
+#[test]
+fn registered_jobs_interleave_with_scoped_jobs() {
+    let pool = std::sync::Arc::new(ThreadPool::new(3));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0usize; 24];
+    for round in 0..10 {
+        job.run(&mut slots, &|i, s: &mut usize| *s = i * round);
+        let items: Vec<usize> = (0..24).collect();
+        let mapped = pool.par_map_indexed(&items, |_, &x| x * round);
+        assert_eq!(&slots, &mapped, "round {round}");
+    }
+}
+
+#[test]
+fn registered_job_inline_paths() {
+    // Empty runs, single-task runs and ≤1-thread pools all run inline on
+    // the caller with no coordination.
+    for threads in [0usize, 1, 2] {
+        let pool = std::sync::Arc::new(ThreadPool::new(threads));
+        let mut job = ThreadPool::register(&pool);
+        let mut empty: Vec<u32> = Vec::new();
+        job.run(&mut empty, &|_, _: &mut u32| unreachable!());
+        let mut one = vec![41u32];
+        job.run(&mut one, &|_, v: &mut u32| *v += 1);
+        assert_eq!(one, vec![42], "{threads} threads");
+    }
+}
+
+#[test]
 fn zero_and_one_thread_pools_run_inline() {
     for threads in [0usize, 1] {
         let pool = ThreadPool::new(threads);

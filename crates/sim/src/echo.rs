@@ -43,6 +43,7 @@ pub struct EchoSynthesizer {
 impl EchoSynthesizer {
     /// Creates a synthesizer with default (noiseless, omnidirectional)
     /// options.
+    #[must_use]
     pub fn new(spec: &SystemSpec) -> Self {
         EchoSynthesizer {
             spec: spec.clone(),
@@ -51,6 +52,7 @@ impl EchoSynthesizer {
     }
 
     /// Sets the synthesis options.
+    #[must_use = "with_options returns the configured synthesizer; dropping it discards the options"]
     pub fn with_options(mut self, options: EchoOptions) -> Self {
         self.options = options;
         self
@@ -64,8 +66,43 @@ impl EchoSynthesizer {
     /// Generates one receive frame.
     pub fn synthesize(&self, phantom: &Phantom, pulse: &Pulse) -> RfFrame {
         let spec = &self.spec;
-        let n_samples = spec.echo_buffer_len();
-        let mut rf = RfFrame::zeros(spec.elements.nx(), spec.elements.ny(), n_samples);
+        let mut rf = RfFrame::zeros(
+            spec.elements.nx(),
+            spec.elements.ny(),
+            spec.echo_buffer_len(),
+        );
+        self.synthesize_into(phantom, pulse, &mut rf);
+        rf
+    }
+
+    /// Generates one receive frame into a caller-owned buffer, clearing
+    /// it first — the allocation-free variant real-time frame sources
+    /// drive every acquisition ([`synthesize`](Self::synthesize) is this
+    /// plus one fresh allocation, and the two are bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rf`'s shape does not match the spec: the element grid
+    /// must be exactly `nx × ny` (a transposed grid would silently route
+    /// traces to the wrong elements) and the trace depth must be the
+    /// spec's echo-buffer length (a shorter buffer would silently
+    /// truncate echoes).
+    pub fn synthesize_into(&self, phantom: &Phantom, pulse: &Pulse, rf: &mut RfFrame) {
+        let spec = &self.spec;
+        assert!(
+            rf.nx() == spec.elements.nx()
+                && rf.ny() == spec.elements.ny()
+                && rf.n_samples() == spec.echo_buffer_len(),
+            "RF frame shape {}x{}x{} must match the spec's {}x{}x{}",
+            rf.nx(),
+            rf.ny(),
+            rf.n_samples(),
+            spec.elements.nx(),
+            spec.elements.ny(),
+            spec.echo_buffer_len()
+        );
+        rf.fill(0.0);
+        let n_samples = rf.n_samples();
         let half = pulse.half_duration_samples() as i64;
         let fs = spec.sampling_frequency;
 
@@ -108,7 +145,6 @@ impl EchoSynthesizer {
                 }
             }
         }
-        rf
     }
 }
 
@@ -212,6 +248,70 @@ mod tests {
         let n = (rf.n_elements() * rf.n_samples()) as f64;
         let rms = (rf.energy() / n).sqrt();
         assert!((rms - 0.5).abs() < 0.02, "rms = {rms}");
+    }
+
+    #[test]
+    fn synthesize_into_matches_synthesize_bit_exactly() {
+        let spec = spec();
+        let phantom = Phantom::point(Vec3::new(0.002, -0.001, 0.04));
+        let pulse = Pulse::from_spec(&spec);
+        let synth = EchoSynthesizer::new(&spec).with_options(EchoOptions {
+            noise_rms: 0.05,
+            seed: 9,
+            spreading: true,
+            ..EchoOptions::default()
+        });
+        let fresh = synth.synthesize(&phantom, &pulse);
+        // A dirty, reused buffer must come out identical: synthesize_into
+        // clears before accumulating.
+        let mut reused = RfFrame::zeros(8, 8, spec.echo_buffer_len());
+        reused.fill(123.0);
+        let ptr = reused.trace(ElementIndex::new(0, 0)).as_ptr();
+        synth.synthesize_into(&phantom, &pulse, &mut reused);
+        assert_eq!(reused, fresh);
+        assert_eq!(
+            reused.trace(ElementIndex::new(0, 0)).as_ptr(),
+            ptr,
+            "no reallocation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the spec")]
+    fn synthesize_into_rejects_mismatched_frames() {
+        let spec = spec();
+        let mut rf = RfFrame::zeros(4, 4, 64);
+        EchoSynthesizer::new(&spec).synthesize_into(
+            &Phantom::empty(),
+            &Pulse::from_spec(&spec),
+            &mut rf,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the spec")]
+    fn synthesize_into_rejects_transposed_grids() {
+        // Same element *count*, wrong shape: must be rejected, not
+        // silently routed to the wrong traces.
+        let base = spec();
+        let wide = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            usbf_geometry::TransducerSpec {
+                nx: 16,
+                ny: 4,
+                ..base.transducer.clone()
+            },
+            base.volume.clone(),
+            base.origin,
+            base.frame_rate,
+        );
+        let mut rf = RfFrame::zeros(4, 16, wide.echo_buffer_len());
+        EchoSynthesizer::new(&wide).synthesize_into(
+            &Phantom::empty(),
+            &Pulse::from_spec(&wide),
+            &mut rf,
+        );
     }
 
     #[test]

@@ -28,12 +28,14 @@ pub struct Phantom {
 
 impl Phantom {
     /// An empty phantom (anechoic medium).
+    #[must_use]
     pub fn empty() -> Self {
         Phantom::default()
     }
 
     /// A single unit-amplitude point target — the classic point-spread-
     /// function phantom.
+    #[must_use]
     pub fn point(position: Vec3) -> Self {
         Phantom {
             scatterers: vec![Scatterer {
@@ -44,12 +46,14 @@ impl Phantom {
     }
 
     /// A phantom from explicit scatterers.
+    #[must_use]
     pub fn from_scatterers(scatterers: Vec<Scatterer>) -> Self {
         Phantom { scatterers }
     }
 
     /// A regular grid of point targets along the z axis — used to probe
     /// depth-dependent focusing.
+    #[must_use]
     pub fn axial_targets(depths: &[f64]) -> Self {
         Phantom {
             scatterers: depths
@@ -65,6 +69,7 @@ impl Phantom {
     /// Uniform random speckle inside an axis-aligned box, with unit mean
     /// amplitude (uniform in `[0.5, 1.5]`). Deterministic for a given
     /// seed.
+    #[must_use]
     pub fn speckle(n: usize, min: Vec3, max: Vec3, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let scatterers = (0..n)
@@ -82,6 +87,7 @@ impl Phantom {
 
     /// An anechoic spherical void ("cyst") carved out of speckle: returns
     /// the speckle phantom with all scatterers inside the sphere removed.
+    #[must_use]
     pub fn cyst(n: usize, min: Vec3, max: Vec3, center: Vec3, radius: f64, seed: u64) -> Self {
         let mut p = Self::speckle(n, min, max, seed);
         p.scatterers

@@ -27,6 +27,7 @@ impl Pulse {
     /// # Panics
     ///
     /// Panics if any argument is not positive.
+    #[must_use = "the constructed pulse must be used"]
     pub fn gaussian(center_frequency: f64, bandwidth: f64, sampling_frequency: f64) -> Self {
         assert!(center_frequency > 0.0, "center frequency must be positive");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
@@ -47,6 +48,7 @@ impl Pulse {
     }
 
     /// Pulse matching a system spec's transducer (fc, B) and `fs`.
+    #[must_use = "the constructed pulse must be used"]
     pub fn from_spec(spec: &SystemSpec) -> Self {
         Pulse::gaussian(
             spec.transducer.center_frequency,
@@ -169,6 +171,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth must be positive")]
     fn invalid_bandwidth_rejected() {
-        Pulse::gaussian(4.0e6, 0.0, 32.0e6);
+        let _ = Pulse::gaussian(4.0e6, 0.0, 32.0e6);
     }
 }

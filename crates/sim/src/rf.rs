@@ -39,6 +39,18 @@ impl RfFrame {
         self.nx * self.ny
     }
 
+    /// Element-grid width (probe `nx`).
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Element-grid height (probe `ny`).
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
     /// Samples per trace (the echo-buffer depth).
     #[inline]
     pub fn n_samples(&self) -> usize {
@@ -81,6 +93,33 @@ impl RfFrame {
         let i0 = t.floor() as i64;
         let frac = t - i0 as f64;
         self.sample(e, i0) * (1.0 - frac) + self.sample(e, i0 + 1) * frac
+    }
+
+    /// Sets every sample of every trace to `value` (no reallocation) —
+    /// how warm frame buffers are cleared between acquisitions.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Copies another frame's samples into this one, reusing this
+    /// frame's buffer — the handoff a prerecorded frame ring performs
+    /// per acquisition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two frames' dimensions differ.
+    pub fn copy_from(&mut self, src: &RfFrame) {
+        assert!(
+            self.nx == src.nx && self.ny == src.ny && self.n_samples == src.n_samples,
+            "frame shapes must match: {}x{}x{} vs {}x{}x{}",
+            self.nx,
+            self.ny,
+            self.n_samples,
+            src.nx,
+            src.ny,
+            src.n_samples
+        );
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Largest |sample| in the frame.
@@ -139,5 +178,25 @@ mod tests {
     #[should_panic(expected = "dimensions must be nonzero")]
     fn zero_dimension_rejected() {
         RfFrame::zeros(0, 1, 1);
+    }
+
+    #[test]
+    fn fill_and_copy_from_reuse_the_buffer() {
+        let mut src = RfFrame::zeros(2, 2, 4);
+        src.trace_mut(ElementIndex::new(1, 1))
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let mut dst = RfFrame::zeros(2, 2, 4);
+        dst.fill(9.0);
+        let ptr = dst.trace(ElementIndex::new(0, 0)).as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.trace(ElementIndex::new(0, 0)).as_ptr(), ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame shapes must match")]
+    fn copy_from_rejects_shape_mismatch() {
+        let src = RfFrame::zeros(2, 2, 4);
+        RfFrame::zeros(2, 2, 5).copy_from(&src);
     }
 }

@@ -1,0 +1,114 @@
+//! Pool-size determinism: volumes must be **bit-identical** whatever the
+//! worker count.
+//!
+//! The paper's architectures are deterministic hardware — the same
+//! insonification always produces the same delays — so the host runtime
+//! must not let scheduling leak into results: tile claims race, but each
+//! tile's arithmetic and the sequential scatter are fixed, so
+//! `VolumeLoop` and `FramePipeline` outputs may not depend on
+//! `USBF_POOL_THREADS`. CI runs the whole suite at two pool sizes (see
+//! `.github/workflows/ci.yml`); this file additionally pins the property
+//! inside one process by comparing explicit pools of 1, 2 and 4 workers
+//! (1 exercises the inline path, 2 and 4 the announced paths).
+
+use std::sync::Arc;
+use usbf::beamform::{Beamformer, FramePipeline, FrameRing, VolumeLoop};
+use usbf::core::{
+    DelayEngine, ExactEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
+    TableSteerEngine,
+};
+use usbf::geometry::{SystemSpec, VoxelIndex};
+use usbf::par::ThreadPool;
+use usbf::sim::{EchoSynthesizer, Phantom, Pulse, RfFrame};
+
+const POOL_SIZES: [usize; 3] = [1, 2, 4];
+
+fn recorded_frames(spec: &SystemSpec, n: usize) -> Vec<RfFrame> {
+    let synth = EchoSynthesizer::new(spec);
+    let pulse = Pulse::from_spec(spec);
+    (0..n)
+        .map(|i| {
+            let vox = VoxelIndex::new(1 + i, 2 + i, 4 + 3 * i);
+            synth.synthesize(&Phantom::point(spec.volume_grid.position(vox)), &pulse)
+        })
+        .collect()
+}
+
+#[test]
+fn volume_loop_is_bit_identical_across_pool_sizes() {
+    let spec = SystemSpec::tiny();
+    let frames = recorded_frames(&spec, 2);
+    let schedule = NappeSchedule::fitted(&spec, 8);
+    let exact = ExactEngine::new(&spec);
+    let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+    let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    for engine in [&exact as &dyn DelayEngine, &tablefree, &tablesteer] {
+        let mut reference = None;
+        for threads in POOL_SIZES {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let mut rt = VolumeLoop::with_pool(Beamformer::new(&spec), pool, &schedule);
+            let volumes: Vec<_> = frames
+                .iter()
+                .map(|rf| rt.beamform(engine, rf).clone())
+                .collect();
+            match &reference {
+                None => reference = Some(volumes),
+                Some(expect) => {
+                    assert_eq!(
+                        &volumes,
+                        expect,
+                        "{} with {} worker(s) diverged",
+                        engine.name(),
+                        threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_pipeline_is_bit_identical_across_pool_sizes() {
+    let spec = SystemSpec::tiny();
+    let frames = recorded_frames(&spec, 3);
+    let schedule = NappeSchedule::fitted(&spec, 8);
+    let engine = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    let mut reference: Option<Vec<_>> = None;
+    for threads in POOL_SIZES {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let mut pipe = FramePipeline::with_pool(
+            Beamformer::new(&spec),
+            FrameRing::new(frames.clone()),
+            pool,
+            &schedule,
+        );
+        let volumes: Vec<_> = (0..6)
+            .map(|_| pipe.next_volume(&engine).expect("healthy pipeline").clone())
+            .collect();
+        match &reference {
+            None => reference = Some(volumes),
+            Some(expect) => {
+                assert_eq!(
+                    &volumes, expect,
+                    "pipeline with {threads} worker(s) diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_sized_loops_match_the_cold_single_shot_path() {
+    // The cold path runs on the global pool (whatever size CI's matrix
+    // gave it); explicit pools of every size must reproduce it exactly.
+    let spec = SystemSpec::tiny();
+    let rf = &recorded_frames(&spec, 1)[0];
+    let engine = ExactEngine::new(&spec);
+    let cold = Beamformer::new(&spec).beamform_volume(&engine, rf);
+    let schedule = NappeSchedule::fitted(&spec, 8);
+    for threads in POOL_SIZES {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let mut rt = VolumeLoop::with_pool(Beamformer::new(&spec), pool, &schedule);
+        assert_eq!(rt.beamform(&engine, rf), &cold, "{threads} worker(s)");
+    }
+}

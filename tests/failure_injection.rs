@@ -1,13 +1,15 @@
 //! Failure injection: the library fails loudly and predictably at its
 //! documented limits.
 
+use usbf::beamform::{Beamformer, FramePipeline, FrameRing, PipelineError, VolumeLoop};
 use usbf::core::{
-    DelayEngine, EngineError, NaiveTableEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig,
-    TableSteerEngine,
+    DelayEngine, EngineError, ExactEngine, NaiveTableEngine, TableFreeConfig, TableFreeEngine,
+    TableSteerConfig, TableSteerEngine,
 };
 use usbf::fixed::{Fixed, FixedError, QFormat, RoundingMode};
-use usbf::geometry::{SystemSpec, TransducerSpec, VolumeSpec, VoxelIndex};
+use usbf::geometry::{ElementIndex, SystemSpec, TransducerSpec, VolumeSpec, VoxelIndex};
 use usbf::pwl::{PwlApprox, PwlError, SqrtFn, TrackingEvaluator};
+use usbf::sim::{EchoSynthesizer, Phantom, Pulse, RfFrame};
 
 #[test]
 fn naive_engine_rejects_paper_scale() {
@@ -99,6 +101,138 @@ fn fixed_point_saturation_is_deterministic_at_the_rails() {
     assert_eq!(top.to_f64(), fmt.max_value());
     let bottom = Fixed::saturating_from_f64(-1e9, fmt, RoundingMode::Nearest);
     assert_eq!(bottom.to_f64(), 0.0);
+}
+
+/// An engine that can be armed to panic mid-frame — the injected fault
+/// for the pipeline-recovery tests below.
+struct FaultyEngine {
+    inner: ExactEngine,
+    armed: std::sync::atomic::AtomicBool,
+}
+
+impl FaultyEngine {
+    fn new(spec: &SystemSpec) -> Self {
+        FaultyEngine {
+            inner: ExactEngine::new(spec),
+            armed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    fn arm(&self, on: bool) {
+        self.armed.store(on, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl DelayEngine for FaultyEngine {
+    fn name(&self) -> &'static str {
+        "FAULTY"
+    }
+    fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        assert!(
+            !self.armed.load(std::sync::atomic::Ordering::SeqCst),
+            "injected delay fault"
+        );
+        self.inner.delay_samples(vox, e)
+    }
+    fn echo_buffer_len(&self) -> usize {
+        self.inner.echo_buffer_len()
+    }
+}
+
+fn point_frame(spec: &SystemSpec) -> RfFrame {
+    let target = spec.volume_grid.position(VoxelIndex::new(4, 4, 8));
+    EchoSynthesizer::new(spec).synthesize(&Phantom::point(target), &Pulse::from_spec(spec))
+}
+
+#[test]
+fn pipelined_source_panic_is_a_clean_error_and_the_pipeline_recovers() {
+    let spec = SystemSpec::tiny();
+    let rf = point_frame(&spec);
+    let engine = ExactEngine::new(&spec);
+    let reference = VolumeLoop::new(Beamformer::new(&spec))
+        .beamform(&engine, &rf)
+        .clone();
+    // A source that panics while producing its second frame.
+    let template = rf.clone();
+    let mut produced = 0u32;
+    let source = move |out: &mut RfFrame| {
+        produced += 1;
+        assert!(produced != 2, "injected source fault");
+        out.copy_from(&template);
+    };
+    let mut pipe = FramePipeline::new(Beamformer::new(&spec), source);
+    assert_eq!(
+        pipe.next_volume(&engine).expect("frame 1 is clean"),
+        &reference
+    );
+    // Frame 2's acquisition panicked: the caller gets an error, not an
+    // unwind and not a poisoned pipeline.
+    match pipe.next_volume(&engine) {
+        Err(PipelineError::Source(msg)) => {
+            assert!(msg.contains("injected source fault"), "message: {msg}")
+        }
+        other => panic!("expected Source error, got {other:?}"),
+    }
+    // The same pipeline (same pool, same loop states, same source) keeps
+    // producing bit-correct volumes afterwards.
+    for _ in 0..3 {
+        assert_eq!(pipe.next_volume(&engine).expect("recovered"), &reference);
+    }
+    assert_eq!(pipe.frames(), 4);
+    assert_eq!(pipe.errors(), 1);
+}
+
+#[test]
+fn pipelined_beamform_panic_is_a_clean_error_and_the_pool_survives() {
+    let spec = SystemSpec::tiny();
+    let rf = point_frame(&spec);
+    let engine = FaultyEngine::new(&spec);
+    let reference = VolumeLoop::new(Beamformer::new(&spec))
+        .beamform(&engine, &rf)
+        .clone();
+    let pool = std::sync::Arc::new(usbf::par::ThreadPool::new(2));
+    let schedule = usbf::core::NappeSchedule::fitted(&spec, 8);
+    let mut pipe = FramePipeline::with_pool(
+        Beamformer::new(&spec),
+        FrameRing::new(vec![rf]),
+        std::sync::Arc::clone(&pool),
+        &schedule,
+    );
+    assert_eq!(pipe.next_volume(&engine).expect("clean frame"), &reference);
+    engine.arm(true);
+    match pipe.next_volume(&engine) {
+        Err(PipelineError::Beamform(msg)) => {
+            assert!(msg.contains("injected delay fault"), "message: {msg}")
+        }
+        other => panic!("expected Beamform error, got {other:?}"),
+    }
+    engine.arm(false);
+    // The pipeline's pool and both loop states beamform the next frames
+    // correctly — and the shared pool itself still serves other work.
+    for _ in 0..3 {
+        assert_eq!(pipe.next_volume(&engine).expect("recovered"), &reference);
+    }
+    let items: Vec<usize> = (0..32).collect();
+    assert_eq!(
+        pool.par_map_indexed(&items, |_, &x| x + 1),
+        (1..=32).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn volume_loop_rethrows_engine_panics_and_stays_warm() {
+    let spec = SystemSpec::tiny();
+    let rf = point_frame(&spec);
+    let engine = FaultyEngine::new(&spec);
+    let mut rt = VolumeLoop::new(Beamformer::new(&spec));
+    let clean = rt.beamform(&engine, &rf).clone();
+    engine.arm(true);
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.beamform(&engine, &rf);
+    }));
+    assert!(unwound.is_err(), "the loop must rethrow the task panic");
+    engine.arm(false);
+    assert_eq!(rt.beamform(&engine, &rf), &clean, "warm state survived");
 }
 
 #[test]
