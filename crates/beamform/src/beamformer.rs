@@ -29,7 +29,8 @@ pub(crate) fn pool_fitted_schedule(
 /// Scatters one tile's beamformed values (in
 /// `[scanline-within-tile][depth]` order) into the output volume — the
 /// single copy of the tile→volume layout mapping, shared by the cold
-/// tiled path and [`VolumeLoop`](crate::VolumeLoop) so the two stay
+/// tiled path, [`VolumeLoop`](crate::VolumeLoop) and
+/// [`FramePipeline`](crate::FramePipeline) so all three stay
 /// bit-identical by construction.
 pub(crate) fn scatter_tile(out: &mut BeamformedVolume, tile: Tile, values: &[f64], n_depth: usize) {
     for (slot, it, ip) in tile.iter_scanlines() {
@@ -37,6 +38,44 @@ pub(crate) fn scatter_tile(out: &mut BeamformedVolume, tile: Tile, values: &[f64
         for (id, &v) in column.iter().enumerate() {
             out.set(VoxelIndex::new(it, ip, id), v);
         }
+    }
+}
+
+/// Warm per-tile state: one task's delay slab and output staging
+/// buffer, allocated once at construction and refilled every frame.
+/// One definition shared by [`VolumeLoop`](crate::VolumeLoop) and
+/// [`FramePipeline`](crate::FramePipeline), so the warm-state shape (and
+/// with it the bit-identical-to-serial invariant) cannot drift between
+/// the two runtimes.
+pub(crate) struct TileState {
+    pub(crate) slab: NappeDelays,
+    pub(crate) values: Vec<f64>,
+}
+
+/// Builds the warm state for every tile of a schedule: the only place
+/// the slab/values sizing lives.
+pub(crate) fn warm_tile_states(spec: &SystemSpec, tiles: &[Tile]) -> Vec<TileState> {
+    let n_depth = spec.volume_grid.n_depth();
+    tiles
+        .iter()
+        .map(|&tile| TileState {
+            slab: NappeDelays::for_tile(spec, tile),
+            values: vec![0.0; tile.scanlines() * n_depth],
+        })
+        .collect()
+}
+
+/// Scatters every tile's staged values into the output volume, in tile
+/// order — the deterministic sequential merge both runtimes end a frame
+/// with.
+pub(crate) fn scatter_tiles(
+    out: &mut BeamformedVolume,
+    tiles: &[Tile],
+    states: &[TileState],
+    n_depth: usize,
+) {
+    for (tile, state) in tiles.iter().zip(states) {
+        scatter_tile(out, *tile, &state.values, n_depth);
     }
 }
 

@@ -17,9 +17,14 @@
 //!   persistent `usbf_par` worker pool with preallocated delay slabs and
 //!   buffers and a preregistered pool job, bit-identical to the cold
 //!   path;
-//! * [`FramePipeline`] — the overlapped runtime: acquisition of frame
-//!   `n+1` (any [`FrameSource`]) runs concurrently with beamforming of
-//!   frame `n` over two double-buffered `VolumeLoop` states.
+//! * [`FramePipeline`] — the asynchronous runtime: `submit` kicks off
+//!   beamforming of frame `n` on the shared pool and returns a
+//!   [`VolumeTicket`] immediately, so acquisition of frame `n+1` (any
+//!   [`FrameSource`]), beamforming of `n` and the caller's consumption
+//!   of volume `n−1` all overlap;
+//! * [`ShardedRuntime`] — several probes' pipelines (distinct specs,
+//!   engines and sources per [`ShardConfig`]) multiplexed fairly on one
+//!   worker pool, with per-shard stats and failure isolation.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 mod apodization;
 mod beamformer;
 mod frame_pipeline;
+mod sharded;
 mod volume;
 mod volume_loop;
 
@@ -54,7 +60,9 @@ pub use apodization::Apodization;
 pub use beamformer::{Beamformer, Interpolation};
 pub use frame_pipeline::{
     FramePipeline, FrameRing, FrameSource, PipelineError, PipelineStats, SynthesizedFrames,
+    VolumeTicket,
 };
+pub use sharded::{shard_fitted_schedule, ShardConfig, ShardedRuntime};
 pub use volume::BeamformedVolume;
 pub use volume_loop::VolumeLoop;
 

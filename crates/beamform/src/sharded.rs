@@ -1,0 +1,322 @@
+//! Multi-probe sharding: several independent frame pipelines
+//! multiplexed on **one** worker pool.
+//!
+//! The paper sizes its delay architecture for one 2-D matrix probe, but
+//! a production beamformer serves several — simultaneous biplane views,
+//! multi-probe rigs, or simply several live streams sharing one server.
+//! Spinning up one thread pool per probe multiplies oversubscription;
+//! [`ShardedRuntime`] instead gives every probe its own
+//! [`FramePipeline`] (its own spec, delay engine, frame source,
+//! acquisition thread and warm state) while all tile work funnels into
+//! a single shared [`ThreadPool`]:
+//!
+//! * **fair interleaving** — each shard's [`NappeSchedule`] is re-fitted
+//!   so the per-frame tile counts are comparable across shards
+//!   (`shard_fitted_schedule`): a round submits every shard before
+//!   redeeming any, so `N × tiles` tasks from different shards coexist
+//!   in the pool's claim queues and no shard's frame serializes behind
+//!   another's;
+//! * **per-shard accounting** — every shard keeps its own
+//!   [`PipelineStats`], so a slow probe is visible as *its* acquire
+//!   wait, not smeared across the fleet;
+//! * **failure isolation** — a panicking engine or source surfaces as
+//!   that shard's [`PipelineError`] for that frame; sibling shards'
+//!   tickets redeem normally and the shared pool survives (panics are
+//!   contained per task by the pool, per frame by the pipeline).
+//!
+//! Volumes are **bit-identical** to running each shard's frames through
+//! its own serial [`VolumeLoop`](crate::VolumeLoop) — multiplexing
+//! reorders only *when* tiles execute, never *what* they compute — and
+//! warm sharded rounds perform zero heap allocations
+//! (`tests/warm_frame_allocs.rs`); `tests/shard_stress.rs` soaks the
+//! whole arrangement for hundreds of frames at several pool sizes.
+
+use crate::frame_pipeline::{FramePipeline, FrameSource, PipelineError, PipelineStats};
+use crate::{BeamformedVolume, Beamformer};
+use std::sync::Arc;
+use usbf_core::{DelayEngine, NappeSchedule};
+use usbf_par::ThreadPool;
+use usbf_sim::RfFrame;
+
+/// Object-safe wrapper so heterogeneous shard sources can live in one
+/// config list (the blanket `FnMut` impl keeps `Box<dyn FrameSource>`
+/// itself from implementing the trait directly).
+struct BoxedSource(Box<dyn FrameSource>);
+
+impl FrameSource for BoxedSource {
+    fn next_frame(&mut self, out: &mut RfFrame) {
+        self.0.next_frame(out)
+    }
+}
+
+/// One shard's ingredients: a probe/system configuration (the
+/// [`Beamformer`] carries the spec), the delay engine generating its
+/// delays, and the frame source feeding it.
+pub struct ShardConfig {
+    beamformer: Beamformer,
+    engine: Arc<dyn DelayEngine + Send + Sync>,
+    source: Box<dyn FrameSource>,
+}
+
+impl ShardConfig {
+    /// Bundles one shard's beamformer, engine and source.
+    #[must_use]
+    pub fn new<S: FrameSource + 'static>(
+        beamformer: Beamformer,
+        engine: Arc<dyn DelayEngine + Send + Sync>,
+        source: S,
+    ) -> Self {
+        ShardConfig {
+            beamformer,
+            engine,
+            source: Box::new(source),
+        }
+    }
+}
+
+/// The schedule a shard gets when `n_shards` pipelines share a pool of
+/// `threads` workers: every shard is fitted to roughly `threads × 4 /
+/// n_shards` tiles (never fewer than 2, so no shard's frame collapses
+/// into one unsplittable task). A full round therefore dispatches about
+/// `threads × 4` comparably-sized tiles regardless of shard count —
+/// enough claim granularity for load balancing, with no shard able to
+/// monopolize the queues by sheer tile count.
+#[must_use]
+pub fn shard_fitted_schedule(
+    spec: &usbf_geometry::SystemSpec,
+    threads: usize,
+    n_shards: usize,
+) -> NappeSchedule {
+    let total_target = threads.max(1) * 4;
+    let per_shard = total_target.div_ceil(n_shards.max(1)).max(2);
+    NappeSchedule::fitted(spec, per_shard)
+}
+
+/// Several probes' pipelines on one pool. See the module docs for the
+/// fairness/isolation contract.
+///
+/// ```
+/// use std::sync::Arc;
+/// use usbf_beamform::{Beamformer, FrameRing, ShardConfig, ShardedRuntime};
+/// use usbf_core::ExactEngine;
+/// use usbf_geometry::SystemSpec;
+/// use usbf_par::ThreadPool;
+/// use usbf_sim::RfFrame;
+///
+/// let spec = SystemSpec::tiny();
+/// let frame = RfFrame::zeros(8, 8, spec.echo_buffer_len());
+/// let shard = |seed: f64| {
+///     let mut rf = frame.clone();
+///     rf.fill(seed);
+///     ShardConfig::new(
+///         Beamformer::new(&spec),
+///         Arc::new(ExactEngine::new(&spec)),
+///         FrameRing::new(vec![rf]),
+///     )
+/// };
+/// let pool = Arc::new(ThreadPool::new(2));
+/// let mut rt = ShardedRuntime::new(pool, vec![shard(0.0), shard(1.0)]);
+/// let outcomes = rt.round();
+/// assert!(outcomes.iter().all(|o| o.is_ok()));
+/// assert_eq!(rt.shard(0).frames(), 1);
+/// assert!(rt.volume(1).is_some());
+/// ```
+pub struct ShardedRuntime {
+    pool: Arc<ThreadPool>,
+    shards: Vec<FramePipeline>,
+}
+
+impl ShardedRuntime {
+    /// Builds one pipeline per config, all on `pool`, each with a
+    /// schedule from [`shard_fitted_schedule`] so tile counts stay
+    /// comparable across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    #[must_use]
+    pub fn new(pool: Arc<ThreadPool>, configs: Vec<ShardConfig>) -> Self {
+        assert!(!configs.is_empty(), "need at least one shard");
+        let n_shards = configs.len();
+        let shards = configs
+            .into_iter()
+            .map(|config| {
+                let schedule =
+                    shard_fitted_schedule(config.beamformer.spec(), pool.threads(), n_shards);
+                FramePipeline::with_pool(
+                    config.beamformer,
+                    config.engine,
+                    BoxedSource(config.source),
+                    Arc::clone(&pool),
+                    &schedule,
+                )
+            })
+            .collect();
+        ShardedRuntime { pool, shards }
+    }
+
+    /// Builds the runtime on the process-wide global pool.
+    #[must_use]
+    pub fn on_global(configs: Vec<ShardConfig>) -> Self {
+        Self::new(usbf_par::global_arc(), configs)
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared pool all shards dispatch onto.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Advances every shard by one frame, multiplexed: **all** shards'
+    /// beamform jobs are submitted (in flight on the shared pool, with
+    /// all acquisition threads filling the following frames) before any
+    /// is redeemed. The per-shard outcome is this frame's
+    /// `Ok`/[`PipelineError`]; one shard's failure never disturbs its
+    /// siblings — their tickets redeem normally in the same round.
+    pub fn round(&mut self) -> Vec<Result<(), PipelineError>> {
+        let mut outcomes = Vec::new();
+        self.round_into(&mut outcomes);
+        outcomes
+    }
+
+    /// [`round`](Self::round) with a caller-owned outcome buffer:
+    /// `outcomes` is cleared and refilled with one entry per shard, in
+    /// shard order. Once the buffer has reached capacity a warm healthy
+    /// round performs **zero** heap allocations — the tickets live on
+    /// the stack (one recursion level per shard) and only error
+    /// outcomes carry owned messages.
+    pub fn round_into(&mut self, outcomes: &mut Vec<Result<(), PipelineError>>) {
+        outcomes.clear();
+        outcomes.resize_with(self.shards.len(), || Ok(()));
+        // Submit on the way down the recursion, redeem on the way back
+        // up: every shard's job is in flight before any is waited on,
+        // and each held ticket borrows only its own shard.
+        fn drive(
+            shards: &mut [FramePipeline],
+            base: usize,
+            outcomes: &mut [Result<(), PipelineError>],
+        ) {
+            let Some((first, rest)) = shards.split_first_mut() else {
+                return;
+            };
+            match first.submit() {
+                Ok(ticket) => {
+                    drive(rest, base + 1, outcomes);
+                    outcomes[base] = ticket.wait().map(|_volume| ());
+                }
+                Err(error) => {
+                    // Submit failed (source panic, disconnect): record it
+                    // and keep multiplexing the siblings; the shard
+                    // recovers on the next round.
+                    outcomes[base] = Err(error);
+                    drive(rest, base + 1, outcomes);
+                }
+            }
+        }
+        drive(&mut self.shards, 0, outcomes);
+    }
+
+    /// Shard `i`'s most recent volume (`None` before its first
+    /// successful frame).
+    pub fn volume(&self, shard: usize) -> Option<&BeamformedVolume> {
+        self.shards[shard].volume()
+    }
+
+    /// Shard `i`'s lifetime counters.
+    pub fn stats(&self, shard: usize) -> PipelineStats {
+        self.shards[shard].stats()
+    }
+
+    /// Borrows shard `i`'s pipeline (frames, errors, engine, volume
+    /// accessors).
+    pub fn shard(&self, shard: usize) -> &FramePipeline {
+        &self.shards[shard]
+    }
+
+    /// Mutably borrows shard `i`'s pipeline, e.g. to drive one shard
+    /// out of lock-step with [`FramePipeline::submit`].
+    pub fn shard_mut(&mut self, shard: usize) -> &mut FramePipeline {
+        &mut self.shards[shard]
+    }
+
+    /// Frame counts per shard, in shard order — the fairness snapshot
+    /// the soak test asserts on (`max − min ≤` a small bound when every
+    /// shard is driven through [`round`](Self::round)).
+    pub fn frame_counts(&self) -> Vec<u64> {
+        self.shards.iter().map(FramePipeline::frames).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrameRing, VolumeLoop};
+    use usbf_core::{ExactEngine, TableSteerConfig, TableSteerEngine};
+    use usbf_geometry::{SystemSpec, VoxelIndex};
+    use usbf_sim::{EchoSynthesizer, Phantom, Pulse};
+
+    fn point_frame(spec: &SystemSpec, vox: VoxelIndex) -> RfFrame {
+        EchoSynthesizer::new(spec).synthesize(
+            &Phantom::point(spec.volume_grid.position(vox)),
+            &Pulse::from_spec(spec),
+        )
+    }
+
+    #[test]
+    fn shards_are_bit_identical_to_their_serial_baselines() {
+        let spec = SystemSpec::tiny();
+        let exact: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&spec));
+        let steer: Arc<dyn DelayEngine + Send + Sync> =
+            Arc::new(TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap());
+        let frames = [
+            point_frame(&spec, VoxelIndex::new(2, 3, 5)),
+            point_frame(&spec, VoxelIndex::new(5, 4, 9)),
+        ];
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut rt = ShardedRuntime::new(
+            Arc::clone(&pool),
+            vec![
+                ShardConfig::new(
+                    Beamformer::new(&spec),
+                    Arc::clone(&exact),
+                    FrameRing::new(vec![frames[0].clone()]),
+                ),
+                ShardConfig::new(
+                    Beamformer::new(&spec),
+                    Arc::clone(&steer),
+                    FrameRing::new(vec![frames[1].clone()]),
+                ),
+            ],
+        );
+        let mut baseline0 = VolumeLoop::new(Beamformer::new(&spec));
+        let mut baseline1 = VolumeLoop::new(Beamformer::new(&spec));
+        let expect0 = baseline0.beamform(exact.as_ref(), &frames[0]).clone();
+        let expect1 = baseline1.beamform(steer.as_ref(), &frames[1]).clone();
+        for round in 0..4 {
+            let outcomes = rt.round();
+            assert!(outcomes.iter().all(|o| o.is_ok()), "round {round}");
+            assert_eq!(rt.volume(0), Some(&expect0), "round {round}");
+            assert_eq!(rt.volume(1), Some(&expect1), "round {round}");
+        }
+        assert_eq!(rt.frame_counts(), vec![4, 4]);
+    }
+
+    #[test]
+    fn shard_schedules_share_the_tile_budget() {
+        let spec = SystemSpec::tiny();
+        let solo = shard_fitted_schedule(&spec, 4, 1);
+        let split = shard_fitted_schedule(&spec, 4, 4);
+        assert!(solo.n_blocks() >= 16);
+        assert!(split.n_blocks() >= 4);
+        assert!(
+            split.n_blocks() <= solo.n_blocks(),
+            "sharing the pool must not multiply tiles per shard"
+        );
+        // Degenerate inputs stay valid.
+        assert!(shard_fitted_schedule(&spec, 0, 0).n_blocks() >= 2);
+    }
+}

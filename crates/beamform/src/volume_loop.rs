@@ -16,18 +16,12 @@
 //! completion barrier is allocated once at construction and re-announced
 //! per frame with a borrowed closure.
 
+use crate::beamformer::TileState;
 use crate::{BeamformedVolume, Beamformer};
 use std::sync::Arc;
-use usbf_core::{DelayEngine, NappeDelays, NappeSchedule, Tile};
+use usbf_core::{DelayEngine, NappeSchedule, Tile};
 use usbf_par::{JobHandle, ThreadPool};
 use usbf_sim::RfFrame;
-
-/// Warm per-tile state: one worker's delay slab and output staging
-/// buffer, allocated once and refilled every frame.
-struct TileState {
-    slab: NappeDelays,
-    values: Vec<f64>,
-}
 
 /// A persistent volume-rate beamforming loop.
 ///
@@ -92,15 +86,8 @@ impl VolumeLoop {
         schedule: &NappeSchedule,
     ) -> Self {
         let spec = beamformer.spec().clone();
-        let n_depth = spec.volume_grid.n_depth();
         let tiles = schedule.tiles();
-        let states = tiles
-            .iter()
-            .map(|&tile| TileState {
-                slab: NappeDelays::for_tile(&spec, tile),
-                values: vec![0.0; tile.scanlines() * n_depth],
-            })
-            .collect();
+        let states = crate::beamformer::warm_tile_states(&spec, &tiles);
         let weights = beamformer.element_weights();
         let out = BeamformedVolume::zeros(&spec);
         VolumeLoop {
@@ -127,9 +114,7 @@ impl VolumeLoop {
             beamformer.beamform_tile_into(engine, rf, weights, &mut state.slab, &mut state.values);
         });
         let n_depth = beamformer.spec().volume_grid.n_depth();
-        for (tile, state) in self.tiles.iter().zip(&self.states) {
-            crate::beamformer::scatter_tile(&mut self.out, *tile, &state.values, n_depth);
-        }
+        crate::beamformer::scatter_tiles(&mut self.out, &self.tiles, &self.states, n_depth);
         self.frames += 1;
         &self.out
     }

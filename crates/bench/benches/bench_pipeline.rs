@@ -64,7 +64,8 @@ fn paced_source(spec: &SystemSpec, pulse: &Pulse, phantom: &Phantom) -> impl Fra
 
 fn bench_pipeline(c: &mut Criterion) {
     let spec = SystemSpec::tiny();
-    let engine = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds");
+    let engine =
+        Arc::new(TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds"));
     let pool = Arc::new(ThreadPool::new(WORKERS));
     let schedule = NappeSchedule::fitted(&spec, WORKERS * 4);
     let n_tiles = schedule.tiles().len();
@@ -112,20 +113,41 @@ fn bench_pipeline(c: &mut Criterion) {
         let mut rt = VolumeLoop::with_pool(Beamformer::new(&spec), Arc::clone(&pool), &schedule);
         b.iter(|| {
             source.next_frame(&mut rf);
-            rt.beamform(black_box(&engine), black_box(&rf));
+            rt.beamform(black_box(engine.as_ref()), black_box(&rf));
             black_box(rt.volume().max_abs())
         })
     });
     g.bench_function("overlapped_frame_pipeline", |b| {
         let mut pipe = FramePipeline::with_pool(
             Beamformer::new(&spec),
+            Arc::clone(&engine) as Arc<dyn usbf_core::DelayEngine + Send + Sync>,
             paced_source(&spec, &pulse, &phantom),
             Arc::clone(&pool),
             &schedule,
         );
-        pipe.next_volume(&engine).expect("warm-up frame");
+        pipe.next_volume().expect("warm-up frame");
         b.iter(|| {
-            let vol = pipe.next_volume(black_box(&engine)).expect("warm frame");
+            let vol = pipe.next_volume().expect("warm frame");
+            black_box(vol.max_abs())
+        })
+    });
+    g.bench_function("async_submit_ticket_wait", |b| {
+        // The three-stage shape: the ticket is redeemed only after the
+        // caller touches the previous volume, so redemption overlaps
+        // caller-side consumption as well as the next acquisition.
+        let mut pipe = FramePipeline::with_pool(
+            Beamformer::new(&spec),
+            Arc::clone(&engine) as Arc<dyn usbf_core::DelayEngine + Send + Sync>,
+            paced_source(&spec, &pulse, &phantom),
+            Arc::clone(&pool),
+            &schedule,
+        );
+        pipe.next_volume().expect("warm-up frame");
+        b.iter(|| {
+            let ticket = pipe.submit().expect("warm submit");
+            let consumed = ticket.previous_volume().map(|v| v.max_abs());
+            black_box(consumed);
+            let vol = ticket.wait().expect("warm frame");
             black_box(vol.max_abs())
         })
     });
@@ -152,7 +174,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let bf = &bf;
             let weights = &weights;
-            let engine = &engine;
+            let engine = engine.as_ref();
             let rf = &rf;
             pool.scope(|s| {
                 for (slab, values) in states.iter_mut() {
@@ -172,9 +194,9 @@ fn bench_pipeline(c: &mut Criterion) {
     });
     g.bench_function("preregistered_volume_loop", |b| {
         let mut rt = VolumeLoop::with_pool(Beamformer::new(&spec), Arc::clone(&pool), &schedule);
-        rt.beamform(&engine, &rf); // warm-up
+        rt.beamform(engine.as_ref(), &rf); // warm-up
         b.iter(|| {
-            rt.beamform(black_box(&engine), black_box(&rf));
+            rt.beamform(black_box(engine.as_ref()), black_box(&rf));
             black_box(rt.volume().max_abs())
         })
     });

@@ -6,7 +6,8 @@
 //! paper's streaming architecture beamforms thousands of volumes per
 //! second; spawning a thread per tile per volume is exactly the kind of
 //! per-frame cost it amortizes away, so workers here are created once,
-//! parked on per-worker channel queues, and handed jobs by reference.
+//! parked on preallocated per-worker queues, and handed jobs by
+//! reference.
 //!
 //! Four layers:
 //!
@@ -15,11 +16,14 @@
 //!   parallelism);
 //! * [`ThreadPool::scope`] / [`PoolScope::spawn`] — structured borrowed
 //!   tasks, shaped like [`std::thread::scope`] but executed by the pool;
-//! * [`ThreadPool::register`] / [`JobHandle::run`] — preregistered job
-//!   slots for frame loops: the completion barrier is allocated once and
-//!   re-announced per frame, with borrowed closures dispatched through a
-//!   function pointer, so a warm run performs **zero per-task heap
-//!   allocations** (no `Arc` churn, no task boxing);
+//! * [`ThreadPool::register`] / [`JobHandle::run`] /
+//!   [`JobHandle::start`] — preregistered job slots for frame loops: the
+//!   completion barrier is allocated once and re-announced per frame,
+//!   with borrowed state dispatched through a function pointer, so a
+//!   warm run performs **zero per-task heap allocations** (no `Arc`
+//!   churn, no task boxing). `start` returns a [`PendingJob`] guard that
+//!   keeps the run in flight while the caller does other work —
+//!   `wait()`/`try_wait()` redeem it, dropping it joins;
 //! * [`par_map`] / [`par_map_indexed`] / [`par_for_each_index`] — the
 //!   drop-in parallel maps every call site already uses, with dynamic
 //!   work claiming so stragglers don't serialize the pool.
@@ -42,7 +46,7 @@ mod registered;
 mod scope;
 
 pub use pool::{global, global_arc, ThreadPool};
-pub use registered::JobHandle;
+pub use registered::{JobHandle, PendingJob};
 pub use scope::PoolScope;
 
 /// Number of claimants [`par_map`] would use for `n_items` of work: the

@@ -2,10 +2,10 @@
 
 use crate::job::JobCore;
 use crate::registered::RegisteredCore;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// What a worker queue carries: either a one-shot scoped job (its core
@@ -18,10 +18,80 @@ pub(crate) enum WorkItem {
     Registered(Arc<RegisteredCore>),
 }
 
-/// A pool of persistent worker threads with a channel-based job injector.
+/// How many announcements a worker queue can hold before its ring
+/// buffer grows. Queues drain continuously (an announcement is an
+/// `Arc` clone, consumed as soon as the worker wakes), so this is
+/// burst headroom, not a throughput limit; any growth is retained, so
+/// warm frames never re-allocate.
+const QUEUE_CAPACITY: usize = 64;
+
+/// One worker's announcement queue: a preallocated ring plus a parking
+/// condvar. This deliberately replaces `std::sync::mpsc` — channel
+/// sends allocate a fresh block every ~32 messages, which is exactly
+/// the kind of steady per-frame heap traffic the warm real-time path
+/// must not have (see `tests/warm_frame_allocs.rs`, which asserts **0**
+/// allocations across warm frames, announcements included).
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    /// Set when the pool drops: the worker exits once the queue drains.
+    closed: bool,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(QUEUE_CAPACITY),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an announcement and wakes the worker. Announcements to
+    /// a closed (dropping) pool are discarded — the announcing owner
+    /// always drains its own job, so tasks are never lost.
+    fn push(&self, item: WorkItem) {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Closes the queue and wakes the worker so it can exit.
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Blocks until an announcement arrives (`Some`) or the queue is
+    /// closed and empty (`None`).
+    fn pop(&self) -> Option<WorkItem> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+}
+
+/// A pool of persistent worker threads with a per-worker job injector.
 ///
 /// Workers are spawned **once**, at construction, and parked on their own
-/// `mpsc` queue; every [`scope`](ThreadPool::scope) /
+/// preallocated work queue; every [`scope`](ThreadPool::scope) /
 /// [`par_map_indexed`](ThreadPool::par_map_indexed) call announces its job
 /// to the per-worker queues instead of spawning threads, which is what
 /// removes the per-frame thread-creation cost from real-time volume loops
@@ -39,7 +109,7 @@ pub(crate) enum WorkItem {
 /// assert_eq!(sums, vec![1, 3]);
 /// ```
 pub struct ThreadPool {
-    senders: Vec<Sender<WorkItem>>,
+    queues: Vec<Arc<WorkQueue>>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
     next_announce: AtomicUsize,
@@ -53,19 +123,20 @@ impl ThreadPool {
     /// behaviour on single-core hosts), with no queueing or
     /// coordination cost.
     pub fn new(threads: usize) -> Self {
-        let mut senders = Vec::with_capacity(threads);
+        let mut queues = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
-            let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = mpsc::channel();
+            let queue = Arc::new(WorkQueue::new());
+            let worker_queue = Arc::clone(&queue);
             let handle = std::thread::Builder::new()
                 .name(format!("usbf-par-{i}"))
-                .spawn(move || worker_loop(rx))
+                .spawn(move || worker_loop(&worker_queue))
                 .expect("spawn pool worker");
-            senders.push(tx);
+            queues.push(queue);
             handles.push(handle);
         }
         ThreadPool {
-            senders,
+            queues,
             handles,
             threads,
             next_announce: AtomicUsize::new(0),
@@ -105,14 +176,13 @@ impl ThreadPool {
     /// announcement after finishing their current job; stale
     /// announcements for completed jobs cost one empty queue check.
     pub(crate) fn announce(&self, job: &Arc<JobCore>) {
-        if self.senders.is_empty() {
+        if self.queues.is_empty() {
             return;
         }
-        let i = self.next_announce.fetch_add(1, Ordering::Relaxed) % self.senders.len();
-        // A send only fails while the pool is being dropped; the
-        // announcing scope still drains its own queue, so tasks are
-        // never lost.
-        let _ = self.senders[i].send(WorkItem::Scoped(Arc::clone(job)));
+        let i = self.next_announce.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        // Announcing to a dropping pool is a no-op; the announcing scope
+        // still drains its own queue, so tasks are never lost.
+        self.queues[i].push(WorkItem::Scoped(Arc::clone(job)));
     }
 
     /// Announces a preregistered job to `count` distinct worker queues,
@@ -120,32 +190,34 @@ impl ThreadPool {
     /// job's tasks are claimed by index from the shared core, so waking
     /// `min(threads, tasks)` workers is all the fan-out a run needs.
     pub(crate) fn announce_registered(&self, core: &Arc<RegisteredCore>, count: usize) {
-        if self.senders.is_empty() {
+        if self.queues.is_empty() {
             return;
         }
-        let n = count.min(self.senders.len());
+        let n = count.min(self.queues.len());
         let start = self.next_announce.fetch_add(n, Ordering::Relaxed);
         for k in 0..n {
-            let i = (start + k) % self.senders.len();
-            // As with scoped jobs, a failed send only happens mid-drop;
-            // the run's owner drains its own job regardless.
-            let _ = self.senders[i].send(WorkItem::Registered(Arc::clone(core)));
+            let i = (start + k) % self.queues.len();
+            // As with scoped jobs, announcing mid-drop is a no-op; the
+            // run's owner drains its own job regardless.
+            self.queues[i].push(WorkItem::Registered(Arc::clone(core)));
         }
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Disconnect every queue so workers fall out of `recv`, then join.
-        self.senders.clear();
+        // Close every queue so workers fall out of `pop`, then join.
+        for queue in &self.queues {
+            queue.close();
+        }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn worker_loop(rx: Receiver<WorkItem>) {
-    while let Ok(item) = rx.recv() {
+fn worker_loop(queue: &WorkQueue) {
+    while let Some(item) = queue.pop() {
         match item {
             WorkItem::Scoped(job) => job.drain(false),
             WorkItem::Registered(core) => core.drain(false),

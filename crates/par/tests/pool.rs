@@ -298,3 +298,332 @@ fn zero_and_one_thread_pools_run_inline() {
         assert_eq!(hit.load(Ordering::Relaxed), 1);
     }
 }
+
+// ---------------------------------------------------------------------
+// Asynchronous guard API: JobHandle::start → PendingJob.
+// ---------------------------------------------------------------------
+
+#[test]
+fn started_job_overlaps_with_caller_work() {
+    let pool = std::sync::Arc::new(ThreadPool::new(2));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0u64; 16];
+    let bias = 3u64;
+    let pending = job.start(&mut slots, &bias, |b, i, s: &mut u64| *s = b + i as u64);
+    // Caller-side work while the run is in flight.
+    let own: u64 = (0..1000u64).sum();
+    assert_eq!(own, 499_500);
+    let slots = pending.wait();
+    for (i, &s) in slots.iter().enumerate() {
+        assert_eq!(s, bias + i as u64);
+    }
+}
+
+#[test]
+fn try_wait_turns_true_and_stays_true() {
+    let pool = std::sync::Arc::new(ThreadPool::new(2));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0u64; 8];
+    let ctx = ();
+    let pending = job.start(&mut slots, &ctx, |_, _, s: &mut u64| *s += 1);
+    let mut spins = 0u64;
+    while !pending.try_wait() {
+        std::thread::yield_now();
+        spins += 1;
+        assert!(spins < 100_000_000, "run never completed");
+    }
+    // Monotonic: completion cannot un-happen.
+    assert!(pending.try_wait());
+    let slots = pending.wait();
+    assert!(slots.iter().all(|&s| s == 1));
+}
+
+#[test]
+fn dropping_a_pending_job_joins_the_work() {
+    let pool = std::sync::Arc::new(ThreadPool::new(4));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0u64; 32];
+    for round in 1..=5u64 {
+        let spin = 500u64;
+        let pending = job.start(&mut slots, &spin, |spin, _, s: &mut u64| {
+            let mut acc = 0u64;
+            for k in 0..*spin {
+                acc = acc.wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            *s += 1;
+        });
+        drop(pending); // must block until every task ran
+        assert!(
+            slots.iter().all(|&s| s == round),
+            "drop-join left round {round} incomplete: {slots:?}"
+        );
+    }
+}
+
+#[test]
+fn pending_panic_is_delivered_on_wait_and_everything_survives() {
+    let pool = std::sync::Arc::new(ThreadPool::new(4));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0u64; 24];
+    let panic_at = 7usize;
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        let pending = job.start(&mut slots, &panic_at, |p, i, s: &mut u64| {
+            assert!(i != *p, "injected pending panic");
+            *s += 1;
+        });
+        pending.wait();
+    }));
+    let payload = unwound.expect_err("wait must re-throw the task panic");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("injected pending panic"), "payload: {msg}");
+    // Siblings of the panicking task all ran before delivery.
+    let done: u64 = slots.iter().sum();
+    assert_eq!(done, 23, "every non-panicking task ran exactly once");
+    // Handle and pool remain fully usable.
+    let none = usize::MAX;
+    job.start(&mut slots, &none, |_, _, s: &mut u64| *s += 1)
+        .wait();
+    let items: Vec<usize> = (0..16).collect();
+    assert_eq!(pool.par_map_indexed(&items, |_, &x| x), items);
+}
+
+#[test]
+fn dropping_a_panicked_pending_job_discards_the_panic() {
+    let pool = std::sync::Arc::new(ThreadPool::new(2));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0u64; 8];
+    let panic_at = 2usize;
+    let pending = job.start(&mut slots, &panic_at, |p, i, s: &mut u64| {
+        assert!(i != *p, "discarded panic");
+        *s += 1;
+    });
+    drop(pending); // joins; must NOT unwind and must not poison later runs
+    let none = usize::MAX;
+    let pending = job.start(&mut slots, &none, |_, _, s: &mut u64| *s += 1);
+    let slots = pending.wait(); // a stale discarded panic would unwind here
+    assert_eq!(slots.iter().sum::<u64>(), 7 + 8);
+}
+
+#[test]
+fn start_on_a_zero_worker_pool_completes_inline() {
+    let pool = std::sync::Arc::new(ThreadPool::new(0));
+    let mut job = ThreadPool::register(&pool);
+    let mut slots = vec![0u64; 8];
+    let ctx = 5u64;
+    let pending = job.start(&mut slots, &ctx, |c, i, s: &mut u64| *s = c * i as u64);
+    assert!(
+        pending.try_wait(),
+        "no workers: the run finished in start()"
+    );
+    let slots = pending.wait();
+    assert_eq!(slots[7], 35);
+}
+
+#[test]
+fn multiple_pending_jobs_fly_concurrently_on_one_pool() {
+    let pool = std::sync::Arc::new(ThreadPool::new(2));
+    let mut a = ThreadPool::register(&pool);
+    let mut b = ThreadPool::register(&pool);
+    let mut c = ThreadPool::register(&pool);
+    let mut xs = vec![0u64; 12];
+    let mut ys = vec![0u64; 7];
+    let mut zs = vec![0u64; 29];
+    for _ in 0..20 {
+        let ctx = ();
+        let pa = a.start(&mut xs, &ctx, |_, _, s: &mut u64| *s += 1);
+        let pb = b.start(&mut ys, &ctx, |_, _, s: &mut u64| *s += 2);
+        let pc = c.start(&mut zs, &ctx, |_, _, s: &mut u64| *s += 3);
+        // Resolve out of submission order on purpose.
+        pb.wait();
+        drop(pc);
+        pa.wait();
+    }
+    assert!(xs.iter().all(|&x| x == 20));
+    assert!(ys.iter().all(|&y| y == 40));
+    assert!(zs.iter().all(|&z| z == 60));
+}
+
+// ---------------------------------------------------------------------
+// Concurrency-order property tests: random interleavings of
+// start / try_wait / wait / drop across multiple PendingJobs, including
+// drop-without-wait and panic-mid-flight.
+// ---------------------------------------------------------------------
+
+mod pending_interleavings {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    use usbf_par::ThreadPool;
+
+    use proptest::prelude::*;
+
+    /// Per-run shared context of one handle's tasks.
+    struct TaskCtx {
+        /// Task index that panics before touching its slot, if any.
+        panic_at: Option<usize>,
+        /// Busy-work per task, so in-flight runs genuinely overlap the
+        /// driver's own operations.
+        spin: u64,
+    }
+
+    fn task(ctx: &TaskCtx, i: usize, slot: &mut u64) {
+        assert!(ctx.panic_at != Some(i), "interleaving panic");
+        let mut acc = 0u64;
+        for k in 0..ctx.spin {
+            acc = acc.wrapping_add(k ^ i as u64);
+        }
+        std::hint::black_box(acc);
+        *slot += 1;
+    }
+
+    /// SplitMix64: the per-round decision stream (distinct from the
+    /// shim's case generator, so decisions stay stable if the shim's
+    /// draw order changes).
+    struct Decide(u64);
+
+    impl Decide {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+
+        fn chance(&mut self, percent: u64) -> bool {
+            self.next() % 100 < percent
+        }
+
+        fn shuffle<T>(&mut self, items: &mut [T]) {
+            for i in (1..items.len()).rev() {
+                items.swap(i, self.below(i + 1));
+            }
+        }
+    }
+
+    /// How one started run is resolved this round.
+    #[derive(Clone, Copy, Debug)]
+    enum Resolve {
+        Wait,
+        Drop,
+    }
+
+    const HANDLES: usize = 3;
+    const ROUNDS: usize = 6;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_interleavings_join_deliver_panics_and_leave_the_pool_reusable(
+            threads_sel in 0usize..4,
+            n0 in 1usize..25,
+            n1 in 1usize..25,
+            n2 in 1usize..25,
+            seed in any::<u64>(),
+        ) {
+            let threads = [0usize, 1, 2, 4][threads_sel];
+            let pool = Arc::new(ThreadPool::new(threads));
+            let mut handles: Vec<_> = (0..HANDLES).map(|_| ThreadPool::register(&pool)).collect();
+            let sizes = [n0, n1, n2];
+            let mut slots: Vec<Vec<u64>> = sizes.iter().map(|&n| vec![0u64; n]).collect();
+            let mut expected: Vec<Vec<u64>> = sizes.iter().map(|&n| vec![0u64; n]).collect();
+            let mut rng = Decide(seed ^ 0xA5A5_5A5A_D0D0_0D0D);
+
+            for _round in 0..ROUNDS {
+                // Decisions first, so context borrows outlive the guards.
+                let mut started = [false; HANDLES];
+                let mut resolves = [Resolve::Wait; HANDLES];
+                let mut ctxs = Vec::with_capacity(HANDLES);
+                for h in 0..HANDLES {
+                    started[h] = rng.chance(80);
+                    resolves[h] = if rng.chance(70) { Resolve::Wait } else { Resolve::Drop };
+                    let panic_at = rng.chance(30).then(|| rng.below(sizes[h]));
+                    ctxs.push(TaskCtx { panic_at, spin: rng.next() % 400 });
+                }
+
+                // Start phase: every chosen handle's run goes in flight
+                // before any is polled or resolved.
+                let mut pendings = Vec::with_capacity(HANDLES);
+                for ((handle, slot_vec), (h, ctx)) in handles
+                    .iter_mut()
+                    .zip(slots.iter_mut())
+                    .zip(ctxs.iter().enumerate())
+                {
+                    if started[h] {
+                        pendings.push((h, handle.start(slot_vec, ctx, task)));
+                    }
+                }
+
+                // Poll phase: try_wait in random order; a true result
+                // must be sticky.
+                for _ in 0..rng.below(8) {
+                    if pendings.is_empty() {
+                        break;
+                    }
+                    let (_, pending) = &pendings[rng.below(pendings.len())];
+                    if pending.try_wait() {
+                        prop_assert!(pending.try_wait(), "try_wait must be monotonic");
+                    }
+                }
+
+                // Resolve phase: wait or drop, in random order.
+                rng.shuffle(&mut pendings);
+                for (h, pending) in pendings {
+                    let panicking = ctxs[h].panic_at.is_some();
+                    match resolves[h] {
+                        Resolve::Wait => {
+                            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                                let _ = pending.wait();
+                            }))
+                            .is_err();
+                            prop_assert_eq!(
+                                unwound,
+                                panicking,
+                                "wait must unwind exactly for panic-mid-flight runs (handle {})",
+                                h
+                            );
+                        }
+                        Resolve::Drop => drop(pending), // joins, never unwinds
+                    }
+                }
+
+                // Every resolution path joined: slot effects are fully
+                // visible now, whatever the interleaving was.
+                for h in 0..HANDLES {
+                    if !started[h] {
+                        continue;
+                    }
+                    for (i, e) in expected[h].iter_mut().enumerate() {
+                        if ctxs[h].panic_at != Some(i) {
+                            *e += 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(&slots, &expected, "threads {}", threads);
+            }
+
+            // The pool and every handle survive the whole history.
+            let items: Vec<usize> = (0..32).collect();
+            prop_assert_eq!(
+                pool.par_map_indexed(&items, |_, &x| x + 1),
+                (1..=32).collect::<Vec<_>>()
+            );
+            for (h, handle) in handles.iter_mut().enumerate() {
+                let ctx = TaskCtx { panic_at: None, spin: 0 };
+                handle.start(&mut slots[h], &ctx, task).wait();
+                for (i, e) in expected[h].iter_mut().enumerate() {
+                    *e += 1;
+                    prop_assert_eq!(slots[h][i], *e, "handle {} slot {}", h, i);
+                }
+            }
+        }
+    }
+}

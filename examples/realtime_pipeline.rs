@@ -1,9 +1,11 @@
-//! Real-time overlapped pipeline demo: a target moving through the
+//! Real-time asynchronous pipeline demo: a target moving through the
 //! volume is acquired and beamformed continuously, with acquisition of
-//! frame `n+1` hidden behind beamforming of frame `n`.
+//! frame `n+1`, beamforming of frame `n` and "display" of volume `n−1`
+//! overlapped through the submit/ticket API.
 //!
 //! Run with: `cargo run --release --example realtime_pipeline`
 
+use std::sync::Arc;
 use std::time::Instant;
 use usbf::beamform::{Beamformer, FramePipeline, SynthesizedFrames, VolumeLoop};
 use usbf::core::{TableSteerConfig, TableSteerEngine};
@@ -12,7 +14,8 @@ use usbf::sim::{EchoSynthesizer, Phantom, Pulse, RfFrame};
 
 fn main() {
     let spec = SystemSpec::tiny();
-    let engine = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("engine builds");
+    let engine =
+        Arc::new(TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("engine builds"));
     let pulse = Pulse::from_spec(&spec);
 
     // A point target sweeping down one scanline: one phantom per frame.
@@ -38,17 +41,28 @@ fn main() {
     let serial_start = Instant::now();
     for i in 0..n_frames {
         synth.synthesize_into(&phantoms[i % phantoms.len()], &pulse, &mut rf);
-        let vol = serial_loop.beamform(&engine, &rf);
+        let vol = serial_loop.beamform(engine.as_ref(), &rf);
         serial_peaks.push(vol.argmax());
     }
     let serial_elapsed = serial_start.elapsed();
 
-    // Overlapped pipeline: same frames, same engine, same pool size.
+    // Asynchronous pipeline: same frames, same engine, same pool size.
+    // Each step submits frame n (beamforming starts on the pool, frame
+    // n+1 starts acquiring) and "displays" frame n−1 from the ticket
+    // while n is still in flight — the three-stage overlap.
     let source = SynthesizedFrames::new(EchoSynthesizer::new(&spec), pulse, phantoms.clone());
-    let mut pipe = FramePipeline::new(Beamformer::new(&spec), source);
+    let mut pipe = FramePipeline::new(Beamformer::new(&spec), engine, source);
     let mut pipe_peaks = Vec::with_capacity(n_frames);
+    let mut displayed = 0usize;
     for _ in 0..n_frames {
-        let vol = pipe.next_volume(&engine).expect("healthy pipeline");
+        let ticket = pipe.submit().expect("healthy acquisition");
+        // Caller-side consumption of the previous volume, overlapped
+        // with the in-flight beamforming of the current one.
+        if let Some(prev) = ticket.previous_volume() {
+            let _ = prev.max_abs();
+            displayed += 1;
+        }
+        let vol = ticket.wait().expect("healthy beamforming");
         pipe_peaks.push(vol.argmax());
     }
     let stats = pipe.stats();
@@ -68,24 +82,26 @@ fn main() {
         serial_elapsed
     );
     println!(
-        "pipelined : {:8.1} frames/s  ({:.2?} total, {} frames, {} errors)",
+        "pipelined : {:8.1} frames/s  ({:.2?} total, {} frames, {} errors, {} volumes displayed mid-flight)",
         stats.frames_per_second(),
         stats.wall,
         stats.frames,
-        stats.errors
+        stats.errors,
+        displayed
     );
     println!(
-        "            mean beamform {:.2?}, mean acquire wait {:.2?}, overlap fraction {:.2}",
-        stats.mean_beamform(),
+        "            mean acquire wait {:.2?}, mean beamform (redemption) wait {:.2?}, overlap fraction {:.2}",
         stats.mean_acquire_wait(),
+        stats.mean_beamform_wait(),
         stats.overlap_fraction()
     );
     println!(
-        "            {} schedule tiles per frame, zero per-tile job allocations on warm frames (see tests/warm_frame_allocs.rs)",
+        "            {} schedule tiles per frame, zero heap allocations on warm frames (see tests/warm_frame_allocs.rs)",
         pipe.tile_count()
     );
     println!(
         "(with purely CPU-bound acquisition the two modes tie on a single core; the overlap pays \
-         once the front end has real acquisition latency or a second core exists — see bench_pipeline)"
+         once the front end has real acquisition latency or a second core exists — see \
+         bench_pipeline and bench_shard)"
     );
 }

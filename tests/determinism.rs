@@ -5,14 +5,17 @@
 //! insonification always produces the same delays — so the host runtime
 //! must not let scheduling leak into results: tile claims race, but each
 //! tile's arithmetic and the sequential scatter are fixed, so
-//! `VolumeLoop` and `FramePipeline` outputs may not depend on
-//! `USBF_POOL_THREADS`. CI runs the whole suite at two pool sizes (see
-//! `.github/workflows/ci.yml`); this file additionally pins the property
-//! inside one process by comparing explicit pools of 1, 2 and 4 workers
-//! (1 exercises the inline path, 2 and 4 the announced paths).
+//! `VolumeLoop`, `FramePipeline` and `ShardedRuntime` outputs may not
+//! depend on `USBF_POOL_THREADS`. CI runs the whole suite at three pool
+//! sizes (see `.github/workflows/ci.yml`); this file additionally pins
+//! the property inside one process by comparing explicit pools of 1, 2
+//! and 4 workers (1 exercises the inline path, 2 and 4 the announced
+//! paths).
 
 use std::sync::Arc;
-use usbf::beamform::{Beamformer, FramePipeline, FrameRing, VolumeLoop};
+use usbf::beamform::{
+    Beamformer, FramePipeline, FrameRing, ShardConfig, ShardedRuntime, VolumeLoop,
+};
 use usbf::core::{
     DelayEngine, ExactEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
     TableSteerEngine,
@@ -72,18 +75,29 @@ fn frame_pipeline_is_bit_identical_across_pool_sizes() {
     let spec = SystemSpec::tiny();
     let frames = recorded_frames(&spec, 3);
     let schedule = NappeSchedule::fitted(&spec, 8);
-    let engine = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    let engine: Arc<dyn DelayEngine + Send + Sync> =
+        Arc::new(TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap());
     let mut reference: Option<Vec<_>> = None;
     for threads in POOL_SIZES {
         let pool = Arc::new(ThreadPool::new(threads));
         let mut pipe = FramePipeline::with_pool(
             Beamformer::new(&spec),
+            Arc::clone(&engine),
             FrameRing::new(frames.clone()),
             pool,
             &schedule,
         );
+        // Alternate the synchronous and asynchronous redemption shapes:
+        // both must be bit-identical at every pool size.
         let volumes: Vec<_> = (0..6)
-            .map(|_| pipe.next_volume(&engine).expect("healthy pipeline").clone())
+            .map(|round| {
+                if round % 2 == 0 {
+                    pipe.next_volume().expect("healthy pipeline").clone()
+                } else {
+                    let ticket = pipe.submit().expect("healthy acquisition");
+                    ticket.wait().expect("healthy beamforming").clone()
+                }
+            })
             .collect();
         match &reference {
             None => reference = Some(volumes),
@@ -91,6 +105,51 @@ fn frame_pipeline_is_bit_identical_across_pool_sizes() {
                 assert_eq!(
                     &volumes, expect,
                     "pipeline with {threads} worker(s) diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_runtime_is_bit_identical_across_pool_sizes() {
+    let spec = SystemSpec::tiny();
+    let frames = recorded_frames(&spec, 2);
+    let exact: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&spec));
+    let steer: Arc<dyn DelayEngine + Send + Sync> =
+        Arc::new(TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap());
+    let mut reference: Option<Vec<_>> = None;
+    for threads in POOL_SIZES {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let mut rt = ShardedRuntime::new(
+            pool,
+            vec![
+                ShardConfig::new(
+                    Beamformer::new(&spec),
+                    Arc::clone(&exact),
+                    FrameRing::new(frames.clone()),
+                ),
+                ShardConfig::new(
+                    Beamformer::new(&spec),
+                    Arc::clone(&steer),
+                    FrameRing::new(frames.clone()),
+                ),
+            ],
+        );
+        let mut volumes = Vec::new();
+        for round in 0..4 {
+            let outcomes = rt.round();
+            assert!(outcomes.iter().all(|o| o.is_ok()), "round {round}");
+            for shard in 0..rt.n_shards() {
+                volumes.push(rt.volume(shard).expect("completed frame").clone());
+            }
+        }
+        match &reference {
+            None => reference = Some(volumes),
+            Some(expect) => {
+                assert_eq!(
+                    &volumes, expect,
+                    "sharded runtime with {threads} worker(s) diverged"
                 );
             }
         }

@@ -1,7 +1,10 @@
 //! Failure injection: the library fails loudly and predictably at its
 //! documented limits.
 
-use usbf::beamform::{Beamformer, FramePipeline, FrameRing, PipelineError, VolumeLoop};
+use std::sync::Arc;
+use usbf::beamform::{
+    Beamformer, FramePipeline, FrameRing, PipelineError, ShardConfig, ShardedRuntime, VolumeLoop,
+};
 use usbf::core::{
     DelayEngine, EngineError, ExactEngine, NaiveTableEngine, TableFreeConfig, TableFreeEngine,
     TableSteerConfig, TableSteerEngine,
@@ -148,9 +151,9 @@ fn point_frame(spec: &SystemSpec) -> RfFrame {
 fn pipelined_source_panic_is_a_clean_error_and_the_pipeline_recovers() {
     let spec = SystemSpec::tiny();
     let rf = point_frame(&spec);
-    let engine = ExactEngine::new(&spec);
+    let engine = Arc::new(ExactEngine::new(&spec));
     let reference = VolumeLoop::new(Beamformer::new(&spec))
-        .beamform(&engine, &rf)
+        .beamform(engine.as_ref(), &rf)
         .clone();
     // A source that panics while producing its second frame.
     let template = rf.clone();
@@ -160,23 +163,20 @@ fn pipelined_source_panic_is_a_clean_error_and_the_pipeline_recovers() {
         assert!(produced != 2, "injected source fault");
         out.copy_from(&template);
     };
-    let mut pipe = FramePipeline::new(Beamformer::new(&spec), source);
-    assert_eq!(
-        pipe.next_volume(&engine).expect("frame 1 is clean"),
-        &reference
-    );
+    let mut pipe = FramePipeline::new(Beamformer::new(&spec), engine, source);
+    assert_eq!(pipe.next_volume().expect("frame 1 is clean"), &reference);
     // Frame 2's acquisition panicked: the caller gets an error, not an
     // unwind and not a poisoned pipeline.
-    match pipe.next_volume(&engine) {
+    match pipe.next_volume() {
         Err(PipelineError::Source(msg)) => {
             assert!(msg.contains("injected source fault"), "message: {msg}")
         }
         other => panic!("expected Source error, got {other:?}"),
     }
-    // The same pipeline (same pool, same loop states, same source) keeps
+    // The same pipeline (same pool, same warm state, same source) keeps
     // producing bit-correct volumes afterwards.
     for _ in 0..3 {
-        assert_eq!(pipe.next_volume(&engine).expect("recovered"), &reference);
+        assert_eq!(pipe.next_volume().expect("recovered"), &reference);
     }
     assert_eq!(pipe.frames(), 4);
     assert_eq!(pipe.errors(), 1);
@@ -186,37 +186,92 @@ fn pipelined_source_panic_is_a_clean_error_and_the_pipeline_recovers() {
 fn pipelined_beamform_panic_is_a_clean_error_and_the_pool_survives() {
     let spec = SystemSpec::tiny();
     let rf = point_frame(&spec);
-    let engine = FaultyEngine::new(&spec);
+    let engine = Arc::new(FaultyEngine::new(&spec));
     let reference = VolumeLoop::new(Beamformer::new(&spec))
-        .beamform(&engine, &rf)
+        .beamform(engine.as_ref(), &rf)
         .clone();
-    let pool = std::sync::Arc::new(usbf::par::ThreadPool::new(2));
+    let pool = Arc::new(usbf::par::ThreadPool::new(2));
     let schedule = usbf::core::NappeSchedule::fitted(&spec, 8);
     let mut pipe = FramePipeline::with_pool(
         Beamformer::new(&spec),
+        Arc::clone(&engine) as Arc<dyn DelayEngine + Send + Sync>,
         FrameRing::new(vec![rf]),
-        std::sync::Arc::clone(&pool),
+        Arc::clone(&pool),
         &schedule,
     );
-    assert_eq!(pipe.next_volume(&engine).expect("clean frame"), &reference);
+    assert_eq!(pipe.next_volume().expect("clean frame"), &reference);
+    // The panic is delivered through the asynchronous ticket too: the
+    // engine faults mid-flight, wait() reports it as a typed error.
     engine.arm(true);
-    match pipe.next_volume(&engine) {
+    let ticket = pipe.submit().expect("acquisition is healthy");
+    match ticket.wait() {
         Err(PipelineError::Beamform(msg)) => {
             assert!(msg.contains("injected delay fault"), "message: {msg}")
         }
         other => panic!("expected Beamform error, got {other:?}"),
     }
     engine.arm(false);
-    // The pipeline's pool and both loop states beamform the next frames
+    // The pipeline's pool and warm state beamform the next frames
     // correctly — and the shared pool itself still serves other work.
     for _ in 0..3 {
-        assert_eq!(pipe.next_volume(&engine).expect("recovered"), &reference);
+        assert_eq!(pipe.next_volume().expect("recovered"), &reference);
     }
     let items: Vec<usize> = (0..32).collect();
     assert_eq!(
         pool.par_map_indexed(&items, |_, &x| x + 1),
         (1..=32).collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn sharded_engine_panic_never_poisons_sibling_shards() {
+    let spec = SystemSpec::tiny();
+    let rf = point_frame(&spec);
+    let faulty = Arc::new(FaultyEngine::new(&spec));
+    let healthy: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&spec));
+    let reference = VolumeLoop::new(Beamformer::new(&spec))
+        .beamform(healthy.as_ref(), &rf)
+        .clone();
+    let faulty_reference = VolumeLoop::new(Beamformer::new(&spec))
+        .beamform(faulty.as_ref(), &rf)
+        .clone();
+    let pool = Arc::new(usbf::par::ThreadPool::new(2));
+    let mut rt = ShardedRuntime::new(
+        pool,
+        vec![
+            ShardConfig::new(
+                Beamformer::new(&spec),
+                Arc::clone(&faulty) as Arc<dyn DelayEngine + Send + Sync>,
+                FrameRing::new(vec![rf.clone()]),
+            ),
+            ShardConfig::new(
+                Beamformer::new(&spec),
+                Arc::clone(&healthy),
+                FrameRing::new(vec![rf.clone()]),
+            ),
+        ],
+    );
+    assert!(rt.round().iter().all(|o| o.is_ok()), "clean warm-up round");
+    faulty.arm(true);
+    let outcomes = rt.round();
+    match &outcomes[0] {
+        Err(PipelineError::Beamform(msg)) => {
+            assert!(msg.contains("injected delay fault"), "message: {msg}")
+        }
+        other => panic!("expected shard 0 Beamform error, got {other:?}"),
+    }
+    // The sibling's frame of the same round is untouched — the shared
+    // pool contained the panic to shard 0's tasks.
+    assert!(outcomes[1].is_ok(), "sibling shard must stay healthy");
+    assert_eq!(rt.volume(1), Some(&reference));
+    faulty.arm(false);
+    // Both shards recover on the same pool; counters attribute the lost
+    // frame to the faulty shard only.
+    assert!(rt.round().iter().all(|o| o.is_ok()), "recovery round");
+    assert_eq!(rt.volume(0), Some(&faulty_reference));
+    assert_eq!(rt.shard(0).errors(), 1);
+    assert_eq!(rt.shard(1).errors(), 0);
+    assert_eq!(rt.frame_counts(), vec![2, 3]);
 }
 
 #[test]

@@ -2,22 +2,27 @@
 //! counting global allocator.
 //!
 //! The tentpole claim of the real-time runtime is that a warm frame
-//! performs zero thread spawns, zero slab/buffer/volume allocations and
-//! **zero per-tile job allocations**: with 64 schedule tiles per frame,
-//! the pre-pool dispatcher allocated one boxed task per tile per frame
-//! (plus an `Arc` job core and the collection buffers), while the
-//! preregistered-job path allocates nothing per tile — only the pool's
-//! O(workers) channel wake-ups remain, and those are amortized by the
-//! channel's block allocator. This test counts actual heap allocations
-//! across many warm frames and asserts they stay an order of magnitude
-//! below one-per-tile. Both measurements live in one `#[test]` so no
-//! concurrent test pollutes the counter.
+//! performs **zero heap allocations**: no thread spawns, no
+//! slab/buffer/volume allocations, no per-tile job allocations and no
+//! channel nodes. With 64 schedule tiles per frame, the pre-pool
+//! dispatcher allocated one boxed task per tile per frame (plus an
+//! `Arc` job core and the collection buffers); the preregistered-job
+//! path allocates nothing per tile, and the pipeline's RF handoff moves
+//! buffers through a preallocated two-slot exchange instead of an
+//! `mpsc` channel. This test counts actual heap allocations across many
+//! warm frames — through the synchronous `VolumeLoop`, the synchronous
+//! and asynchronous `FramePipeline` shapes, and multi-shard
+//! `ShardedRuntime` rounds — and asserts the warm paths measure **0**.
+//! All measurements live in one `#[test]` so no concurrent test
+//! pollutes the counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use usbf::beamform::{Beamformer, FramePipeline, FrameRing, VolumeLoop};
-use usbf::core::{ExactEngine, NappeSchedule};
+use usbf::beamform::{
+    Beamformer, FramePipeline, FrameRing, ShardConfig, ShardedRuntime, VolumeLoop,
+};
+use usbf::core::{DelayEngine, ExactEngine, NappeSchedule};
 use usbf::geometry::{SystemSpec, VoxelIndex};
 use usbf::par::ThreadPool;
 use usbf::sim::{EchoSynthesizer, Phantom, Pulse};
@@ -76,40 +81,91 @@ fn warm_frames_do_no_per_tile_allocation() {
     }
     let loop_allocs = ALLOCS.load(Ordering::SeqCst) - before;
     eprintln!("LOOP_ALLOCS={loop_allocs}");
-    // Measured: 0. One boxed task per tile would be FRAMES × 64 = 1280;
-    // the budget leaves room only for occasional amortized channel-block
-    // allocations (≈2/frame), nothing per-tile.
-    let budget = FRAMES * 2;
-    assert!(
-        loop_allocs < budget,
-        "warm VolumeLoop made {loop_allocs} allocations over {FRAMES} frames \
-         ({tiles} tiles each); budget {budget} — the per-tile dispatch path is \
-         allocating again"
+    // One boxed task per tile would be FRAMES × 64 = 1280; the warm
+    // preregistered path (announcements included, now that worker
+    // queues are preallocated rings instead of mpsc channels) measures
+    // exactly zero.
+    assert_eq!(
+        loop_allocs, 0,
+        "warm VolumeLoop frames must not allocate ({FRAMES} frames, \
+         {tiles} tiles each) — the per-tile dispatch path is allocating again"
     );
 
-    // --- FramePipeline (adds the acquisition handoff) ---
+    // --- FramePipeline, synchronous shape (acquisition handoff + pool
+    // dispatch; the RF buffers move through the pipeline's preallocated
+    // two-slot exchange, so unlike an mpsc channel the handoff itself
+    // never allocates) ---
+    let arc_engine: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&spec));
     let mut pipe = FramePipeline::with_pool(
         Beamformer::new(&spec),
+        Arc::clone(&arc_engine),
         FrameRing::new(vec![rf.clone()]),
-        pool,
+        Arc::clone(&pool),
         &schedule,
     );
     for _ in 0..5 {
-        pipe.next_volume(&engine).expect("warm-up frame");
+        pipe.next_volume().expect("warm-up frame");
     }
     let before = ALLOCS.load(Ordering::SeqCst);
     for _ in 0..FRAMES {
-        pipe.next_volume(&engine).expect("warm frame");
+        pipe.next_volume().expect("warm frame");
     }
     let pipe_allocs = ALLOCS.load(Ordering::SeqCst) - before;
     eprintln!("PIPE_ALLOCS={pipe_allocs}");
-    // Measured: 4 (the RF buffer handoff's amortized channel nodes). The
-    // pipeline adds two channel sends per frame on top of the loop's
-    // announcements — still nothing per-tile.
-    let budget = FRAMES * 4;
-    assert!(
-        pipe_allocs < budget,
-        "warm FramePipeline made {pipe_allocs} allocations over {FRAMES} frames \
-         ({tiles} tiles each); budget {budget}"
+    assert_eq!(
+        pipe_allocs, 0,
+        "warm synchronous FramePipeline frames must not allocate \
+         ({FRAMES} frames, {tiles} tiles each)"
+    );
+
+    // --- FramePipeline, asynchronous shape (submit → ticket → wait,
+    // with caller-side work between — the three-stage overlap) ---
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..FRAMES {
+        let ticket = pipe.submit().expect("warm submit");
+        let _ = ticket.previous_volume().map(|v| v.max_abs()); // consume n−1
+        while !ticket.try_wait() {
+            std::thread::yield_now();
+        }
+        ticket.wait().expect("warm redeem");
+    }
+    let async_allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    eprintln!("ASYNC_ALLOCS={async_allocs}");
+    assert_eq!(
+        async_allocs, 0,
+        "warm submit/wait cycles must not allocate \
+         ({FRAMES} frames, {tiles} tiles each)"
+    );
+    drop(pipe);
+
+    // --- ShardedRuntime (3 shards multiplexed on the same pool) ---
+    let shard = |fill: f64| {
+        let mut frame = rf.clone();
+        frame.fill(fill);
+        ShardConfig::new(
+            Beamformer::new(&spec),
+            Arc::clone(&arc_engine),
+            FrameRing::new(vec![frame]),
+        )
+    };
+    let mut rt = ShardedRuntime::new(pool, vec![shard(0.0), shard(0.5), shard(1.0)]);
+    let mut outcomes = Vec::new();
+    for _ in 0..5 {
+        rt.round_into(&mut outcomes);
+        assert!(outcomes.iter().all(|o| o.is_ok()), "warm-up round");
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..FRAMES {
+        rt.round_into(&mut outcomes);
+        assert!(outcomes.iter().all(|o| o.is_ok()), "warm round");
+    }
+    let shard_allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    eprintln!("SHARD_ALLOCS={shard_allocs}");
+    assert_eq!(
+        shard_allocs,
+        0,
+        "warm sharded rounds must not allocate \
+         ({FRAMES} rounds, {} shards)",
+        rt.n_shards()
     );
 }
