@@ -54,6 +54,77 @@ impl Apodization {
     }
 }
 
+/// The compacted aperture: every element whose apodization weight is
+/// nonzero, as parallel `(flat channel index, weight)` lists in linear
+/// element order.
+///
+/// Windows that vanish at the aperture edge (Hann, wide Tukey tapers)
+/// zero entire border rows and columns; the scalar Eq. 1 loop re-tested
+/// `w == 0.0` for **every element of every voxel**. Compacting once per
+/// beamformer lifetime removes both that branch and the zero-weight
+/// elements themselves from the inner kernel — the kernel iterates the
+/// active lists directly, with no `j % nx` / `j / nx` recovery of the
+/// element coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveAperture {
+    channels: Vec<u32>,
+    weights: Vec<f64>,
+    n_elements: usize,
+}
+
+impl ActiveAperture {
+    /// Compacts `apodization` over `array`, keeping elements with
+    /// `weight != 0.0` in linear element order.
+    #[must_use]
+    pub fn build(apodization: Apodization, array: &TransducerArray) -> Self {
+        let mut channels = Vec::new();
+        let mut weights = Vec::new();
+        for (j, w) in apodization.weights(array).into_iter().enumerate() {
+            if w != 0.0 {
+                channels.push(j as u32);
+                weights.push(w);
+            }
+        }
+        ActiveAperture {
+            channels,
+            weights,
+            n_elements: array.count(),
+        }
+    }
+
+    /// Flat channel indices of the active elements, ascending.
+    #[inline]
+    pub fn channels(&self) -> &[u32] {
+        &self.channels
+    }
+
+    /// Weights of the active elements, parallel to
+    /// [`channels`](Self::channels).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of active elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether no element carries weight (degenerate windows only).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Whether every element of the array is active — when true, a slab
+    /// row needs no compaction before quantization.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.channels.len() == self.n_elements
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +196,34 @@ mod tests {
         for (i, e) in a.iter().enumerate() {
             assert_eq!(w[i], Apodization::Hann.weight(&a, e));
         }
+    }
+
+    #[test]
+    fn active_aperture_drops_exactly_the_zero_weights() {
+        let a = array();
+        for apod in [
+            Apodization::Rect,
+            Apodization::Hann,
+            Apodization::Hamming,
+            Apodization::Tukey(0.5),
+        ] {
+            let full = apod.weights(&a);
+            let active = ActiveAperture::build(apod, &a);
+            assert_eq!(active.len(), full.iter().filter(|&&w| w != 0.0).count());
+            for (&c, &w) in active.channels().iter().zip(active.weights()) {
+                assert_eq!(w, full[c as usize], "{apod:?} channel {c}");
+                assert_ne!(w, 0.0);
+            }
+            // Channels ascend, so the compacted order is the linear order.
+            assert!(active.channels().windows(2).all(|p| p[0] < p[1]));
+            assert_eq!(active.is_full(), active.len() == a.count());
+        }
+        // Hann vanishes on the border of the 9×9 array: 32 border
+        // elements of 81 drop out.
+        let hann = ActiveAperture::build(Apodization::Hann, &a);
+        assert_eq!(hann.len(), 49);
+        assert!(!hann.is_full() && !hann.is_empty());
+        assert!(ActiveAperture::build(Apodization::Rect, &a).is_full());
     }
 
     #[test]

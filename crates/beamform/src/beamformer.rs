@@ -9,7 +9,7 @@
 //! per-voxel path, which is kept as the reference implementation (and as
 //! the executed path for scanline-by-scanline traversal).
 
-use crate::{Apodization, BeamformedVolume};
+use crate::{ActiveAperture, Apodization, BeamformedVolume};
 use usbf_core::{DelayEngine, NappeDelays, NappeSchedule, Tile};
 use usbf_geometry::scan::ScanOrder;
 use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
@@ -41,27 +41,66 @@ pub(crate) fn scatter_tile(out: &mut BeamformedVolume, tile: Tile, values: &[f64
     }
 }
 
-/// Warm per-tile state: one task's delay slab and output staging
-/// buffer, allocated once at construction and refilled every frame.
-/// One definition shared by [`VolumeLoop`](crate::VolumeLoop) and
-/// [`FramePipeline`](crate::FramePipeline), so the warm-state shape (and
-/// with it the bit-identical-to-serial invariant) cannot drift between
-/// the two runtimes.
-pub(crate) struct TileState {
+/// Warm per-tile state: one task's delay slab, output staging buffer and
+/// the three row-length scratch buffers of the vectorized inner kernel
+/// (compacted delay row → quantized index row → gathered sample row),
+/// allocated once at construction and refilled every frame. One
+/// definition shared by [`VolumeLoop`](crate::VolumeLoop) and
+/// [`FramePipeline`](crate::FramePipeline) (and through the latter,
+/// [`ShardedRuntime`](crate::ShardedRuntime)), so the warm-state shape
+/// (and with it the bit-identical-to-serial invariant) cannot drift
+/// between the runtimes.
+pub struct TileState {
     pub(crate) slab: NappeDelays,
     pub(crate) values: Vec<f64>,
+    /// Active elements' delays of one scanline row, compacted out of the
+    /// slab row (bypassed when the aperture is full — the slab row is
+    /// already the active row).
+    pub(crate) delays: Vec<f64>,
+    /// The quantized echo-buffer index row, filled by one
+    /// [`DelayEngine::quantize_row`] call per (nappe, scanline).
+    pub(crate) indices: Vec<i32>,
+    /// The gathered sample row the weighted accumulate consumes.
+    pub(crate) samples: Vec<f64>,
+}
+
+impl TileState {
+    /// Allocates the warm state for one schedule tile of `beamformer`'s
+    /// spec: the delay slab, the `[scanline][depth]` staging buffer and
+    /// the kernel's three scratch rows, sized to the compacted aperture.
+    #[must_use]
+    pub fn new(beamformer: &Beamformer, tile: Tile) -> Self {
+        let spec = beamformer.spec();
+        let active = beamformer.aperture().len();
+        TileState {
+            slab: NappeDelays::for_tile(spec, tile),
+            values: vec![0.0; tile.scanlines() * spec.volume_grid.n_depth()],
+            delays: vec![0.0; active],
+            indices: vec![0; active],
+            samples: vec![0.0; active],
+        }
+    }
+
+    /// The tile this state beamforms.
+    #[inline]
+    pub fn tile(&self) -> Tile {
+        self.slab.tile()
+    }
+
+    /// The staged output values in `[scanline-within-tile][depth]` order
+    /// (the layout the volume scatter consumes).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
 }
 
 /// Builds the warm state for every tile of a schedule: the only place
-/// the slab/values sizing lives.
-pub(crate) fn warm_tile_states(spec: &SystemSpec, tiles: &[Tile]) -> Vec<TileState> {
-    let n_depth = spec.volume_grid.n_depth();
+/// the slab/values/scratch sizing lives.
+pub(crate) fn warm_tile_states(beamformer: &Beamformer, tiles: &[Tile]) -> Vec<TileState> {
     tiles
         .iter()
-        .map(|&tile| TileState {
-            slab: NappeDelays::for_tile(spec, tile),
-            values: vec![0.0; tile.scanlines() * n_depth],
-        })
+        .map(|&tile| TileState::new(beamformer, tile))
         .collect()
 }
 
@@ -77,6 +116,43 @@ pub(crate) fn scatter_tiles(
     for (tile, state) in tiles.iter().zip(states) {
         scatter_tile(out, *tile, &state.values, n_depth);
     }
+}
+
+/// Compacts one slab row down to the active aperture: `out[k] =
+/// row[channels[k]]`. Skipped entirely when the aperture is full.
+#[inline]
+fn compact_row(row: &[f64], channels: &[u32], out: &mut [f64]) {
+    for (o, &c) in out.iter_mut().zip(channels) {
+        *o = row[c as usize];
+    }
+}
+
+/// The Eq. 1 accumulate: `Σ_k w[k] · s[k]` over the compacted aperture,
+/// unrolled in chunks of 8 multiply-accumulates. A **single** running
+/// accumulator keeps the floating-point addition order identical to the
+/// scalar per-element walk (bit-identity is the project invariant;
+/// multi-lane reductions would reassociate the sum), so the chunking
+/// only removes loop-control overhead.
+#[inline]
+fn weighted_sum(weights: &[f64], samples: &[f64]) -> f64 {
+    debug_assert_eq!(weights.len(), samples.len());
+    let mut acc = 0.0;
+    let mut wc = weights.chunks_exact(8);
+    let mut sc = samples.chunks_exact(8);
+    for (w, s) in (&mut wc).zip(&mut sc) {
+        acc += w[0] * s[0];
+        acc += w[1] * s[1];
+        acc += w[2] * s[2];
+        acc += w[3] * s[3];
+        acc += w[4] * s[4];
+        acc += w[5] * s[5];
+        acc += w[6] * s[6];
+        acc += w[7] * s[7];
+    }
+    for (&w, &s) in wc.remainder().iter().zip(sc.remainder()) {
+        acc += w * s;
+    }
+    acc
 }
 
 /// How echo samples are fetched at the computed delay.
@@ -101,6 +177,11 @@ pub struct Beamformer {
     apodization: Apodization,
     interpolation: Interpolation,
     order: ScanOrder,
+    /// The compacted `(channel, weight)` aperture — Eq. 1's `w`, built
+    /// once per beamformer lifetime and shared by every path (scalar
+    /// voxel walk and vectorized tile kernel alike, so both see the
+    /// identical weights in the identical order).
+    aperture: ActiveAperture,
 }
 
 impl Beamformer {
@@ -113,13 +194,18 @@ impl Beamformer {
             apodization: Apodization::default(),
             interpolation: Interpolation::default(),
             order: ScanOrder::NappeByNappe,
+            aperture: ActiveAperture::build(Apodization::default(), &spec.elements),
         }
     }
 
-    /// Sets the apodization window.
+    /// Sets the apodization window (and rebuilds the compacted aperture
+    /// when the window actually changes).
     #[must_use = "with_apodization returns the configured beamformer; dropping it discards the window"]
     pub fn with_apodization(mut self, apodization: Apodization) -> Self {
-        self.apodization = apodization;
+        if apodization != self.apodization {
+            self.apodization = apodization;
+            self.aperture = ActiveAperture::build(apodization, &self.spec.elements);
+        }
         self
     }
 
@@ -148,20 +234,31 @@ impl Beamformer {
     }
 
     /// Apodization weights for every element, in linear element order —
-    /// the `w` of Eq. 1, precomputed once per volume (or once per
-    /// [`VolumeLoop`](crate::VolumeLoop) lifetime).
+    /// the `w` of Eq. 1 before compaction (zero-weight elements
+    /// included).
     pub fn element_weights(&self) -> Vec<f64> {
         self.apodization.weights(&self.spec.elements)
     }
 
+    /// The compacted aperture every beamforming path sums over: the
+    /// `(flat channel, weight)` list of elements with nonzero weight,
+    /// precomputed once per beamformer lifetime.
+    #[inline]
+    pub fn aperture(&self) -> &ActiveAperture {
+        &self.aperture
+    }
+
     /// Beamforms a single focal point: `Σ_D w·e(D, tp)`.
+    ///
+    /// This is the scalar reference walk; it iterates the precomputed
+    /// compacted aperture (same weights, same order as the tile kernel),
+    /// so it no longer re-derives the apodization window per element per
+    /// call.
     pub fn beamform_voxel(&self, engine: &dyn DelayEngine, rf: &RfFrame, vox: VoxelIndex) -> f64 {
+        let nx = self.spec.elements.nx();
         let mut acc = 0.0;
-        for e in self.spec.elements.iter() {
-            let w = self.apodization.weight(&self.spec.elements, e);
-            if w == 0.0 {
-                continue;
-            }
+        for (&chan, &w) in self.aperture.channels().iter().zip(self.aperture.weights()) {
+            let e = ElementIndex::new(chan as usize % nx, chan as usize / nx);
             let v = match self.interpolation {
                 Interpolation::Nearest => rf.sample(e, engine.delay_index(vox, e)),
                 Interpolation::Linear => rf.sample_interp(e, engine.delay_samples(vox, e)),
@@ -223,82 +320,115 @@ impl Beamformer {
         rf: &RfFrame,
         schedule: &NappeSchedule,
     ) -> BeamformedVolume {
-        let weights = self.apodization.weights(&self.spec.elements);
         let tiles = schedule.tiles();
-        let per_tile: Vec<Vec<f64>> = usbf_par::par_map(&tiles, |_, tile| {
-            self.beamform_tile(engine, rf, *tile, &weights)
+        let per_tile: Vec<TileState> = usbf_par::par_map(&tiles, |_, &tile| {
+            let mut state = TileState::new(self, tile);
+            self.beamform_tile_into(engine, rf, &mut state);
+            state
         });
         let n_depth = self.spec.volume_grid.n_depth();
         let mut out = BeamformedVolume::zeros(&self.spec);
-        for (tile, values) in tiles.iter().zip(per_tile) {
-            scatter_tile(&mut out, *tile, &values, n_depth);
+        for (tile, state) in tiles.iter().zip(per_tile) {
+            scatter_tile(&mut out, *tile, &state.values, n_depth);
         }
         out
     }
 
-    /// Beamforms one tile of the fan, nappe by nappe, returning values in
-    /// `[scanline-within-tile][depth]` order.
-    fn beamform_tile(
-        &self,
-        engine: &dyn DelayEngine,
-        rf: &RfFrame,
-        tile: Tile,
-        weights: &[f64],
-    ) -> Vec<f64> {
-        let mut slab = NappeDelays::for_tile(&self.spec, tile);
-        let mut values = vec![0.0; tile.scanlines() * self.spec.volume_grid.n_depth()];
-        self.beamform_tile_into(engine, rf, weights, &mut slab, &mut values);
-        values
-    }
-
-    /// Beamforms one tile into caller-owned buffers: `slab` is the
-    /// reusable per-worker delay slab (its tile selects the fan region)
-    /// and `values` receives the result in
-    /// `[scanline-within-tile][depth]` order. This is the allocation-free
-    /// kernel [`VolumeLoop`](crate::VolumeLoop) drives every frame.
+    /// Beamforms one tile into caller-owned warm state ([`TileState`]):
+    /// the state's slab selects the fan region and its `values` buffer
+    /// receives the result in `[scanline-within-tile][depth]` order. This
+    /// is the allocation-free kernel [`VolumeLoop`](crate::VolumeLoop)
+    /// and [`FramePipeline`](crate::FramePipeline) drive every frame.
+    ///
+    /// The kernel is split by interpolation mode into two monomorphized
+    /// inner loops chosen **once per tile** (no per-element dispatch),
+    /// each structured as row-batched stages: one
+    /// [`DelayEngine::quantize_row`] (or direct fractional-delay) pass
+    /// per (nappe, scanline) row, one [`RfFrame`] gather into the
+    /// state's sample row, one chunked multiply-accumulate over the
+    /// compacted aperture weights. Output is bit-identical to the scalar
+    /// [`beamform_voxel`](Self::beamform_voxel) walk, and engines'
+    /// rounding telemetry (TABLESTEER clamp counts) advances exactly as
+    /// the per-element path would.
     ///
     /// # Panics
     ///
-    /// Panics if `values` is not exactly `tile.scanlines() × n_depth`
-    /// long.
+    /// Panics if `state` was built for a different spec or aperture
+    /// shape.
     pub fn beamform_tile_into(
         &self,
         engine: &dyn DelayEngine,
         rf: &RfFrame,
-        weights: &[f64],
-        slab: &mut NappeDelays,
-        values: &mut [f64],
+        state: &mut TileState,
     ) {
-        let tile = slab.tile();
+        let tile = state.slab.tile();
         let n_depth = self.spec.volume_grid.n_depth();
-        let n_elements = self.spec.elements.count();
-        let nx = self.spec.elements.nx();
         assert_eq!(
-            values.len(),
+            state.values.len(),
             tile.scanlines() * n_depth,
             "values buffer must cover the tile"
         );
+        assert_eq!(
+            state.indices.len(),
+            self.aperture.len(),
+            "scratch rows must match the compacted aperture"
+        );
+        match self.interpolation {
+            Interpolation::Nearest => self.tile_kernel_nearest(engine, rf, state),
+            Interpolation::Linear => self.tile_kernel_linear(engine, rf, state),
+        }
+    }
+
+    /// The nearest-index kernel: slab row → (compact) → quantized index
+    /// row → gathered sample row → weighted accumulate.
+    fn tile_kernel_nearest(&self, engine: &dyn DelayEngine, rf: &RfFrame, state: &mut TileState) {
+        let tile = state.slab.tile();
+        let n_depth = self.spec.volume_grid.n_depth();
+        let channels = self.aperture.channels();
+        let weights = self.aperture.weights();
+        let full = self.aperture.is_full();
         for id in 0..n_depth {
-            engine.fill_nappe(id, slab);
+            engine.fill_nappe(id, &mut state.slab);
             for slot in 0..tile.scanlines() {
-                let row = slab.row(slot);
-                let mut acc = 0.0;
-                for j in 0..n_elements {
-                    let w = weights[j];
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let e = ElementIndex::new(j % nx, j / nx);
-                    let v = match self.interpolation {
-                        // delay_index_from is the engine's own final
-                        // rounding stage, so rounding telemetry (e.g.
-                        // TABLESTEER's clamp counter) sees this path too.
-                        Interpolation::Nearest => rf.sample(e, engine.delay_index_from(row[j])),
-                        Interpolation::Linear => rf.sample_interp(e, row[j]),
-                    };
-                    acc += w * v;
-                }
-                values[slot * n_depth + id] = acc;
+                let row = state.slab.row(slot);
+                let active_delays = if full {
+                    row
+                } else {
+                    compact_row(row, channels, &mut state.delays);
+                    &state.delays
+                };
+                // One virtual call quantizes the whole row — the
+                // engine's own final rounding stage, so rounding
+                // telemetry (e.g. TABLESTEER's clamp counter) sees this
+                // path exactly as it sees per-element queries.
+                engine.quantize_row(active_delays, &mut state.indices);
+                rf.gather_nearest_into(channels, &state.indices, &mut state.samples);
+                state.values[slot * n_depth + id] = weighted_sum(weights, &state.samples);
+            }
+        }
+    }
+
+    /// The linear-interpolation kernel: slab row → (compact) → gathered
+    /// interpolated sample row → weighted accumulate. No quantization
+    /// stage — the fractional delays feed the gather directly.
+    fn tile_kernel_linear(&self, engine: &dyn DelayEngine, rf: &RfFrame, state: &mut TileState) {
+        let tile = state.slab.tile();
+        let n_depth = self.spec.volume_grid.n_depth();
+        let channels = self.aperture.channels();
+        let weights = self.aperture.weights();
+        let full = self.aperture.is_full();
+        for id in 0..n_depth {
+            engine.fill_nappe(id, &mut state.slab);
+            for slot in 0..tile.scanlines() {
+                let row = state.slab.row(slot);
+                let active_delays = if full {
+                    row
+                } else {
+                    compact_row(row, channels, &mut state.delays);
+                    &state.delays
+                };
+                rf.gather_linear_into(channels, active_delays, &mut state.samples);
+                state.values[slot * n_depth + id] = weighted_sum(weights, &state.samples);
             }
         }
     }

@@ -291,22 +291,16 @@ impl IngestLink {
 /// borrow it for as long as the [`VolumeTicket`] lives.
 struct FrameCtx {
     beamformer: Beamformer,
-    weights: Vec<f64>,
     engine: Arc<dyn DelayEngine + Send + Sync>,
     rf: RfFrame,
 }
 
-/// The tile task: one schedule tile beamformed into its warm slab and
-/// staging buffer. A plain `fn` — the asynchronous dispatch path erases
-/// no closures.
+/// The tile task: one schedule tile beamformed into its warm state
+/// (slab, scratch rows and staging buffer). A plain `fn` — the
+/// asynchronous dispatch path erases no closures.
 fn beamform_tile_task(ctx: &FrameCtx, _i: usize, state: &mut TileState) {
-    ctx.beamformer.beamform_tile_into(
-        ctx.engine.as_ref(),
-        &ctx.rf,
-        &ctx.weights,
-        &mut state.slab,
-        &mut state.values,
-    );
+    ctx.beamformer
+        .beamform_tile_into(ctx.engine.as_ref(), &ctx.rf, state);
 }
 
 /// Everything ticket redemption and the read accessors touch, split
@@ -422,8 +416,7 @@ impl FramePipeline {
             )
         };
         let tiles = schedule.tiles();
-        let tile_states = crate::beamformer::warm_tile_states(&spec, &tiles);
-        let weights = beamformer.element_weights();
+        let tile_states = crate::beamformer::warm_tile_states(&beamformer, &tiles);
         let outs = [
             BeamformedVolume::zeros(&spec),
             BeamformedVolume::zeros(&spec),
@@ -439,7 +432,6 @@ impl FramePipeline {
             tile_states,
             ctx: FrameCtx {
                 beamformer,
-                weights,
                 engine,
                 rf: make_buffer(),
             },

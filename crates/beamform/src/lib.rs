@@ -10,7 +10,11 @@
 //! * [`Apodization`] — separable aperture windows (the `w(S)` weights the
 //!   paper leaves out of scope but relies on to suppress edge artifacts);
 //! * [`Beamformer`] — per-voxel delay-and-sum with nearest-index fetch
-//!   (the paper's datapath) or linear interpolation (extension);
+//!   (the paper's datapath) or linear interpolation (extension); its tile
+//!   kernel runs as two monomorphized, row-batched loops over the
+//!   compacted [`ActiveAperture`] and a reusable [`TileState`]
+//!   (quantized index row → gathered sample row → weighted accumulate),
+//!   bit-identical to the scalar walk;
 //! * [`BeamformedVolume`] — the reconstructed volume with profile/slice
 //!   accessors for image-quality metrics;
 //! * [`VolumeLoop`] — the real-time frame loop: repeated volumes on the
@@ -56,8 +60,8 @@ mod sharded;
 mod volume;
 mod volume_loop;
 
-pub use apodization::Apodization;
-pub use beamformer::{Beamformer, Interpolation};
+pub use apodization::{ActiveAperture, Apodization};
+pub use beamformer::{Beamformer, Interpolation, TileState};
 pub use frame_pipeline::{
     FramePipeline, FrameRing, FrameSource, PipelineError, PipelineStats, SynthesizedFrames,
     VolumeTicket,

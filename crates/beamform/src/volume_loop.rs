@@ -57,7 +57,6 @@ pub struct VolumeLoop {
     job: JobHandle,
     tiles: Vec<Tile>,
     states: Vec<TileState>,
-    weights: Vec<f64>,
     out: BeamformedVolume,
     frames: u64,
 }
@@ -87,15 +86,13 @@ impl VolumeLoop {
     ) -> Self {
         let spec = beamformer.spec().clone();
         let tiles = schedule.tiles();
-        let states = crate::beamformer::warm_tile_states(&spec, &tiles);
-        let weights = beamformer.element_weights();
+        let states = crate::beamformer::warm_tile_states(&beamformer, &tiles);
         let out = BeamformedVolume::zeros(&spec);
         VolumeLoop {
             beamformer,
             job: ThreadPool::register(&pool),
             tiles,
             states,
-            weights,
             out,
             frames: 0,
         }
@@ -109,9 +106,8 @@ impl VolumeLoop {
     /// identical to the cold path), for **any** pool size.
     pub fn beamform(&mut self, engine: &dyn DelayEngine, rf: &RfFrame) -> &BeamformedVolume {
         let beamformer = &self.beamformer;
-        let weights = &self.weights;
         self.job.run(&mut self.states, &|_, state: &mut TileState| {
-            beamformer.beamform_tile_into(engine, rf, weights, &mut state.slab, &mut state.values);
+            beamformer.beamform_tile_into(engine, rf, state);
         });
         let n_depth = beamformer.spec().volume_grid.n_depth();
         crate::beamformer::scatter_tiles(&mut self.out, &self.tiles, &self.states, n_depth);

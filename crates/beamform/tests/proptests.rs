@@ -2,15 +2,46 @@
 
 use proptest::prelude::*;
 use usbf_beamform::{Apodization, Beamformer, Interpolation};
-use usbf_core::ExactEngine;
+use usbf_core::{
+    DelayEngine, ExactEngine, NaiveTableEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig,
+    TableSteerEngine,
+};
 use usbf_geometry::scan::ScanOrder;
-use usbf_geometry::{SystemSpec, VoxelIndex};
+use usbf_geometry::{SystemSpec, TransducerSpec, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND};
 use usbf_sim::{EchoSynthesizer, Phantom, Pulse};
 
 fn rf_for(spec: &SystemSpec, vox: VoxelIndex) -> usbf_sim::RfFrame {
     EchoSynthesizer::new(spec).synthesize(
         &Phantom::point(spec.volume_grid.position(vox)),
         &Pulse::from_spec(spec),
+    )
+}
+
+/// A randomized tiny geometry with the paper's physical extents (the
+/// same shape the core crate's slab-fill proptests randomize).
+fn random_spec(nx: usize, ny: usize, n_theta: usize, n_phi: usize, n_depth: usize) -> SystemSpec {
+    let fc = 4.0e6;
+    let lambda = SPEED_OF_SOUND / fc;
+    SystemSpec::new(
+        SPEED_OF_SOUND,
+        32.0e6,
+        TransducerSpec {
+            center_frequency: fc,
+            bandwidth: 4.0e6,
+            nx,
+            ny,
+            pitch: lambda / 2.0,
+        },
+        VolumeSpec {
+            theta_max: usbf_geometry::deg(36.5),
+            phi_max: usbf_geometry::deg(36.5),
+            depth_max: 500.0 * lambda,
+            n_theta,
+            n_phi,
+            n_depth,
+        },
+        Vec3::ZERO,
+        15.0,
     )
 }
 
@@ -80,6 +111,58 @@ proptest! {
         let a = nappe.beamform_volume(&engine, &rf);
         let b = scan.beamform_volume(&engine, &rf);
         prop_assert_eq!(a.get(probe), b.get(probe));
+    }
+
+    #[test]
+    fn vectorized_kernel_bit_identical_to_scalar_reference_on_random_specs(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        n_theta in 2usize..6,
+        n_phi in 2usize..6,
+        n_depth in 4usize..10,
+        target in 0usize..1_000_000,
+        apod_pick in 0usize..3,
+    ) {
+        // The PR 5 tentpole invariant: the vectorized tile kernel
+        // (batched quantize_row → gather → chunked accumulate over the
+        // compacted aperture) reproduces the scalar ScanlineByScanline
+        // walk bit for bit, for all four engines × both interpolations,
+        // on randomized geometry — including apertures with zero-weight
+        // borders (Hann) that exercise the row compaction.
+        let spec = random_spec(nx, ny, n_theta, n_phi, n_depth);
+        let vox = spec.volume_grid.voxel_at(target % spec.volume_grid.voxel_count());
+        let rf = rf_for(&spec, vox);
+        let apod = [Apodization::Rect, Apodization::Hann, Apodization::Tukey(0.5)][apod_pick];
+        let exact = ExactEngine::new(&spec);
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).expect("tiny table fits");
+        let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds");
+        let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds");
+        let engines: [&dyn DelayEngine; 4] = [&exact, &naive, &tablefree, &tablesteer];
+        for engine in engines {
+            for interp in [Interpolation::Nearest, Interpolation::Linear] {
+                let bf = |order| {
+                    Beamformer::new(&spec)
+                        .with_apodization(apod)
+                        .with_interpolation(interp)
+                        .with_order(order)
+                };
+                let vectorized = bf(ScanOrder::NappeByNappe).beamform_volume(engine, &rf);
+                let scalar = bf(ScanOrder::ScanlineByScanline).beamform_volume(engine, &rf);
+                for (i, (a, b)) in vectorized
+                    .as_slice()
+                    .iter()
+                    .zip(scalar.as_slice())
+                    .enumerate()
+                {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} {:?} {:?} voxel {}: {} vs {}",
+                        engine.name(), interp, apod, i, a, b
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -58,6 +58,50 @@ fn bench_beamform(c: &mut Criterion) {
     });
     g.finish();
 
+    // Single-thread inner-kernel throughput on one schedule tile of the
+    // reduced spec (1024 elements per voxel): the PR 4 per-element loop
+    // (virtual delay_index_from + div/mod + w==0 branch + per-fetch
+    // offset recompute) vs the vectorized row-batched kernel
+    // (quantize_row → gather → chunked MAC). Bit-identical outputs; the
+    // acceptance gate for PR 5 is ≥2× here.
+    use usbf_beamform::TileState;
+    let tile = usbf_core::NappeSchedule::fitted(&red, 64).tiles()[27];
+    let tile_voxels = (tile.scanlines() * red.volume_grid.n_depth()) as u64;
+    let mut g = c.benchmark_group("tile_kernel_reduced");
+    g.throughput(Throughput::Elements(tile_voxels));
+    let red_exact = ExactEngine::new(&red);
+    for (name, eng) in [
+        ("tablesteer18", &red_steer as &dyn DelayEngine),
+        ("exact", &red_exact as &dyn DelayEngine),
+    ] {
+        let bf = Beamformer::new(&red).with_apodization(Apodization::Hann);
+        let weights = bf.element_weights();
+        g.bench_function(format!("{name}_pr4_legacy"), |b| {
+            let mut slab = usbf_core::NappeDelays::for_tile(&red, tile);
+            let mut values = vec![0.0; tile.scanlines() * red.volume_grid.n_depth()];
+            b.iter(|| {
+                usbf_bench::legacy_beamform_tile_into(
+                    &bf,
+                    usbf_beamform::Interpolation::Nearest,
+                    black_box(eng),
+                    black_box(&red_rf),
+                    &weights,
+                    &mut slab,
+                    &mut values,
+                );
+                black_box(values[0])
+            })
+        });
+        g.bench_function(format!("{name}_vectorized"), |b| {
+            let mut state = TileState::new(&bf, tile);
+            b.iter(|| {
+                bf.beamform_tile_into(black_box(eng), black_box(&red_rf), &mut state);
+                black_box(state.values()[0])
+            })
+        });
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("beamform_single_voxel");
     g.bench_function("exact_hann", |b| {
         b.iter(|| bf.beamform_voxel(&exact, black_box(&rf), black_box(vox)))

@@ -160,36 +160,23 @@ fn bench_pipeline(c: &mut Criterion) {
     let rf = EchoSynthesizer::new(&spec).synthesize(&phantom, &pulse);
     g.bench_function("boxed_scope_per_frame", |b| {
         let bf = Beamformer::new(&spec);
-        let weights = bf.element_weights();
-        let mut states: Vec<(usbf_core::NappeDelays, Vec<f64>)> = schedule
+        let mut states: Vec<usbf_beamform::TileState> = schedule
             .tiles()
             .iter()
-            .map(|&tile| {
-                (
-                    usbf_core::NappeDelays::for_tile(&spec, tile),
-                    vec![0.0; tile.scanlines() * spec.volume_grid.n_depth()],
-                )
-            })
+            .map(|&tile| usbf_beamform::TileState::new(&bf, tile))
             .collect();
         b.iter(|| {
             let bf = &bf;
-            let weights = &weights;
             let engine = engine.as_ref();
             let rf = &rf;
             pool.scope(|s| {
-                for (slab, values) in states.iter_mut() {
+                for state in states.iter_mut() {
                     s.spawn(move || {
-                        bf.beamform_tile_into(
-                            black_box(engine),
-                            black_box(rf),
-                            weights,
-                            slab,
-                            values,
-                        );
+                        bf.beamform_tile_into(black_box(engine), black_box(rf), state);
                     });
                 }
             });
-            black_box(states[0].1[0])
+            black_box(states[0].values()[0])
         })
     });
     g.bench_function("preregistered_volume_loop", |b| {

@@ -74,19 +74,17 @@ fn beamform_spawn_per_frame(
     engine: &dyn DelayEngine,
     rf: &RfFrame,
     tiles: &[Tile],
-    weights: &[f64],
 ) -> usbf_beamform::BeamformedVolume {
     let n_depth = bf.spec().volume_grid.n_depth();
     let per_tile = spawn_per_call_map(WORKERS.min(tiles.len()), tiles, |_, &tile| {
-        let mut slab = usbf_core::NappeDelays::for_tile(bf.spec(), tile);
-        let mut values = vec![0.0; tile.scanlines() * n_depth];
-        bf.beamform_tile_into(engine, rf, weights, &mut slab, &mut values);
-        values
+        let mut state = usbf_beamform::TileState::new(bf, tile);
+        bf.beamform_tile_into(engine, rf, &mut state);
+        state
     });
     let mut out = usbf_beamform::BeamformedVolume::zeros(bf.spec());
-    for (tile, values) in tiles.iter().zip(per_tile) {
+    for (tile, state) in tiles.iter().zip(per_tile) {
         for (slot, it, ip) in tile.iter_scanlines() {
-            for (id, &v) in values[slot * n_depth..(slot + 1) * n_depth]
+            for (id, &v) in state.values()[slot * n_depth..(slot + 1) * n_depth]
                 .iter()
                 .enumerate()
             {
@@ -127,10 +125,7 @@ fn bench_pool(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     g.bench_function("spawn_per_frame", |b| {
         let bf = Beamformer::new(&spec);
-        let weights = bf.element_weights();
-        b.iter(|| {
-            beamform_spawn_per_frame(&bf, black_box(&engine), black_box(&rf), &tiles, &weights)
-        })
+        b.iter(|| beamform_spawn_per_frame(&bf, black_box(&engine), black_box(&rf), &tiles))
     });
     g.bench_function("persistent_pool_volume_loop", |b| {
         let mut rt = VolumeLoop::with_pool(Beamformer::new(&spec), Arc::clone(&pool), &schedule);

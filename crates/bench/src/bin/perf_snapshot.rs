@@ -1,0 +1,227 @@
+//! Perf-trajectory snapshot: measures the PR 5 hot paths and writes
+//! `BENCH_PR5.json` (schema documented in `tests/README.md`).
+//!
+//! Three sections:
+//!
+//! * `kernel` — single-thread `Beamformer::beamform_tile_into` ns/voxel
+//!   on one reduced-spec schedule tile, per engine, next to the PR 4
+//!   per-element kernel ([`usbf_bench::legacy_beamform_tile_into`]) and
+//!   the resulting speedup (the PR 5 acceptance gate is ≥2×);
+//! * `fill` — per-engine `fill_nappe` throughput in delays/s over a
+//!   full-fan slab (NAIVE-TABLE is measured on the tiny spec — its
+//!   table does not fit a CI runner at reduced scale);
+//! * `pipeline` — warm `FramePipeline` frames/s on the tiny spec.
+//!
+//! Knobs: `USBF_SNAPSHOT_QUICK=1` shrinks measurement budgets for CI
+//! smoke runs; `USBF_SNAPSHOT_OUT` overrides the output path.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use usbf_beamform::{Apodization, Beamformer, FramePipeline, FrameRing, Interpolation, TileState};
+use usbf_core::{
+    DelayEngine, ExactEngine, NaiveTableEngine, NappeDelays, NappeSchedule, TableFreeConfig,
+    TableFreeEngine, TableSteerConfig, TableSteerEngine,
+};
+use usbf_geometry::{SystemSpec, VoxelIndex};
+use usbf_sim::{EchoSynthesizer, Phantom, Pulse};
+
+/// Runs `f` repeatedly for at least `budget_s` seconds (and at least
+/// twice), returning the mean seconds per call.
+fn time_mean(budget_s: f64, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up / lazy init
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_secs_f64() < budget_s || iters < 2 {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+struct KernelRow {
+    name: &'static str,
+    legacy_ns_per_voxel: f64,
+    vectorized_ns_per_voxel: f64,
+}
+
+fn main() {
+    let quick = std::env::var("USBF_SNAPSHOT_QUICK").is_ok_and(|v| v != "0");
+    let budget = if quick { 0.05 } else { 0.5 };
+    let red = SystemSpec::reduced();
+    let tiny = SystemSpec::tiny();
+
+    // --- kernel: single-thread tile kernel, legacy vs vectorized ---
+    let bf = Beamformer::new(&red).with_apodization(Apodization::Hann);
+    let tile = NappeSchedule::fitted(&red, 64).tiles()[27];
+    let tile_voxels = (tile.scanlines() * red.volume_grid.n_depth()) as f64;
+    let rf = EchoSynthesizer::new(&red).synthesize(
+        &Phantom::point(red.volume_grid.position(VoxelIndex::new(16, 16, 64))),
+        &Pulse::from_spec(&red),
+    );
+    let exact = ExactEngine::new(&red);
+    let tablefree = TableFreeEngine::new(&red, TableFreeConfig::paper()).expect("builds");
+    let tablesteer = TableSteerEngine::new(&red, TableSteerConfig::bits18()).expect("builds");
+    let engines: [(&str, &dyn DelayEngine); 3] = [
+        ("EXACT", &exact),
+        ("TABLEFREE", &tablefree),
+        ("TABLESTEER-18b", &tablesteer),
+    ];
+    let weights = bf.element_weights();
+    let mut kernel_rows = Vec::new();
+    for (name, eng) in engines {
+        let mut state = TileState::new(&bf, tile);
+        let vec_s = time_mean(budget, || {
+            bf.beamform_tile_into(eng, &rf, &mut state);
+            std::hint::black_box(state.values()[0]);
+        });
+        let mut slab = NappeDelays::for_tile(&red, tile);
+        let mut values = vec![0.0; tile.scanlines() * red.volume_grid.n_depth()];
+        let legacy_s = time_mean(budget, || {
+            usbf_bench::legacy_beamform_tile_into(
+                &bf,
+                Interpolation::Nearest,
+                eng,
+                &rf,
+                &weights,
+                &mut slab,
+                &mut values,
+            );
+            std::hint::black_box(values[0]);
+        });
+        let row = KernelRow {
+            name,
+            legacy_ns_per_voxel: legacy_s * 1e9 / tile_voxels,
+            vectorized_ns_per_voxel: vec_s * 1e9 / tile_voxels,
+        };
+        println!(
+            "kernel {name:<15} legacy {:9.1} ns/voxel   vectorized {:9.1} ns/voxel   speedup {:.2}x",
+            row.legacy_ns_per_voxel,
+            row.vectorized_ns_per_voxel,
+            row.legacy_ns_per_voxel / row.vectorized_ns_per_voxel
+        );
+        kernel_rows.push(row);
+    }
+
+    // --- fill: per-engine slab fill throughput ---
+    let mut fill_rows: Vec<(&str, &str, f64)> = Vec::new();
+    for (name, eng) in engines {
+        let mut slab = NappeDelays::full(&red);
+        let per_pass = red.volume_grid.n_depth() as f64
+            * slab.scanline_count() as f64
+            * slab.n_elements() as f64;
+        let s = time_mean(budget, || {
+            for id in 0..red.volume_grid.n_depth() {
+                eng.fill_nappe(id, &mut slab);
+            }
+            std::hint::black_box(slab.samples()[0]);
+        });
+        fill_rows.push((name, "reduced", per_pass / s));
+    }
+    {
+        let naive = NaiveTableEngine::build(&tiny, u64::MAX).expect("tiny table fits");
+        let mut slab = NappeDelays::full(&tiny);
+        let per_pass = tiny.volume_grid.n_depth() as f64
+            * slab.scanline_count() as f64
+            * slab.n_elements() as f64;
+        let s = time_mean(budget, || {
+            for id in 0..tiny.volume_grid.n_depth() {
+                naive.fill_nappe(id, &mut slab);
+            }
+            std::hint::black_box(slab.samples()[0]);
+        });
+        fill_rows.push(("NAIVE-TABLE", "tiny", per_pass / s));
+    }
+    for (name, spec, rate) in &fill_rows {
+        println!("fill   {name:<15} [{spec:<7}] {:.1} Mdelays/s", rate / 1e6);
+    }
+
+    // --- pipeline: warm frames/s on the tiny spec ---
+    let frames = if quick { 20 } else { 200 };
+    let engine: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&tiny));
+    let frame = EchoSynthesizer::new(&tiny).synthesize(
+        &Phantom::point(tiny.volume_grid.position(VoxelIndex::new(4, 4, 8))),
+        &Pulse::from_spec(&tiny),
+    );
+    let mut pipe = FramePipeline::new(Beamformer::new(&tiny), engine, FrameRing::new(vec![frame]));
+    for _ in 0..5 {
+        pipe.next_volume().expect("warm-up frame");
+    }
+    let start = Instant::now();
+    for _ in 0..frames {
+        pipe.next_volume().expect("warm frame");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let stats = pipe.stats();
+    let fps = frames as f64 / wall;
+    let mean_beamform_ms = wall / frames as f64 * 1e3;
+    println!(
+        "pipeline [tiny] {fps:.1} frames/s, {mean_beamform_ms:.3} ms/frame, overlap {:.3}",
+        stats.overlap_fraction()
+    );
+
+    // Inline-audit note (PR 5 satellite): leaf functions checked for
+    // cross-crate inlining. `QFormat::resolution` (now exp2-free) and
+    // `Fixed::wide_add`/`QFormat::sum_format` (#[inline] added) showed up
+    // directly in TABLESTEER's fill throughput above; `Fixed::to_f64`,
+    // `QuantizedPwl::eval_tracked` and the `RfFrame` gather helpers were
+    // already `#[inline]` / newly marked and measure no further shift.
+    println!(
+        "inline-audit: wide_add+sum_format #[inline] and branch-free resolution() \
+         are load-bearing for the TABLESTEER fill rate; gather helpers inline clean"
+    );
+
+    // --- JSON ---
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"usbf-perf-snapshot/1\",");
+    let _ = writeln!(j, "  \"pr\": 5,");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"kernel\": {{");
+    let _ = writeln!(j, "    \"spec\": \"reduced\",");
+    let _ = writeln!(j, "    \"interpolation\": \"nearest\",");
+    let _ = writeln!(
+        j,
+        "    \"tile_voxels\": {},",
+        tile.scanlines() * red.volume_grid.n_depth()
+    );
+    let _ = writeln!(j, "    \"active_elements\": {},", bf.aperture().len());
+    let _ = writeln!(j, "    \"engines\": {{");
+    for (i, r) in kernel_rows.iter().enumerate() {
+        let comma = if i + 1 < kernel_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "      \"{}\": {{\"legacy_ns_per_voxel\": {:.1}, \"vectorized_ns_per_voxel\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            r.name,
+            r.legacy_ns_per_voxel,
+            r.vectorized_ns_per_voxel,
+            r.legacy_ns_per_voxel / r.vectorized_ns_per_voxel
+        );
+    }
+    let _ = writeln!(j, "    }}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"fill\": {{");
+    for (i, (name, spec, rate)) in fill_rows.iter().enumerate() {
+        let comma = if i + 1 < fill_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    \"{name}\": {{\"spec\": \"{spec}\", \"delays_per_second\": {rate:.0}}}{comma}"
+        );
+    }
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"pipeline\": {{");
+    let _ = writeln!(j, "    \"spec\": \"tiny\",");
+    let _ = writeln!(j, "    \"frames\": {frames},");
+    let _ = writeln!(j, "    \"frames_per_second\": {fps:.1},");
+    let _ = writeln!(j, "    \"mean_frame_ms\": {mean_beamform_ms:.3},");
+    let _ = writeln!(
+        j,
+        "    \"overlap_fraction\": {:.4}",
+        stats.overlap_fraction()
+    );
+    let _ = writeln!(j, "  }}");
+    j.push_str("}\n");
+    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    std::fs::write(&out, &j).expect("write snapshot JSON");
+    println!("wrote {out}");
+}

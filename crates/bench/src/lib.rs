@@ -4,11 +4,64 @@
 //! paper (see DESIGN.md §5 for the experiment index) and prints
 //! paper-vs-measured values; EXPERIMENTS.md records the outputs.
 
+use usbf_beamform::{Beamformer, Interpolation};
 use usbf_core::stats::{SampleErrorStats, SelectionErrorStats};
+use usbf_core::{DelayEngine, NappeDelays};
+use usbf_geometry::ElementIndex;
+use usbf_sim::RfFrame;
 
 /// Formats a paper-vs-measured comparison line.
 pub fn compare_line(label: &str, paper: &str, measured: &str) -> String {
     format!("{label:<44} paper: {paper:<22} measured: {measured}")
+}
+
+/// The PR 4 inner kernel, kept verbatim as the measured baseline for the
+/// vectorized `Beamformer::beamform_tile_into`: per element per voxel it
+/// pays a virtual `delay_index_from` call, an `ElementIndex` div/mod
+/// recovery, a `w == 0` branch, a per-fetch channel-offset recompute
+/// inside `RfFrame::sample`, and a per-element interpolation match.
+/// Outputs are bit-identical to the vectorized kernel — only the
+/// per-sample overhead differs, which is exactly what
+/// `bench_beamform`'s `tile_kernel_reduced` group and `perf_snapshot`
+/// quantify.
+pub fn legacy_beamform_tile_into(
+    bf: &Beamformer,
+    interpolation: Interpolation,
+    engine: &dyn DelayEngine,
+    rf: &RfFrame,
+    weights: &[f64],
+    slab: &mut NappeDelays,
+    values: &mut [f64],
+) {
+    let tile = slab.tile();
+    let n_depth = bf.spec().volume_grid.n_depth();
+    let n_elements = bf.spec().elements.count();
+    let nx = bf.spec().elements.nx();
+    assert_eq!(
+        values.len(),
+        tile.scanlines() * n_depth,
+        "values buffer must cover the tile"
+    );
+    for id in 0..n_depth {
+        engine.fill_nappe(id, slab);
+        for slot in 0..tile.scanlines() {
+            let row = slab.row(slot);
+            let mut acc = 0.0;
+            for j in 0..n_elements {
+                let w = weights[j];
+                if w == 0.0 {
+                    continue;
+                }
+                let e = ElementIndex::new(j % nx, j / nx);
+                let v = match interpolation {
+                    Interpolation::Nearest => rf.sample(e, engine.delay_index_from(row[j])),
+                    Interpolation::Linear => rf.sample_interp(e, row[j]),
+                };
+                acc += w * v;
+            }
+            values[slot * n_depth + id] = acc;
+        }
+    }
 }
 
 /// Renders selection-error stats the way Table II's inaccuracy column

@@ -83,6 +83,66 @@ pub trait DelayEngine: Sync {
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
         out.fill_scalar(self, nappe_idx);
     }
+
+    /// Batched final rounding: quantizes one row of fractional delays to
+    /// echo-buffer indices, writing `out[i] = delay_index_from(row[i])`.
+    ///
+    /// This is the per-row counterpart of
+    /// [`DelayEngine::delay_index_from`]: the beamformer's inner kernel
+    /// calls it **once per (nappe, scanline) row** instead of making one
+    /// virtual `delay_index_from` call per element, so specialized
+    /// overrides run a tight, monomorphic clamp loop. Overrides must be
+    /// bit-identical to the default, and engines with rounding telemetry
+    /// (TABLESTEER's clamp counter) must accumulate **exactly** the same
+    /// counts the per-element path would — `tests/engine_consistency.rs`
+    /// enforces both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` and `out` differ in length.
+    fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
+        assert_eq!(row.len(), out.len(), "index row must match delay row");
+        assert!(
+            self.echo_buffer_len() as u64 <= i32::MAX as u64,
+            "echo buffer too long for i32 indices"
+        );
+        for (o, &s) in out.iter_mut().zip(row) {
+            *o = self.delay_index_from(s) as i32;
+        }
+    }
+}
+
+/// The shared branch-lean body of the specialized [`DelayEngine::quantize_row`]
+/// overrides: `floor(x + ½)` rounding clamped to `[0, echo_len)`, exactly
+/// the default `delay_index_from` arithmetic, plus a clamp count for
+/// engines that keep rounding telemetry. One definition so the engines
+/// cannot drift from each other (or from the scalar rounding stage).
+#[inline]
+pub(crate) fn quantize_row_clamped(echo_len: usize, row: &[f64], out: &mut [i32]) -> u64 {
+    assert_eq!(row.len(), out.len(), "index row must match delay row");
+    assert!(
+        echo_len as u64 <= i32::MAX as u64,
+        "echo buffer too long for i32 indices"
+    );
+    let hi = (echo_len - 1) as f64;
+    let lim = echo_len as f64;
+    let mut clamps = 0u64;
+    for (o, &s) in out.iter_mut().zip(row) {
+        // Clamp in float space, then truncate. This avoids both `floor`
+        // (a libm call on baseline x86-64 — no `roundpd` below SSE4.1)
+        // and the f64→i64 conversion (no packed form below AVX-512), so
+        // the loop autovectorizes. It is bit-identical to the default
+        // `floor(x+½).clamp(0, hi)` path: after the clamp every value is
+        // non-negative, where truncation *is* floor; `max` maps NaN to 0
+        // like the saturating int cast does; and a fetch is out of
+        // window exactly when `x+½ < 0` (floor < 0) or `x+½ ≥ echo_len`
+        // (floor > hi), which is the clamp-telemetry condition below.
+        let y = s + 0.5;
+        let z = y.max(0.0).min(hi);
+        clamps += u64::from((y < 0.0) | (y >= lim));
+        *o = z as i32;
+    }
+    clamps
 }
 
 /// Errors from engine construction.
@@ -171,6 +231,33 @@ mod tests {
         let e = ElementIndex::new(0, 0);
         assert_eq!(ConstEngine(1e9).delay_index(v, e), 99);
         assert_eq!(ConstEngine(-5.0).delay_index(v, e), 0);
+    }
+
+    #[test]
+    fn default_quantize_row_matches_per_element_rounding() {
+        let eng = ConstEngine(0.0);
+        let row = [10.49, 10.5, -3.0, 1e9, 98.7, 0.0];
+        let mut out = [0i32; 6];
+        eng.quantize_row(&row, &mut out);
+        for (&s, &o) in row.iter().zip(&out) {
+            assert_eq!(o as i64, eng.delay_index_from(s));
+        }
+        assert_eq!(out, [10, 11, 0, 99, 99, 0]);
+    }
+
+    #[test]
+    fn quantize_row_clamped_counts_every_clamp() {
+        let row = [-1.0, 0.0, 50.0, 99.2, 2e9];
+        let mut out = [0i32; 5];
+        let clamps = quantize_row_clamped(100, &row, &mut out);
+        assert_eq!(out, [0, 0, 50, 99, 99]);
+        assert_eq!(clamps, 2); // -1.0 and 2e9 fall outside the window
+    }
+
+    #[test]
+    #[should_panic(expected = "index row must match delay row")]
+    fn quantize_row_rejects_length_mismatch() {
+        ConstEngine(0.0).quantize_row(&[1.0, 2.0], &mut [0i32; 3]);
     }
 
     #[test]

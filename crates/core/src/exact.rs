@@ -81,6 +81,12 @@ impl DelayEngine for ExactEngine {
             }
         }
     }
+
+    /// Batched rounding: one monomorphic clamp loop per row instead of a
+    /// virtual `delay_index_from` call per element.
+    fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
+        crate::engine::quantize_row_clamped(self.echo_len, row, out);
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,13 @@ impl DelayEngine for NaiveTableEngine {
             }
         }
     }
+
+    /// Batched rounding. The stored indices are already integral and
+    /// in-window, but the arithmetic must stay the shared rounding stage
+    /// so the table path cannot drift from `delay_index_from`.
+    fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
+        crate::engine::quantize_row_clamped(self.echo_len, row, out);
+    }
 }
 
 #[cfg(test)]

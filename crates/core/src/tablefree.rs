@@ -282,6 +282,12 @@ impl DelayEngine for TableFreeEngine {
         self.sqrt_evals
             .fetch_add(tile.scanlines() as u64 * per_voxel, Ordering::Relaxed);
     }
+
+    /// Batched rounding: one monomorphic clamp loop per row instead of a
+    /// virtual `delay_index_from` call per element.
+    fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
+        crate::engine::quantize_row_clamped(self.echo_len, row, out);
+    }
 }
 
 #[cfg(test)]

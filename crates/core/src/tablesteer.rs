@@ -324,9 +324,17 @@ impl DelayEngine for TableSteerEngine {
     /// x-corrections are built once per scanline **row** (`nx`
     /// conversions) instead of `2·nx·ny` float→fixed conversions per
     /// scanline; the reference BRAM is read as one contiguous nappe
-    /// slice, exactly what the §V-B circular buffer streams. Bit-exact
-    /// with the scalar path: identical `Fixed` values flow through the
-    /// identical `r + cx + cy` wide-add chain.
+    /// slice, exactly what the §V-B circular buffer streams.
+    ///
+    /// The `r + cx + cy` wide-add chain runs on **hoisted** raw
+    /// arithmetic: every operand of a fill shares the same three
+    /// formats, so the alignment shifts and the output scale of
+    /// [`Fixed::wide_add`]/[`Fixed::to_f64`] are computed once per fill
+    /// (and the x-corrections pre-shifted once per row) instead of per
+    /// element, leaving shift–add–shift–add–convert–multiply in the
+    /// inner loop. Bit-exact with the scalar path by construction: the
+    /// identical raw integers flow through the identical shifts, so the
+    /// final `f64`s match bit for bit (`fill_nappe_bit_exact_*` tests).
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
         let tile = out.tile();
         let n_elements = out.n_elements();
@@ -334,8 +342,18 @@ impl DelayEngine for TableSteerEngine {
         let nx = self.spec.elements.nx();
         let ny = self.spec.elements.ny();
         let fmt = self.config.correction_format;
+        // The wide-add chain's formats, fixed for the whole fill:
+        // f1 = ref + cx, f2 = f1 + cy.
+        let f1 = QFormat::sum_format(self.config.reference_format, fmt);
+        let f2 = QFormat::sum_format(f1, fmt);
+        let sh_r = f1.frac_bits() - self.config.reference_format.frac_bits();
+        let sh_c1 = f1.frac_bits() - fmt.frac_bits();
+        let sh_12 = f2.frac_bits() - f1.frac_bits();
+        let sh_c2 = f2.frac_bits() - fmt.frac_bits();
+        let res = f2.resolution();
         let ref_slice = &self.ref_fixed[nappe_idx * qy * qx..(nappe_idx + 1) * qy * qx];
-        let mut cx = vec![Fixed::saturating_from_f64(0.0, fmt, RoundingMode::Nearest); nx];
+        // Pre-shifted raw x-corrections, rebuilt once per scanline row.
+        let mut cx = vec![0i64; nx];
         let buf = out.begin_fill(nappe_idx);
         for (slot, it, ip) in tile.iter_scanlines() {
             for (ix, c) in cx.iter_mut().enumerate() {
@@ -343,18 +361,33 @@ impl DelayEngine for TableSteerEngine {
                     -self.steering.x_term_samples(ix, it, ip),
                     fmt,
                     RoundingMode::Nearest,
-                );
+                )
+                .raw()
+                    << sh_c1;
             }
             let cy_col = &self.cy_fixed[ip * ny..(ip + 1) * ny];
             let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
             for (iy, chunk) in row.chunks_mut(nx).enumerate() {
                 let ref_row = &ref_slice[self.fold_y[iy] * qx..];
-                let cyv = cy_col[iy];
+                let cy_shifted = cy_col[iy].raw() << sh_c2;
                 for (ix, value) in chunk.iter_mut().enumerate() {
-                    let r = ref_row[self.fold_x[ix]];
-                    *value = r.wide_add(cx[ix]).wide_add(cyv).to_f64();
+                    let r = ref_row[self.fold_x[ix]].raw();
+                    let raw = (((r << sh_r) + cx[ix]) << sh_12) + cy_shifted;
+                    *value = raw as f64 * res;
                 }
             }
+        }
+    }
+
+    /// Batched rounding with batched clamp telemetry: the row's clamp
+    /// count is accumulated locally and published with **one** atomic
+    /// add, so a row of N elements costs one `fetch_add` instead of up
+    /// to N — while `clamp_events` advances by exactly what N
+    /// per-element `delay_index_from` calls would have added.
+    fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
+        let clamps = crate::engine::quantize_row_clamped(self.echo_len, row, out);
+        if clamps > 0 {
+            self.clamp_events.fetch_add(clamps, Ordering::Relaxed);
         }
     }
 }

@@ -128,7 +128,15 @@ impl QFormat {
     /// Value of one least-significant bit: `2^-frac_bits`.
     #[inline]
     pub fn resolution(&self) -> f64 {
-        (-(self.frac_bits as f64)).exp2()
+        // 2^-n assembled directly from the exponent field: identical to
+        // `(-n).exp2()` for every normal power of two (both are exact),
+        // but a couple of integer ops instead of a libm call — this sits
+        // under `Fixed::to_f64` in the delay-generation hot loops.
+        if self.frac_bits <= 1022 {
+            f64::from_bits(u64::from(1023 - self.frac_bits) << 52)
+        } else {
+            (-(self.frac_bits as f64)).exp2()
+        }
     }
 
     /// Largest representable raw integer.
@@ -171,6 +179,7 @@ impl QFormat {
 
     /// A format able to hold the exact sum of values in `a` and `b`: max
     /// fractional bits, max integer bits + 1 (carry), signed if either is.
+    #[inline]
     pub fn sum_format(a: QFormat, b: QFormat) -> QFormat {
         let int_bits = a.int_bits.max(b.int_bits) + 1;
         let frac_bits = a.frac_bits.max(b.frac_bits);

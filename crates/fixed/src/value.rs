@@ -185,6 +185,7 @@ impl Fixed {
 
     /// Adds two values, producing the exact sum in
     /// [`QFormat::sum_format`] — models a full-width hardware adder.
+    #[inline]
     pub fn wide_add(&self, rhs: Fixed) -> Fixed {
         let fmt = QFormat::sum_format(self.format, rhs.format);
         let fa = fmt.frac_bits();

@@ -122,19 +122,36 @@ impl ThreadPool {
     /// then run inline on the caller (matching the old spawn-per-call
     /// behaviour on single-core hosts), with no queueing or
     /// coordination cost.
+    ///
+    /// The constructor blocks until every worker is actually **running**,
+    /// not merely spawned: a freshly created OS thread performs lazy
+    /// startup work (signal-stack handler, thread-info strings) with a
+    /// few heap allocations on its *own* first schedule, which — on a
+    /// loaded host where a parked worker may not run for seconds — would
+    /// otherwise leak into the first warm frames that happen to wake it.
+    /// The startup barrier pins those allocations to construction, where
+    /// all other pool allocation already lives, keeping the warm-frame
+    /// zero-allocation guarantee (`tests/warm_frame_allocs.rs`)
+    /// scheduler-independent.
     pub fn new(threads: usize) -> Self {
         let mut queues = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
+        let started = Arc::new(std::sync::Barrier::new(threads + 1));
         for i in 0..threads {
             let queue = Arc::new(WorkQueue::new());
             let worker_queue = Arc::clone(&queue);
+            let worker_started = Arc::clone(&started);
             let handle = std::thread::Builder::new()
                 .name(format!("usbf-par-{i}"))
-                .spawn(move || worker_loop(&worker_queue))
+                .spawn(move || {
+                    worker_started.wait();
+                    worker_loop(&worker_queue)
+                })
                 .expect("spawn pool worker");
             queues.push(queue);
             handles.push(handle);
         }
+        started.wait();
         ThreadPool {
             queues,
             handles,

@@ -11,6 +11,10 @@ pub struct RfFrame {
     nx: usize,
     ny: usize,
     n_samples: usize,
+    /// Start offset of every channel's trace in `data`, in linear element
+    /// order — precomputed once so the gather paths never re-derive
+    /// `linear(e) * n_samples` per fetch.
+    bases: Vec<usize>,
 }
 
 impl RfFrame {
@@ -30,6 +34,7 @@ impl RfFrame {
             nx,
             ny,
             n_samples,
+            bases: (0..nx * ny).map(|l| l * n_samples).collect(),
         }
     }
 
@@ -89,10 +94,77 @@ impl RfFrame {
 
     /// Linearly interpolated fractional-sample read (extension beyond the
     /// paper's nearest-index fetch).
+    #[inline]
     pub fn sample_interp(&self, e: ElementIndex, t: f64) -> f64 {
         let i0 = t.floor() as i64;
         let frac = t - i0 as f64;
         self.sample(e, i0) * (1.0 - frac) + self.sample(e, i0 + 1) * frac
+    }
+
+    /// Start offset of every channel's trace in the flat sample buffer,
+    /// in linear element order (`iy·nx + ix`) — precomputed at
+    /// construction for the gather paths.
+    #[inline]
+    pub fn channel_bases(&self) -> &[usize] {
+        &self.bases
+    }
+
+    /// Gathers one nearest-index sample per channel: for each position
+    /// `k`, reads sample `indices[k]` of flat channel `channels[k]` into
+    /// `out[k]`. Out-of-window indices read as `0.0` through a branchless
+    /// in-range mask — the same clamped-fetch semantics as
+    /// [`RfFrame::sample`], without its per-fetch channel-offset
+    /// recompute or early return. This is the fetch stage of the
+    /// beamformer's vectorized inner kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length or a channel is out of
+    /// range.
+    #[inline]
+    pub fn gather_nearest_into(&self, channels: &[u32], indices: &[i32], out: &mut [f64]) {
+        assert_eq!(channels.len(), indices.len(), "one index per channel");
+        assert_eq!(channels.len(), out.len(), "one output slot per channel");
+        let n = self.n_samples;
+        for ((o, &c), &i) in out.iter_mut().zip(channels).zip(indices) {
+            // Negative indices wrap to huge values under the unsigned
+            // compare, so one test covers both window edges; the
+            // conditional compiles to a select, not a branch, and the
+            // masked fetch reads the trace head so it never faults.
+            let inside = (i as usize) < n;
+            let v = self.data[self.bases[c as usize] + if inside { i as usize } else { 0 }];
+            *o = if inside { v } else { 0.0 };
+        }
+    }
+
+    /// Gathers one linearly interpolated sample per channel: for each
+    /// position `k`, reads the fractional delay `delays[k]` of flat
+    /// channel `channels[k]` into `out[k]`, bit-identical to
+    /// [`RfFrame::sample_interp`] (same floor/blend arithmetic, same
+    /// zero reads outside the window) with the channel offset looked up
+    /// once and branchless edge masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length or a channel is out of
+    /// range.
+    #[inline]
+    pub fn gather_linear_into(&self, channels: &[u32], delays: &[f64], out: &mut [f64]) {
+        assert_eq!(channels.len(), delays.len(), "one delay per channel");
+        assert_eq!(channels.len(), out.len(), "one output slot per channel");
+        let n = self.n_samples as u64;
+        for ((o, &c), &t) in out.iter_mut().zip(channels).zip(delays) {
+            let base = self.bases[c as usize];
+            let i0 = t.floor() as i64;
+            let frac = t - i0 as f64;
+            let in0 = (i0 as u64) < n;
+            let in1 = ((i0 + 1) as u64) < n;
+            let r0 = self.data[base + if in0 { i0 as usize } else { 0 }];
+            let r1 = self.data[base + if in1 { (i0 + 1) as usize } else { 0 }];
+            let v0 = if in0 { r0 } else { 0.0 };
+            let v1 = if in1 { r1 } else { 0.0 };
+            *o = v0 * (1.0 - frac) + v1 * frac;
+        }
     }
 
     /// Sets every sample of every trace to `value` (no reallocation) —
@@ -163,6 +235,58 @@ mod tests {
         assert_eq!(rf.sample_interp(e, 1.0), 1.0);
         assert!((rf.sample_interp(e, 1.5) - 2.0).abs() < 1e-12);
         assert!((rf.sample_interp(e, 0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_bases_cover_every_trace() {
+        let rf = RfFrame::zeros(3, 2, 10);
+        assert_eq!(rf.channel_bases(), &[0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn gather_nearest_matches_per_element_sample() {
+        let mut rf = RfFrame::zeros(3, 2, 4);
+        for (l, e) in [(0, (0, 0)), (2, (2, 0)), (4, (1, 1))] {
+            let e = ElementIndex::new(e.0, e.1);
+            for (i, v) in rf.trace_mut(e).iter_mut().enumerate() {
+                *v = -(l as f64) - i as f64 * 0.25;
+            }
+        }
+        let channels: Vec<u32> = (0..6).collect();
+        let indices = [0i32, -1, 3, 4, 2, 1];
+        let mut out = [9.0; 6];
+        rf.gather_nearest_into(&channels, &indices, &mut out);
+        for ((&c, &i), &o) in channels.iter().zip(&indices).zip(&out) {
+            let e = ElementIndex::new(c as usize % 3, c as usize / 3);
+            assert_eq!(o, rf.sample(e, i as i64), "channel {c} index {i}");
+        }
+    }
+
+    #[test]
+    fn gather_linear_matches_per_element_interp() {
+        let mut rf = RfFrame::zeros(2, 2, 4);
+        for e in [ElementIndex::new(0, 0), ElementIndex::new(1, 1)] {
+            rf.trace_mut(e).copy_from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        }
+        let channels = [0u32, 1, 2, 3, 0, 3];
+        let delays = [0.5, 1.25, -0.75, 3.5, -2.0, 2.999];
+        let mut out = [0.0; 6];
+        rf.gather_linear_into(&channels, &delays, &mut out);
+        for ((&c, &t), &o) in channels.iter().zip(&delays).zip(&out) {
+            let e = ElementIndex::new(c as usize % 2, c as usize / 2);
+            assert_eq!(
+                o.to_bits(),
+                rf.sample_interp(e, t).to_bits(),
+                "channel {c} delay {t}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one index per channel")]
+    fn gather_rejects_length_mismatch() {
+        let rf = RfFrame::zeros(2, 2, 4);
+        rf.gather_nearest_into(&[0, 1], &[0], &mut [0.0, 0.0]);
     }
 
     #[test]

@@ -196,6 +196,104 @@ fn batched_fill_is_bit_exact_on_off_axis_origin() {
     assert_fill_nappe_bit_exact(&tablesteer, &spec, full, &nappes);
 }
 
+/// The PR 5 batched-quantization contract: every engine's `quantize_row`
+/// (specialized or default) writes exactly `delay_index_from(row[i])`
+/// for every entry of a slab row.
+#[test]
+fn quantize_row_matches_per_element_delay_index_from_for_every_engine() {
+    let spec = SystemSpec::tiny();
+    let exact = ExactEngine::new(&spec);
+    let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
+    let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+    let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    let engines: [&dyn DelayEngine; 4] = [&exact, &naive, &tablefree, &tablesteer];
+    for engine in engines {
+        let mut slab = NappeDelays::full(&spec);
+        let mut out = vec![0i32; slab.n_elements()];
+        for id in [
+            0,
+            spec.volume_grid.n_depth() / 2,
+            spec.volume_grid.n_depth() - 1,
+        ] {
+            engine.fill_nappe(id, &mut slab);
+            for slot in 0..slab.scanline_count() {
+                let row = slab.row(slot).to_vec();
+                engine.quantize_row(&row, &mut out);
+                for (j, (&s, &o)) in row.iter().zip(&out).enumerate() {
+                    assert_eq!(
+                        i64::from(o),
+                        engine.delay_index_from(s),
+                        "{}: nappe {id} slot {slot} element {j} ({s})",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Synthetic out-of-window rows: the batched quantization must round,
+/// clamp *and count* exactly like the per-element path, including the
+/// half-up tie, NaN/±∞ saturation and both window edges.
+#[test]
+fn quantize_row_clamps_and_counts_like_the_scalar_rounding_stage() {
+    let spec = SystemSpec::tiny();
+    let len = spec.echo_buffer_len() as f64;
+    let row = [
+        -1.0e12,
+        -1.5,
+        -0.6,
+        -0.5,
+        -0.4999,
+        0.0,
+        0.49,
+        0.5,
+        len / 2.0,
+        len - 1.0,
+        len - 0.51,
+        len - 0.5,
+        len + 3.0,
+        1.0e12,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ];
+    let exact = ExactEngine::new(&spec);
+    let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+    let engines: [&dyn DelayEngine; 2] = [&exact, &tablefree];
+    for engine in engines {
+        let mut out = vec![0i32; row.len()];
+        engine.quantize_row(&row, &mut out);
+        for (&s, &o) in row.iter().zip(&out) {
+            assert_eq!(
+                i64::from(o),
+                engine.delay_index_from(s),
+                "{} at {s}",
+                engine.name()
+            );
+        }
+    }
+    // TABLESTEER additionally keeps clamp telemetry: the batched count
+    // must advance by exactly what per-element delay_index_from calls
+    // would have added (one per out-of-window entry).
+    let batched = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+    let scalar = batched.clone(); // fresh zeroed counter
+    let mut out = vec![0i32; row.len()];
+    batched.quantize_row(&row, &mut out);
+    for &s in &row {
+        let _ = scalar.delay_index_from(s);
+    }
+    assert!(scalar.clamp_events() > 0, "rows must actually clamp");
+    assert_eq!(batched.clamp_events(), scalar.clamp_events());
+    for (&s, &o) in row.iter().zip(&out) {
+        assert_eq!(
+            i64::from(o),
+            scalar.delay_index_from(s),
+            "TABLESTEER at {s}"
+        );
+    }
+}
+
 #[test]
 fn reduced_geometry_selection_errors_match_paper_regime() {
     // The E3 experiment at reduced scale: TABLEFREE mean selection error
