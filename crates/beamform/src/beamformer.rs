@@ -381,55 +381,75 @@ impl Beamformer {
 
     /// The nearest-index kernel: slab row → (compact) → quantized index
     /// row → gathered sample row → weighted accumulate.
+    ///
+    /// Rows are consumed through
+    /// [`DelayEngine::fill_nappe_streamed`], so for engines with a
+    /// batched fill the gather/MAC of row *s* is software-pipelined
+    /// against the generation of row *s + 1* (cache-hot rows, fill
+    /// latency hidden behind the accumulate); engines on the default
+    /// fill see the same row sequence after the slab completes. Row
+    /// order and all per-row arithmetic are unchanged, so the output
+    /// (and the engines' rounding telemetry) stays bit-identical to the
+    /// fill-then-consume schedule.
     fn tile_kernel_nearest(&self, engine: &dyn DelayEngine, rf: &RfFrame, state: &mut TileState) {
-        let tile = state.slab.tile();
         let n_depth = self.spec.volume_grid.n_depth();
         let channels = self.aperture.channels();
         let weights = self.aperture.weights();
         let full = self.aperture.is_full();
+        let TileState {
+            slab,
+            values,
+            delays,
+            indices,
+            samples,
+        } = state;
         for id in 0..n_depth {
-            engine.fill_nappe(id, &mut state.slab);
-            for slot in 0..tile.scanlines() {
-                let row = state.slab.row(slot);
+            engine.fill_nappe_streamed(id, slab, &mut |slot, row| {
                 let active_delays = if full {
                     row
                 } else {
-                    compact_row(row, channels, &mut state.delays);
-                    &state.delays
+                    compact_row(row, channels, delays);
+                    &*delays
                 };
                 // One virtual call quantizes the whole row — the
                 // engine's own final rounding stage, so rounding
                 // telemetry (e.g. TABLESTEER's clamp counter) sees this
                 // path exactly as it sees per-element queries.
-                engine.quantize_row(active_delays, &mut state.indices);
-                rf.gather_nearest_into(channels, &state.indices, &mut state.samples);
-                state.values[slot * n_depth + id] = weighted_sum(weights, &state.samples);
-            }
+                engine.quantize_row(active_delays, indices);
+                rf.gather_nearest_into(channels, indices, samples);
+                values[slot * n_depth + id] = weighted_sum(weights, samples);
+            });
         }
     }
 
     /// The linear-interpolation kernel: slab row → (compact) → gathered
     /// interpolated sample row → weighted accumulate. No quantization
-    /// stage — the fractional delays feed the gather directly.
+    /// stage — the fractional delays feed the gather directly. Rows are
+    /// consumed streamed, like
+    /// [`tile_kernel_nearest`](Self::tile_kernel_nearest).
     fn tile_kernel_linear(&self, engine: &dyn DelayEngine, rf: &RfFrame, state: &mut TileState) {
-        let tile = state.slab.tile();
         let n_depth = self.spec.volume_grid.n_depth();
         let channels = self.aperture.channels();
         let weights = self.aperture.weights();
         let full = self.aperture.is_full();
+        let TileState {
+            slab,
+            values,
+            delays,
+            samples,
+            ..
+        } = state;
         for id in 0..n_depth {
-            engine.fill_nappe(id, &mut state.slab);
-            for slot in 0..tile.scanlines() {
-                let row = state.slab.row(slot);
+            engine.fill_nappe_streamed(id, slab, &mut |slot, row| {
                 let active_delays = if full {
                     row
                 } else {
-                    compact_row(row, channels, &mut state.delays);
-                    &state.delays
+                    compact_row(row, channels, delays);
+                    &*delays
                 };
-                rf.gather_linear_into(channels, active_delays, &mut state.samples);
-                state.values[slot * n_depth + id] = weighted_sum(weights, &state.samples);
-            }
+                rf.gather_linear_into(channels, active_delays, samples);
+                values[slot * n_depth + id] = weighted_sum(weights, samples);
+            });
         }
     }
 

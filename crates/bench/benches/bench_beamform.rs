@@ -102,6 +102,38 @@ fn bench_beamform(c: &mut Criterion) {
     }
     g.finish();
 
+    // TABLEFREE slab-fill throughput (delays/s) on the reduced spec: the
+    // PR 5 per-element eval_tracked fill vs the segment-major batched row
+    // evaluator. Bit-identical slabs; the acceptance gate for PR 6 is
+    // ≥10× here.
+    let red_free = TableFreeEngine::new(&red, TableFreeConfig::paper()).expect("builds");
+    let mut g = c.benchmark_group("tablefree_fill_reduced");
+    {
+        let mut slab = usbf_core::NappeDelays::full(&red);
+        let per_pass = red.volume_grid.n_depth() as u64
+            * slab.scanline_count() as u64
+            * slab.n_elements() as u64;
+        g.throughput(Throughput::Elements(per_pass));
+        g.bench_function("pr5_legacy_eval_tracked", |b| {
+            let legacy = usbf_bench::LegacyTableFreeFill::new(&red_free);
+            b.iter(|| {
+                for id in 0..red.volume_grid.n_depth() {
+                    legacy.fill(black_box(&red_free), id, &mut slab);
+                }
+                black_box(slab.samples()[0])
+            })
+        });
+        g.bench_function("segment_major_batched", |b| {
+            b.iter(|| {
+                for id in 0..red.volume_grid.n_depth() {
+                    red_free.fill_nappe(id, &mut slab);
+                }
+                black_box(slab.samples()[0])
+            })
+        });
+    }
+    g.finish();
+
     let mut g = c.benchmark_group("beamform_single_voxel");
     g.bench_function("exact_hann", |b| {
         b.iter(|| bf.beamform_voxel(&exact, black_box(&rf), black_box(vox)))

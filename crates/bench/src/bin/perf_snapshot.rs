@@ -1,7 +1,7 @@
-//! Perf-trajectory snapshot: measures the PR 5 hot paths and writes
-//! `BENCH_PR5.json` (schema documented in `tests/README.md`).
+//! Perf-trajectory snapshot: measures the PR 6 hot paths and writes
+//! `BENCH_PR6.json` (schema documented in `tests/README.md`).
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! * `kernel` — single-thread `Beamformer::beamform_tile_into` ns/voxel
 //!   on one reduced-spec schedule tile, per engine, next to the PR 4
@@ -10,6 +10,9 @@
 //! * `fill` — per-engine `fill_nappe` throughput in delays/s over a
 //!   full-fan slab (NAIVE-TABLE is measured on the tiny spec — its
 //!   table does not fit a CI runner at reduced scale);
+//! * `tablefree_fill` — the PR 5 per-element `eval_tracked` TABLEFREE
+//!   fill ([`usbf_bench::LegacyTableFreeFill`]) vs the segment-major
+//!   batched row evaluator (the PR 6 acceptance gate is ≥10×);
 //! * `pipeline` — warm `FramePipeline` frames/s on the tiny spec.
 //!
 //! Knobs: `USBF_SNAPSHOT_QUICK=1` shrinks measurement budgets for CI
@@ -136,6 +139,35 @@ fn main() {
         println!("fill   {name:<15} [{spec:<7}] {:.1} Mdelays/s", rate / 1e6);
     }
 
+    // --- tablefree_fill: legacy per-element eval_tracked vs the
+    // segment-major batched row evaluator (PR 6 acceptance: ≥10×) ---
+    let (tf_legacy_rate, tf_batched_rate) = {
+        let legacy = usbf_bench::LegacyTableFreeFill::new(&tablefree);
+        let mut slab = NappeDelays::full(&red);
+        let per_pass = red.volume_grid.n_depth() as f64
+            * slab.scanline_count() as f64
+            * slab.n_elements() as f64;
+        let legacy_s = time_mean(budget, || {
+            for id in 0..red.volume_grid.n_depth() {
+                legacy.fill(&tablefree, id, &mut slab);
+            }
+            std::hint::black_box(slab.samples()[0]);
+        });
+        let batched_s = time_mean(budget, || {
+            for id in 0..red.volume_grid.n_depth() {
+                tablefree.fill_nappe(id, &mut slab);
+            }
+            std::hint::black_box(slab.samples()[0]);
+        });
+        (per_pass / legacy_s, per_pass / batched_s)
+    };
+    println!(
+        "tablefree-fill [reduced] legacy {:.1} Mdelays/s   batched {:.1} Mdelays/s   speedup {:.2}x",
+        tf_legacy_rate / 1e6,
+        tf_batched_rate / 1e6,
+        tf_batched_rate / tf_legacy_rate
+    );
+
     // --- pipeline: warm frames/s on the tiny spec ---
     let frames = if quick { 20 } else { 200 };
     let engine: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&tiny));
@@ -175,7 +207,7 @@ fn main() {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"schema\": \"usbf-perf-snapshot/1\",");
-    let _ = writeln!(j, "  \"pr\": 5,");
+    let _ = writeln!(j, "  \"pr\": 6,");
     let _ = writeln!(j, "  \"quick\": {quick},");
     let _ = writeln!(j, "  \"kernel\": {{");
     let _ = writeln!(j, "    \"spec\": \"reduced\",");
@@ -209,6 +241,19 @@ fn main() {
         );
     }
     let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"tablefree_fill\": {{");
+    let _ = writeln!(j, "    \"spec\": \"reduced\",");
+    let _ = writeln!(j, "    \"legacy_delays_per_second\": {tf_legacy_rate:.0},");
+    let _ = writeln!(
+        j,
+        "    \"batched_delays_per_second\": {tf_batched_rate:.0},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"speedup\": {:.3}",
+        tf_batched_rate / tf_legacy_rate
+    );
+    let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"pipeline\": {{");
     let _ = writeln!(j, "    \"spec\": \"tiny\",");
     let _ = writeln!(j, "    \"frames\": {frames},");
@@ -221,7 +266,7 @@ fn main() {
     );
     let _ = writeln!(j, "  }}");
     j.push_str("}\n");
-    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     std::fs::write(&out, &j).expect("write snapshot JSON");
     println!("wrote {out}");
 }

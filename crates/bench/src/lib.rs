@@ -6,8 +6,8 @@
 
 use usbf_beamform::{Beamformer, Interpolation};
 use usbf_core::stats::{SampleErrorStats, SelectionErrorStats};
-use usbf_core::{DelayEngine, NappeDelays};
-use usbf_geometry::ElementIndex;
+use usbf_core::{DelayEngine, NappeDelays, TableFreeEngine};
+use usbf_geometry::{ElementIndex, Vec3, VoxelIndex};
 use usbf_sim::RfFrame;
 
 /// Formats a paper-vs-measured comparison line.
@@ -64,6 +64,73 @@ pub fn legacy_beamform_tile_into(
     }
 }
 
+/// The PR 5 TABLEFREE slab fill, kept verbatim as the measured baseline
+/// for the segment-major batched row evaluator: per element per focal
+/// point it pays one `eval_tracked` call — a pointer walk plus the full
+/// `Fixed` quantize/multiply/add/round datapath with every per-segment
+/// constant re-derived (three `exp2` libm calls per element). Outputs
+/// are bit-identical to `TableFreeEngine::fill_nappe`'s batched row
+/// path — only the per-element overhead differs, which is what
+/// `bench_beamform`'s `tablefree_fill_reduced` group and
+/// `perf_snapshot`'s `tablefree_fill` section quantify. (The baseline
+/// skips the engine's op-counter update: atomics are irrelevant to the
+/// measured datapath.)
+pub struct LegacyTableFreeFill {
+    /// Element positions in linear order, precomputed like the engine
+    /// caches them so the timed region measures only the fill.
+    elem_pos: Vec<Vec3>,
+    samples_per_metre: f64,
+}
+
+impl LegacyTableFreeFill {
+    /// Precomputes the fill's element-position cache for `engine`'s spec.
+    #[must_use]
+    pub fn new(engine: &TableFreeEngine) -> Self {
+        let spec = engine.spec();
+        LegacyTableFreeFill {
+            elem_pos: spec
+                .elements
+                .iter()
+                .map(|e| spec.elements.position(e))
+                .collect(),
+            samples_per_metre: spec.sampling_frequency / spec.speed_of_sound,
+        }
+    }
+
+    /// The PR 5 per-element `eval_tracked` fill loop, verbatim.
+    pub fn fill(&self, engine: &TableFreeEngine, nappe_idx: usize, out: &mut NappeDelays) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let spm = self.samples_per_metre;
+        let exact_transmit = engine.config().exact_transmit;
+        let quant = engine.quantized();
+        let grid = &engine.spec().volume_grid;
+        let buf = out.begin_fill(nappe_idx);
+        let mut tx_hint = 0usize;
+        let mut rx_hint = 0usize;
+        for (slot, it, ip) in tile.iter_scanlines() {
+            let vox = VoxelIndex::new(it, ip, nappe_idx);
+            let s = grid.position(vox);
+            let tx_alpha = engine.tx_alpha(vox);
+            let tx = if exact_transmit {
+                tx_alpha.sqrt()
+            } else {
+                quant.eval_tracked(&mut tx_hint, tx_alpha)
+            };
+            let dz = s.z * spm;
+            let dz2 = dz * dz;
+            let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
+            for (j, value) in row.iter_mut().enumerate() {
+                let d = self.elem_pos[j];
+                let dx = (s.x - d.x) * spm;
+                let dy = (s.y - d.y) * spm;
+                let rx_alpha = dx * dx + dy * dy + dz2;
+                *value = tx + quant.eval_tracked(&mut rx_hint, rx_alpha);
+            }
+        }
+    }
+}
+
 /// Renders selection-error stats the way Table II's inaccuracy column
 /// does: `avg <mean>, max <max>`.
 pub fn inaccuracy_selection(s: &SelectionErrorStats) -> String {
@@ -110,5 +177,23 @@ mod tests {
     #[test]
     fn section_header() {
         assert!(section("T1").contains("=== T1 ==="));
+    }
+
+    #[test]
+    fn legacy_tablefree_fill_is_bit_identical_to_batched_fill() {
+        // The benchmark baseline must stay a truthful stand-in for the
+        // old fill: same slabs, bit for bit.
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let engine = TableFreeEngine::new(&spec, usbf_core::TableFreeConfig::paper()).unwrap();
+        let legacy = LegacyTableFreeFill::new(&engine);
+        let mut a = NappeDelays::full(&spec);
+        let mut b = NappeDelays::full(&spec);
+        for id in [0, 5, 15] {
+            engine.fill_nappe(id, &mut a);
+            legacy.fill(&engine, id, &mut b);
+            for (x, y) in a.samples().iter().zip(b.samples()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "nappe {id}");
+            }
+        }
     }
 }

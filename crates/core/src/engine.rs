@@ -84,6 +84,36 @@ pub trait DelayEngine: Sync {
         out.fill_scalar(self, nappe_idx);
     }
 
+    /// Streamed slab fill: like [`DelayEngine::fill_nappe`], but hands
+    /// every completed row to `consume(slot, row)` as soon as it is
+    /// produced, while the row is still cache-hot.
+    ///
+    /// This is the software-pipelining hook of the tile kernel: for
+    /// fill-bound engines (TABLEFREE's PWL datapath) the beamformer's
+    /// gather/MAC for row *s* runs interleaved with the generation of row
+    /// *s + 1*, instead of only after the whole slab is done. Rows are
+    /// delivered exactly once each, in slab slot order, and the slab is
+    /// completely filled when this returns — callers that ignore
+    /// `consume` get plain `fill_nappe` behaviour.
+    ///
+    /// The default fills the slab and then replays the rows; engines with
+    /// a batched fill override this to interleave for real.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`DelayEngine::fill_nappe`].
+    fn fill_nappe_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        self.fill_nappe(nappe_idx, out);
+        for slot in 0..out.scanline_count() {
+            consume(slot, out.row(slot));
+        }
+    }
+
     /// Batched final rounding: quantizes one row of fractional delays to
     /// echo-buffer indices, writing `out[i] = delay_index_from(row[i])`.
     ///
@@ -258,6 +288,23 @@ mod tests {
     #[should_panic(expected = "index row must match delay row")]
     fn quantize_row_rejects_length_mismatch() {
         ConstEngine(0.0).quantize_row(&[1.0, 2.0], &mut [0i32; 3]);
+    }
+
+    #[test]
+    fn default_streamed_fill_delivers_every_row_once_in_order() {
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let eng = ConstEngine(7.25);
+        let mut slab = NappeDelays::full(&spec);
+        let mut seen = Vec::new();
+        eng.fill_nappe_streamed(3, &mut slab, &mut |slot, row| {
+            assert!(row.iter().all(|&d| d == 7.25));
+            seen.push((slot, row.len()));
+        });
+        assert_eq!(slab.nappe(), Some(3));
+        let expected: Vec<_> = (0..slab.scanline_count())
+            .map(|s| (s, slab.n_elements()))
+            .collect();
+        assert_eq!(seen, expected);
     }
 
     #[test]

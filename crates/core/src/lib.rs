@@ -52,7 +52,7 @@ mod tablesteer;
 pub use engine::{DelayEngine, EngineError};
 pub use exact::ExactEngine;
 pub use naive::NaiveTableEngine;
-pub use nappe::NappeDelays;
+pub use nappe::{FillBuffers, NappeDelays};
 pub use schedule::{NappeSchedule, Tile};
 pub use tablefree::{TableFreeConfig, TableFreeEngine};
 pub use tablesteer::{SteerBlockSpec, TableSteerConfig, TableSteerEngine};

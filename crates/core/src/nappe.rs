@@ -21,7 +21,7 @@ use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 /// `[scanline within tile (θ-major, φ-inner)][element (linear order)]`,
 /// in fractional samples at the system's `fs` — exactly what
 /// [`delay_samples`](crate::DelayEngine::delay_samples) returns.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct NappeDelays {
     samples: Vec<f64>,
     tile: Tile,
@@ -29,6 +29,42 @@ pub struct NappeDelays {
     elements_nx: usize,
     n_depth: usize,
     nappe: Option<usize>,
+    // Engine fill scratch, preallocated with the slab so warm refills
+    // stay allocation-free (excluded from equality — scratch contents
+    // are not part of the slab's value).
+    row_args: Vec<f64>,
+    line_args: Vec<f64>,
+    line_vals: Vec<f64>,
+    row_regs: Vec<i64>,
+}
+
+impl PartialEq for NappeDelays {
+    fn eq(&self, other: &Self) -> bool {
+        self.samples == other.samples
+            && self.tile == other.tile
+            && self.n_elements == other.n_elements
+            && self.elements_nx == other.elements_nx
+            && self.n_depth == other.n_depth
+            && self.nappe == other.nappe
+    }
+}
+
+/// Split borrows of a slab mid-fill: the sample buffer plus the engine
+/// scratch rows, handed out together by
+/// [`NappeDelays::begin_fill_scratch`] so an engine can use both without
+/// fighting the borrow checker.
+pub struct FillBuffers<'a> {
+    /// The slab's raw sample buffer, row-major.
+    pub samples: &'a mut [f64],
+    /// One element-row of argument scratch (`n_elements` slots).
+    pub row_args: &'a mut [f64],
+    /// Per-scanline argument scratch (`scanlines` slots).
+    pub line_args: &'a mut [f64],
+    /// Per-scanline value scratch (`scanlines` slots).
+    pub line_vals: &'a mut [f64],
+    /// One element-row of integer register scratch (`elements_nx`
+    /// slots).
+    pub row_regs: &'a mut [i64],
 }
 
 impl NappeDelays {
@@ -56,6 +92,10 @@ impl NappeDelays {
             elements_nx: spec.elements.nx(),
             n_depth: v.n_depth(),
             nappe: None,
+            row_args: vec![0.0; n_elements],
+            line_args: vec![0.0; tile.scanlines()],
+            line_vals: vec![0.0; tile.scanlines()],
+            row_regs: vec![0; spec.elements.nx()],
         }
     }
 
@@ -177,6 +217,25 @@ impl NappeDelays {
         &mut self.samples
     }
 
+    /// Like [`begin_fill`](Self::begin_fill), but also hands out the
+    /// slab's preallocated scratch rows — the warm state engines with a
+    /// batched datapath (TABLEFREE's argument rows, TABLESTEER's
+    /// correction registers) use so a warm refill allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`begin_fill`](Self::begin_fill).
+    pub fn begin_fill_scratch(&mut self, nappe_idx: usize) -> FillBuffers<'_> {
+        self.begin_fill(nappe_idx);
+        FillBuffers {
+            samples: &mut self.samples,
+            row_args: &mut self.row_args,
+            line_args: &mut self.line_args,
+            line_vals: &mut self.line_vals,
+            row_regs: &mut self.row_regs,
+        }
+    }
+
     /// Scalar reference fill: one
     /// [`delay_samples`](crate::DelayEngine::delay_samples) query per slab
     /// entry. This is the
@@ -250,6 +309,32 @@ mod tests {
                 assert_eq!(slab.at(it, ip, e), engine.delay_samples(vox, e));
             }
         }
+    }
+
+    #[test]
+    fn fill_scratch_marks_nappe_and_sizes_rows() {
+        let spec = SystemSpec::tiny();
+        let tile = Tile {
+            theta_start: 1,
+            theta_end: 3,
+            phi_start: 0,
+            phi_end: 3,
+        };
+        let mut slab = NappeDelays::for_tile(&spec, tile);
+        let bufs = slab.begin_fill_scratch(7);
+        assert_eq!(bufs.samples.len(), 6 * 64);
+        assert_eq!(bufs.row_args.len(), 64);
+        assert_eq!(bufs.line_args.len(), 6);
+        assert_eq!(bufs.line_vals.len(), 6);
+        assert_eq!(bufs.row_regs.len(), 8);
+        bufs.row_args[0] = 42.0; // scratch contents are not slab value…
+        assert_eq!(slab.nappe(), Some(7));
+        let fresh = {
+            let mut s = NappeDelays::for_tile(&spec, tile);
+            s.begin_fill(7);
+            s
+        };
+        assert_eq!(slab, fresh); // …so equality ignores them
     }
 
     #[test]

@@ -154,6 +154,23 @@ impl TableFreeEngine {
         &self.config
     }
 
+    /// The system spec the engine was built for.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Transmit squared distance in samples² — the PWL argument of the
+    /// first square root, shared by every element of a focal point.
+    #[inline]
+    pub fn tx_alpha(&self, vox: VoxelIndex) -> f64 {
+        let s = self.spec.volume_grid.position(vox);
+        let o = self.spec.origin;
+        let dx = (s.x - o.x) * self.samples_per_metre;
+        let dy = (s.y - o.y) * self.samples_per_metre;
+        let dz = (s.z - o.z) * self.samples_per_metre;
+        dx * dx + dy * dy + dz * dz
+    }
+
     /// Number of square-root evaluations performed so far (op counter).
     pub fn sqrt_evals(&self) -> u64 {
         self.sqrt_evals.load(Ordering::Relaxed)
@@ -210,14 +227,7 @@ impl DelayEngine for TableFreeEngine {
     }
 
     fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
-        let s = self.spec.volume_grid.position(vox);
-        let o = self.spec.origin;
-        let tx_alpha = {
-            let dx = (s.x - o.x) * self.samples_per_metre;
-            let dy = (s.y - o.y) * self.samples_per_metre;
-            let dz = (s.z - o.z) * self.samples_per_metre;
-            dx * dx + dy * dy + dz * dz
-        };
+        let tx_alpha = self.tx_alpha(vox);
         let tx = if self.config.exact_transmit {
             tx_alpha.sqrt()
         } else {
@@ -231,50 +241,82 @@ impl DelayEngine for TableFreeEngine {
         self.echo_len
     }
 
-    /// Batched nappe fill (§IV-B's streaming view): the transmit square
-    /// root is evaluated once per focal point instead of once per
-    /// (focal point, element), and both PWL evaluations walk a tracked
-    /// segment pointer instead of binary-searching — the arguments a
-    /// nappe-major sweep produces drift slowly, which is exactly the
-    /// paper's "no segment search needed" operating regime. Bit-exact
-    /// with the scalar path because every arithmetic expression is
-    /// unchanged and the tracked locate returns the binary search's
-    /// segment.
+    /// Batched nappe fill: [`fill_nappe_streamed`](DelayEngine::fill_nappe_streamed)
+    /// with no row consumer.
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        self.fill_nappe_streamed(nappe_idx, out, &mut |_, _| {});
+    }
+
+    /// Segment-major batched nappe fill (§IV-B's streaming view): the
+    /// transmit square roots are evaluated once per focal point in one
+    /// batched pass over the nappe's scanlines, then each scanline's
+    /// receive arguments are assembled into a row and pushed through
+    /// [`QuantizedPwl::eval_row_tracked`], which fetches each PWL
+    /// segment's `(c1, c0)` once per contiguous element span instead of
+    /// once per element. The arguments a nappe-major sweep produces drift
+    /// slowly — exactly the paper's "no segment search needed" operating
+    /// regime, which is also what makes the spans long and the batched
+    /// walk O(segments) per row. Bit-exact with the scalar path because
+    /// the row evaluator replicates the `Fixed` datapath stage for stage
+    /// and the transmit term is added to each receive value in the same
+    /// `tx + rx` order the scalar path uses.
+    ///
+    /// Each completed row is handed to `consume` while still cache-hot,
+    /// letting the tile kernel overlap gather/MAC with the next row's
+    /// generation.
+    fn fill_nappe_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
         let tile = out.tile();
         let n_elements = out.n_elements();
         let spm = self.samples_per_metre;
-        let o = self.spec.origin;
         let exact_transmit = self.config.exact_transmit;
-        let buf = out.begin_fill(nappe_idx);
-        let mut tx_hint = 0usize;
+        let bufs = out.begin_fill_scratch(nappe_idx);
+        let buf = bufs.samples;
+        let line_args = bufs.line_args;
+        let line_vals = bufs.line_vals;
+        let row_args = bufs.row_args;
+        // Pass 1: all transmit terms of the nappe, batched. One tracked
+        // row evaluation replaces `scanlines` pointer walks.
+        for (slot, it, ip) in tile.iter_scanlines() {
+            line_args[slot] = self.tx_alpha(VoxelIndex::new(it, ip, nappe_idx));
+        }
+        if exact_transmit {
+            for (v, &a) in line_vals.iter_mut().zip(line_args.iter()) {
+                *v = a.sqrt();
+            }
+        } else {
+            let mut tx_hint = 0usize;
+            self.quant
+                .eval_row_tracked(&mut tx_hint, line_args, line_vals);
+        }
+        // Pass 2: one receive row per scanline, segment-major.
         let mut rx_hint = 0usize;
         for (slot, it, ip) in tile.iter_scanlines() {
             let s = self
                 .spec
                 .volume_grid
                 .position(VoxelIndex::new(it, ip, nappe_idx));
-            let tx_alpha = {
-                let dx = (s.x - o.x) * spm;
-                let dy = (s.y - o.y) * spm;
-                let dz = (s.z - o.z) * spm;
-                dx * dx + dy * dy + dz * dz
-            };
-            let tx = if exact_transmit {
-                tx_alpha.sqrt()
-            } else {
-                self.quant.eval_tracked(&mut tx_hint, tx_alpha)
-            };
             let dz = s.z * spm;
             let dz2 = dz * dz;
-            let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
-            for (j, value) in row.iter_mut().enumerate() {
-                let d = self.elem_pos[j];
+            for (a, d) in row_args.iter_mut().zip(&self.elem_pos) {
                 let dx = (s.x - d.x) * spm;
                 let dy = (s.y - d.y) * spm;
-                let rx_alpha = dx * dx + dy * dy + dz2;
-                *value = tx + self.quant.eval_tracked(&mut rx_hint, rx_alpha);
+                *a = dx * dx + dy * dy + dz2;
             }
+            let range = slot * n_elements..(slot + 1) * n_elements;
+            let row = &mut buf[range.clone()];
+            self.quant.eval_row_tracked(&mut rx_hint, row_args, row);
+            let tx = line_vals[slot];
+            // IEEE addition commutes bit-for-bit, so += matches the
+            // scalar path's `tx + rx` exactly.
+            for value in row.iter_mut() {
+                *value += tx;
+            }
+            consume(slot, &buf[range]);
         }
         // One bulk update keeps the op counter consistent with the scalar
         // path's per-evaluation increments.
@@ -458,6 +500,48 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "nappe {id}");
             }
         }
+    }
+
+    #[test]
+    fn fill_nappe_bit_exact_with_scalar_path_exact_transmit() {
+        let spec = SystemSpec::tiny();
+        let tf = TableFreeEngine::new(
+            &spec,
+            TableFreeConfig {
+                exact_transmit: true,
+                ..TableFreeConfig::paper()
+            },
+        )
+        .unwrap();
+        let mut batched = NappeDelays::full(&spec);
+        let mut scalar = NappeDelays::full(&spec);
+        for id in [0, 7, 15] {
+            tf.fill_nappe(id, &mut batched);
+            scalar.fill_scalar(&tf, id);
+            for (a, b) in batched.samples().iter().zip(scalar.samples()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "nappe {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_fill_rows_match_final_slab() {
+        let (spec, tf, _) = engines();
+        let mut slab = NappeDelays::full(&spec);
+        let mut reference = NappeDelays::full(&spec);
+        tf.fill_nappe(5, &mut reference);
+        let mut seen = Vec::new();
+        let mut captured = Vec::new();
+        tf.fill_nappe_streamed(5, &mut slab, &mut |slot, row| {
+            seen.push(slot);
+            captured.extend_from_slice(row);
+        });
+        // Rows arrive once each, in slot order, already in final form.
+        assert_eq!(seen, (0..slab.scanline_count()).collect::<Vec<_>>());
+        for (a, b) in captured.iter().zip(reference.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(slab, reference);
     }
 
     #[test]

@@ -336,6 +336,19 @@ impl DelayEngine for TableSteerEngine {
     /// identical raw integers flow through the identical shifts, so the
     /// final `f64`s match bit for bit (`fill_nappe_bit_exact_*` tests).
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        self.fill_nappe_streamed(nappe_idx, out, &mut |_, _| {});
+    }
+
+    /// The fill loop proper, streaming each completed row to `consume`.
+    /// The pre-shifted raw x-corrections live in the slab's preallocated
+    /// `row_regs` scratch (rebuilt once per scanline row), so a warm
+    /// refill performs no heap allocation.
+    fn fill_nappe_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
         let tile = out.tile();
         let n_elements = out.n_elements();
         let (qx, qy) = self.reference.quadrant_dims();
@@ -352,9 +365,10 @@ impl DelayEngine for TableSteerEngine {
         let sh_c2 = f2.frac_bits() - fmt.frac_bits();
         let res = f2.resolution();
         let ref_slice = &self.ref_fixed[nappe_idx * qy * qx..(nappe_idx + 1) * qy * qx];
+        let bufs = out.begin_fill_scratch(nappe_idx);
+        let buf = bufs.samples;
         // Pre-shifted raw x-corrections, rebuilt once per scanline row.
-        let mut cx = vec![0i64; nx];
-        let buf = out.begin_fill(nappe_idx);
+        let cx = &mut bufs.row_regs[..nx];
         for (slot, it, ip) in tile.iter_scanlines() {
             for (ix, c) in cx.iter_mut().enumerate() {
                 *c = Fixed::saturating_from_f64(
@@ -366,7 +380,8 @@ impl DelayEngine for TableSteerEngine {
                     << sh_c1;
             }
             let cy_col = &self.cy_fixed[ip * ny..(ip + 1) * ny];
-            let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
+            let range = slot * n_elements..(slot + 1) * n_elements;
+            let row = &mut buf[range.clone()];
             for (iy, chunk) in row.chunks_mut(nx).enumerate() {
                 let ref_row = &ref_slice[self.fold_y[iy] * qx..];
                 let cy_shifted = cy_col[iy].raw() << sh_c2;
@@ -376,6 +391,7 @@ impl DelayEngine for TableSteerEngine {
                     *value = raw as f64 * res;
                 }
             }
+            consume(slot, &buf[range]);
         }
     }
 

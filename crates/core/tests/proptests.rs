@@ -160,6 +160,50 @@ proptest! {
     }
 
     #[test]
+    fn tablefree_batched_fill_keeps_scalar_op_telemetry_on_random_geometries(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        n_theta in 2usize..8,
+        n_phi in 2usize..8,
+        n_depth in 4usize..12,
+        tile_theta in (0usize..1000, 0usize..1000),
+        tile_phi in (0usize..1000, 0usize..1000),
+        nappe_pick in 0usize..1000,
+        exact_transmit in any::<bool>(),
+    ) {
+        // The segment-major row fill must advance the sqrt-evaluation
+        // counter by exactly the batched-datapath cost the paper argues
+        // for — scanlines × (elements + 1 transmit eval unless exact) —
+        // while the scalar walk pays the transmit eval per element; both
+        // formulas are part of the engine's telemetry contract.
+        let spec = random_spec(nx, ny, n_theta, n_phi, n_depth);
+        let config = TableFreeConfig { exact_transmit, ..TableFreeConfig::paper() };
+        let tablefree = TableFreeEngine::new(&spec, config).expect("builds");
+        let (theta_start, theta_end) = random_span(n_theta, tile_theta.0, tile_theta.1);
+        let (phi_start, phi_end) = random_span(n_phi, tile_phi.0, tile_phi.1);
+        let tile = Tile { theta_start, theta_end, phi_start, phi_end };
+        let nappe = nappe_pick % n_depth;
+
+        let mut batched = NappeDelays::for_tile(&spec, tile);
+        let before = tablefree.sqrt_evals();
+        tablefree.fill_nappe(nappe, &mut batched);
+        let batched_evals = tablefree.sqrt_evals() - before;
+
+        let mut scalar = NappeDelays::for_tile(&spec, tile);
+        let before = tablefree.sqrt_evals();
+        scalar.fill_scalar(&tablefree, nappe);
+        let scalar_evals = tablefree.sqrt_evals() - before;
+
+        let scanlines = tile.scanlines() as u64;
+        let elements = (nx * ny) as u64;
+        let per_voxel = elements + u64::from(!exact_transmit);
+        prop_assert_eq!(batched_evals, scanlines * per_voxel, "batched op counter drifted");
+        let per_query = 1 + u64::from(!exact_transmit);
+        prop_assert_eq!(scalar_evals, scanlines * elements * per_query, "scalar op counter drifted");
+        prop_assert_eq!(batched.samples(), scalar.samples());
+    }
+
+    #[test]
     fn fitted_schedules_partition_random_fans_exactly(
         n_theta in 1usize..17,
         n_phi in 1usize..17,

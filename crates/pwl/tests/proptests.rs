@@ -1,0 +1,136 @@
+//! Property-based bit-identity of the segment-major row evaluator.
+//!
+//! `eval_row` / `eval_row_tracked` are fast paths over the scalar
+//! `eval` / `eval_tracked` datapath: these properties drive them with
+//! random tables, random coefficient formats (exercising both the
+//! libm-free fast span kernel and the generic fallback), random starting
+//! hints and randomly-shaped argument streams — including out-of-domain
+//! saturation excursions at both ends — and require the values, the final
+//! segment pointer and the tracker telemetry to match the per-element
+//! walk exactly.
+
+use proptest::prelude::*;
+use usbf_fixed::QFormat;
+use usbf_pwl::{LutFormats, PwlApprox, QuantizedPwl, SqrtFn, TrackerStats};
+
+/// Builds a random table + formats from the generated picks. Formats
+/// cycle through fitted (fast kernel), fractional-argument and
+/// signed-output variants (generic fallback) so every span path runs.
+fn random_quantized(lo: f64, span: f64, delta: f64, fmt_pick: usize) -> QuantizedPwl {
+    let table = PwlApprox::build(&SqrtFn, (lo, lo + span), delta).expect("valid domain");
+    let mut formats = LutFormats::fitted_to(&table);
+    match fmt_pick % 3 {
+        0 => {}
+        1 => {
+            // Fractional argument bits: the fast gate refuses these.
+            formats.argument = QFormat::unsigned(formats.argument.int_bits(), 2);
+        }
+        _ => {
+            // Signed output: also refused by the fast gate.
+            formats.output = QFormat::signed(formats.output.int_bits(), formats.output.frac_bits());
+        }
+    }
+    QuantizedPwl::quantize(&table, formats).expect("fitted formats hold the table")
+}
+
+/// A drifting argument stream over (and beyond) the table domain: three
+/// scan shapes — a nappe-style slow sweep, a scanline-style sawtooth with
+/// restarts, and a jumpy stride — each salted with out-of-domain points
+/// below and above the table.
+fn random_stream(lo: f64, span: f64, shape: usize, len: usize, salt: usize) -> Vec<f64> {
+    let hi = lo + span;
+    let mut xs = Vec::with_capacity(len + 6);
+    for i in 0..len {
+        let t = i as f64 / len.max(2) as f64;
+        let x = match shape % 3 {
+            0 => lo + span * t * t, // slow nappe drift
+            1 => lo + span * ((i % (len / 4 + 1)) as f64 * 4.0 / len as f64), // sawtooth
+            _ => lo + span * (((i * 7919 + salt) % len) as f64 / len as f64), // jumpy
+        };
+        xs.push(x.min(hi));
+    }
+    // Saturation edges: below the domain (down to 0) and far above it.
+    let inject = (salt % len.max(1)).min(xs.len());
+    xs.insert(inject, 0.0);
+    xs.insert(inject, lo * 0.5);
+    xs.push(hi * 4.0);
+    xs.push(hi * 1e4);
+    xs.push(lo + span * 0.37);
+    xs.push(lo);
+    xs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eval_row_tracked_matches_scalar_values_pointer_and_telemetry(
+        lo in 1.0f64..500.0,
+        span in 100.0f64..2.0e6,
+        delta in 0.05f64..0.5,
+        fmt_pick in 0usize..3,
+        shape in 0usize..3,
+        len in 16usize..400,
+        salt in 0usize..10_000,
+        hint_pick in 0usize..1000,
+    ) {
+        let q = random_quantized(lo, span, delta, fmt_pick);
+        let xs = random_stream(lo, span, shape, len, salt);
+        let n = q.segment_count();
+        let start_hint = hint_pick % (n + 2); // occasionally past the end
+
+        // Per-element scalar reference: values via eval_tracked, steps
+        // via the same locate_from chain the hardware pointer walks.
+        let mut scalar_hint = start_hint;
+        let mut cur = start_hint.min(n - 1);
+        let mut expected_stats = TrackerStats {
+            evals: xs.len() as u64,
+            ..TrackerStats::default()
+        };
+        let mut expected = Vec::with_capacity(xs.len());
+        for &x in &xs {
+            let target = q.locate_from(cur, x);
+            let moved = (target as i64 - cur as i64).unsigned_abs();
+            expected_stats.steps += moved;
+            expected_stats.max_step = expected_stats.max_step.max(moved);
+            cur = target;
+            expected.push(q.eval_tracked(&mut scalar_hint, x));
+        }
+
+        let mut row_hint = start_hint;
+        let mut got = vec![0.0; xs.len()];
+        let stats = q.eval_row_tracked(&mut row_hint, &xs, &mut got);
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(), e.to_bits(),
+                "element {} of {}: {} vs {} at x = {}",
+                i, xs.len(), g, e, xs[i]
+            );
+        }
+        prop_assert_eq!(row_hint, scalar_hint, "final segment pointer");
+        prop_assert_eq!(stats, expected_stats, "tracker telemetry");
+        prop_assert_eq!(stats.seeks, 0u64);
+    }
+
+    #[test]
+    fn eval_row_matches_per_element_eval(
+        lo in 1.0f64..500.0,
+        span in 100.0f64..2.0e6,
+        delta in 0.05f64..0.5,
+        fmt_pick in 0usize..3,
+        shape in 0usize..3,
+        len in 16usize..200,
+        salt in 0usize..10_000,
+    ) {
+        let q = random_quantized(lo, span, delta, fmt_pick);
+        let xs = random_stream(lo, span, shape, len, salt);
+        let mut got = vec![0.0; xs.len()];
+        q.eval_row(&xs, &mut got);
+        for (i, (&g, &x)) in got.iter().zip(&xs).enumerate() {
+            prop_assert_eq!(
+                g.to_bits(), q.eval(x).to_bits(),
+                "element {} at x = {}", i, x
+            );
+        }
+    }
+}

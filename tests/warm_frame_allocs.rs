@@ -22,7 +22,10 @@ use std::sync::Arc;
 use usbf::beamform::{
     Beamformer, FramePipeline, FrameRing, ShardConfig, ShardedRuntime, VolumeLoop,
 };
-use usbf::core::{DelayEngine, ExactEngine, NappeSchedule};
+use usbf::core::{
+    DelayEngine, ExactEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
+    TableSteerEngine,
+};
 use usbf::geometry::{SystemSpec, VoxelIndex};
 use usbf::par::ThreadPool;
 use usbf::sim::{EchoSynthesizer, Phantom, Pulse};
@@ -137,6 +140,38 @@ fn warm_frames_do_no_per_tile_allocation() {
          ({FRAMES} frames, {tiles} tiles each)"
     );
     drop(pipe);
+
+    // --- The approximating engines (TABLESTEER's correction registers,
+    // TABLEFREE's PWL argument rows) run on slab-resident scratch, so
+    // their warm pipelines must measure 0 too, not just EXACT's ---
+    let approx_engines: [Arc<dyn DelayEngine + Send + Sync>; 2] = [
+        Arc::new(TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds")),
+        Arc::new(TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds")),
+    ];
+    for eng in approx_engines {
+        let name = eng.name();
+        let mut pipe = FramePipeline::with_pool(
+            Beamformer::new(&spec),
+            Arc::clone(&eng),
+            FrameRing::new(vec![rf.clone()]),
+            Arc::clone(&pool),
+            &schedule,
+        );
+        for _ in 0..5 {
+            pipe.next_volume().expect("warm-up frame");
+        }
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for _ in 0..FRAMES {
+            pipe.next_volume().expect("warm frame");
+        }
+        let engine_allocs = ALLOCS.load(Ordering::SeqCst) - before;
+        eprintln!("{name}_ALLOCS={engine_allocs}");
+        assert_eq!(
+            engine_allocs, 0,
+            "warm {name} FramePipeline frames must not allocate \
+             ({FRAMES} frames, {tiles} tiles each)"
+        );
+    }
 
     // --- ShardedRuntime (3 shards multiplexed on the same pool) ---
     let shard = |fill: f64| {
