@@ -193,6 +193,13 @@ pub struct PipelineStats {
     pub beamform_wait: Duration,
     /// Wall time since the first acquisition was submitted.
     pub wall: Duration,
+    /// Distribution of per-frame submit→complete latencies (successful
+    /// frames only): each redeemed ticket records the elapsed time from
+    /// its `submit` call to redemption. Ask it for
+    /// [`p50`](crate::LatencyHistogram::p50) /
+    /// [`p99`](crate::LatencyHistogram::p99) — means hide exactly the
+    /// tail behaviour a multi-shard runtime must keep honest about.
+    pub latency: crate::LatencyHistogram,
 }
 
 impl PipelineStats {
@@ -318,6 +325,7 @@ struct FinishState {
     abandoned: u64,
     acquire_wait: Duration,
     beamform_wait: Duration,
+    latency: crate::LatencyHistogram,
     started: Option<Instant>,
     link: Arc<IngestLink>,
     ingest: Option<JoinHandle<()>>,
@@ -444,6 +452,7 @@ impl FramePipeline {
                 abandoned: 0,
                 acquire_wait: Duration::ZERO,
                 beamform_wait: Duration::ZERO,
+                latency: crate::LatencyHistogram::new(),
                 started: None,
                 link,
                 ingest: Some(ingest),
@@ -522,6 +531,7 @@ impl FramePipeline {
     /// pipeline stays healthy: the buffers are recycled, the pool and
     /// warm state survive, and the next call produces a correct volume.
     pub fn submit(&mut self) -> Result<VolumeTicket<'_>, PipelineError> {
+        let submitted = Instant::now();
         Self::request_acquire(&mut self.fin);
         if !self.fin.in_flight {
             return Err(PipelineError::Disconnected);
@@ -544,6 +554,7 @@ impl FramePipeline {
             fin: Some(&mut self.fin),
             which,
             frame_id,
+            submitted,
         })
     }
 
@@ -613,6 +624,7 @@ impl FramePipeline {
             abandoned: self.fin.abandoned,
             acquire_wait: self.fin.acquire_wait,
             beamform_wait: self.fin.beamform_wait,
+            latency: self.fin.latency,
             wall: self
                 .fin
                 .started
@@ -659,6 +671,11 @@ pub struct VolumeTicket<'p> {
     fin: Option<&'p mut FinishState>,
     which: usize,
     frame_id: u64,
+    /// When `submit` was entered — redemption records the elapsed time
+    /// into the pipeline's latency histogram, so the per-frame figure
+    /// covers acquisition wait *and* beamforming, the full turnaround a
+    /// downstream consumer experiences.
+    submitted: Instant,
 }
 
 impl<'p> VolumeTicket<'p> {
@@ -708,6 +725,7 @@ impl<'p> VolumeTicket<'p> {
                     fin.n_depth,
                 );
                 fin.frames += 1;
+                fin.latency.record(self.submitted.elapsed());
                 Ok(&fin.outs[self.which])
             }
             Some(payload) => {

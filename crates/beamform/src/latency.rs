@@ -1,0 +1,226 @@
+//! Fixed-bucket frame-latency histograms for the runtime's tail-latency
+//! telemetry.
+//!
+//! A fleet-scale runtime is judged by its p99, not its mean: one slow
+//! shard's frames hiding inside an average is exactly the failure mode
+//! the elastic `ShardedRuntime` exists to prevent. Each
+//! [`FramePipeline`](crate::FramePipeline) records the submit→complete
+//! latency of every redeemed frame into a [`LatencyHistogram`] folded
+//! into its [`PipelineStats`](crate::PipelineStats), and the sharded
+//! runtime's callers merge per-shard histograms for fleet-wide views.
+//!
+//! The histogram is built for the warm path: a plain `[u64; BUCKETS]`
+//! inline array (no heap), `record` is a handful of integer ops
+//! (leading-zeros bucket mapping, one increment), and `merge` is a
+//! element-wise add — so it satisfies the repo's zero-allocation
+//! warm-frame rule (`tests/warm_frame_allocs.rs`) by construction.
+//!
+//! Buckets are log-spaced with 4 sub-buckets per octave (~19% relative
+//! width), covering 1 µs .. ~18 min. Quantiles are therefore estimates
+//! with bounded relative error: [`quantile`](LatencyHistogram::quantile)
+//! returns the **upper edge** of the bucket holding the requested rank,
+//! so a reported p99 never understates the true p99 by more than one
+//! bucket width.
+
+use std::time::Duration;
+
+/// Nanoseconds covered by the first bucket (everything below 2^10 ns ≈
+/// 1 µs lands in bucket 0 — well under a frame at any realistic spec).
+const FLOOR_BITS: u32 = 10;
+
+/// Sub-bucket resolution: 2^2 = 4 sub-buckets per power of two.
+const SUB_BITS: u32 = 2;
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Octaves covered above the floor. 30 octaves above 1 µs reach
+/// 2^40 ns ≈ 18 minutes; anything slower saturates into the top bucket.
+const OCTAVES: usize = 30;
+
+/// Total bucket count: the sub-µs floor bucket, the log-spaced body,
+/// and one saturation bucket at the top.
+const BUCKETS: usize = 1 + OCTAVES * SUBS + 1;
+
+/// A fixed-bucket, heap-free latency histogram with log-spaced buckets
+/// (4 per octave) spanning 1 µs to ~18 minutes, plus a saturation
+/// bucket. `Copy`, mergeable, and cheap enough to live inside
+/// [`PipelineStats`](crate::PipelineStats).
+///
+/// ```
+/// use std::time::Duration;
+/// use usbf_beamform::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in [1u64, 2, 2, 3, 40] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// // Quantiles report the upper edge of the holding bucket: the p50
+/// // sample (2 ms) rounds up by at most one sub-bucket (~19%).
+/// let p50 = h.p50();
+/// assert!(p50 >= Duration::from_millis(2) && p50 < Duration::from_millis(3));
+/// assert!(h.p99() >= Duration::from_millis(40));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram. (Also available via `Default`.)
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Maps a duration to its bucket index. Zero-alloc, branch-light:
+    /// floor compare, leading-zeros, shift.
+    fn bucket_of(d: Duration) -> usize {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        if ns < (1 << FLOOR_BITS) {
+            return 0;
+        }
+        // Position of the highest set bit, ≥ FLOOR_BITS here.
+        let msb = 63 - ns.leading_zeros();
+        let octave = (msb - FLOOR_BITS) as usize;
+        if octave >= OCTAVES {
+            return BUCKETS - 1;
+        }
+        // The SUB_BITS bits just below the msb select the sub-bucket.
+        let sub = ((ns >> (msb - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+        1 + octave * SUBS + sub
+    }
+
+    /// The inclusive upper edge of a bucket, in nanoseconds. The top
+    /// (saturation) bucket reports the largest representable duration
+    /// of the scale.
+    fn bucket_upper_ns(bucket: usize) -> u64 {
+        if bucket == 0 {
+            return (1 << FLOOR_BITS) - 1;
+        }
+        if bucket >= BUCKETS - 1 {
+            return u64::MAX;
+        }
+        let octave = ((bucket - 1) / SUBS) as u32;
+        let sub = ((bucket - 1) % SUBS) as u64;
+        let base = FLOOR_BITS + octave;
+        // Upper edge of sub-bucket `sub`: next sub-bucket's start − 1.
+        (1u64 << base) + ((sub + 1) << (base - SUB_BITS)) - 1
+    }
+
+    /// Records one observation. Warm-path safe: no allocation, no
+    /// branching beyond the bucket mapping.
+    pub fn record(&mut self, latency: Duration) {
+        self.counts[Self::bucket_of(latency)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Folds another histogram into this one (element-wise add); the
+    /// scales are identical by construction, so merging per-shard
+    /// histograms yields the exact fleet-wide histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
+    /// The latency at quantile `q` (clamped to `0.0..=1.0`): the upper
+    /// edge of the bucket containing the sample of rank `ceil(q·count)`.
+    /// Returns `Duration::ZERO` for an empty histogram. The estimate
+    /// never undershoots the true quantile's bucket and overshoots by
+    /// less than one sub-bucket width (~19% relative).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(Self::bucket_upper_ns(bucket));
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// The half-open `(lower, upper]` nanosecond range of the bucket the
+    /// quantile-`q` sample falls in — the true sample latency lies
+    /// within it. Exposed for tests and for callers that want honest
+    /// error bars instead of a point estimate.
+    pub fn quantile_bounds(&self, q: f64) -> (Duration, Duration) {
+        let upper = self.quantile(q);
+        if self.total == 0 {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let bucket = Self::bucket_of(upper);
+        let lower = if bucket == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(Self::bucket_upper_ns(bucket - 1))
+        };
+        (lower, upper)
+    }
+
+    /// Median frame latency (upper bucket edge; see
+    /// [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile frame latency (upper bucket edge; see
+    /// [`quantile`](Self::quantile)).
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// True when any observation saturated the top bucket (latency
+    /// beyond the histogram's ~18-minute scale) — quantiles at or above
+    /// that rank are then lower bounds only.
+    pub fn saturated(&self) -> bool {
+        self.counts[BUCKETS - 1] > 0
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_monotone_and_aligned() {
+        // Every bucket's upper edge must map back into that bucket, and
+        // edges must be strictly increasing.
+        let mut prev = 0u64;
+        for b in 0..BUCKETS - 1 {
+            let upper = LatencyHistogram::bucket_upper_ns(b);
+            assert!(upper > prev || b == 0, "bucket {b} edge not increasing");
+            assert_eq!(
+                LatencyHistogram::bucket_of(Duration::from_nanos(upper)),
+                b,
+                "upper edge of bucket {b} maps elsewhere"
+            );
+            assert_eq!(
+                LatencyHistogram::bucket_of(Duration::from_nanos(upper + 1)),
+                b + 1,
+                "one past bucket {b}'s edge must land in bucket {}",
+                b + 1
+            );
+            prev = upper;
+        }
+    }
+}

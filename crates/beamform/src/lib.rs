@@ -56,6 +56,7 @@
 mod apodization;
 mod beamformer;
 mod frame_pipeline;
+mod latency;
 mod sharded;
 mod volume;
 mod volume_loop;
@@ -66,7 +67,11 @@ pub use frame_pipeline::{
     FramePipeline, FrameRing, FrameSource, PipelineError, PipelineStats, SynthesizedFrames,
     VolumeTicket,
 };
-pub use sharded::{shard_fitted_schedule, ShardConfig, ShardedRuntime};
+pub use latency::LatencyHistogram;
+pub use sharded::{
+    shard_fitted_schedule, AdmissionError, RuntimeBudget, ShardConfig, ShardId, ShardRound,
+    ShardedRuntime,
+};
 pub use volume::BeamformedVolume;
 pub use volume_loop::VolumeLoop;
 

@@ -1,38 +1,55 @@
-//! Multi-probe sharding: several independent frame pipelines
-//! multiplexed on **one** worker pool.
+//! Elastic multi-probe sharding: a churning fleet of independent frame
+//! pipelines multiplexed on **one** worker pool.
 //!
 //! The paper sizes its delay architecture for one 2-D matrix probe, but
-//! a production beamformer serves several — simultaneous biplane views,
-//! multi-probe rigs, or simply several live streams sharing one server.
-//! Spinning up one thread pool per probe multiplies oversubscription;
+//! a production beamformer serves a fleet — simultaneous biplane views,
+//! multi-probe rigs, or many remote streaming sessions sharing one
+//! server, each arriving and leaving on its own schedule. Spinning up
+//! one thread pool per probe multiplies oversubscription;
 //! [`ShardedRuntime`] instead gives every probe its own
 //! [`FramePipeline`] (its own spec, delay engine, frame source,
 //! acquisition thread and warm state) while all tile work funnels into
 //! a single shared [`ThreadPool`]:
 //!
-//! * **fair interleaving** — each shard's [`NappeSchedule`] is re-fitted
-//!   so the per-frame tile counts are comparable across shards
-//!   (`shard_fitted_schedule`): a round submits every shard before
-//!   redeeming any, so `N × tiles` tasks from different shards coexist
-//!   in the pool's claim queues and no shard's frame serializes behind
-//!   another's;
+//! * **elastic shard lifecycle** — [`attach_shard`](ShardedRuntime::attach_shard)
+//!   and [`detach_shard`](ShardedRuntime::detach_shard) add and remove
+//!   pipelines while sibling shards keep streaming. Shard slots form a
+//!   generation-tagged registry: a [`ShardId`] names `(slot,
+//!   generation)`, so a stale id from a detached session can never
+//!   alias the shard that later reuses its slot;
+//! * **admission control + backpressure** — a [`RuntimeBudget`] bounds
+//!   the fleet (live shards, frames in flight per round, offered voxel
+//!   throughput). Attaching beyond the budget is rejected with a typed
+//!   [`AdmissionError`] instead of silently queueing; when more shards
+//!   are live than the per-round in-flight budget, rounds *defer*
+//!   excess shards ([`ShardRound::Deferred`]) under a rotating window,
+//!   so backpressure stays fair instead of starving the tail;
+//! * **work-stealing tile claims** — each shard's frame is a
+//!   preregistered job whose tiles are claimed by index from a shared
+//!   cursor; the pool's claim arena (`usbf_par`) lets *any* idle worker
+//!   steal tiles of any in-flight shard, so one slow shard can no
+//!   longer idle pool workers that its announcements didn't reach;
 //! * **per-shard accounting** — every shard keeps its own
-//!   [`PipelineStats`], so a slow probe is visible as *its* acquire
-//!   wait, not smeared across the fleet;
+//!   [`PipelineStats`], including a fixed-bucket
+//!   [`LatencyHistogram`](crate::LatencyHistogram) of frame
+//!   submit→complete latencies, so tail latency (p50/p99) is visible
+//!   per probe and mergeable fleet-wide
+//!   ([`fleet_latency`](ShardedRuntime::fleet_latency));
 //! * **failure isolation** — a panicking engine or source surfaces as
-//!   that shard's [`PipelineError`] for that frame; sibling shards'
-//!   tickets redeem normally and the shared pool survives (panics are
-//!   contained per task by the pool, per frame by the pipeline).
+//!   that shard's [`ShardRound::Failed`] for that frame; sibling
+//!   shards' tickets redeem normally and the shared pool survives.
 //!
 //! Volumes are **bit-identical** to running each shard's frames through
-//! its own serial [`VolumeLoop`](crate::VolumeLoop) — multiplexing
-//! reorders only *when* tiles execute, never *what* they compute — and
-//! warm sharded rounds perform zero heap allocations
-//! (`tests/warm_frame_allocs.rs`); `tests/shard_stress.rs` soaks the
-//! whole arrangement for hundreds of frames at several pool sizes.
+//! its own serial [`VolumeLoop`](crate::VolumeLoop) — multiplexing and
+//! stealing reorder only *when* tiles execute, never *what* they
+//! compute — and warm sharded rounds perform zero heap allocations
+//! (`tests/warm_frame_allocs.rs`); `tests/shard_stress.rs` and
+//! `tests/shard_churn.rs` soak the whole arrangement for hundreds of
+//! frames under attach/detach churn at several pool sizes.
 
 use crate::frame_pipeline::{FramePipeline, FrameSource, PipelineError, PipelineStats};
-use crate::{BeamformedVolume, Beamformer};
+use crate::{BeamformedVolume, Beamformer, LatencyHistogram};
+use std::fmt;
 use std::sync::Arc;
 use usbf_core::{DelayEngine, NappeSchedule};
 use usbf_par::ThreadPool;
@@ -92,8 +109,183 @@ pub fn shard_fitted_schedule(
     NappeSchedule::fitted(spec, per_shard)
 }
 
-/// Several probes' pipelines on one pool. See the module docs for the
-/// fairness/isolation contract.
+/// A generation-tagged shard identity, returned by
+/// [`ShardedRuntime::attach_shard`]. The runtime reuses slot storage
+/// after a detach, but never a `ShardId`: the generation increments on
+/// every reuse, so id-based accessors ([`ShardedRuntime::stats_of`],
+/// [`ShardedRuntime::detach_shard`], …) return `None` for ids of
+/// detached shards instead of aliasing their slot's new occupant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardId {
+    slot: usize,
+    generation: u64,
+}
+
+impl ShardId {
+    /// The slot index this shard occupies (stable for the shard's
+    /// lifetime; reused — under a new generation — after detach).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {}.{}", self.slot, self.generation)
+    }
+}
+
+/// Fleet-level load limits enforced by [`ShardedRuntime`]. Attach-time
+/// limits reject with [`AdmissionError`]; the per-round in-flight limit
+/// defers instead (see [`ShardRound::Deferred`]), because a frame of an
+/// already-admitted session is load the runtime owes, merely later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeBudget {
+    /// Maximum simultaneously attached shards; further
+    /// [`attach_shard`](ShardedRuntime::attach_shard) calls are rejected
+    /// with [`AdmissionError::ShardLimit`].
+    pub max_live_shards: usize,
+    /// Maximum frames submitted concurrently per round; live shards
+    /// beyond this are deferred under a rotating fair window.
+    pub max_in_flight: usize,
+    /// Maximum summed voxel count per round across live shards — the
+    /// offered-throughput estimate. `None` disables the check; `Some`
+    /// rejects attaches whose spec would push the fleet past it with
+    /// [`AdmissionError::ThroughputLimit`].
+    pub max_round_voxels: Option<u64>,
+}
+
+impl RuntimeBudget {
+    /// No limits: every attach admitted, every live shard submitted
+    /// every round. The budget used by [`ShardedRuntime::new`].
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RuntimeBudget {
+            max_live_shards: usize::MAX,
+            max_in_flight: usize::MAX,
+            max_round_voxels: None,
+        }
+    }
+
+    /// A heuristic budget for a pool of `threads` workers: up to
+    /// `64 × threads` attached sessions, `8 × threads` frames in flight
+    /// per round, no voxel cap. Callers with real capacity models
+    /// should construct the fields directly.
+    #[must_use]
+    pub fn for_pool(threads: usize) -> Self {
+        let threads = threads.max(1);
+        RuntimeBudget {
+            max_live_shards: 64 * threads,
+            max_in_flight: 8 * threads,
+            max_round_voxels: None,
+        }
+    }
+}
+
+/// Why [`ShardedRuntime::attach_shard`] rejected a session — typed
+/// backpressure, surfaced to the caller instead of silent queueing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The fleet is at [`RuntimeBudget::max_live_shards`].
+    ShardLimit {
+        /// Shards currently attached.
+        live: usize,
+        /// The budget's cap.
+        max: usize,
+    },
+    /// Admitting the shard would push the fleet's summed per-round voxel
+    /// count past [`RuntimeBudget::max_round_voxels`].
+    ThroughputLimit {
+        /// Voxels per round the fleet would offer with this shard.
+        offered_voxels: u64,
+        /// The budget's cap.
+        budget_voxels: u64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::ShardLimit { live, max } => {
+                write!(f, "admission rejected: {live} shards live, budget allows {max}")
+            }
+            AdmissionError::ThroughputLimit {
+                offered_voxels,
+                budget_voxels,
+            } => write!(
+                f,
+                "admission rejected: fleet would offer {offered_voxels} voxels/round, budget allows {budget_voxels}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// One shard's outcome for one [`ShardedRuntime::round`].
+#[derive(Debug)]
+pub enum ShardRound {
+    /// The shard's frame was submitted and redeemed successfully.
+    Completed(ShardId),
+    /// Backpressure: the shard is live but was outside this round's
+    /// in-flight window; no frame was consumed or produced. The rotating
+    /// window admits it in a following round.
+    Deferred(ShardId),
+    /// The shard's frame failed (source panic, engine panic,
+    /// disconnect). Siblings are unaffected; the shard itself recovers
+    /// on its next admitted round.
+    Failed(ShardId, PipelineError),
+}
+
+impl ShardRound {
+    /// The shard this outcome belongs to.
+    pub fn shard_id(&self) -> ShardId {
+        match self {
+            ShardRound::Completed(id) | ShardRound::Deferred(id) | ShardRound::Failed(id, _) => *id,
+        }
+    }
+
+    /// `true` unless the shard's frame failed — deferral is healthy
+    /// backpressure, not an error.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, ShardRound::Failed(..))
+    }
+
+    /// `true` if the shard completed a frame this round.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ShardRound::Completed(_))
+    }
+
+    /// `true` if the shard was deferred by the in-flight window.
+    pub fn is_deferred(&self) -> bool {
+        matches!(self, ShardRound::Deferred(_))
+    }
+
+    /// The frame's error, if it failed.
+    pub fn error(&self) -> Option<&PipelineError> {
+        match self {
+            ShardRound::Failed(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One slot of the shard registry. Slots are never removed — detach
+/// vacates the pipeline and bumps nothing until the next attach reuses
+/// the slot under an incremented generation.
+struct Slot {
+    generation: u64,
+    pipeline: Option<FramePipeline>,
+    /// Voxels per frame of the occupant's spec, cached for the
+    /// admission math (0 while vacant).
+    voxels: u64,
+    /// Scratch flag set by the round pre-pass: whether the occupant is
+    /// inside this round's in-flight window.
+    admitted: bool,
+}
+
+/// A churning fleet of probes' pipelines on one pool. See the module
+/// docs for the elasticity/fairness/isolation contract.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -120,39 +312,51 @@ pub fn shard_fitted_schedule(
 /// assert!(outcomes.iter().all(|o| o.is_ok()));
 /// assert_eq!(rt.shard(0).frames(), 1);
 /// assert!(rt.volume(1).is_some());
+/// // Elastic: attach a third session mid-flight, stream, detach it.
+/// let id = rt.attach_shard(shard(2.0)).expect("within budget");
+/// let outcomes = rt.round();
+/// assert_eq!(outcomes.len(), 3);
+/// assert!(outcomes.iter().all(|o| o.is_ok()));
+/// let stats = rt.detach_shard(id).expect("live shard");
+/// assert_eq!(stats.frames, 1);
+/// assert_eq!(rt.n_shards(), 2);
 /// ```
 pub struct ShardedRuntime {
     pool: Arc<ThreadPool>,
-    shards: Vec<FramePipeline>,
+    slots: Vec<Slot>,
+    budget: RuntimeBudget,
+    /// Rotation cursor of the per-round in-flight window (counts live
+    /// ordinals, so the window advances fairly as shards churn).
+    rotate: usize,
 }
 
 impl ShardedRuntime {
     /// Builds one pipeline per config, all on `pool`, each with a
     /// schedule from [`shard_fitted_schedule`] so tile counts stay
-    /// comparable across shards.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `configs` is empty.
+    /// comparable across shards, under an
+    /// [unlimited](RuntimeBudget::unlimited) budget. An empty config
+    /// list builds an empty (but usable) fleet — attach shards later.
     #[must_use]
     pub fn new(pool: Arc<ThreadPool>, configs: Vec<ShardConfig>) -> Self {
-        assert!(!configs.is_empty(), "need at least one shard");
+        let mut rt = Self::with_budget(pool, RuntimeBudget::unlimited());
         let n_shards = configs.len();
-        let shards = configs
-            .into_iter()
-            .map(|config| {
-                let schedule =
-                    shard_fitted_schedule(config.beamformer.spec(), pool.threads(), n_shards);
-                FramePipeline::with_pool(
-                    config.beamformer,
-                    config.engine,
-                    BoxedSource(config.source),
-                    Arc::clone(&pool),
-                    &schedule,
-                )
-            })
-            .collect();
-        ShardedRuntime { pool, shards }
+        for config in configs {
+            rt.attach_fitted(config, n_shards)
+                .expect("unlimited budget admits everything");
+        }
+        rt
+    }
+
+    /// Builds an empty fleet on `pool` under `budget`; populate it with
+    /// [`attach_shard`](Self::attach_shard).
+    #[must_use]
+    pub fn with_budget(pool: Arc<ThreadPool>, budget: RuntimeBudget) -> Self {
+        ShardedRuntime {
+            pool,
+            slots: Vec::new(),
+            budget,
+            rotate: 0,
+        }
     }
 
     /// Builds the runtime on the process-wide global pool.
@@ -161,9 +365,9 @@ impl ShardedRuntime {
         Self::new(usbf_par::global_arc(), configs)
     }
 
-    /// Number of shards.
+    /// Number of live (attached) shards.
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.slots.iter().filter(|s| s.pipeline.is_some()).count()
     }
 
     /// The shared pool all shards dispatch onto.
@@ -171,83 +375,319 @@ impl ShardedRuntime {
         &self.pool
     }
 
-    /// Advances every shard by one frame, multiplexed: **all** shards'
-    /// beamform jobs are submitted (in flight on the shared pool, with
-    /// all acquisition threads filling the following frames) before any
-    /// is redeemed. The per-shard outcome is this frame's
-    /// `Ok`/[`PipelineError`]; one shard's failure never disturbs its
-    /// siblings — their tickets redeem normally in the same round.
-    pub fn round(&mut self) -> Vec<Result<(), PipelineError>> {
+    /// The budget admission decisions are made against.
+    pub fn budget(&self) -> RuntimeBudget {
+        self.budget
+    }
+
+    /// Summed per-round voxel count of the live fleet — the offered
+    /// load the voxel budget compares against.
+    pub fn offered_voxels(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.pipeline.is_some())
+            .map(|s| s.voxels)
+            .sum()
+    }
+
+    /// Admission check + pipeline construction with an explicit
+    /// schedule-fitting shard count (attach uses `live + 1`; `new` uses
+    /// the full config count so a statically-built fleet keeps the
+    /// historical tile fitting).
+    fn attach_fitted(
+        &mut self,
+        config: ShardConfig,
+        fit_shards: usize,
+    ) -> Result<ShardId, AdmissionError> {
+        let live = self.n_shards();
+        if live >= self.budget.max_live_shards {
+            return Err(AdmissionError::ShardLimit {
+                live,
+                max: self.budget.max_live_shards,
+            });
+        }
+        let voxels = config.beamformer.spec().volume_grid.voxel_count() as u64;
+        if let Some(cap) = self.budget.max_round_voxels {
+            let offered = self.offered_voxels() + voxels;
+            if offered > cap {
+                return Err(AdmissionError::ThroughputLimit {
+                    offered_voxels: offered,
+                    budget_voxels: cap,
+                });
+            }
+        }
+        let schedule =
+            shard_fitted_schedule(config.beamformer.spec(), self.pool.threads(), fit_shards);
+        let pipeline = FramePipeline::with_pool(
+            config.beamformer,
+            config.engine,
+            BoxedSource(config.source),
+            Arc::clone(&self.pool),
+            &schedule,
+        );
+        // Reuse the first vacant slot under a fresh generation, or grow.
+        if let Some(slot) = self.slots.iter().position(|s| s.pipeline.is_none()) {
+            let s = &mut self.slots[slot];
+            s.generation += 1;
+            s.pipeline = Some(pipeline);
+            s.voxels = voxels;
+            return Ok(ShardId {
+                slot,
+                generation: s.generation,
+            });
+        }
+        self.slots.push(Slot {
+            generation: 0,
+            pipeline: Some(pipeline),
+            voxels,
+            admitted: false,
+        });
+        Ok(ShardId {
+            slot: self.slots.len() - 1,
+            generation: 0,
+        })
+    }
+
+    /// Attaches a new shard while siblings keep streaming: admission is
+    /// checked against the [`RuntimeBudget`] (typed rejection, no
+    /// silent queueing), the schedule is fitted for the new fleet size,
+    /// and the shard's acquisition thread starts immediately. The
+    /// returned [`ShardId`] names the session for id-based accessors
+    /// and the eventual [`detach_shard`](Self::detach_shard).
+    pub fn attach_shard(&mut self, config: ShardConfig) -> Result<ShardId, AdmissionError> {
+        let fit = self.n_shards() + 1;
+        self.attach_fitted(config, fit)
+    }
+
+    /// Detaches a shard: its pipeline is dropped here — joining its
+    /// acquisition thread and (via the pool's handle-drop contract) any
+    /// in-flight tile tasks — and its final [`PipelineStats`] are
+    /// returned. Sibling shards are untouched; the slot is recycled for
+    /// a later attach under a new generation. A stale or unknown id
+    /// returns `None`.
+    pub fn detach_shard(&mut self, id: ShardId) -> Option<PipelineStats> {
+        let slot = self.slots.get_mut(id.slot)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        let pipeline = slot.pipeline.take()?;
+        slot.voxels = 0;
+        let stats = pipeline.stats();
+        drop(pipeline);
+        Some(stats)
+    }
+
+    /// All live shard ids, in slot order (the order
+    /// [`round`](Self::round) reports outcomes in).
+    pub fn shard_ids(&self) -> Vec<ShardId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.pipeline.is_some())
+            .map(|(slot, s)| ShardId {
+                slot,
+                generation: s.generation,
+            })
+            .collect()
+    }
+
+    /// Advances the live fleet by up to one frame per shard,
+    /// multiplexed: every **admitted** shard's beamform job is
+    /// submitted (in flight on the shared pool, with all acquisition
+    /// threads filling the following frames) before any is redeemed.
+    /// Live shards beyond [`RuntimeBudget::max_in_flight`] are deferred
+    /// under a rotating window — fair backpressure, reported as
+    /// [`ShardRound::Deferred`]. One shard's failure never disturbs its
+    /// siblings.
+    pub fn round(&mut self) -> Vec<ShardRound> {
         let mut outcomes = Vec::new();
         self.round_into(&mut outcomes);
         outcomes
     }
 
     /// [`round`](Self::round) with a caller-owned outcome buffer:
-    /// `outcomes` is cleared and refilled with one entry per shard, in
-    /// shard order. Once the buffer has reached capacity a warm healthy
-    /// round performs **zero** heap allocations — the tickets live on
-    /// the stack (one recursion level per shard) and only error
-    /// outcomes carry owned messages.
-    pub fn round_into(&mut self, outcomes: &mut Vec<Result<(), PipelineError>>) {
+    /// `outcomes` is cleared and refilled with one entry per **live**
+    /// shard, in slot order. Once the buffer has reached capacity a
+    /// warm healthy round performs **zero** heap allocations — the
+    /// tickets live on the stack (one recursion level per admitted
+    /// shard) and only error outcomes carry owned messages.
+    pub fn round_into(&mut self, outcomes: &mut Vec<ShardRound>) {
         outcomes.clear();
-        outcomes.resize_with(self.shards.len(), || Ok(()));
+        let live = self.n_shards();
+        if live == 0 {
+            return;
+        }
+        // Pre-pass: place the rotating in-flight window and seed every
+        // live shard's outcome with Deferred (overwritten on submit).
+        let window = self.budget.max_in_flight.min(live).max(1);
+        let start = self.rotate % live;
+        let mut ordinal = 0usize;
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            if s.pipeline.is_none() {
+                s.admitted = false;
+                continue;
+            }
+            let in_window = (ordinal + live - start) % live < window;
+            s.admitted = in_window;
+            outcomes.push(ShardRound::Deferred(ShardId {
+                slot,
+                generation: s.generation,
+            }));
+            ordinal += 1;
+        }
+        self.rotate = (self.rotate + window) % live.max(1);
+
         // Submit on the way down the recursion, redeem on the way back
-        // up: every shard's job is in flight before any is waited on,
-        // and each held ticket borrows only its own shard.
+        // up: every admitted shard's job is in flight before any is
+        // waited on, and each held ticket borrows only its own slot.
         fn drive(
-            shards: &mut [FramePipeline],
-            base: usize,
-            outcomes: &mut [Result<(), PipelineError>],
+            slots: &mut [Slot],
+            slot_base: usize,
+            out_base: usize,
+            outcomes: &mut [ShardRound],
         ) {
-            let Some((first, rest)) = shards.split_first_mut() else {
+            let Some((first, rest)) = slots.split_first_mut() else {
                 return;
             };
-            match first.submit() {
+            let Some(pipeline) = first.pipeline.as_mut() else {
+                drive(rest, slot_base + 1, out_base, outcomes);
+                return;
+            };
+            let id = ShardId {
+                slot: slot_base,
+                generation: first.generation,
+            };
+            if !first.admitted {
+                // Deferred: the pre-pass already recorded the outcome.
+                drive(rest, slot_base + 1, out_base + 1, outcomes);
+                return;
+            }
+            match pipeline.submit() {
                 Ok(ticket) => {
-                    drive(rest, base + 1, outcomes);
-                    outcomes[base] = ticket.wait().map(|_volume| ());
+                    drive(rest, slot_base + 1, out_base + 1, outcomes);
+                    outcomes[out_base] = match ticket.wait() {
+                        Ok(_volume) => ShardRound::Completed(id),
+                        Err(error) => ShardRound::Failed(id, error),
+                    };
                 }
                 Err(error) => {
                     // Submit failed (source panic, disconnect): record it
                     // and keep multiplexing the siblings; the shard
                     // recovers on the next round.
-                    outcomes[base] = Err(error);
-                    drive(rest, base + 1, outcomes);
+                    outcomes[out_base] = ShardRound::Failed(id, error);
+                    drive(rest, slot_base + 1, out_base + 1, outcomes);
                 }
             }
         }
-        drive(&mut self.shards, 0, outcomes);
+        drive(&mut self.slots, 0, 0, outcomes);
+    }
+
+    /// The live pipeline at `id`, if the shard is still attached.
+    fn live(&self, id: ShardId) -> Option<&FramePipeline> {
+        let slot = self.slots.get(id.slot)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.pipeline.as_ref()
+    }
+
+    /// Shard `id`'s most recent volume (`None` for stale ids or before
+    /// the shard's first successful frame).
+    pub fn volume_of(&self, id: ShardId) -> Option<&BeamformedVolume> {
+        self.live(id)?.volume()
+    }
+
+    /// Shard `id`'s lifetime counters (`None` for stale ids).
+    pub fn stats_of(&self, id: ShardId) -> Option<PipelineStats> {
+        Some(self.live(id)?.stats())
+    }
+
+    /// Borrows shard `id`'s pipeline (`None` for stale ids).
+    pub fn shard_of(&self, id: ShardId) -> Option<&FramePipeline> {
+        self.live(id)
+    }
+
+    /// Mutably borrows shard `id`'s pipeline, e.g. to drive one shard
+    /// out of lock-step with [`FramePipeline::submit`] (`None` for
+    /// stale ids).
+    pub fn shard_mut_of(&mut self, id: ShardId) -> Option<&mut FramePipeline> {
+        let slot = self.slots.get_mut(id.slot)?;
+        if slot.generation != id.generation {
+            return None;
+        }
+        slot.pipeline.as_mut()
+    }
+
+    /// The fleet-wide latency histogram: every live shard's per-frame
+    /// submit→complete distribution merged (exact — the scales are
+    /// identical by construction).
+    pub fn fleet_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for s in &self.slots {
+            if let Some(p) = &s.pipeline {
+                merged.merge(&p.stats().latency);
+            }
+        }
+        merged
+    }
+
+    /// The `i`-th live shard's pipeline, in slot order. Positional
+    /// accessors index the *live* fleet (detached slots are skipped):
+    /// for a statically-built runtime this matches construction order.
+    fn nth_live(&self, i: usize) -> &FramePipeline {
+        self.slots
+            .iter()
+            .filter_map(|s| s.pipeline.as_ref())
+            .nth(i)
+            .expect("live shard index in range")
     }
 
     /// Shard `i`'s most recent volume (`None` before its first
-    /// successful frame).
+    /// successful frame). Positional: indexes live shards in slot
+    /// order; prefer [`volume_of`](Self::volume_of) under churn.
     pub fn volume(&self, shard: usize) -> Option<&BeamformedVolume> {
-        self.shards[shard].volume()
+        self.nth_live(shard).volume()
     }
 
-    /// Shard `i`'s lifetime counters.
+    /// Shard `i`'s lifetime counters (positional; prefer
+    /// [`stats_of`](Self::stats_of) under churn).
     pub fn stats(&self, shard: usize) -> PipelineStats {
-        self.shards[shard].stats()
+        self.nth_live(shard).stats()
     }
 
-    /// Borrows shard `i`'s pipeline (frames, errors, engine, volume
-    /// accessors).
+    /// Borrows shard `i`'s pipeline (positional; prefer
+    /// [`shard_of`](Self::shard_of) under churn).
     pub fn shard(&self, shard: usize) -> &FramePipeline {
-        &self.shards[shard]
+        self.nth_live(shard)
     }
 
-    /// Mutably borrows shard `i`'s pipeline, e.g. to drive one shard
-    /// out of lock-step with [`FramePipeline::submit`].
+    /// Mutably borrows shard `i`'s pipeline (positional; prefer
+    /// [`shard_mut_of`](Self::shard_mut_of) under churn).
     pub fn shard_mut(&mut self, shard: usize) -> &mut FramePipeline {
-        &mut self.shards[shard]
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.pipeline.as_mut())
+            .nth(shard)
+            .expect("live shard index in range")
     }
 
-    /// Frame counts per shard, in shard order — the fairness snapshot
-    /// the soak test asserts on (`max − min ≤` a small bound when every
-    /// shard is driven through [`round`](Self::round)).
+    /// Frame counts per live shard, in slot order — the fairness
+    /// snapshot the soak tests assert on (`max − min ≤` a small bound
+    /// when every shard is driven through [`round`](Self::round)).
     pub fn frame_counts(&self) -> Vec<u64> {
-        self.shards.iter().map(FramePipeline::frames).collect()
+        self.slots
+            .iter()
+            .filter_map(|s| s.pipeline.as_ref())
+            .map(FramePipeline::frames)
+            .collect()
+    }
+
+    /// Replaces the runtime's budget; takes effect from the next
+    /// admission decision and round. Loosening never disturbs live
+    /// shards; tightening defers or rejects from now on but detaches
+    /// nothing retroactively.
+    pub fn set_budget(&mut self, budget: RuntimeBudget) {
+        self.budget = budget;
     }
 }
 
@@ -299,6 +739,7 @@ mod tests {
         for round in 0..4 {
             let outcomes = rt.round();
             assert!(outcomes.iter().all(|o| o.is_ok()), "round {round}");
+            assert!(outcomes.iter().all(|o| o.is_completed()), "round {round}");
             assert_eq!(rt.volume(0), Some(&expect0), "round {round}");
             assert_eq!(rt.volume(1), Some(&expect1), "round {round}");
         }
@@ -318,5 +759,112 @@ mod tests {
         );
         // Degenerate inputs stay valid.
         assert!(shard_fitted_schedule(&spec, 0, 0).n_blocks() >= 2);
+    }
+
+    #[test]
+    fn attach_detach_recycles_slots_under_new_generations() {
+        let spec = SystemSpec::tiny();
+        let mk = || {
+            ShardConfig::new(
+                Beamformer::new(&spec),
+                Arc::new(ExactEngine::new(&spec)) as Arc<dyn DelayEngine + Send + Sync>,
+                FrameRing::new(vec![RfFrame::zeros(8, 8, spec.echo_buffer_len())]),
+            )
+        };
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut rt = ShardedRuntime::with_budget(Arc::clone(&pool), RuntimeBudget::unlimited());
+        assert_eq!(rt.round().len(), 0, "an empty fleet rounds trivially");
+        let a = rt.attach_shard(mk()).unwrap();
+        let b = rt.attach_shard(mk()).unwrap();
+        assert_ne!(a, b);
+        assert!(rt.round().iter().all(|o| o.is_completed()));
+        let stats = rt.detach_shard(a).expect("live");
+        assert_eq!(stats.frames, 1);
+        assert!(rt.detach_shard(a).is_none(), "stale id is inert");
+        assert!(rt.stats_of(a).is_none());
+        // The recycled slot gets a distinct identity.
+        let c = rt.attach_shard(mk()).unwrap();
+        assert_eq!(c.slot(), a.slot());
+        assert_ne!(c, a);
+        assert!(rt.volume_of(c).is_none(), "fresh shard has no frames yet");
+        assert!(rt.round().iter().all(|o| o.is_completed()));
+        assert_eq!(rt.stats_of(b).map(|s| s.frames), Some(2));
+        assert_eq!(rt.stats_of(c).map(|s| s.frames), Some(1));
+    }
+
+    #[test]
+    fn budget_rejections_are_typed() {
+        let spec = SystemSpec::tiny();
+        let mk = || {
+            ShardConfig::new(
+                Beamformer::new(&spec),
+                Arc::new(ExactEngine::new(&spec)) as Arc<dyn DelayEngine + Send + Sync>,
+                FrameRing::new(vec![RfFrame::zeros(8, 8, spec.echo_buffer_len())]),
+            )
+        };
+        let pool = Arc::new(ThreadPool::new(1));
+        let voxels = spec.volume_grid.voxel_count() as u64;
+        let mut rt = ShardedRuntime::with_budget(
+            Arc::clone(&pool),
+            RuntimeBudget {
+                max_live_shards: 2,
+                max_in_flight: usize::MAX,
+                max_round_voxels: Some(voxels * 2),
+            },
+        );
+        let a = rt.attach_shard(mk()).unwrap();
+        let _b = rt.attach_shard(mk()).unwrap();
+        assert_eq!(
+            rt.attach_shard(mk()),
+            Err(AdmissionError::ShardLimit { live: 2, max: 2 })
+        );
+        // Freeing capacity re-admits; the voxel cap then binds first if
+        // tightened.
+        rt.detach_shard(a).unwrap();
+        rt.budget.max_round_voxels = Some(voxels + voxels / 2);
+        let err = rt.attach_shard(mk()).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::ThroughputLimit {
+                offered_voxels: voxels * 2,
+                budget_voxels: voxels + voxels / 2,
+            }
+        );
+        assert!(err.to_string().contains("voxels"));
+    }
+
+    #[test]
+    fn in_flight_window_defers_fairly() {
+        let spec = SystemSpec::tiny();
+        let mk = || {
+            ShardConfig::new(
+                Beamformer::new(&spec),
+                Arc::new(ExactEngine::new(&spec)) as Arc<dyn DelayEngine + Send + Sync>,
+                FrameRing::new(vec![RfFrame::zeros(8, 8, spec.echo_buffer_len())]),
+            )
+        };
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut rt = ShardedRuntime::with_budget(
+            Arc::clone(&pool),
+            RuntimeBudget {
+                max_live_shards: usize::MAX,
+                max_in_flight: 2,
+                max_round_voxels: None,
+            },
+        );
+        for _ in 0..3 {
+            rt.attach_shard(mk()).unwrap();
+        }
+        // Each round completes exactly the window and defers the rest.
+        for round in 0..6 {
+            let outcomes = rt.round();
+            assert_eq!(outcomes.len(), 3);
+            let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+            let deferred = outcomes.iter().filter(|o| o.is_deferred()).count();
+            assert_eq!((completed, deferred), (2, 1), "round {round}");
+        }
+        // 6 rounds × window 2 = 12 admissions over 3 shards: exactly 4
+        // frames each — the rotation is perfectly fair.
+        assert_eq!(rt.frame_counts(), vec![4, 4, 4]);
     }
 }

@@ -1,0 +1,171 @@
+//! Unit tests for [`usbf_beamform::LatencyHistogram`]: bucket-boundary
+//! behaviour, quantile extraction against a sorted-vector reference on
+//! random samples, merge correctness, and top-bucket saturation.
+
+use std::time::Duration;
+use usbf_beamform::LatencyHistogram;
+
+/// SplitMix64 — the repo's seeded test RNG (no external rand crate).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Log-uniform latencies spanning the histogram's whole scale:
+    /// magnitudes from ~100 ns to ~100 s.
+    fn latency_ns(&mut self) -> u64 {
+        let magnitude = 7 + (self.next() % 31); // 2^7 .. 2^37
+        let mantissa = self.next() % (1 << magnitude.min(20));
+        (1u64 << magnitude) + mantissa
+    }
+}
+
+/// The exact reference: the rank-`ceil(q·n)` smallest sample.
+fn reference_quantile(sorted_ns: &[u64], q: f64) -> u64 {
+    assert!(!sorted_ns.is_empty());
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).max(1);
+    sorted_ns[rank - 1]
+}
+
+#[test]
+fn empty_histogram_reports_zero() {
+    let h = LatencyHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.p50(), Duration::ZERO);
+    assert_eq!(h.p99(), Duration::ZERO);
+    assert_eq!(h.quantile(1.0), Duration::ZERO);
+    assert!(!h.saturated());
+    assert_eq!(h, LatencyHistogram::default());
+}
+
+#[test]
+fn single_sample_lies_within_its_quantile_bounds() {
+    // Spot values straddling bucket edges: the sub-µs floor, the 1 µs
+    // boundary itself, and assorted magnitudes up the scale.
+    for ns in [
+        0u64,
+        1,
+        1023,
+        1024,
+        1025,
+        1_000_000,
+        3_141_592,
+        10_000_000_000,
+    ] {
+        let mut h = LatencyHistogram::new();
+        let d = Duration::from_nanos(ns);
+        h.record(d);
+        assert_eq!(h.count(), 1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let (lower, upper) = h.quantile_bounds(q);
+            assert!(
+                lower <= d && d <= upper,
+                "{ns} ns ∉ ({lower:?}, {upper:?}] at q={q}"
+            );
+        }
+        // The point estimate never understates the sample.
+        assert!(h.quantile(1.0) >= d);
+    }
+}
+
+#[test]
+fn boundary_samples_one_nanosecond_apart_split_buckets() {
+    // 1023 ns is the floor bucket's upper edge; 1024 ns starts the
+    // log-spaced body. Their point estimates must differ.
+    let mut low = LatencyHistogram::new();
+    low.record(Duration::from_nanos(1023));
+    let mut high = LatencyHistogram::new();
+    high.record(Duration::from_nanos(1024));
+    assert_eq!(low.p50(), Duration::from_nanos(1023));
+    assert!(high.p50() > low.p50());
+}
+
+#[test]
+fn quantiles_match_sorted_reference_within_one_bucket() {
+    for seed in 0..10u64 {
+        let mut rng = Rng(seed ^ 0xC0FF_EE00_5EED_5EED);
+        let n = 200 + (rng.next() % 800) as usize;
+        let mut h = LatencyHistogram::new();
+        let mut samples: Vec<u64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ns = rng.latency_ns();
+            samples.push(ns);
+            h.record(Duration::from_nanos(ns));
+        }
+        samples.sort_unstable();
+        assert_eq!(h.count(), n as u64);
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            let exact = reference_quantile(&samples, q);
+            let (lower, upper) = h.quantile_bounds(q);
+            // The exact quantile lies inside the reported bucket: the
+            // estimate never undershoots, and overshoots by less than
+            // one sub-bucket (~19% relative at 4 sub-buckets/octave).
+            assert!(
+                lower.as_nanos() as u64 <= exact && exact <= upper.as_nanos() as u64,
+                "seed {seed} q={q}: exact {exact} ∉ [{:?}, {:?}]",
+                lower,
+                upper
+            );
+            let estimate = h.quantile(q).as_nanos() as u64;
+            assert!(estimate >= exact, "seed {seed} q={q}: estimate undershoots");
+            assert!(
+                (estimate as f64) <= (exact as f64) * 1.25 + 1024.0,
+                "seed {seed} q={q}: estimate {estimate} > 25% above exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_equals_histogram_of_concatenated_samples() {
+    let mut rng = Rng(0xD1CE_D1CE_D1CE_D1CE);
+    let mut a = LatencyHistogram::new();
+    let mut b = LatencyHistogram::new();
+    let mut all = LatencyHistogram::new();
+    for i in 0..500 {
+        let d = Duration::from_nanos(rng.latency_ns());
+        if i % 3 == 0 {
+            a.record(d);
+        } else {
+            b.record(d);
+        }
+        all.record(d);
+    }
+    let mut merged = a;
+    merged.merge(&b);
+    // Bucket-exact equality, not just matching quantiles: merging is an
+    // element-wise add over an identical scale.
+    assert_eq!(merged, all);
+    assert_eq!(merged.count(), a.count() + b.count());
+    assert_eq!(merged.p50(), all.p50());
+    assert_eq!(merged.p99(), all.p99());
+    // Merging an empty histogram is the identity.
+    merged.merge(&LatencyHistogram::new());
+    assert_eq!(merged, all);
+}
+
+#[test]
+fn top_bucket_saturates_instead_of_overflowing() {
+    let mut h = LatencyHistogram::new();
+    h.record(Duration::from_secs(3_600)); // an hour: beyond the scale
+    h.record(Duration::from_secs(86_400 * 365)); // a year: same bucket
+    assert!(h.saturated());
+    assert_eq!(h.count(), 2);
+    // Both collapse into the saturation bucket: the quantile is a huge
+    // lower-bound sentinel, identical for both.
+    let p = h.quantile(1.0);
+    assert!(p >= Duration::from_secs(1_000));
+    let mut one = LatencyHistogram::new();
+    one.record(Duration::from_secs(3_600));
+    assert_eq!(one.quantile(1.0), p);
+    // A fast sample keeps low quantiles honest alongside saturation.
+    h.record(Duration::from_micros(5));
+    let (lower, upper) = h.quantile_bounds(0.01);
+    assert!(lower <= Duration::from_micros(5) && Duration::from_micros(5) <= upper);
+}

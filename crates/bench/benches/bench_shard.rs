@@ -13,7 +13,13 @@
 //!   shards on the same 4-worker pool. Throughput is volumes/s
 //!   (`Elements(n_shards)` per round): fair multiplexing should scale
 //!   volumes per round with shard count until the workers saturate,
-//!   rather than serializing shard after shard behind pool handoffs.
+//!   rather than serializing shard after shard behind pool handoffs;
+//! * `shard_elastic` — the churn costs of the elastic runtime: a full
+//!   attach→round→detach session cycle against a streaming 3-shard
+//!   fleet (the control-plane price of elasticity, dominated by
+//!   schedule fitting and the pipeline's acquisition thread), and a
+//!   16-shard round (fleet-scale multiplexing, 4× oversubscribed
+//!   workers, where the work-stealing claim arena earns its keep).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -122,6 +128,45 @@ fn bench_shard(c: &mut Criterion) {
             })
         });
     }
+    g.finish();
+
+    // Elasticity: session churn against a streaming fleet, and a
+    // fleet-scale round.
+    let mut g = c.benchmark_group("shard_elastic");
+    let shard_config = |i: usize| {
+        let engine: Arc<dyn DelayEngine + Send + Sync> = if i.is_multiple_of(2) {
+            Arc::new(ExactEngine::new(&spec))
+        } else {
+            Arc::clone(&steer)
+        };
+        ShardConfig::new(
+            Beamformer::new(&spec),
+            engine,
+            usbf_beamform::FrameRing::new(vec![frame.clone()]),
+        )
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("attach_round_detach", |b| {
+        let mut rt = ShardedRuntime::new(Arc::clone(&pool), (0..3).map(shard_config).collect());
+        let mut outcomes = Vec::new();
+        rt.round_into(&mut outcomes); // warm the resident fleet
+        b.iter(|| {
+            let id = rt.attach_shard(shard_config(3)).expect("under budget");
+            rt.round_into(&mut outcomes);
+            let stats = rt.detach_shard(id).expect("live");
+            black_box(stats.frames)
+        })
+    });
+    g.throughput(Throughput::Elements(16));
+    g.bench_function("16_shards_round", |b| {
+        let mut rt = ShardedRuntime::new(Arc::clone(&pool), (0..16).map(shard_config).collect());
+        let mut outcomes = Vec::new();
+        rt.round_into(&mut outcomes); // warm-up
+        b.iter(|| {
+            rt.round_into(&mut outcomes);
+            black_box(outcomes.iter().filter(|o| o.is_ok()).count())
+        })
+    });
     g.finish();
 }
 

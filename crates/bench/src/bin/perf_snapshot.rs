@@ -1,7 +1,7 @@
-//! Perf-trajectory snapshot: measures the PR 6 hot paths and writes
-//! `BENCH_PR6.json` (schema documented in `tests/README.md`).
+//! Perf-trajectory snapshot: measures the PR 7 hot paths and writes
+//! `BENCH_PR7.json` (schema documented in `tests/README.md`).
 //!
-//! Four sections:
+//! Five sections:
 //!
 //! * `kernel` — single-thread `Beamformer::beamform_tile_into` ns/voxel
 //!   on one reduced-spec schedule tile, per engine, next to the PR 4
@@ -13,7 +13,11 @@
 //! * `tablefree_fill` — the PR 5 per-element `eval_tracked` TABLEFREE
 //!   fill ([`usbf_bench::LegacyTableFreeFill`]) vs the segment-major
 //!   batched row evaluator (the PR 6 acceptance gate is ≥10×);
-//! * `pipeline` — warm `FramePipeline` frames/s on the tiny spec.
+//! * `pipeline` — warm `FramePipeline` frames/s on the tiny spec;
+//! * `shard_churn` — the PR 7 elastic runtime under session churn:
+//!   fleets of 3 and 16 shards on a 4-worker pool, one attach + detach
+//!   every few rounds, reporting sustained frames/s and the fleet's
+//!   p50/p99 frame latency from the per-shard histograms.
 //!
 //! Knobs: `USBF_SNAPSHOT_QUICK=1` shrinks measurement budgets for CI
 //! smoke runs; `USBF_SNAPSHOT_OUT` overrides the output path.
@@ -21,7 +25,10 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
-use usbf_beamform::{Apodization, Beamformer, FramePipeline, FrameRing, Interpolation, TileState};
+use usbf_beamform::{
+    Apodization, Beamformer, FramePipeline, FrameRing, Interpolation, ShardConfig, ShardedRuntime,
+    TileState,
+};
 use usbf_core::{
     DelayEngine, ExactEngine, NaiveTableEngine, NappeDelays, NappeSchedule, TableFreeConfig,
     TableFreeEngine, TableSteerConfig, TableSteerEngine,
@@ -192,6 +199,77 @@ fn main() {
         stats.overlap_fraction()
     );
 
+    // --- shard_churn: the elastic runtime under session churn ---
+    struct ChurnRow {
+        n_shards: usize,
+        rounds: usize,
+        frames_per_second: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+    }
+    let churn_rounds = if quick { 24 } else { 120 };
+    let churn_workers = 4usize;
+    let churn_frame = EchoSynthesizer::new(&tiny).synthesize(
+        &Phantom::point(tiny.volume_grid.position(VoxelIndex::new(5, 3, 9))),
+        &Pulse::from_spec(&tiny),
+    );
+    let mut churn_rows = Vec::new();
+    for n_shards in [3usize, 16] {
+        let pool = Arc::new(usbf_par::ThreadPool::new(churn_workers));
+        let steer: Arc<dyn DelayEngine + Send + Sync> =
+            Arc::new(TableSteerEngine::new(&tiny, TableSteerConfig::bits18()).expect("builds"));
+        let mk = |i: usize| {
+            let engine: Arc<dyn DelayEngine + Send + Sync> = if i.is_multiple_of(2) {
+                Arc::new(ExactEngine::new(&tiny))
+            } else {
+                Arc::clone(&steer)
+            };
+            ShardConfig::new(
+                Beamformer::new(&tiny),
+                engine,
+                FrameRing::new(vec![churn_frame.clone()]),
+            )
+        };
+        let mut rt = ShardedRuntime::new(Arc::clone(&pool), (0..n_shards).map(mk).collect());
+        let mut outcomes = Vec::new();
+        for _ in 0..3 {
+            rt.round_into(&mut outcomes); // warm the resident fleet
+        }
+        let start = Instant::now();
+        let mut churn_slot = 0usize;
+        for round in 0..churn_rounds {
+            rt.round_into(&mut outcomes);
+            assert!(outcomes.iter().all(|o| o.is_ok()), "unhealthy churn round");
+            if round % 4 == 3 {
+                // Session churn: replace one shard while siblings stream.
+                let gone = rt.shard_ids()[churn_slot % n_shards];
+                rt.detach_shard(gone).expect("live shard");
+                rt.attach_shard(mk(churn_slot)).expect("under budget");
+                churn_slot += 1;
+            }
+        }
+        let wall = start.elapsed().as_secs_f64();
+        // Every round completes one frame per live shard (unlimited
+        // budget), so the measured window is exactly rounds × shards.
+        let measured_frames = churn_rounds as u64 * n_shards as u64;
+        // The fleet histogram spans the survivors' lifetimes (warm-up
+        // included, detached sessions excluded) — a ≤3-round bias on a
+        // much longer soak.
+        let latency = rt.fleet_latency();
+        let row = ChurnRow {
+            n_shards,
+            rounds: churn_rounds,
+            frames_per_second: measured_frames as f64 / wall,
+            p50_ms: latency.p50().as_secs_f64() * 1e3,
+            p99_ms: latency.p99().as_secs_f64() * 1e3,
+        };
+        println!(
+            "shard-churn [tiny] {:>2} shards on {churn_workers} workers: {:8.1} frames/s, p50 {:7.3} ms, p99 {:7.3} ms ({} rounds, churn every 4)",
+            row.n_shards, row.frames_per_second, row.p50_ms, row.p99_ms, row.rounds
+        );
+        churn_rows.push(row);
+    }
+
     // Inline-audit note (PR 5 satellite): leaf functions checked for
     // cross-crate inlining. `QFormat::resolution` (now exp2-free) and
     // `Fixed::wide_add`/`QFormat::sum_format` (#[inline] added) showed up
@@ -207,7 +285,7 @@ fn main() {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"schema\": \"usbf-perf-snapshot/1\",");
-    let _ = writeln!(j, "  \"pr\": 6,");
+    let _ = writeln!(j, "  \"pr\": 7,");
     let _ = writeln!(j, "  \"quick\": {quick},");
     let _ = writeln!(j, "  \"kernel\": {{");
     let _ = writeln!(j, "    \"spec\": \"reduced\",");
@@ -264,9 +342,24 @@ fn main() {
         "    \"overlap_fraction\": {:.4}",
         stats.overlap_fraction()
     );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"shard_churn\": {{");
+    let _ = writeln!(j, "    \"spec\": \"tiny\",");
+    let _ = writeln!(j, "    \"workers\": {churn_workers},");
+    let _ = writeln!(j, "    \"churn_every_rounds\": 4,");
+    let _ = writeln!(j, "    \"fleets\": {{");
+    for (i, r) in churn_rows.iter().enumerate() {
+        let comma = if i + 1 < churn_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "      \"{}\": {{\"rounds\": {}, \"frames_per_second\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{comma}",
+            r.n_shards, r.rounds, r.frames_per_second, r.p50_ms, r.p99_ms
+        );
+    }
+    let _ = writeln!(j, "    }}");
     let _ = writeln!(j, "  }}");
     j.push_str("}\n");
-    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
     std::fs::write(&out, &j).expect("write snapshot JSON");
     println!("wrote {out}");
 }

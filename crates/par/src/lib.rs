@@ -40,6 +40,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod job;
 mod pool;
 mod registered;

@@ -1,5 +1,6 @@
 //! The persistent worker pool.
 
+use crate::arena::ClaimArena;
 use crate::job::JobCore;
 use crate::registered::RegisteredCore;
 use std::collections::VecDeque;
@@ -22,8 +23,10 @@ pub(crate) enum WorkItem {
 /// buffer grows. Queues drain continuously (an announcement is an
 /// `Arc` clone, consumed as soon as the worker wakes), so this is
 /// burst headroom, not a throughput limit; any growth is retained, so
-/// warm frames never re-allocate.
-const QUEUE_CAPACITY: usize = 64;
+/// warm frames never re-allocate. Sized for the elastic sharded
+/// runtime's worst burst: every live shard of a 64-shard fleet
+/// announcing to every queue in one round.
+const QUEUE_CAPACITY: usize = 256;
 
 /// One worker's announcement queue: a preallocated ring plus a parking
 /// condvar. This deliberately replaces `std::sync::mpsc` — channel
@@ -86,6 +89,24 @@ impl WorkQueue {
             state = self.available.wait(state).unwrap();
         }
     }
+
+    /// Non-blocking pop, used by the worker loop to interleave queue
+    /// drains with arena steal sweeps without parking.
+    fn try_pop(&self) -> Popped {
+        let mut state = self.state.lock().unwrap();
+        match state.items.pop_front() {
+            Some(item) => Popped::Item(item),
+            None if state.closed => Popped::Closed,
+            None => Popped::Empty,
+        }
+    }
+}
+
+/// Result of a non-blocking [`WorkQueue::try_pop`].
+enum Popped {
+    Item(WorkItem),
+    Empty,
+    Closed,
 }
 
 /// A pool of persistent worker threads with a per-worker job injector.
@@ -113,6 +134,9 @@ pub struct ThreadPool {
     handles: Vec<JoinHandle<()>>,
     threads: usize,
     next_announce: AtomicUsize,
+    /// Registry of enrolled preregistered jobs that idle workers steal
+    /// tasks from — see `crate::arena`.
+    arena: Arc<ClaimArena>,
 }
 
 impl ThreadPool {
@@ -137,15 +161,17 @@ impl ThreadPool {
         let mut queues = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         let started = Arc::new(std::sync::Barrier::new(threads + 1));
+        let arena = Arc::new(ClaimArena::new());
         for i in 0..threads {
             let queue = Arc::new(WorkQueue::new());
             let worker_queue = Arc::clone(&queue);
+            let worker_arena = Arc::clone(&arena);
             let worker_started = Arc::clone(&started);
             let handle = std::thread::Builder::new()
                 .name(format!("usbf-par-{i}"))
                 .spawn(move || {
                     worker_started.wait();
-                    worker_loop(&worker_queue)
+                    worker_loop(&worker_queue, &worker_arena)
                 })
                 .expect("spawn pool worker");
             queues.push(queue);
@@ -157,6 +183,7 @@ impl ThreadPool {
             handles,
             threads,
             next_announce: AtomicUsize::new(0),
+            arena,
         }
     }
 
@@ -185,6 +212,20 @@ impl ThreadPool {
     /// run tasks of their own jobs).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Lifetime count of tasks executed through the work-stealing path
+    /// (an idle worker claiming a task of a job announced elsewhere).
+    /// Monotonic; purely telemetry — useful for asserting that stealing
+    /// actually engages under heterogeneous shard load.
+    pub fn steal_count(&self) -> u64 {
+        self.arena.stolen()
+    }
+
+    /// The pool's claim arena (enroll/retire happens in
+    /// `ThreadPool::register` / `JobHandle::drop`).
+    pub(crate) fn arena(&self) -> &ClaimArena {
+        &self.arena
     }
 
     /// Announces a job to one worker queue, round-robin: every spawn
@@ -233,11 +274,37 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(queue: &WorkQueue) {
-    while let Some(item) = queue.pop() {
-        match item {
-            WorkItem::Scoped(job) => job.drain(false),
-            WorkItem::Registered(core) => core.drain(false),
+fn worker_loop(queue: &WorkQueue, arena: &ClaimArena) {
+    // Drain the own queue first (announcements carry fresh work and the
+    // wake-up), then steal from any enrolled job with claimable tasks,
+    // and only park when both come up empty. The blocking `pop` is the
+    // park point; a new announcement to *this* queue is what wakes the
+    // worker, and `JobHandle::start` announces every run to every
+    // queue, so no run can pend while a worker sleeps.
+    loop {
+        match queue.try_pop() {
+            Popped::Item(WorkItem::Scoped(job)) => {
+                job.drain(false);
+                continue;
+            }
+            Popped::Item(WorkItem::Registered(core)) => {
+                core.drain(false);
+                continue;
+            }
+            Popped::Closed => return,
+            Popped::Empty => {}
+        }
+        if arena.steal() {
+            continue;
+        }
+        match queue.pop() {
+            Some(WorkItem::Scoped(job)) => {
+                job.drain(false);
+            }
+            Some(WorkItem::Registered(core)) => {
+                core.drain(false);
+            }
+            None => return,
         }
     }
 }

@@ -40,6 +40,7 @@ use crate::pool::ThreadPool;
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// The monomorphized trampoline stored for the duration of one run:
@@ -86,6 +87,12 @@ pub(crate) struct RegisteredCore {
     run: Mutex<RunState>,
     complete: Condvar,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Lock-free shadow of `RunState::active`, used by the steal path
+    /// (`crate::arena::ClaimArena`) to skip idle jobs without touching
+    /// the run mutex. A stale `true` only costs one no-op lock; a stale
+    /// `false` only delays a steal until the next sweep — correctness
+    /// still rests entirely on the mutex-guarded claim in `drain`.
+    active_hint: AtomicBool,
 }
 
 impl RegisteredCore {
@@ -103,14 +110,23 @@ impl RegisteredCore {
             }),
             complete: Condvar::new(),
             panic: Mutex::new(None),
+            active_hint: AtomicBool::new(false),
         }
     }
 
-    /// Claims and runs tasks. Workers (`owner == false`) leave as soon as
-    /// no task is claimable — the job may be inactive, finished, or not
-    /// yet announced again. The owner keeps waiting until every task of
-    /// the current run has been claimed **and** finished.
-    pub(crate) fn drain(&self, owner: bool) {
+    /// Cheap pre-check for the steal sweep: whether this job *might*
+    /// have claimable tasks. See `active_hint`.
+    pub(crate) fn maybe_claimable(&self) -> bool {
+        self.active_hint.load(Ordering::Relaxed)
+    }
+
+    /// Claims and runs tasks, returning how many tasks this call
+    /// executed. Workers (`owner == false`) leave as soon as no task is
+    /// claimable — the job may be inactive, finished, or not yet
+    /// announced again. The owner keeps waiting until every task of the
+    /// current run has been claimed **and** finished.
+    pub(crate) fn drain(&self, owner: bool) -> usize {
+        let mut executed = 0;
         let mut run = self.run.lock().unwrap();
         loop {
             if run.active && run.next < run.n_tasks {
@@ -133,11 +149,12 @@ impl RegisteredCore {
                 }
                 run = self.run.lock().unwrap();
                 run.in_flight -= 1;
+                executed += 1;
                 self.complete.notify_all();
                 continue;
             }
             if !owner || (run.next >= run.n_tasks && run.in_flight == 0) {
-                return;
+                return executed;
             }
             run = self.complete.wait(run).unwrap();
         }
@@ -155,6 +172,7 @@ impl RegisteredCore {
     fn deactivate(&self) {
         let mut run = self.run.lock().unwrap();
         run.active = false;
+        self.active_hint.store(false, Ordering::Relaxed);
         run.call = None;
         run.ctx = std::ptr::null();
         run.user = std::ptr::null();
@@ -195,6 +213,11 @@ impl RegisteredCore {
 pub struct JobHandle {
     core: Arc<RegisteredCore>,
     pool: Arc<ThreadPool>,
+    /// This handle's enrollment ticket in the pool's claim arena (slot
+    /// index + generation), taken at `register` and returned on drop so
+    /// the slot can be reused by a later registrant.
+    arena_slot: usize,
+    arena_generation: u64,
 }
 
 /// Monomorphized trampoline: recovers the typed context, user function
@@ -330,9 +353,16 @@ impl JobHandle {
             run.n_tasks = n;
             run.in_flight = 0;
             run.active = true;
+            self.core.active_hint.store(true, Ordering::Relaxed);
         }
+        // Announce to every worker, not `min(n, threads)`: with the
+        // claim arena, an awake worker whose own queue is empty steals
+        // from *any* active run, so waking the whole pool lets idle
+        // workers absorb this run's tasks even when a concurrent run has
+        // the originally-announced workers pinned. Stale wake-ups cost
+        // one empty queue check + one arena sweep.
         self.pool
-            .announce_registered(&self.core, n.min(self.pool.threads()));
+            .announce_registered(&self.core, self.pool.threads());
         PendingJob {
             core: Arc::clone(&self.core),
             announced: true,
@@ -461,6 +491,13 @@ impl Drop for JobHandle {
             self.core.deactivate();
             let _ = self.core.take_panic();
         }
+        // Hand the arena slot back (generation-checked, so a slot this
+        // handle no longer owns is left alone). Workers mid-sweep hold a
+        // `Weak` at most — retiring never races a running steal into a
+        // freed core.
+        self.pool
+            .arena()
+            .retire(self.arena_slot, self.arena_generation);
     }
 }
 
@@ -471,9 +508,13 @@ impl ThreadPool {
     /// `Arc`, no per-task boxing. See [`JobHandle`] for the dispatch
     /// contract.
     pub fn register(self: &Arc<Self>) -> JobHandle {
+        let core = Arc::new(RegisteredCore::new());
+        let (arena_slot, arena_generation) = self.arena().enroll(&core);
         JobHandle {
-            core: Arc::new(RegisteredCore::new()),
+            core,
             pool: Arc::clone(self),
+            arena_slot,
+            arena_generation,
         }
     }
 }

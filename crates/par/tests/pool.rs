@@ -454,6 +454,187 @@ fn multiple_pending_jobs_fly_concurrently_on_one_pool() {
 // drop-without-wait and panic-mid-flight.
 // ---------------------------------------------------------------------
 
+// ---------------------------------------------------------------------
+// Claim/steal/complete interleavings under shard churn: a rotating set
+// of 2–8 pseudo-shards (JobHandles), where handles detach (drop) and
+// attach (re-register) between rounds while sibling runs are in flight.
+// Every tile must be claimed exactly once per run — whether it was
+// executed by an announced worker, stolen by an idle one, or drained by
+// the owner — and no claim may be lost when a shard detaches mid-round.
+// ---------------------------------------------------------------------
+
+mod claim_interleavings {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use usbf_par::{JobHandle, ThreadPool};
+
+    use proptest::prelude::*;
+
+    /// SplitMix64 decision stream (see `pending_interleavings`).
+    struct Decide(u64);
+
+    impl Decide {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+
+        fn chance(&mut self, percent: u64) -> bool {
+            self.next() % 100 < percent
+        }
+
+        fn shuffle<T>(&mut self, items: &mut [T]) {
+            for i in (1..items.len()).rev() {
+                items.swap(i, self.below(i + 1));
+            }
+        }
+    }
+
+    /// One pseudo-shard: a registered handle plus its tile slots and the
+    /// exactly-once expectation per slot.
+    struct Shard {
+        job: JobHandle,
+        slots: Vec<u64>,
+        expected: Vec<u64>,
+    }
+
+    /// Shared per-run context: a claim counter (total tiles executed,
+    /// whoever ran them) and busy-work so runs overlap the churn.
+    struct Tile {
+        claims: AtomicU64,
+        spin: u64,
+    }
+
+    fn tile_task(ctx: &Tile, i: usize, slot: &mut u64) {
+        let mut acc = 0u64;
+        for k in 0..ctx.spin {
+            acc = acc.wrapping_add(k ^ i as u64);
+        }
+        std::hint::black_box(acc);
+        ctx.claims.fetch_add(1, Ordering::Relaxed);
+        *slot += 1;
+    }
+
+    const ROUNDS: usize = 8;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn churned_shards_claim_every_tile_exactly_once(
+            threads_sel in 0usize..4,
+            n_shards in 2usize..9,
+            seed in any::<u64>(),
+        ) {
+            let threads = [1usize, 2, 3, 4][threads_sel];
+            let pool = Arc::new(ThreadPool::new(threads));
+            let mut rng = Decide(seed ^ 0x0DD0_FEED_BEEF_CAFE);
+            let mut shards: Vec<Shard> = (0..n_shards)
+                .map(|_| {
+                    let tiles = 1 + rng.below(24);
+                    Shard {
+                        job: ThreadPool::register(&pool),
+                        slots: vec![0u64; tiles],
+                        expected: vec![0u64; tiles],
+                    }
+                })
+                .collect();
+            let steal_floor = pool.steal_count();
+
+            for round in 0..ROUNDS {
+                // Which shards run this round, and the round's contexts.
+                let started: Vec<bool> =
+                    (0..shards.len()).map(|_| rng.chance(85)).collect();
+                let ctxs: Vec<Tile> = (0..shards.len())
+                    .map(|_| Tile {
+                        claims: AtomicU64::new(0),
+                        spin: rng.next() % 300,
+                    })
+                    .collect();
+
+                // Start phase: every chosen shard's frame goes in flight
+                // before any is resolved.
+                let mut pendings = Vec::new();
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    if started[s] {
+                        pendings.push((s, shard.job.start(&mut shard.slots, &ctxs[s], tile_task)));
+                    }
+                }
+
+                // Resolve in random order, mixing wait and drop-join —
+                // the first resolutions complete while later shards'
+                // runs are still in flight, so a subsequent detach is a
+                // genuine mid-round detach from the pool's perspective.
+                rng.shuffle(&mut pendings);
+                for (_, pending) in pendings {
+                    if rng.chance(50) {
+                        let _ = pending.wait();
+                    } else {
+                        drop(pending);
+                    }
+                }
+
+                // Exactly-once, per slot and in total, per shard.
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    if !started[s] {
+                        continue;
+                    }
+                    for e in shard.expected.iter_mut() {
+                        *e += 1;
+                    }
+                    prop_assert_eq!(&shard.slots, &shard.expected, "round {} shard {}", round, s);
+                    prop_assert_eq!(
+                        ctxs[s].claims.load(Ordering::Relaxed) as usize,
+                        shard.slots.len(),
+                        "round {} shard {}: claim total",
+                        round,
+                        s
+                    );
+                }
+
+                // Churn phase: detach one shard (drop its handle — its
+                // run already joined above), maybe attach a fresh one.
+                if shards.len() > 2 && rng.chance(45) {
+                    let victim = rng.below(shards.len());
+                    let gone = shards.remove(victim);
+                    drop(gone); // retires its arena slot
+                }
+                if shards.len() < 8 && rng.chance(45) {
+                    let tiles = 1 + rng.below(24);
+                    shards.push(Shard {
+                        job: ThreadPool::register(&pool),
+                        slots: vec![0u64; tiles],
+                        expected: vec![0u64; tiles],
+                    });
+                }
+            }
+
+            // Steal telemetry is monotonic, and the pool outlives the
+            // whole churn history.
+            prop_assert!(pool.steal_count() >= steal_floor);
+            let items: Vec<usize> = (0..32).collect();
+            prop_assert_eq!(
+                pool.par_map_indexed(&items, |_, &x| x + 1),
+                (1..=32).collect::<Vec<_>>()
+            );
+            for shard in shards.iter_mut() {
+                let ctx = Tile { claims: AtomicU64::new(0), spin: 0 };
+                shard.job.start(&mut shard.slots, &ctx, tile_task).wait();
+                prop_assert_eq!(
+                    ctx.claims.load(Ordering::Relaxed) as usize,
+                    shard.slots.len()
+                );
+            }
+        }
+    }
+}
+
 mod pending_interleavings {
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::Arc;

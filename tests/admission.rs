@@ -1,0 +1,156 @@
+//! Admission control and backpressure semantics of the elastic
+//! [`ShardedRuntime`]: budgets reject attaches with typed errors,
+//! in-flight windows defer fairly without consuming frames, and
+//! capacity freed by detach is immediately re-admissible.
+//!
+//! The crate-level unit tests pin the basic shapes; this tier drives
+//! the same machinery through heterogeneous probes (different voxel
+//! counts) and across budget changes at runtime.
+
+mod shard_test_harness;
+
+use shard_test_harness::{shard_plans, small_spec};
+use std::sync::Arc;
+use usbf::beamform::{AdmissionError, RuntimeBudget, ShardedRuntime};
+use usbf::geometry::SystemSpec;
+use usbf::par::ThreadPool;
+
+#[test]
+fn voxel_budget_accounts_for_heterogeneous_probes() {
+    // tiny and small have different voxel counts; the throughput budget
+    // must sum actual per-probe offers, not a per-shard flat rate.
+    let tiny_voxels = SystemSpec::tiny().volume_grid.voxel_count() as u64;
+    let small_voxels = small_spec().volume_grid.voxel_count() as u64;
+    assert_ne!(tiny_voxels, small_voxels, "fixture probes must differ");
+
+    // Plans cycle tiny/EXACT, tiny/TABLESTEER, small/TABLEFREE.
+    let plans = shard_plans(3, 0);
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut rt = ShardedRuntime::with_budget(
+        Arc::clone(&pool),
+        RuntimeBudget {
+            max_live_shards: usize::MAX,
+            max_in_flight: usize::MAX,
+            max_round_voxels: Some(2 * tiny_voxels + small_voxels),
+        },
+    );
+    let a = rt.attach_shard(plans[0].config()).expect("tiny fits");
+    let _b = rt.attach_shard(plans[1].config()).expect("tiny fits");
+    let _c = rt.attach_shard(plans[2].config()).expect("small fits");
+    assert_eq!(rt.offered_voxels(), 2 * tiny_voxels + small_voxels);
+
+    // The budget is exactly consumed: one more tiny probe is over.
+    let err = rt.attach_shard(plans[0].config()).unwrap_err();
+    assert_eq!(
+        err,
+        AdmissionError::ThroughputLimit {
+            offered_voxels: 3 * tiny_voxels + small_voxels,
+            budget_voxels: 2 * tiny_voxels + small_voxels,
+        }
+    );
+
+    // Detaching a tiny shard frees exactly its share; a tiny probe then
+    // fits again but a small one may not.
+    rt.detach_shard(a).expect("live shard");
+    assert_eq!(rt.offered_voxels(), tiny_voxels + small_voxels);
+    let a2 = rt.attach_shard(plans[0].config()).expect("freed capacity");
+    assert_ne!(a2, a, "recycled slot must carry a fresh identity");
+    assert!(rt.round().iter().all(|o| o.is_ok()));
+}
+
+#[test]
+fn deferred_shards_consume_no_frames_and_rotate_back_in() {
+    let plans = shard_plans(4, 0x00AD_A175_1070);
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut rt = ShardedRuntime::with_budget(
+        Arc::clone(&pool),
+        RuntimeBudget {
+            max_live_shards: 4,
+            max_in_flight: 3,
+            max_round_voxels: None,
+        },
+    );
+    let ids: Vec<_> = plans
+        .iter()
+        .map(|p| rt.attach_shard(p.config()).expect("under budget"))
+        .collect();
+
+    // 4 shards, window 3: every round defers exactly one shard, and the
+    // rotation spreads the deferrals evenly — after 4 rounds each shard
+    // has exactly 3 frames.
+    for round in 0..8 {
+        let outcomes = rt.round();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(
+            outcomes.iter().filter(|o| o.is_completed()).count(),
+            3,
+            "round {round}"
+        );
+        let deferred: Vec<_> = outcomes
+            .iter()
+            .filter(|o| o.is_deferred())
+            .map(|o| o.shard_id())
+            .collect();
+        assert_eq!(deferred.len(), 1, "round {round}");
+        // A deferred shard is healthy — is_ok, no error, no frame burned.
+        let d = rt.stats_of(deferred[0]).expect("live");
+        assert_eq!(d.errors, 0);
+    }
+    let counts: Vec<u64> = ids
+        .iter()
+        .map(|id| rt.stats_of(*id).expect("live").frames)
+        .collect();
+    assert_eq!(
+        counts,
+        vec![6, 6, 6, 6],
+        "8 rounds × window 3 over 4 shards must split exactly evenly"
+    );
+    // Deferral never skipped ring frames: each shard's next volume is
+    // still its ring position `frames % len`, proven by bit-identity.
+    for (id, plan) in ids.iter().zip(&plans) {
+        let baselines = plan.serial_baselines();
+        let frames = rt.stats_of(*id).expect("live").frames as usize;
+        assert_eq!(
+            rt.volume_of(*id),
+            Some(&baselines[(frames - 1) % baselines.len()]),
+            "{}",
+            plan.name
+        );
+    }
+
+    // Loosening the budget at runtime lifts the window immediately.
+    rt.set_budget(RuntimeBudget::unlimited());
+    let outcomes = rt.round();
+    assert!(outcomes.iter().all(|o| o.is_completed()));
+}
+
+#[test]
+fn tightened_budget_defers_but_never_evicts() {
+    let plans = shard_plans(3, 0xBADB_EEF0);
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut rt = ShardedRuntime::new(
+        Arc::clone(&pool),
+        plans.iter().map(|p| p.config()).collect(),
+    );
+    assert!(rt.round().iter().all(|o| o.is_completed()));
+
+    // Tighten to a single in-flight frame: live shards stay attached
+    // (no eviction), progress degrades to one frame per round, and
+    // every shard still advances — the rotation guarantees liveness.
+    rt.set_budget(RuntimeBudget {
+        max_live_shards: 3,
+        max_in_flight: 1,
+        max_round_voxels: None,
+    });
+    for _ in 0..6 {
+        let outcomes = rt.round();
+        assert_eq!(outcomes.iter().filter(|o| o.is_completed()).count(), 1);
+        assert_eq!(outcomes.iter().filter(|o| o.is_deferred()).count(), 2);
+        assert_eq!(rt.n_shards(), 3, "tightening must never evict");
+    }
+    assert_eq!(
+        rt.frame_counts(),
+        vec![3, 3, 3],
+        "1 warm round + 6 single-admission rounds rotate evenly"
+    );
+}

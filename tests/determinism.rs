@@ -12,9 +12,12 @@
 //! and 4 workers (1 exercises the inline path, 2 and 4 the announced
 //! paths).
 
+mod shard_test_harness;
+
+use shard_test_harness::shard_plans;
 use std::sync::Arc;
 use usbf::beamform::{
-    Beamformer, FramePipeline, FrameRing, ShardConfig, ShardedRuntime, VolumeLoop,
+    Beamformer, FramePipeline, FrameRing, RuntimeBudget, ShardConfig, ShardedRuntime, VolumeLoop,
 };
 use usbf::core::{
     DelayEngine, ExactEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
@@ -150,6 +153,61 @@ fn sharded_runtime_is_bit_identical_across_pool_sizes() {
                 assert_eq!(
                     &volumes, expect,
                     "sharded runtime with {threads} worker(s) diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn churned_elastic_runtime_is_bit_identical_across_pool_sizes() {
+    // The same scripted attach/detach/round sequence — including a
+    // deferring in-flight window — must produce the same volume stream
+    // at every pool size: elasticity and admission rotate *when* frames
+    // run, never what they compute.
+    let plans = shard_plans(5, 0xD37E_2215);
+    let mut reference: Option<Vec<_>> = None;
+    for threads in POOL_SIZES {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let mut rt = ShardedRuntime::with_budget(
+            Arc::clone(&pool),
+            RuntimeBudget {
+                max_live_shards: plans.len(),
+                max_in_flight: 3,
+                max_round_voxels: None,
+            },
+        );
+        let mut ids = Vec::new();
+        for plan in plans.iter().take(3) {
+            ids.push(rt.attach_shard(plan.config()).expect("under budget"));
+        }
+        let mut volumes = Vec::new();
+        let mut next_plan = 3usize;
+        for round in 0..12 {
+            let outcomes = rt.round();
+            assert!(outcomes.iter().all(|o| o.is_ok()), "round {round}");
+            for id in &ids {
+                // Deferred shards contribute their previous volume (or
+                // nothing before their first frame) — also scripted, so
+                // also identical across pool sizes.
+                if let Some(v) = rt.volume_of(*id) {
+                    volumes.push(v.clone());
+                }
+            }
+            if round % 3 == 2 {
+                let gone = ids.remove(round % ids.len());
+                rt.detach_shard(gone).expect("scripted detach");
+                let plan = &plans[next_plan % plans.len()];
+                next_plan += 1;
+                ids.push(rt.attach_shard(plan.config()).expect("under budget"));
+            }
+        }
+        match &reference {
+            None => reference = Some(volumes),
+            Some(expect) => {
+                assert_eq!(
+                    &volumes, expect,
+                    "churned runtime with {threads} worker(s) diverged"
                 );
             }
         }

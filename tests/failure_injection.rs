@@ -254,8 +254,8 @@ fn sharded_engine_panic_never_poisons_sibling_shards() {
     assert!(rt.round().iter().all(|o| o.is_ok()), "clean warm-up round");
     faulty.arm(true);
     let outcomes = rt.round();
-    match &outcomes[0] {
-        Err(PipelineError::Beamform(msg)) => {
+    match outcomes[0].error() {
+        Some(PipelineError::Beamform(msg)) => {
             assert!(msg.contains("injected delay fault"), "message: {msg}")
         }
         other => panic!("expected shard 0 Beamform error, got {other:?}"),

@@ -1,185 +1,123 @@
-//! Soak test for the multi-probe sharded runtime: three heterogeneous
-//! shards (different probes, specs and delay engines) multiplexed on
-//! one pool for hundreds of frames, at several pool sizes.
+//! Soak test for the multi-probe sharded runtime: a heterogeneous fleet
+//! (different probes, specs and delay engines) multiplexed on one pool
+//! for hundreds of frames, at several pool sizes and fleet sizes.
 //!
-//! What it pins down, per pool size (1, 2 and 4 workers):
+//! What it pins down, per (pool size, fleet size) combination:
 //!
 //! * **bit-exactness under multiplexing** — every shard's every volume
 //!   equals the serial per-shard baseline (`VolumeLoop` over the same
 //!   ring of frames), bit for bit, for the whole soak; interleaving
-//!   three pipelines' tile tasks on shared workers must never leak into
+//!   many pipelines' tile tasks on shared workers must never leak into
 //!   results;
 //! * **fair progress** — shards advance in lock-step rounds, so no
 //!   shard may lag more than 2 frames behind the leader at any
 //!   checkpoint (with `ShardedRuntime::round` the observed gap is 0;
 //!   the bound leaves room for a driver that redeems out of order);
 //! * **health** — no errors, no abandoned frames, per-shard counters
-//!   consistent, stats monotonic.
+//!   consistent, stats monotonic, per-shard latency histograms counting
+//!   every frame.
+//!
+//! The shard recipes and serial baselines come from the shared
+//! `shard_test_harness` module, the same fixtures the churn and
+//! admission tiers build on.
 
+mod shard_test_harness;
+
+use shard_test_harness::{shard_plans, ShardPlan};
 use std::sync::Arc;
-use usbf::beamform::{
-    BeamformedVolume, Beamformer, FrameRing, ShardConfig, ShardedRuntime, VolumeLoop,
-};
-use usbf::core::{
-    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
-};
-use usbf::geometry::{
-    deg, SystemSpec, TransducerSpec, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND,
-};
+use usbf::beamform::{BeamformedVolume, ShardedRuntime};
 use usbf::par::ThreadPool;
-use usbf::sim::{EchoSynthesizer, Phantom, Pulse, RfFrame};
 
-/// Soaked frames per shard per pool size. 3 shards × 3 pool sizes ×
-/// `FRAMES` ≥ the test layer's 500-frame floor on every pool size.
+/// Soaked rounds per (pool size, fleet size) combination, sized so the
+/// classic 3-shard soak still clears the test layer's 500-frame floor
+/// per shard on every pool size.
 const FRAMES: usize = 500;
 
 /// Progress checkpoints: fairness is asserted every this many rounds.
 const CHECK_EVERY: usize = 50;
 
-/// A second probe geometry, distinct from `SystemSpec::tiny()`: fewer
-/// elements, an asymmetric 4 × 8 fan and a shallower volume, so shard
-/// heterogeneity covers element count, fan shape and depth at once.
-fn small_spec() -> SystemSpec {
-    let fc = 3.0e6;
-    let lambda = SPEED_OF_SOUND / fc;
-    SystemSpec::new(
-        SPEED_OF_SOUND,
-        24.0e6,
-        TransducerSpec {
-            center_frequency: fc,
-            bandwidth: 3.0e6,
-            nx: 6,
-            ny: 6,
-            pitch: lambda / 2.0,
-        },
-        VolumeSpec {
-            theta_max: deg(30.0),
-            phi_max: deg(30.0),
-            depth_max: 300.0 * lambda,
-            n_theta: 4,
-            n_phi: 8,
-            n_depth: 10,
-        },
-        Vec3::ZERO,
-        20.0,
-    )
-}
+/// One soak: `n_shards` heterogeneous shards on a `workers`-wide pool
+/// for `rounds` rounds, every volume checked against its serial
+/// baseline.
+fn soak(plans: &[ShardPlan], workers: usize, rounds: usize) {
+    let baselines: Vec<Vec<BeamformedVolume>> =
+        plans.iter().map(ShardPlan::serial_baselines).collect();
+    let ring_lens: Vec<usize> = plans.iter().map(|p| p.ring.len()).collect();
 
-/// One shard's recipe: spec + engine + a short ring of distinct frames.
-struct ShardPlan {
-    name: &'static str,
-    spec: SystemSpec,
-    engine: Arc<dyn DelayEngine + Send + Sync>,
-    ring: Vec<RfFrame>,
-}
+    let pool = Arc::new(ThreadPool::new(workers));
+    let configs = plans.iter().map(ShardPlan::config).collect();
+    let mut rt = ShardedRuntime::new(pool, configs);
+    let mut outcomes = Vec::new();
 
-fn shard_plans() -> Vec<ShardPlan> {
-    let tiny = SystemSpec::tiny();
-    let small = small_spec();
-    let ring = |spec: &SystemSpec, seeds: &[(usize, usize, usize)]| -> Vec<RfFrame> {
-        let synth = EchoSynthesizer::new(spec);
-        let pulse = Pulse::from_spec(spec);
-        seeds
-            .iter()
-            .map(|&(it, ip, id)| {
-                let vox = VoxelIndex::new(it, ip, id);
-                synth.synthesize(&Phantom::point(spec.volume_grid.position(vox)), &pulse)
-            })
-            .collect()
-    };
-    vec![
-        ShardPlan {
-            name: "tiny/EXACT",
-            engine: Arc::new(ExactEngine::new(&tiny)),
-            ring: ring(&tiny, &[(2, 3, 5), (5, 4, 9), (4, 4, 12)]),
-            spec: tiny.clone(),
-        },
-        ShardPlan {
-            name: "tiny/TABLESTEER",
-            engine: Arc::new(TableSteerEngine::new(&tiny, TableSteerConfig::bits18()).unwrap()),
-            ring: ring(&tiny, &[(1, 6, 7), (6, 1, 11)]),
-            spec: tiny,
-        },
-        ShardPlan {
-            name: "small/TABLEFREE",
-            engine: Arc::new(TableFreeEngine::new(&small, TableFreeConfig::paper()).unwrap()),
-            ring: ring(&small, &[(1, 2, 4), (2, 6, 7), (3, 1, 8)]),
-            spec: small,
-        },
-    ]
-}
+    for round in 0..rounds {
+        rt.round_into(&mut outcomes);
+        for (shard, outcome) in outcomes.iter().enumerate() {
+            assert!(
+                outcome.is_ok(),
+                "{} round {round} with {workers} worker(s): {outcome:?}",
+                plans[shard].name
+            );
+            let expect = &baselines[shard][round % ring_lens[shard]];
+            assert_eq!(
+                rt.volume(shard).expect("completed frame"),
+                expect,
+                "{} diverged from its serial baseline at round {round} \
+                 with {workers} worker(s)",
+                plans[shard].name
+            );
+        }
+        if round % CHECK_EVERY == CHECK_EVERY - 1 {
+            let counts = rt.frame_counts();
+            let leader = *counts.iter().max().unwrap();
+            let laggard = *counts.iter().min().unwrap();
+            assert!(
+                leader - laggard <= 2,
+                "unfair progress at round {round} with {workers} worker(s): {counts:?}"
+            );
+        }
+    }
 
-/// The serial baseline: each ring frame through a lone `VolumeLoop` on
-/// the shard's own spec and engine — no sharding, no multiplexing.
-fn serial_baselines(plan: &ShardPlan) -> Vec<BeamformedVolume> {
-    let mut serial = VolumeLoop::new(Beamformer::new(&plan.spec));
-    plan.ring
-        .iter()
-        .map(|rf| serial.beamform(plan.engine.as_ref(), rf).clone())
-        .collect()
+    let counts = rt.frame_counts();
+    assert_eq!(
+        counts,
+        vec![rounds as u64; plans.len()],
+        "every shard completes every frame ({workers} workers)"
+    );
+    for (shard, plan) in plans.iter().enumerate() {
+        let stats = rt.stats(shard);
+        assert_eq!(stats.frames, rounds as u64, "{}", plan.name);
+        assert_eq!(stats.errors, 0, "{}", plan.name);
+        assert_eq!(stats.abandoned, 0, "{}", plan.name);
+        assert!(stats.frames_per_second() > 0.0);
+        assert_eq!(
+            stats.latency.count(),
+            rounds as u64,
+            "{}: every completed frame must be recorded in the latency \
+             histogram",
+            plan.name
+        );
+        assert!(stats.latency.p99() >= stats.latency.p50(), "{}", plan.name);
+    }
 }
 
 #[test]
 fn three_heterogeneous_shards_soak_bit_identical_at_every_pool_size() {
-    let plans = shard_plans();
-    let baselines: Vec<Vec<BeamformedVolume>> = plans.iter().map(serial_baselines).collect();
-    let ring_lens: Vec<usize> = plans.iter().map(|p| p.ring.len()).collect();
-
+    // The historical fixed cast: seed 0 reproduces the exact probes,
+    // engines and target rings this soak has always used.
+    let plans = shard_plans(3, 0);
     for workers in [1usize, 2, 4] {
-        let pool = Arc::new(ThreadPool::new(workers));
-        let configs = plans
-            .iter()
-            .map(|plan| {
-                ShardConfig::new(
-                    Beamformer::new(&plan.spec),
-                    Arc::clone(&plan.engine),
-                    FrameRing::new(plan.ring.clone()),
-                )
-            })
-            .collect();
-        let mut rt = ShardedRuntime::new(pool, configs);
-        let mut outcomes = Vec::new();
+        soak(&plans, workers, FRAMES);
+    }
+}
 
-        for round in 0..FRAMES {
-            rt.round_into(&mut outcomes);
-            for (shard, outcome) in outcomes.iter().enumerate() {
-                assert!(
-                    outcome.is_ok(),
-                    "{} round {round} with {workers} worker(s): {outcome:?}",
-                    plans[shard].name
-                );
-                let expect = &baselines[shard][round % ring_lens[shard]];
-                assert_eq!(
-                    rt.volume(shard).expect("completed frame"),
-                    expect,
-                    "{} diverged from its serial baseline at round {round} \
-                     with {workers} worker(s)",
-                    plans[shard].name
-                );
-            }
-            if round % CHECK_EVERY == CHECK_EVERY - 1 {
-                let counts = rt.frame_counts();
-                let leader = *counts.iter().max().unwrap();
-                let laggard = *counts.iter().min().unwrap();
-                assert!(
-                    leader - laggard <= 2,
-                    "unfair progress at round {round} with {workers} worker(s): {counts:?}"
-                );
-            }
-        }
-
-        let counts = rt.frame_counts();
-        assert_eq!(
-            counts,
-            vec![FRAMES as u64; plans.len()],
-            "every shard completes every frame ({workers} workers)"
-        );
-        for (shard, plan) in plans.iter().enumerate() {
-            let stats = rt.stats(shard);
-            assert_eq!(stats.frames, FRAMES as u64, "{}", plan.name);
-            assert_eq!(stats.errors, 0, "{}", plan.name);
-            assert_eq!(stats.abandoned, 0, "{}", plan.name);
-            assert!(stats.frames_per_second() > 0.0);
-        }
+#[test]
+fn wider_fleets_soak_bit_identical() {
+    // Fleet sizes above the worker count (6 shards / 4 workers) and far
+    // above it (10 / 2): tile claims from many shards contend for few
+    // workers, the regime the work-stealing arena exists for. Shorter
+    // soaks — the 3-shard test above owns the long-haul budget.
+    for (n_shards, workers, rounds) in [(6usize, 4usize, 120usize), (10, 2, 60)] {
+        let plans = shard_plans(n_shards, 0xFEED_FACE ^ n_shards as u64);
+        soak(&plans, workers, rounds);
     }
 }

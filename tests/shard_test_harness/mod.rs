@@ -1,0 +1,182 @@
+//! Shared scaffolding for the sharded-runtime test tier
+//! (`shard_stress.rs`, `shard_churn.rs`, `admission.rs`,
+//! `determinism.rs`): heterogeneous shard recipes, their serial
+//! baselines, and the repo's seeded RNG — one definition instead of a
+//! copy per soak test.
+//!
+//! Compiled into each test binary via `mod shard_test_harness;`; not
+//! every binary uses every helper, hence the `dead_code` allows.
+
+#![allow(dead_code)]
+
+use std::sync::Arc;
+use usbf::beamform::{BeamformedVolume, Beamformer, FrameRing, ShardConfig, VolumeLoop};
+use usbf::core::{
+    DelayEngine, ExactEngine, TableFreeConfig, TableFreeEngine, TableSteerConfig, TableSteerEngine,
+};
+use usbf::geometry::{
+    deg, SystemSpec, TransducerSpec, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND,
+};
+use usbf::sim::{EchoSynthesizer, Phantom, Pulse, RfFrame};
+
+/// SplitMix64 — the repo's seeded test RNG (no external rand crate).
+pub struct Rng(pub u64);
+
+impl Rng {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    /// True with probability `pct`/100.
+    pub fn chance(&mut self, pct: u64) -> bool {
+        self.next() % 100 < pct
+    }
+}
+
+/// A second probe geometry, distinct from `SystemSpec::tiny()`: fewer
+/// elements, an asymmetric 4 × 8 fan and a shallower volume, so shard
+/// heterogeneity covers element count, fan shape and depth at once.
+pub fn small_spec() -> SystemSpec {
+    let fc = 3.0e6;
+    let lambda = SPEED_OF_SOUND / fc;
+    SystemSpec::new(
+        SPEED_OF_SOUND,
+        24.0e6,
+        TransducerSpec {
+            center_frequency: fc,
+            bandwidth: 3.0e6,
+            nx: 6,
+            ny: 6,
+            pitch: lambda / 2.0,
+        },
+        VolumeSpec {
+            theta_max: deg(30.0),
+            phi_max: deg(30.0),
+            depth_max: 300.0 * lambda,
+            n_theta: 4,
+            n_phi: 8,
+            n_depth: 10,
+        },
+        Vec3::ZERO,
+        20.0,
+    )
+}
+
+/// One shard's recipe: spec + engine + a short ring of distinct frames.
+pub struct ShardPlan {
+    pub name: String,
+    pub spec: SystemSpec,
+    pub engine: Arc<dyn DelayEngine + Send + Sync>,
+    pub ring: Vec<RfFrame>,
+}
+
+impl ShardPlan {
+    /// The shard's runtime config: a fresh beamformer on the plan's
+    /// spec, the shared engine, and a fresh ring cycling its frames.
+    pub fn config(&self) -> ShardConfig {
+        ShardConfig::new(
+            Beamformer::new(&self.spec),
+            Arc::clone(&self.engine),
+            FrameRing::new(self.ring.clone()),
+        )
+    }
+
+    /// The serial baseline: each ring frame through a lone `VolumeLoop`
+    /// on the plan's own spec and engine — no sharding, no multiplexing.
+    pub fn serial_baselines(&self) -> Vec<BeamformedVolume> {
+        let mut serial = VolumeLoop::new(Beamformer::new(&self.spec));
+        self.ring
+            .iter()
+            .map(|rf| serial.beamform(self.engine.as_ref(), rf).clone())
+            .collect()
+    }
+}
+
+/// Synthesizes a ring of point-target frames on `spec`, one per seed
+/// voxel.
+pub fn ring_of(spec: &SystemSpec, seeds: &[(usize, usize, usize)]) -> Vec<RfFrame> {
+    let synth = EchoSynthesizer::new(spec);
+    let pulse = Pulse::from_spec(spec);
+    seeds
+        .iter()
+        .map(|&(it, ip, id)| {
+            let vox = VoxelIndex::new(it, ip, id);
+            synth.synthesize(&Phantom::point(spec.volume_grid.position(vox)), &pulse)
+        })
+        .collect()
+}
+
+/// The classic three-way heterogeneous fleet: two probes
+/// (`SystemSpec::tiny()` and [`small_spec`]) across the three delay
+/// architectures. The historical fixed cast of `shard_stress.rs`.
+pub fn classic_plans() -> Vec<ShardPlan> {
+    shard_plans(3, 0)
+}
+
+/// `n` heterogeneous shard plans, cycling through (probe, engine)
+/// combinations — tiny/EXACT, tiny/TABLESTEER, small/TABLEFREE — with
+/// per-shard point-target rings drawn from `seed`, so any fleet size
+/// mixes specs, engines, ring lengths and targets. Engines are built
+/// once per combination and shared (`Arc`) across the shards that use
+/// them, like production sessions sharing a probe's delay tables.
+pub fn shard_plans(n: usize, seed: u64) -> Vec<ShardPlan> {
+    let tiny = SystemSpec::tiny();
+    let small = small_spec();
+    let combos: [(&str, &SystemSpec, Arc<dyn DelayEngine + Send + Sync>); 3] = [
+        ("tiny/EXACT", &tiny, Arc::new(ExactEngine::new(&tiny))),
+        (
+            "tiny/TABLESTEER",
+            &tiny,
+            Arc::new(TableSteerEngine::new(&tiny, TableSteerConfig::bits18()).unwrap()),
+        ),
+        (
+            "small/TABLEFREE",
+            &small,
+            Arc::new(TableFreeEngine::new(&small, TableFreeConfig::paper()).unwrap()),
+        ),
+    ];
+    // Deterministic per-shard target rings. Seed 0 reproduces the
+    // historical fixed cast for the first three shards, keeping the
+    // long-standing stress fixtures stable.
+    let classic: [&[(usize, usize, usize)]; 3] = [
+        &[(2, 3, 5), (5, 4, 9), (4, 4, 12)],
+        &[(1, 6, 7), (6, 1, 11)],
+        &[(1, 2, 4), (2, 6, 7), (3, 1, 8)],
+    ];
+    let mut rng = Rng(seed ^ 0x5EED_0FF1_EE75_0000);
+    (0..n)
+        .map(|i| {
+            let (label, spec, engine) = &combos[i % combos.len()];
+            let ring_seeds: Vec<(usize, usize, usize)> = if seed == 0 && i < classic.len() {
+                classic[i].to_vec()
+            } else {
+                let grid = &spec.volume_grid;
+                let len = 2 + rng.below(3); // 2..=4 frames per ring
+                (0..len)
+                    .map(|_| {
+                        (
+                            rng.below(grid.n_theta()),
+                            rng.below(grid.n_phi()),
+                            rng.below(grid.n_depth()),
+                        )
+                    })
+                    .collect()
+            };
+            ShardPlan {
+                name: format!("{label}#{i}"),
+                spec: (*spec).clone(),
+                engine: Arc::clone(engine),
+                ring: ring_of(spec, &ring_seeds),
+            }
+        })
+        .collect()
+}
