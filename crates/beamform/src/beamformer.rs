@@ -9,6 +9,7 @@
 //! per-voxel path, which is kept as the reference implementation (and as
 //! the executed path for scanline-by-scanline traversal).
 
+use crate::postproc::{PostChain, PostScratch};
 use crate::{ActiveAperture, Apodization, BeamformedVolume};
 use usbf_core::{DelayEngine, NappeDelays, NappeSchedule, Tile};
 use usbf_geometry::scan::ScanOrder;
@@ -62,6 +63,9 @@ pub struct TileState {
     pub(crate) indices: Vec<i32>,
     /// The gathered sample row the weighted accumulate consumes.
     pub(crate) samples: Vec<f64>,
+    /// I/Q scratch for the fused post-processing chain (empty when the
+    /// beamformer carries no chain).
+    pub(crate) post_scratch: PostScratch,
 }
 
 impl TileState {
@@ -72,12 +76,18 @@ impl TileState {
     pub fn new(beamformer: &Beamformer, tile: Tile) -> Self {
         let spec = beamformer.spec();
         let active = beamformer.aperture().len();
+        let n_depth = spec.volume_grid.n_depth();
         TileState {
             slab: NappeDelays::for_tile(spec, tile),
-            values: vec![0.0; tile.scanlines() * spec.volume_grid.n_depth()],
+            values: vec![0.0; tile.scanlines() * n_depth],
             delays: vec![0.0; active],
             indices: vec![0; active],
             samples: vec![0.0; active],
+            post_scratch: if beamformer.postproc().is_empty() {
+                PostScratch::default()
+            } else {
+                PostScratch::new(n_depth)
+            },
         }
     }
 
@@ -182,6 +192,9 @@ pub struct Beamformer {
     /// voxel walk and vectorized tile kernel alike, so both see the
     /// identical weights in the identical order).
     aperture: ActiveAperture,
+    /// Post-processing chain applied to every scanline column the volume
+    /// paths produce (empty by default: raw delay-and-sum output).
+    post: PostChain,
 }
 
 impl Beamformer {
@@ -195,6 +208,7 @@ impl Beamformer {
             interpolation: Interpolation::default(),
             order: ScanOrder::NappeByNappe,
             aperture: ActiveAperture::build(Apodization::default(), &spec.elements),
+            post: PostChain::empty(),
         }
     }
 
@@ -221,6 +235,31 @@ impl Beamformer {
     pub fn with_order(mut self, order: ScanOrder) -> Self {
         self.order = order;
         self
+    }
+
+    /// Sets the post-processing chain the volume paths apply to every
+    /// scanline column they produce (e.g. [`PostChain::bmode`] for
+    /// log-compressed envelope output). The chain runs fused per tile in
+    /// the batched paths — each tile's columns flow cache-hot from the
+    /// delay-and-sum kernel into the stages, before the volume scatter —
+    /// and as a whole-volume pass in the scalar reference path; the two
+    /// are bit-identical because every stage is column-local.
+    ///
+    /// The per-voxel/per-scanline query paths
+    /// ([`beamform_voxel`](Self::beamform_voxel),
+    /// [`beamform_scanline`](Self::beamform_scanline)) stay raw: they
+    /// answer point questions about the delay-and-sum output itself.
+    #[must_use = "with_postproc returns the configured beamformer; dropping it discards the chain"]
+    pub fn with_postproc(mut self, post: PostChain) -> Self {
+        self.post = post;
+        self
+    }
+
+    /// The configured post-processing chain (empty when the output is
+    /// raw delay-and-sum).
+    #[inline]
+    pub fn postproc(&self) -> &PostChain {
+        &self.post
     }
 
     /// The configured scan order.
@@ -305,6 +344,10 @@ impl Beamformer {
                 for vox in self.order.iter(&self.spec.volume_grid) {
                     out.set(vox, self.beamform_voxel(engine, rf, vox));
                 }
+                // The scalar reference applies the chain as a separate
+                // whole-volume pass — the layout the fused per-tile
+                // application must stay bit-identical to.
+                self.post.apply_volume(&mut out);
                 out
             }
         }
@@ -377,6 +420,22 @@ impl Beamformer {
             Interpolation::Nearest => self.tile_kernel_nearest(engine, rf, state),
             Interpolation::Linear => self.tile_kernel_linear(engine, rf, state),
         }
+        if !self.post.is_empty() {
+            // Fused post-processing: each scanline column runs through
+            // the chain while it is still cache-hot from the kernel and
+            // before the scatter, using the tile's preallocated I/Q
+            // scratch (no heap traffic on the warm path). Columns are
+            // independent, so per-tile application is bit-identical to
+            // the whole-volume pass of the scalar reference.
+            let TileState {
+                values,
+                post_scratch,
+                ..
+            } = state;
+            for column in values.chunks_exact_mut(n_depth) {
+                self.post.apply_column(column, post_scratch);
+            }
+        }
     }
 
     /// The nearest-index kernel: slab row → (compact) → quantized index
@@ -402,6 +461,7 @@ impl Beamformer {
             delays,
             indices,
             samples,
+            ..
         } = state;
         for id in 0..n_depth {
             engine.fill_nappe_streamed(id, slab, &mut |slot, row| {

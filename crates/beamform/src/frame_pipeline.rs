@@ -220,19 +220,13 @@ impl PipelineStats {
     /// Mean time a frame waited on acquisition (the exposed, un-hidden
     /// ingest latency; 0 means acquisition was always ready first).
     pub fn mean_acquire_wait(&self) -> Duration {
-        if self.attempts() == 0 {
-            return Duration::ZERO;
-        }
-        self.acquire_wait / self.attempts() as u32
+        mean_duration(self.acquire_wait, self.attempts())
     }
 
     /// Mean time a frame's redemption blocked on beamforming (0 means
     /// the caller's own work always outlasted the in-flight compute).
     pub fn mean_beamform_wait(&self) -> Duration {
-        if self.attempts() == 0 {
-            return Duration::ZERO;
-        }
-        self.beamform_wait / self.attempts() as u32
+        mean_duration(self.beamform_wait, self.attempts())
     }
 
     /// Fraction of wall time *not* spent blocked on acquisition — 1.0
@@ -244,6 +238,23 @@ impl PipelineStats {
         }
         1.0 - (self.acquire_wait.as_secs_f64() / self.wall.as_secs_f64()).min(1.0)
     }
+}
+
+/// `total / count` as a well-defined [`Duration`]: zero for zero
+/// counts, computed in nanoseconds at `u128` width for the rest.
+///
+/// The obvious `total / count as u32` has two failure modes once counts
+/// come from a `u64` lifetime counter: a count above `u32::MAX`
+/// truncates silently, and a count of exactly `2³²` truncates to zero
+/// and panics the division. A long-lived shard at paper-scale volume
+/// rates (thousands of frames per second) crosses `u32::MAX` attempts
+/// in under two months of uptime.
+fn mean_duration(total: Duration, count: u64) -> Duration {
+    if count == 0 {
+        return Duration::ZERO;
+    }
+    let nanos = total.as_nanos() / u128::from(count);
+    Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
 }
 
 /// Reply from the acquisition thread: the filled buffer, or the buffer
@@ -584,6 +595,27 @@ impl FramePipeline {
             return None;
         }
         Some(&self.fin.outs[(self.fin.frames % 2) as usize])
+    }
+
+    /// A zero-scatter view over the most recent successful frame's tile
+    /// outputs (`None` before the first one):
+    /// [`slice`](crate::VolumeView::slice) and
+    /// [`mip`](crate::VolumeView::mip) read the warm staging buffers
+    /// directly, skipping the merged volume entirely. The view borrows
+    /// the pipeline, so it can never observe a frame mid-flight — a
+    /// [`VolumeTicket`] holds the pipeline's `&mut` until redeemed.
+    pub fn view(&self) -> Option<crate::VolumeView<'_>> {
+        if self.fin.frames == 0 {
+            return None;
+        }
+        let grid = &self.ctx.beamformer.spec().volume_grid;
+        Some(crate::VolumeView::new(
+            &self.fin.tiles,
+            &self.tile_states,
+            grid.n_theta(),
+            grid.n_phi(),
+            grid.n_depth(),
+        ))
     }
 
     /// Frames beamformed successfully since construction.
@@ -1064,6 +1096,55 @@ mod tests {
             .fin
             .as_deref()
             .map_or(Duration::ZERO, |f| f.beamform_wait)
+    }
+
+    /// A stats snapshot with explicit counters, for edge-case pinning.
+    fn stats_with(attempts: u64, acquire_wait: Duration, wall: Duration) -> PipelineStats {
+        PipelineStats {
+            frames: attempts,
+            errors: 0,
+            abandoned: 0,
+            acquire_wait,
+            beamform_wait: acquire_wait,
+            wall,
+            latency: crate::LatencyHistogram::new(),
+        }
+    }
+
+    #[test]
+    fn zero_frame_stats_are_well_defined() {
+        // Regression: every derived figure of a fresh pipeline must be a
+        // finite, meaningful value — no NaN, no divide-by-zero panic.
+        let stats = stats_with(0, Duration::ZERO, Duration::ZERO);
+        assert_eq!(stats.frames_per_second(), 0.0);
+        assert_eq!(stats.mean_acquire_wait(), Duration::ZERO);
+        assert_eq!(stats.mean_beamform_wait(), Duration::ZERO);
+        assert_eq!(stats.overlap_fraction(), 1.0);
+        // Accrued wait with zero completed attempts (e.g. a snapshot
+        // taken after a Disconnected error) must still not divide by 0.
+        let stats = stats_with(0, Duration::from_millis(5), Duration::ZERO);
+        assert_eq!(stats.mean_acquire_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_waits_survive_attempt_counts_beyond_u32() {
+        // Regression: `total / attempts as u32` truncated the count —
+        // exactly 2³² attempts truncated to 0 and panicked the division,
+        // and anything above inflated the mean.
+        let attempts = u64::from(u32::MAX) + 1; // `as u32` would give 0
+        let total = Duration::from_secs(40_000);
+        let stats = stats_with(attempts, total, Duration::from_secs(1));
+        let mean = stats.mean_acquire_wait();
+        let expect_nanos = total.as_nanos() / u128::from(attempts);
+        assert_eq!(mean.as_nanos(), expect_nanos);
+        assert!(mean > Duration::ZERO, "a real accrual must not round away");
+        assert_eq!(stats.mean_beamform_wait(), mean);
+    }
+
+    #[test]
+    fn mean_wait_matches_plain_division_for_small_counts() {
+        let stats = stats_with(4, Duration::from_millis(10), Duration::from_secs(1));
+        assert_eq!(stats.mean_acquire_wait(), Duration::from_micros(2500));
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   bit-identical to the scalar walk;
 //! * [`BeamformedVolume`] — the reconstructed volume with profile/slice
 //!   accessors for image-quality metrics;
+//! * [`PostChain`] — fused B-mode post-processing (IQ demodulation →
+//!   envelope detection → log compression, built from the `usbf_sim`
+//!   envelope kernels) applied per tile inside the volume paths, with
+//!   preallocated scratch and bit-identical to a whole-volume pass;
+//! * [`VolumeView`] — re-slices ([`SlicePlane`]) and max-intensity
+//!   projections ([`ProjectionAxis`]) assembled straight from the warm
+//!   tile outputs, never materializing the full volume;
 //! * [`VolumeLoop`] — the real-time frame loop: repeated volumes on the
 //!   persistent `usbf_par` worker pool with preallocated delay slabs and
 //!   buffers and a preregistered pool job, bit-identical to the cold
@@ -57,7 +64,9 @@ mod apodization;
 mod beamformer;
 mod frame_pipeline;
 mod latency;
+mod postproc;
 mod sharded;
+mod view;
 mod volume;
 mod volume_loop;
 
@@ -68,10 +77,12 @@ pub use frame_pipeline::{
     VolumeTicket,
 };
 pub use latency::LatencyHistogram;
+pub use postproc::{BmodeConfig, PostChain, PostScratch, PostStage};
 pub use sharded::{
     shard_fitted_schedule, AdmissionError, RuntimeBudget, ShardConfig, ShardId, ShardRound,
     ShardedRuntime,
 };
+pub use view::{ProjectionAxis, SlicePlane, VolumeView};
 pub use volume::BeamformedVolume;
 pub use volume_loop::VolumeLoop;
 

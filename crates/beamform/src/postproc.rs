@@ -1,0 +1,339 @@
+//! Fused B-mode post-processing: IQ demodulation → envelope detection →
+//! log compression applied per tile, inside the beamforming pass.
+//!
+//! The delay-and-sum output oscillates at the carrier; a display consumer
+//! wants the log-compressed envelope (B-mode). Running that chain as a
+//! separate whole-volume pass re-reads ~megabytes of voxels that were
+//! cache-hot moments earlier and re-allocates intermediate buffers every
+//! frame. [`PostChain`] instead runs the chain over each tile's staged
+//! scanline columns right after the delay-and-sum kernel fills them —
+//! while they still sit in the worker's cache and **before** the scatter
+//! into the output volume — using per-tile scratch preallocated in
+//! [`TileState`](crate::TileState), so warm pipelined frames stay at zero
+//! heap allocations.
+//!
+//! Every arithmetic kernel is one of the `usbf_sim` envelope building
+//! blocks ([`demodulate_into`](usbf_sim::demodulate_into),
+//! [`envelope_from_iq_into`](usbf_sim::envelope_from_iq_into),
+//! [`log_compress_into`](usbf_sim::log_compress_into)); this module only
+//! decides *where* they run. Because every stage is local to one axial
+//! scanline column — log compression is relative to a **fixed**
+//! [`BmodeConfig::reference`] level, never the volume peak — the chain
+//! commutes with any tiling of the fan, so the fused per-tile path is
+//! bit-identical to applying [`PostChain::apply_volume`] to a raw
+//! whole-volume reference.
+
+use crate::BeamformedVolume;
+use usbf_geometry::SystemSpec;
+
+/// Parameters of the standard B-mode chain, expressed in the axial
+/// sample domain of a beamformed scanline (depth samples, not RF time
+/// samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BmodeConfig {
+    /// Carrier cycles per depth sample along a beamformed scanline. For
+    /// a depth step `dz` this is `2·fc·dz/c` — the factor 2 is the
+    /// two-way travel: advancing one depth sample lengthens the echo
+    /// path by `2·dz`.
+    pub carrier_cycles_per_sample: f64,
+    /// Fixed amplitude mapped to 0 dB by the log compression. A fixed
+    /// level (rather than the per-volume peak) keeps the transform
+    /// pointwise, which is what lets the fused per-tile chain stay
+    /// bit-identical to a whole-volume pass.
+    pub reference: f64,
+    /// Darkest displayed level; envelope values at or below silence
+    /// clamp here.
+    pub floor_db: f64,
+}
+
+impl BmodeConfig {
+    /// The chain parameters implied by a system spec: axial carrier rate
+    /// from the probe's centre frequency and the grid's depth step,
+    /// reference level 1.0, −60 dB floor.
+    #[must_use]
+    pub fn from_spec(spec: &SystemSpec) -> Self {
+        let dz = spec.volume_grid.depth_step();
+        BmodeConfig {
+            carrier_cycles_per_sample: 2.0 * spec.transducer.center_frequency * dz
+                / spec.speed_of_sound,
+            reference: 1.0,
+            floor_db: -60.0,
+        }
+    }
+
+    /// Sets the 0 dB reference amplitude.
+    #[must_use = "with_reference returns the configured value; dropping it discards the level"]
+    pub fn with_reference(mut self, reference: f64) -> Self {
+        self.reference = reference;
+        self
+    }
+
+    /// Sets the dB floor.
+    #[must_use = "with_floor_db returns the configured value; dropping it discards the floor"]
+    pub fn with_floor_db(mut self, floor_db: f64) -> Self {
+        self.floor_db = floor_db;
+        self
+    }
+
+    /// Angular carrier frequency in radians per depth sample.
+    #[inline]
+    fn carrier_w(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.carrier_cycles_per_sample
+    }
+
+    /// Boxcar length of the envelope low-pass: one axial carrier period,
+    /// at least 2 samples.
+    #[inline]
+    fn period(&self) -> usize {
+        usbf_sim::boxcar_period(self.carrier_cycles_per_sample, 1.0)
+    }
+}
+
+/// One post-processing stage over a single scanline's depth column.
+///
+/// Stages are data-flow steps, not independent filters: [`IqDemod`]
+/// writes the I/Q scratch that [`Envelope`] consumes. The canonical
+/// composition is [`PostChain::bmode`]; hand-built chains must keep a
+/// demodulation immediately before each envelope stage.
+///
+/// [`IqDemod`]: PostStage::IqDemod
+/// [`Envelope`]: PostStage::Envelope
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PostStage {
+    /// Mix the column down to baseband I/Q at `w` radians per depth
+    /// sample, into the tile's scratch rows. Leaves the column itself
+    /// untouched.
+    IqDemod {
+        /// Angular carrier frequency, radians per depth sample.
+        w: f64,
+    },
+    /// Boxcar-filter the scratch I/Q over `period` samples and write the
+    /// magnitude (the envelope) back over the column.
+    Envelope {
+        /// Low-pass length in samples (one carrier period).
+        period: usize,
+    },
+    /// In-place `v ← max(20·log10(|v|/reference), floor_db)`.
+    LogCompress {
+        /// Amplitude mapped to 0 dB.
+        reference: f64,
+        /// Clamp floor in dB.
+        floor_db: f64,
+    },
+}
+
+impl PostStage {
+    /// Applies this stage to one depth column, using `scratch` for the
+    /// I/Q intermediates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` is shorter than the column.
+    #[inline]
+    pub fn apply(&self, column: &mut [f64], scratch: &mut PostScratch) {
+        let n = column.len();
+        match *self {
+            PostStage::IqDemod { w } => {
+                usbf_sim::demodulate_into(column, w, &mut scratch.i, &mut scratch.q);
+            }
+            PostStage::Envelope { period } => {
+                usbf_sim::envelope_from_iq_into(&scratch.i[..n], &scratch.q[..n], period, column);
+            }
+            PostStage::LogCompress {
+                reference,
+                floor_db,
+            } => {
+                usbf_sim::log_compress_into(column, reference, floor_db);
+            }
+        }
+    }
+}
+
+/// Preallocated I/Q intermediates for one worker's post-processing: two
+/// depth-length rows, allocated once (at [`TileState`](crate::TileState)
+/// construction for the warm runtimes) and refilled every column.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PostScratch {
+    i: Vec<f64>,
+    q: Vec<f64>,
+}
+
+impl PostScratch {
+    /// Allocates scratch for columns of `n_depth` samples.
+    #[must_use]
+    pub fn new(n_depth: usize) -> Self {
+        PostScratch {
+            i: vec![0.0; n_depth],
+            q: vec![0.0; n_depth],
+        }
+    }
+}
+
+/// An ordered chain of [`PostStage`]s a beamformer applies to every
+/// scanline column it produces — empty by default (raw delay-and-sum
+/// output).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PostChain {
+    stages: Vec<PostStage>,
+}
+
+impl PostChain {
+    /// The canonical B-mode chain: IQ demodulation → envelope →
+    /// log compression.
+    #[must_use]
+    pub fn bmode(config: BmodeConfig) -> Self {
+        PostChain {
+            stages: vec![
+                PostStage::IqDemod {
+                    w: config.carrier_w(),
+                },
+                PostStage::Envelope {
+                    period: config.period(),
+                },
+                PostStage::LogCompress {
+                    reference: config.reference,
+                    floor_db: config.floor_db,
+                },
+            ],
+        }
+    }
+
+    /// A chain with no stages (the raw-output default).
+    #[must_use]
+    pub fn empty() -> Self {
+        PostChain::default()
+    }
+
+    /// Appends a stage.
+    #[must_use = "push returns the extended chain; dropping it discards the stage"]
+    pub fn push(mut self, stage: PostStage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Whether the chain has no stages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stages, in application order.
+    pub fn stages(&self) -> &[PostStage] {
+        &self.stages
+    }
+
+    /// Applies every stage, in order, to one scanline's depth column.
+    /// Allocation-free: all intermediates live in `scratch`.
+    #[inline]
+    pub fn apply_column(&self, column: &mut [f64], scratch: &mut PostScratch) {
+        for stage in &self.stages {
+            stage.apply(column, scratch);
+        }
+    }
+
+    /// Applies the chain to a whole beamformed volume, column by column —
+    /// the scalar reference the fused per-tile path is bit-identical to.
+    pub fn apply_volume(&self, volume: &mut BeamformedVolume) {
+        if self.is_empty() {
+            return;
+        }
+        let mut scratch = PostScratch::new(volume.n_depth());
+        for column in volume.columns_mut() {
+            self.apply_column(column, &mut scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usbf_geometry::VoxelIndex;
+
+    const CCPS: f64 = 0.25; // 4 depth samples per carrier cycle
+
+    fn config() -> BmodeConfig {
+        BmodeConfig {
+            carrier_cycles_per_sample: CCPS,
+            reference: 1.0,
+            floor_db: -60.0,
+        }
+    }
+
+    /// One modulated column through the chain must equal the allocating
+    /// `usbf_sim` trace transform with the same parameters.
+    #[test]
+    fn bmode_column_matches_sim_envelope_blocks() {
+        let n = 64;
+        let w = 2.0 * std::f64::consts::PI * CCPS;
+        let mut column: Vec<f64> = (0..n)
+            .map(|k| (w * k as f64).cos() * (0.2 + k as f64 / n as f64))
+            .collect();
+        let raw = column.clone();
+        let chain = PostChain::bmode(config());
+        let mut scratch = PostScratch::new(n);
+        chain.apply_column(&mut column, &mut scratch);
+
+        // usbf_sim reference: envelope at fc/fs = CCPS, then fixed-ref
+        // log compression.
+        let mut expect = usbf_sim::envelope(&raw, CCPS, 1.0);
+        usbf_sim::log_compress_into(&mut expect, 1.0, -60.0);
+        assert_eq!(column, expect, "chain diverges from the sim blocks");
+    }
+
+    #[test]
+    fn bmode_chain_has_three_stages_in_order() {
+        let chain = PostChain::bmode(config());
+        assert_eq!(chain.stages().len(), 3);
+        assert!(matches!(chain.stages()[0], PostStage::IqDemod { .. }));
+        assert!(matches!(chain.stages()[1], PostStage::Envelope { .. }));
+        assert!(matches!(chain.stages()[2], PostStage::LogCompress { .. }));
+        assert!(!chain.is_empty());
+        assert!(PostChain::empty().is_empty());
+    }
+
+    #[test]
+    fn from_spec_uses_two_way_axial_carrier() {
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let cfg = BmodeConfig::from_spec(&spec);
+        let expect = 2.0 * spec.transducer.center_frequency * spec.volume_grid.depth_step()
+            / spec.speed_of_sound;
+        assert_eq!(cfg.carrier_cycles_per_sample, expect);
+        assert!(cfg.carrier_cycles_per_sample > 0.0);
+        let cfg = cfg.with_reference(0.5).with_floor_db(-40.0);
+        assert_eq!(cfg.reference, 0.5);
+        assert_eq!(cfg.floor_db, -40.0);
+    }
+
+    #[test]
+    fn apply_volume_is_columnwise() {
+        // Two identical columns in different (θ, φ) positions must come
+        // out identical: the chain has no cross-column coupling.
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let mut vol = BeamformedVolume::zeros(&spec);
+        let w = 2.0 * std::f64::consts::PI * CCPS;
+        for id in 0..spec.volume_grid.n_depth() {
+            let v = (w * id as f64).cos();
+            vol.set(VoxelIndex::new(1, 2, id), v);
+            vol.set(VoxelIndex::new(6, 3, id), v);
+        }
+        PostChain::bmode(config()).apply_volume(&mut vol);
+        for id in 0..spec.volume_grid.n_depth() {
+            assert_eq!(
+                vol.get(VoxelIndex::new(1, 2, id)),
+                vol.get(VoxelIndex::new(6, 3, id))
+            );
+        }
+        // Silent columns clamp to the floor.
+        assert_eq!(vol.get(VoxelIndex::new(0, 0, 0)), -60.0);
+    }
+
+    #[test]
+    fn empty_chain_leaves_volume_untouched() {
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let mut vol = BeamformedVolume::zeros(&spec);
+        vol.set(VoxelIndex::new(3, 3, 3), 7.0);
+        let before = vol.clone();
+        PostChain::empty().apply_volume(&mut vol);
+        assert_eq!(vol, before);
+    }
+}

@@ -597,6 +597,16 @@ impl ShardedRuntime {
         self.live(id)?.volume()
     }
 
+    /// A zero-scatter [`VolumeView`](crate::VolumeView) over shard
+    /// `id`'s most recent frame (`None` for stale ids or before the
+    /// shard's first successful frame): the per-viewer serving path —
+    /// a dashboard pulls a [`slice`](crate::VolumeView::slice) or
+    /// [`mip`](crate::VolumeView::mip) straight from the shard's warm
+    /// tile outputs, never the merged volume.
+    pub fn view_of(&self, id: ShardId) -> Option<crate::VolumeView<'_>> {
+        self.live(id)?.view()
+    }
+
     /// Shard `id`'s lifetime counters (`None` for stale ids).
     pub fn stats_of(&self, id: ShardId) -> Option<PipelineStats> {
         Some(self.live(id)?.stats())
@@ -647,6 +657,13 @@ impl ShardedRuntime {
     /// order; prefer [`volume_of`](Self::volume_of) under churn.
     pub fn volume(&self, shard: usize) -> Option<&BeamformedVolume> {
         self.nth_live(shard).volume()
+    }
+
+    /// Shard `i`'s zero-scatter view (`None` before its first
+    /// successful frame). Positional; prefer
+    /// [`view_of`](Self::view_of) under churn.
+    pub fn view(&self, shard: usize) -> Option<crate::VolumeView<'_>> {
+        self.nth_live(shard).view()
     }
 
     /// Shard `i`'s lifetime counters (positional; prefer

@@ -1,5 +1,6 @@
 //! The reconstructed volume container.
 
+use crate::{ProjectionAxis, SlicePlane};
 use usbf_geometry::{SystemSpec, VoxelIndex};
 
 /// A beamformed volume: one value per focal point, stored in
@@ -93,6 +94,83 @@ impl BeamformedVolume {
     /// The raw values in scanline-major order.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Depth samples per scanline column.
+    #[inline]
+    pub fn n_depth(&self) -> usize {
+        self.n_depth
+    }
+
+    /// Mutable iteration over the volume's scanline columns (each one
+    /// contiguous axial trace of `n_depth` values), in θ-major, φ-inner
+    /// order — the granularity the post-processing chain operates at.
+    pub fn columns_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.data.chunks_exact_mut(self.n_depth)
+    }
+
+    /// Extracts a plane from the dense volume — the materialized
+    /// reference [`VolumeView::slice`](crate::VolumeView::slice) is
+    /// tested against. Same output layout as the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fixed index is out of range.
+    pub fn slice(&self, plane: SlicePlane) -> Vec<f64> {
+        match plane {
+            SlicePlane::Theta(it) => {
+                assert!(it < self.n_theta, "theta index {it} out of range");
+                (0..self.n_phi)
+                    .flat_map(|ip| {
+                        (0..self.n_depth).map(move |id| self.get(VoxelIndex::new(it, ip, id)))
+                    })
+                    .collect()
+            }
+            SlicePlane::Phi(ip) => {
+                assert!(ip < self.n_phi, "phi index {ip} out of range");
+                (0..self.n_theta)
+                    .flat_map(|it| {
+                        (0..self.n_depth).map(move |id| self.get(VoxelIndex::new(it, ip, id)))
+                    })
+                    .collect()
+            }
+            SlicePlane::Depth(id) => {
+                assert!(id < self.n_depth, "depth index {id} out of range");
+                (0..self.n_theta)
+                    .flat_map(|it| {
+                        (0..self.n_phi).map(move |ip| self.get(VoxelIndex::new(it, ip, id)))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Max-intensity projection along an axis from the dense volume —
+    /// the materialized reference
+    /// [`VolumeView::mip`](crate::VolumeView::mip) is tested against.
+    /// Signed [`f64::max`] fold, like the view.
+    pub fn mip(&self, axis: ProjectionAxis) -> Vec<f64> {
+        let fold_len = match axis {
+            ProjectionAxis::Theta => self.n_theta,
+            ProjectionAxis::Phi => self.n_phi,
+            ProjectionAxis::Depth => self.n_depth,
+        };
+        let get = |a: usize, b: usize, k: usize| match axis {
+            ProjectionAxis::Theta => self.get(VoxelIndex::new(k, a, b)),
+            ProjectionAxis::Phi => self.get(VoxelIndex::new(a, k, b)),
+            ProjectionAxis::Depth => self.get(VoxelIndex::new(a, b, k)),
+        };
+        let (rows, cols) = match axis {
+            ProjectionAxis::Theta => (self.n_phi, self.n_depth),
+            ProjectionAxis::Phi => (self.n_theta, self.n_depth),
+            ProjectionAxis::Depth => (self.n_theta, self.n_phi),
+        };
+        (0..rows)
+            .flat_map(|a| {
+                (0..cols)
+                    .map(move |b| (0..fold_len).fold(f64::NEG_INFINITY, |m, k| m.max(get(a, b, k))))
+            })
+            .collect()
     }
 
     /// Log-compressed magnitude in dB relative to the volume peak, clamped

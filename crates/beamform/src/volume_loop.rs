@@ -121,6 +121,22 @@ impl VolumeLoop {
         &self.out
     }
 
+    /// A zero-scatter view over the most recent frame's tile outputs:
+    /// [`slice`](crate::VolumeView::slice) and
+    /// [`mip`](crate::VolumeView::mip) read the warm staging buffers
+    /// directly, without the merged volume. Zeros before the first
+    /// frame, like [`volume`](Self::volume).
+    pub fn view(&self) -> crate::VolumeView<'_> {
+        let grid = &self.beamformer.spec().volume_grid;
+        crate::VolumeView::new(
+            &self.tiles,
+            &self.states,
+            grid.n_theta(),
+            grid.n_phi(),
+            grid.n_depth(),
+        )
+    }
+
     /// Frames beamformed since construction.
     pub fn frames(&self) -> u64 {
         self.frames

@@ -1,7 +1,7 @@
-//! Perf-trajectory snapshot: measures the PR 7 hot paths and writes
-//! `BENCH_PR7.json` (schema documented in `tests/README.md`).
+//! Perf-trajectory snapshot: measures the PR 8 hot paths and writes
+//! `BENCH_PR8.json` (schema documented in `tests/README.md`).
 //!
-//! Five sections:
+//! Six sections:
 //!
 //! * `kernel` — single-thread `Beamformer::beamform_tile_into` ns/voxel
 //!   on one reduced-spec schedule tile, per engine, next to the PR 4
@@ -17,7 +17,10 @@
 //! * `shard_churn` — the PR 7 elastic runtime under session churn:
 //!   fleets of 3 and 16 shards on a 4-worker pool, one attach + detach
 //!   every few rounds, reporting sustained frames/s and the fleet's
-//!   p50/p99 frame latency from the per-shard histograms.
+//!   p50/p99 frame latency from the per-shard histograms;
+//! * `bmode_chain` — the PR 8 fused post-processing stages: warm
+//!   `FramePipeline` frames/s on a pinned 4-worker pool, raw
+//!   beamforming vs the fused demod → envelope → log-compress chain.
 //!
 //! Knobs: `USBF_SNAPSHOT_QUICK=1` shrinks measurement budgets for CI
 //! smoke runs; `USBF_SNAPSHOT_OUT` overrides the output path.
@@ -26,8 +29,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 use usbf_beamform::{
-    Apodization, Beamformer, FramePipeline, FrameRing, Interpolation, ShardConfig, ShardedRuntime,
-    TileState,
+    Apodization, Beamformer, BmodeConfig, FramePipeline, FrameRing, Interpolation, PostChain,
+    ShardConfig, ShardedRuntime, TileState,
 };
 use usbf_core::{
     DelayEngine, ExactEngine, NaiveTableEngine, NappeDelays, NappeSchedule, TableFreeConfig,
@@ -270,6 +273,38 @@ fn main() {
         churn_rows.push(row);
     }
 
+    // --- bmode_chain: warm FramePipeline frames/s on a pinned pool,
+    // raw beamforming vs the fused demod → envelope → log-compress
+    // post-stages (the PR 8 tentpole) ---
+    let bmode_frames = if quick { 20 } else { 200 };
+    let bmode_workers = 4usize;
+    let bmode_pool = Arc::new(usbf_par::ThreadPool::new(bmode_workers));
+    let bmode_schedule = NappeSchedule::fitted(&tiny, 64);
+    let bmode_engine: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&tiny));
+    let bmode_fps = |post: PostChain| {
+        let mut pipe = FramePipeline::with_pool(
+            Beamformer::new(&tiny).with_postproc(post),
+            Arc::clone(&bmode_engine),
+            FrameRing::new(vec![churn_frame.clone()]),
+            Arc::clone(&bmode_pool),
+            &bmode_schedule,
+        );
+        for _ in 0..5 {
+            pipe.next_volume().expect("warm-up frame");
+        }
+        let start = Instant::now();
+        for _ in 0..bmode_frames {
+            pipe.next_volume().expect("warm frame");
+        }
+        bmode_frames as f64 / start.elapsed().as_secs_f64()
+    };
+    let raw_fps = bmode_fps(PostChain::empty());
+    let fused_fps = bmode_fps(PostChain::bmode(BmodeConfig::from_spec(&tiny)));
+    println!(
+        "bmode-chain [tiny] {bmode_workers} workers: raw {raw_fps:.1} frames/s   fused {fused_fps:.1} frames/s   chain cost {:.1}%",
+        (raw_fps / fused_fps - 1.0) * 100.0
+    );
+
     // Inline-audit note (PR 5 satellite): leaf functions checked for
     // cross-crate inlining. `QFormat::resolution` (now exp2-free) and
     // `Fixed::wide_add`/`QFormat::sum_format` (#[inline] added) showed up
@@ -285,7 +320,7 @@ fn main() {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"schema\": \"usbf-perf-snapshot/1\",");
-    let _ = writeln!(j, "  \"pr\": 7,");
+    let _ = writeln!(j, "  \"pr\": 8,");
     let _ = writeln!(j, "  \"quick\": {quick},");
     let _ = writeln!(j, "  \"kernel\": {{");
     let _ = writeln!(j, "    \"spec\": \"reduced\",");
@@ -357,9 +392,17 @@ fn main() {
         );
     }
     let _ = writeln!(j, "    }}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"bmode_chain\": {{");
+    let _ = writeln!(j, "    \"spec\": \"tiny\",");
+    let _ = writeln!(j, "    \"workers\": {bmode_workers},");
+    let _ = writeln!(j, "    \"frames\": {bmode_frames},");
+    let _ = writeln!(j, "    \"raw_frames_per_second\": {raw_fps:.1},");
+    let _ = writeln!(j, "    \"fused_frames_per_second\": {fused_fps:.1},");
+    let _ = writeln!(j, "    \"fused_over_raw\": {:.4}", fused_fps / raw_fps);
     let _ = writeln!(j, "  }}");
     j.push_str("}\n");
-    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
     std::fs::write(&out, &j).expect("write snapshot JSON");
     println!("wrote {out}");
 }

@@ -46,7 +46,9 @@ mod pulse;
 mod rf;
 
 pub use echo::{EchoOptions, EchoSynthesizer};
-pub use envelope::{envelope, envelope_db};
+pub use envelope::{
+    boxcar_period, demodulate_into, envelope, envelope_db, envelope_from_iq_into, log_compress_into,
+};
 pub use phantom::{Phantom, Scatterer};
 pub use pulse::Pulse;
 pub use rf::RfFrame;

@@ -1,18 +1,36 @@
 //! Image-quality metrics: how delay accuracy shows up in images.
 
+/// Index of the largest |value| in a profile, skipping NaN samples.
+///
+/// Returns `None` for an empty or all-NaN profile. Unlike a
+/// `partial_cmp(..).unwrap()` fold this never panics: NaN samples (which
+/// can reach image metrics through silent log-compressed traces or
+/// corrupted RF) are simply not candidates for the peak.
+pub fn try_peak_index(profile: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in profile.iter().enumerate() {
+        let a = v.abs();
+        if a.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, m)) if a <= m => {}
+            _ => best = Some((i, a)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
 /// Index of the largest |value| in a profile.
+///
+/// NaN samples are skipped (see [`try_peak_index`]).
 ///
 /// # Panics
 ///
-/// Panics if the profile is empty.
+/// Panics if the profile is empty or contains no non-NaN sample.
 pub fn peak_index(profile: &[f64]) -> usize {
     assert!(!profile.is_empty(), "empty profile");
-    profile
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite samples"))
-        .map(|(i, _)| i)
-        .expect("non-empty profile")
+    try_peak_index(profile).expect("all-NaN profile has no peak")
 }
 
 /// Full width at half maximum of |profile|, in index units, measured
@@ -137,6 +155,31 @@ mod tests {
     fn peak_index_finds_max_abs() {
         assert_eq!(peak_index(&[0.1, -0.9, 0.5]), 1);
         assert_eq!(peak_index(&[1.0]), 0);
+    }
+
+    #[test]
+    fn peak_index_skips_nan_samples() {
+        // Regression: the old partial_cmp(..).unwrap() fold panicked the
+        // moment a NaN reached the comparison.
+        assert_eq!(peak_index(&[0.1, f64::NAN, -0.9, f64::NAN, 0.5]), 2);
+        assert_eq!(try_peak_index(&[f64::NAN, 2.0, f64::NAN]), Some(1));
+    }
+
+    #[test]
+    fn try_peak_index_empty_and_all_nan_are_none() {
+        assert_eq!(try_peak_index(&[]), None);
+        assert_eq!(try_peak_index(&[f64::NAN, f64::NAN]), None);
+    }
+
+    #[test]
+    fn try_peak_index_prefers_first_of_equal_peaks() {
+        assert_eq!(try_peak_index(&[1.0, -1.0, 1.0]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "all-NaN profile")]
+    fn peak_index_all_nan_panics_with_message() {
+        peak_index(&[f64::NAN, f64::NAN]);
     }
 
     #[test]

@@ -17,12 +17,14 @@ mod shard_test_harness;
 use shard_test_harness::shard_plans;
 use std::sync::Arc;
 use usbf::beamform::{
-    Beamformer, FramePipeline, FrameRing, RuntimeBudget, ShardConfig, ShardedRuntime, VolumeLoop,
+    Beamformer, BmodeConfig, FramePipeline, FrameRing, PostChain, RuntimeBudget, ShardConfig,
+    ShardedRuntime, VolumeLoop,
 };
 use usbf::core::{
-    DelayEngine, ExactEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
-    TableSteerEngine,
+    DelayEngine, ExactEngine, NaiveTableEngine, NappeSchedule, TableFreeConfig, TableFreeEngine,
+    TableSteerConfig, TableSteerEngine,
 };
+use usbf::geometry::scan::ScanOrder;
 use usbf::geometry::{SystemSpec, VoxelIndex};
 use usbf::par::ThreadPool;
 use usbf::sim::{EchoSynthesizer, Phantom, Pulse, RfFrame};
@@ -209,6 +211,69 @@ fn churned_elastic_runtime_is_bit_identical_across_pool_sizes() {
                     &volumes, expect,
                     "churned runtime with {threads} worker(s) diverged"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_bmode_post_stages_are_bit_identical_to_the_scalar_reference() {
+    // The PR 8 tentpole invariant: the demod → envelope → log-compress
+    // chain fused into the per-tile kernel (applied to each tile's
+    // columns before the scatter, through the warm FramePipeline) must
+    // reproduce, bit for bit, the scalar whole-volume reference — a
+    // per-voxel ScanlineByScanline walk followed by a separate
+    // whole-volume post-processing pass — for all four delay engines at
+    // every pool size.
+    let spec = SystemSpec::tiny();
+    let frames = recorded_frames(&spec, 2);
+    let schedule = NappeSchedule::fitted(&spec, 8);
+    let bmode = PostChain::bmode(BmodeConfig::from_spec(&spec));
+    let exact: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&spec));
+    let naive: Arc<dyn DelayEngine + Send + Sync> =
+        Arc::new(NaiveTableEngine::build(&spec, u64::MAX).unwrap());
+    let tablefree: Arc<dyn DelayEngine + Send + Sync> =
+        Arc::new(TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap());
+    let tablesteer: Arc<dyn DelayEngine + Send + Sync> =
+        Arc::new(TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap());
+    for engine in [&exact, &naive, &tablefree, &tablesteer] {
+        let reference: Vec<_> = frames
+            .iter()
+            .map(|rf| {
+                Beamformer::new(&spec)
+                    .with_order(ScanOrder::ScanlineByScanline)
+                    .with_postproc(bmode.clone())
+                    .beamform_volume(engine.as_ref(), rf)
+            })
+            .collect();
+        for threads in POOL_SIZES {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let mut pipe = FramePipeline::with_pool(
+                Beamformer::new(&spec).with_postproc(bmode.clone()),
+                Arc::clone(engine),
+                FrameRing::new(frames.clone()),
+                pool,
+                &schedule,
+            );
+            for (i, expect) in reference.iter().enumerate() {
+                let vol = pipe.next_volume().expect("healthy pipeline");
+                assert_eq!(
+                    vol,
+                    expect,
+                    "{} frame {i} with {threads} worker(s) diverged from the scalar B-mode reference",
+                    engine.name()
+                );
+            }
+            // The zero-scatter view over the fused tile outputs agrees
+            // with the scattered volume it bypasses.
+            let view = pipe.view().expect("frames completed");
+            let last = reference.last().unwrap();
+            for axis in [
+                usbf::beamform::ProjectionAxis::Theta,
+                usbf::beamform::ProjectionAxis::Phi,
+                usbf::beamform::ProjectionAxis::Depth,
+            ] {
+                assert_eq!(view.mip(axis), last.mip(axis), "{}", engine.name());
             }
         }
     }

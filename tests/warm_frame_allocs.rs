@@ -20,7 +20,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use usbf::beamform::{
-    Beamformer, FramePipeline, FrameRing, ShardConfig, ShardedRuntime, VolumeLoop,
+    Beamformer, BmodeConfig, FramePipeline, FrameRing, PostChain, ProjectionAxis, ShardConfig,
+    ShardedRuntime, SlicePlane, VolumeLoop,
 };
 use usbf::core::{
     DelayEngine, ExactEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
@@ -172,6 +173,40 @@ fn warm_frames_do_no_per_tile_allocation() {
              ({FRAMES} frames, {tiles} tiles each)"
         );
     }
+
+    // --- FramePipeline with the fused B-mode post-stages: the demod →
+    // envelope → log-compress chain runs per tile on the slab-resident
+    // I/Q scratch, so warm frames still measure 0 — and the zero-scatter
+    // views fill caller-provided buffers without materializing the
+    // volume ---
+    let mut pipe = FramePipeline::with_pool(
+        Beamformer::new(&spec).with_postproc(PostChain::bmode(BmodeConfig::from_spec(&spec))),
+        Arc::clone(&arc_engine),
+        FrameRing::new(vec![rf.clone()]),
+        Arc::clone(&pool),
+        &schedule,
+    );
+    for _ in 0..5 {
+        pipe.next_volume().expect("warm-up frame");
+    }
+    let (n_theta, n_phi, n_depth) = pipe.view().expect("frames completed").dims();
+    let mut slice_buf = vec![0.0; n_phi * n_depth];
+    let mut mip_buf = vec![0.0; n_theta * n_phi];
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..FRAMES {
+        pipe.next_volume().expect("warm frame");
+        let view = pipe.view().expect("frames completed");
+        view.slice_into(SlicePlane::Theta(n_theta / 2), &mut slice_buf);
+        view.mip_into(ProjectionAxis::Depth, &mut mip_buf);
+    }
+    let bmode_allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    eprintln!("BMODE_ALLOCS={bmode_allocs}");
+    assert_eq!(
+        bmode_allocs, 0,
+        "warm B-mode FramePipeline frames plus slice/MIP views must not \
+         allocate ({FRAMES} frames, {tiles} tiles each)"
+    );
+    drop(pipe);
 
     // --- ShardedRuntime (3 shards multiplexed on the same pool) ---
     let shard = |fill: f64| {
