@@ -17,9 +17,8 @@ use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 use usbf_sim::RfFrame;
 
 /// The schedule the parallel volume paths run on: fitted to the pool
-/// that will execute it (~4 tiles per worker for claim balancing), not
-/// to raw core count — the two differ when `USBF_POOL_THREADS` resizes
-/// the global pool.
+/// that will execute it (~4 tiles per worker for claim balancing) —
+/// the same sizing rule as [`NappeSchedule::for_host`].
 pub(crate) fn pool_fitted_schedule(
     spec: &SystemSpec,
     pool: &usbf_par::ThreadPool,
@@ -63,6 +62,17 @@ pub struct TileState {
     pub(crate) indices: Vec<i32>,
     /// The gathered sample row the weighted accumulate consumes.
     pub(crate) samples: Vec<f64>,
+    /// Low-resolution-image staging for compound sequences: one
+    /// transmit's tile volume, re-beamformed per angle and accumulated
+    /// into `values`. Empty for the classic single point-source emission
+    /// (which beamforms straight into `values`).
+    pub(crate) lri: Vec<f64>,
+    /// Compound mask weights, `[transmit][scanline-within-tile][depth]`
+    /// (same inner layout as `values`): the per-voxel insonification
+    /// weight of each transmit, precomputed at construction so the warm
+    /// accumulate is a pure multiply-add with an explicit zero skip.
+    /// Empty for the single point-source emission.
+    pub(crate) tx_weights: Vec<f64>,
     /// I/Q scratch for the fused post-processing chain (empty when the
     /// beamformer carries no chain).
     pub(crate) post_scratch: PostScratch,
@@ -77,12 +87,34 @@ impl TileState {
         let spec = beamformer.spec();
         let active = beamformer.aperture().len();
         let n_depth = spec.volume_grid.n_depth();
+        let n_values = tile.scanlines() * n_depth;
+        let (lri, tx_weights) = if spec.is_single_point_source() {
+            (Vec::new(), Vec::new())
+        } else {
+            // Compound sequence: stage each angle's low-resolution image
+            // and precompute every transmit's per-voxel mask weight in
+            // the `values` layout, so the warm accumulate never calls
+            // back into geometry.
+            let mut weights = vec![0.0; spec.n_transmits() * n_values];
+            for tx in 0..spec.n_transmits() {
+                let block = &mut weights[tx * n_values..(tx + 1) * n_values];
+                for (slot, it, ip) in tile.iter_scanlines() {
+                    for id in 0..n_depth {
+                        let s = spec.volume_grid.position(VoxelIndex::new(it, ip, id));
+                        block[slot * n_depth + id] = spec.transmit_weight(tx, s);
+                    }
+                }
+            }
+            (vec![0.0; n_values], weights)
+        };
         TileState {
             slab: NappeDelays::for_tile(spec, tile),
-            values: vec![0.0; tile.scanlines() * n_depth],
+            values: vec![0.0; n_values],
             delays: vec![0.0; active],
             indices: vec![0; active],
             samples: vec![0.0; active],
+            lri,
+            tx_weights,
             post_scratch: if beamformer.postproc().is_empty() {
                 PostScratch::default()
             } else {
@@ -287,20 +319,63 @@ impl Beamformer {
         &self.aperture
     }
 
-    /// Beamforms a single focal point: `Σ_D w·e(D, tp)`.
+    /// Beamforms a single focal point: `Σ_D w·e(D, tp)` for the classic
+    /// single-emission scan, and the coherent compound `Σ_tx m_tx(tp) ·
+    /// Σ_D w·e_tx(D, tp)` for a multi-transmit sequence (`m_tx` is the
+    /// transmit's insonification mask weight; masked-out angles are
+    /// **skipped**, never multiplied — a masked angle must not be able
+    /// to poison the sum with non-finite staging values).
     ///
     /// This is the scalar reference walk; it iterates the precomputed
     /// compacted aperture (same weights, same order as the tile kernel),
     /// so it no longer re-derives the apodization window per element per
     /// call.
     pub fn beamform_voxel(&self, engine: &dyn DelayEngine, rf: &RfFrame, vox: VoxelIndex) -> f64 {
+        if self.spec.is_single_point_source() {
+            let nx = self.spec.elements.nx();
+            let mut acc = 0.0;
+            for (&chan, &w) in self.aperture.channels().iter().zip(self.aperture.weights()) {
+                let e = ElementIndex::new(chan as usize % nx, chan as usize / nx);
+                let v = match self.interpolation {
+                    Interpolation::Nearest => rf.sample(e, engine.delay_index(vox, e)),
+                    Interpolation::Linear => rf.sample_interp(e, engine.delay_samples(vox, e)),
+                };
+                acc += w * v;
+            }
+            return acc;
+        }
+        let s = self.spec.volume_grid.position(vox);
+        let mut acc = 0.0;
+        for tx in 0..self.spec.n_transmits() {
+            let m = self.spec.transmit_weight(tx, s);
+            if m != 0.0 {
+                acc += m * self.beamform_voxel_for(engine, rf, tx, vox);
+            }
+        }
+        acc
+    }
+
+    /// Beamforms a single focal point from one transmit event's
+    /// acquisition: the low-resolution-image sample `Σ_D w·e_tx(D, tp)`
+    /// before the compound mask weight is applied. Transmit 0 of a
+    /// single-emission spec reproduces
+    /// [`beamform_voxel`](Self::beamform_voxel).
+    pub fn beamform_voxel_for(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        tx: usize,
+        vox: VoxelIndex,
+    ) -> f64 {
         let nx = self.spec.elements.nx();
         let mut acc = 0.0;
         for (&chan, &w) in self.aperture.channels().iter().zip(self.aperture.weights()) {
             let e = ElementIndex::new(chan as usize % nx, chan as usize / nx);
             let v = match self.interpolation {
-                Interpolation::Nearest => rf.sample(e, engine.delay_index(vox, e)),
-                Interpolation::Linear => rf.sample_interp(e, engine.delay_samples(vox, e)),
+                Interpolation::Nearest => rf.sample_for(tx, e, engine.delay_index_for(tx, vox, e)),
+                Interpolation::Linear => {
+                    rf.sample_interp_for(tx, e, engine.delay_samples_for(tx, vox, e))
+                }
             };
             acc += w * v;
         }
@@ -397,7 +472,8 @@ impl Beamformer {
     /// # Panics
     ///
     /// Panics if `state` was built for a different spec or aperture
-    /// shape.
+    /// shape, or (for a compound sequence) if the engine or RF frame
+    /// does not carry every transmit of the spec's sequence.
     pub fn beamform_tile_into(
         &self,
         engine: &dyn DelayEngine,
@@ -416,9 +492,63 @@ impl Beamformer {
             self.aperture.len(),
             "scratch rows must match the compacted aperture"
         );
-        match self.interpolation {
-            Interpolation::Nearest => self.tile_kernel_nearest(engine, rf, state),
-            Interpolation::Linear => self.tile_kernel_linear(engine, rf, state),
+        let TileState {
+            slab,
+            values,
+            delays,
+            indices,
+            samples,
+            lri,
+            tx_weights,
+            post_scratch,
+        } = state;
+        if self.spec.is_single_point_source() {
+            // The classic single-emission path: beamform straight into
+            // the staging buffer, exactly as before compounding existed.
+            match self.interpolation {
+                Interpolation::Nearest => {
+                    self.tile_kernel_nearest(engine, rf, 0, slab, values, delays, indices, samples)
+                }
+                Interpolation::Linear => {
+                    self.tile_kernel_linear(engine, rf, 0, slab, values, delays, samples)
+                }
+            }
+        } else {
+            // Coherent compounding: beamform each transmit's
+            // low-resolution image into the staging buffer and
+            // mask-weight it into the accumulator. The zero-weight skip
+            // is a correctness requirement, not an optimization: outside
+            // a steered wave's footprint the LRI value is meaningless
+            // (and may be non-finite under hostile inputs), so it must
+            // never enter the arithmetic — `0.0 * NaN` is NaN.
+            let n_tx = self.spec.n_transmits();
+            assert_eq!(
+                engine.transmit_count(),
+                n_tx,
+                "engine must cover the spec's transmit sequence"
+            );
+            assert_eq!(
+                rf.n_transmits(),
+                n_tx,
+                "RF frame must hold every transmit acquisition"
+            );
+            values.fill(0.0);
+            let n_values = values.len();
+            for tx in 0..n_tx {
+                match self.interpolation {
+                    Interpolation::Nearest => self
+                        .tile_kernel_nearest(engine, rf, tx, slab, lri, delays, indices, samples),
+                    Interpolation::Linear => {
+                        self.tile_kernel_linear(engine, rf, tx, slab, lri, delays, samples)
+                    }
+                }
+                let mask = &tx_weights[tx * n_values..(tx + 1) * n_values];
+                for ((v, &l), &m) in values.iter_mut().zip(lri.iter()).zip(mask) {
+                    if m != 0.0 {
+                        *v += m * l;
+                    }
+                }
+            }
         }
         if !self.post.is_empty() {
             // Fused post-processing: each scanline column runs through
@@ -427,11 +557,6 @@ impl Beamformer {
             // scratch (no heap traffic on the warm path). Columns are
             // independent, so per-tile application is bit-identical to
             // the whole-volume pass of the scalar reference.
-            let TileState {
-                values,
-                post_scratch,
-                ..
-            } = state;
             for column in values.chunks_exact_mut(n_depth) {
                 self.post.apply_column(column, post_scratch);
             }
@@ -450,21 +575,24 @@ impl Beamformer {
     /// order and all per-row arithmetic are unchanged, so the output
     /// (and the engines' rounding telemetry) stays bit-identical to the
     /// fill-then-consume schedule.
-    fn tile_kernel_nearest(&self, engine: &dyn DelayEngine, rf: &RfFrame, state: &mut TileState) {
+    #[allow(clippy::too_many_arguments)]
+    fn tile_kernel_nearest(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        tx: usize,
+        slab: &mut NappeDelays,
+        out: &mut [f64],
+        delays: &mut [f64],
+        indices: &mut [i32],
+        samples: &mut [f64],
+    ) {
         let n_depth = self.spec.volume_grid.n_depth();
         let channels = self.aperture.channels();
         let weights = self.aperture.weights();
         let full = self.aperture.is_full();
-        let TileState {
-            slab,
-            values,
-            delays,
-            indices,
-            samples,
-            ..
-        } = state;
         for id in 0..n_depth {
-            engine.fill_nappe_streamed(id, slab, &mut |slot, row| {
+            engine.fill_nappe_streamed_for(tx, id, slab, &mut |slot, row| {
                 let active_delays = if full {
                     row
                 } else {
@@ -476,8 +604,8 @@ impl Beamformer {
                 // telemetry (e.g. TABLESTEER's clamp counter) sees this
                 // path exactly as it sees per-element queries.
                 engine.quantize_row(active_delays, indices);
-                rf.gather_nearest_into(channels, indices, samples);
-                values[slot * n_depth + id] = weighted_sum(weights, samples);
+                rf.gather_nearest_into_for(tx, channels, indices, samples);
+                out[slot * n_depth + id] = weighted_sum(weights, samples);
             });
         }
     }
@@ -487,28 +615,31 @@ impl Beamformer {
     /// stage — the fractional delays feed the gather directly. Rows are
     /// consumed streamed, like
     /// [`tile_kernel_nearest`](Self::tile_kernel_nearest).
-    fn tile_kernel_linear(&self, engine: &dyn DelayEngine, rf: &RfFrame, state: &mut TileState) {
+    #[allow(clippy::too_many_arguments)]
+    fn tile_kernel_linear(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        tx: usize,
+        slab: &mut NappeDelays,
+        out: &mut [f64],
+        delays: &mut [f64],
+        samples: &mut [f64],
+    ) {
         let n_depth = self.spec.volume_grid.n_depth();
         let channels = self.aperture.channels();
         let weights = self.aperture.weights();
         let full = self.aperture.is_full();
-        let TileState {
-            slab,
-            values,
-            delays,
-            samples,
-            ..
-        } = state;
         for id in 0..n_depth {
-            engine.fill_nappe_streamed(id, slab, &mut |slot, row| {
+            engine.fill_nappe_streamed_for(tx, id, slab, &mut |slot, row| {
                 let active_delays = if full {
                     row
                 } else {
                     compact_row(row, channels, delays);
                     &*delays
                 };
-                rf.gather_linear_into(channels, active_delays, samples);
-                values[slot * n_depth + id] = weighted_sum(weights, samples);
+                rf.gather_linear_into_for(tx, channels, active_delays, samples);
+                out[slot * n_depth + id] = weighted_sum(weights, samples);
             });
         }
     }

@@ -427,11 +427,15 @@ impl FramePipeline {
     ) -> Self {
         let spec = beamformer.spec().clone();
         let n_depth = spec.volume_grid.n_depth();
+        // Buffers hold one acquisition block per transmit of the spec's
+        // sequence, so an N-angle compound moves through the pipeline as
+        // ONE frame (one submit, one ticket, one volume).
         let make_buffer = || {
-            RfFrame::zeros(
+            RfFrame::zeros_multi(
                 spec.elements.nx(),
                 spec.elements.ny(),
                 spec.echo_buffer_len(),
+                spec.n_transmits(),
             )
         };
         let tiles = schedule.tiles();

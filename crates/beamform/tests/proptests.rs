@@ -7,7 +7,9 @@ use usbf_core::{
     TableSteerEngine,
 };
 use usbf_geometry::scan::ScanOrder;
-use usbf_geometry::{SystemSpec, TransducerSpec, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND};
+use usbf_geometry::{
+    SystemSpec, TransducerSpec, TransmitModel, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND,
+};
 use usbf_sim::{EchoSynthesizer, Phantom, Pulse};
 
 fn rf_for(spec: &SystemSpec, vox: VoxelIndex) -> usbf_sim::RfFrame {
@@ -43,6 +45,50 @@ fn random_spec(nx: usize, ny: usize, n_theta: usize, n_phi: usize, n_depth: usiz
         Vec3::ZERO,
         15.0,
     )
+}
+
+/// Like [`random_spec`] but with a narrow cone (±4° over 60λ) so
+/// plane-wave footprints actually intersect the grid: under the stock
+/// ±36.5° cone every voxel back-projects outside a tiny aperture and
+/// all compound masks degenerate to zero.
+fn random_compound_spec(
+    nx: usize,
+    ny: usize,
+    n_theta: usize,
+    n_phi: usize,
+    n_depth: usize,
+) -> SystemSpec {
+    let wide = random_spec(nx, ny, n_theta, n_phi, n_depth);
+    let lambda = wide.wavelength();
+    SystemSpec::new(
+        wide.speed_of_sound,
+        wide.sampling_frequency,
+        wide.transducer.clone(),
+        VolumeSpec {
+            theta_max: usbf_geometry::deg(4.0),
+            phi_max: usbf_geometry::deg(4.0),
+            depth_max: 60.0 * lambda,
+            ..wide.volume.clone()
+        },
+        wide.origin,
+        wide.frame_rate,
+    )
+}
+
+/// A random transmit sequence mixing steered plane waves with the
+/// classic point emission (bit `i` of `kinds` picks the flavour).
+fn random_transmits(n_tx: usize, kinds: usize, a: usize, b: usize) -> Vec<TransmitModel> {
+    (0..n_tx)
+        .map(|i| {
+            if (kinds >> i) & 1 == 0 {
+                TransmitModel::PointSource
+            } else {
+                let theta = ((a + 7 * i) % 25) as f64 - 12.0;
+                let phi = ((b + 5 * i) % 25) as f64 - 12.0;
+                TransmitModel::plane_wave(usbf_geometry::deg(theta), usbf_geometry::deg(phi))
+            }
+        })
+        .collect()
 }
 
 proptest! {
@@ -159,6 +205,55 @@ proptest! {
                         b.to_bits(),
                         "{} {:?} {:?} voxel {}: {} vs {}",
                         engine.name(), interp, apod, i, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compound_kernel_bit_identical_to_scalar_reference_on_random_transmits(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        n_theta in 2usize..6,
+        n_phi in 2usize..6,
+        n_depth in 4usize..10,
+        target in 0usize..1_000_000,
+        n_tx in 1usize..5,
+        kinds in 0usize..16,
+        angle_a in 0usize..1000,
+        angle_b in 0usize..1000,
+    ) {
+        // The PR 9 tentpole invariant: the compound tile kernel (per
+        // transmit: batched fill → gather → MAC into the low-resolution
+        // scratch, then the masked skip-on-zero accumulate) reproduces
+        // the scalar per-voxel compound walk bit for bit, for all four
+        // engines × both interpolations, on random transmit sequences
+        // mixing steered plane waves with point emissions.
+        let spec = random_compound_spec(nx, ny, n_theta, n_phi, n_depth)
+            .with_transmits(random_transmits(n_tx, kinds, angle_a, angle_b));
+        let vox = spec.volume_grid.voxel_at(target % spec.volume_grid.voxel_count());
+        let rf = rf_for(&spec, vox);
+        let exact = ExactEngine::new(&spec);
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).expect("tiny table fits");
+        let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds");
+        let tablesteer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds");
+        let engines: [&dyn DelayEngine; 4] = [&exact, &naive, &tablefree, &tablesteer];
+        for engine in engines {
+            for interp in [Interpolation::Nearest, Interpolation::Linear] {
+                let bf = |order| {
+                    Beamformer::new(&spec)
+                        .with_interpolation(interp)
+                        .with_order(order)
+                };
+                let tiled = bf(ScanOrder::NappeByNappe).beamform_volume(engine, &rf);
+                let scalar = bf(ScanOrder::ScanlineByScanline).beamform_volume(engine, &rf);
+                for (i, (a, b)) in tiled.as_slice().iter().zip(scalar.as_slice()).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} {:?} {} transmits (kinds {:#x}) voxel {}: {} vs {}",
+                        engine.name(), interp, n_tx, kinds, i, a, b
                     );
                 }
             }

@@ -1,7 +1,7 @@
-//! Perf-trajectory snapshot: measures the PR 8 hot paths and writes
-//! `BENCH_PR8.json` (schema documented in `tests/README.md`).
+//! Perf-trajectory snapshot: measures the PR 9 hot paths and writes
+//! `BENCH_PR9.json` (schema documented in `tests/README.md`).
 //!
-//! Six sections:
+//! Seven sections:
 //!
 //! * `kernel` — single-thread `Beamformer::beamform_tile_into` ns/voxel
 //!   on one reduced-spec schedule tile, per engine, next to the PR 4
@@ -20,7 +20,12 @@
 //!   p50/p99 frame latency from the per-shard histograms;
 //! * `bmode_chain` — the PR 8 fused post-processing stages: warm
 //!   `FramePipeline` frames/s on a pinned 4-worker pool, raw
-//!   beamforming vs the fused demod → envelope → log-compress chain.
+//!   beamforming vs the fused demod → envelope → log-compress chain;
+//! * `cpwc_compound` — the PR 9 coherent plane-wave compounding path:
+//!   per-engine warm `FramePipeline` frames/s with a 4-angle compound
+//!   running as one frame (narrow-cone [`usbf_bench::cpwc_spec`]
+//!   geometry, pinned 4-worker pool), plus EXACT's angles-vs-frames/s
+//!   sweep over 1/4/16 angles.
 //!
 //! Knobs: `USBF_SNAPSHOT_QUICK=1` shrinks measurement budgets for CI
 //! smoke runs; `USBF_SNAPSHOT_OUT` overrides the output path.
@@ -305,6 +310,82 @@ fn main() {
         (raw_fps / fused_fps - 1.0) * 100.0
     );
 
+    // --- cpwc_compound: the PR 9 tentpole — an N-angle plane-wave
+    // compound as one warm pipeline frame, per engine, plus EXACT's
+    // angle sweep ---
+    let cpwc_frames = if quick { 20 } else { 200 };
+    let cpwc_workers = 4usize;
+    let cpwc_pool = Arc::new(usbf_par::ThreadPool::new(cpwc_workers));
+    let cpwc_fps = |spec: &SystemSpec, engine: Arc<dyn DelayEngine + Send + Sync>| {
+        let schedule = NappeSchedule::fitted(spec, cpwc_workers * 4);
+        let g = &spec.volume_grid;
+        let rf = EchoSynthesizer::new(spec).synthesize(
+            &Phantom::point(g.position(VoxelIndex::new(
+                g.n_theta() / 2,
+                g.n_phi() / 2,
+                g.n_depth() * 5 / 8,
+            ))),
+            &Pulse::from_spec(spec),
+        );
+        let mut pipe = FramePipeline::with_pool(
+            Beamformer::new(spec),
+            engine,
+            FrameRing::new(vec![rf]),
+            Arc::clone(&cpwc_pool),
+            &schedule,
+        );
+        for _ in 0..5 {
+            pipe.next_volume().expect("warm-up compound frame");
+        }
+        let start = Instant::now();
+        for _ in 0..cpwc_frames {
+            pipe.next_volume().expect("warm compound frame");
+        }
+        cpwc_frames as f64 / start.elapsed().as_secs_f64()
+    };
+    let cpwc4 = usbf_bench::cpwc_spec(4);
+    let cpwc_engine_rows: Vec<(&str, f64)> = vec![
+        (
+            "EXACT",
+            cpwc_fps(&cpwc4, Arc::new(ExactEngine::new(&cpwc4))),
+        ),
+        (
+            "NAIVE-TABLE",
+            cpwc_fps(
+                &cpwc4,
+                Arc::new(NaiveTableEngine::build(&cpwc4, u64::MAX).expect("tiny table fits")),
+            ),
+        ),
+        (
+            "TABLEFREE",
+            cpwc_fps(
+                &cpwc4,
+                Arc::new(TableFreeEngine::new(&cpwc4, TableFreeConfig::paper()).expect("builds")),
+            ),
+        ),
+        (
+            "TABLESTEER-18b",
+            cpwc_fps(
+                &cpwc4,
+                Arc::new(
+                    TableSteerEngine::new(&cpwc4, TableSteerConfig::bits18()).expect("builds"),
+                ),
+            ),
+        ),
+    ];
+    for (name, fps) in &cpwc_engine_rows {
+        println!("cpwc-compound [cpwc, 4 angles] {name:<15} {fps:.1} compound frames/s");
+    }
+    let cpwc_sweep: Vec<(usize, f64)> = [1usize, 4, 16]
+        .iter()
+        .map(|&n| {
+            let spec = usbf_bench::cpwc_spec(n);
+            let fps = cpwc_fps(&spec, Arc::new(ExactEngine::new(&spec)));
+            println!("cpwc-compound [cpwc] EXACT {n:>2} angles: {fps:.1} compound frames/s");
+            (n, fps)
+        })
+        .collect();
+
     // Inline-audit note (PR 5 satellite): leaf functions checked for
     // cross-crate inlining. `QFormat::resolution` (now exp2-free) and
     // `Fixed::wide_add`/`QFormat::sum_format` (#[inline] added) showed up
@@ -320,7 +401,7 @@ fn main() {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"schema\": \"usbf-perf-snapshot/1\",");
-    let _ = writeln!(j, "  \"pr\": 8,");
+    let _ = writeln!(j, "  \"pr\": 9,");
     let _ = writeln!(j, "  \"quick\": {quick},");
     let _ = writeln!(j, "  \"kernel\": {{");
     let _ = writeln!(j, "    \"spec\": \"reduced\",");
@@ -400,9 +481,37 @@ fn main() {
     let _ = writeln!(j, "    \"raw_frames_per_second\": {raw_fps:.1},");
     let _ = writeln!(j, "    \"fused_frames_per_second\": {fused_fps:.1},");
     let _ = writeln!(j, "    \"fused_over_raw\": {:.4}", fused_fps / raw_fps);
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"cpwc_compound\": {{");
+    let _ = writeln!(j, "    \"spec\": \"cpwc\",");
+    let _ = writeln!(j, "    \"workers\": {cpwc_workers},");
+    let _ = writeln!(j, "    \"frames\": {cpwc_frames},");
+    let _ = writeln!(j, "    \"angles\": 4,");
+    let _ = writeln!(j, "    \"engines\": {{");
+    for (i, (name, fps)) in cpwc_engine_rows.iter().enumerate() {
+        let comma = if i + 1 < cpwc_engine_rows.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            j,
+            "      \"{name}\": {{\"frames_per_second\": {fps:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(j, "    }},");
+    let _ = writeln!(j, "    \"exact_angle_sweep\": {{");
+    for (i, (n, fps)) in cpwc_sweep.iter().enumerate() {
+        let comma = if i + 1 < cpwc_sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "      \"{n}\": {{\"frames_per_second\": {fps:.1}}}{comma}"
+        );
+    }
+    let _ = writeln!(j, "    }}");
     let _ = writeln!(j, "  }}");
     j.push_str("}\n");
-    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
     std::fs::write(&out, &j).expect("write snapshot JSON");
     println!("wrote {out}");
 }

@@ -7,12 +7,36 @@
 use usbf_beamform::{Beamformer, Interpolation};
 use usbf_core::stats::{SampleErrorStats, SelectionErrorStats};
 use usbf_core::{DelayEngine, NappeDelays, TableFreeEngine};
-use usbf_geometry::{ElementIndex, Vec3, VoxelIndex};
+use usbf_geometry::{deg, ElementIndex, SystemSpec, TransmitModel, Vec3, VolumeSpec, VoxelIndex};
 use usbf_sim::RfFrame;
 
 /// Formats a paper-vs-measured comparison line.
 pub fn compare_line(label: &str, paper: &str, measured: &str) -> String {
     format!("{label:<44} paper: {paper:<22} measured: {measured}")
+}
+
+/// The CPWC benchmark geometry: tiny-scale voxel/element counts on a
+/// narrow cone (±4° over 60λ) whose voxels actually sit inside the
+/// plane-wave footprints (under the stock ±36.5° cone every voxel
+/// back-projects outside a small aperture and the compound masks
+/// degenerate to zero), carrying an `n_angles`-wave fan over ±10°.
+pub fn cpwc_spec(n_angles: usize) -> SystemSpec {
+    let reference = SystemSpec::tiny();
+    let lambda = reference.wavelength();
+    SystemSpec::new(
+        reference.speed_of_sound,
+        reference.sampling_frequency,
+        reference.transducer.clone(),
+        VolumeSpec {
+            theta_max: deg(4.0),
+            phi_max: deg(4.0),
+            depth_max: 60.0 * lambda,
+            ..reference.volume.clone()
+        },
+        reference.origin,
+        reference.frame_rate,
+    )
+    .with_transmits(TransmitModel::plane_wave_fan(n_angles, deg(10.0)))
 }
 
 /// The PR 4 inner kernel, kept verbatim as the measured baseline for the

@@ -5,6 +5,11 @@ use std::error::Error;
 use std::fmt;
 use usbf_geometry::{ElementIndex, VoxelIndex};
 
+/// Panic message shared by the single-transmit defaults of the
+/// transmit-indexed trait methods.
+const SINGLE_TX_MSG: &str =
+    "engine reports multiple transmits but did not override the *_for methods";
+
 /// A source of beamforming delays: given a focal point and a receive
 /// element, produce the two-way propagation delay.
 ///
@@ -32,13 +37,40 @@ pub trait DelayEngine: Sync {
     /// Short architecture name (e.g. `"TABLEFREE"`), used in reports.
     fn name(&self) -> &'static str;
 
-    /// Two-way delay in fractional samples at the system's `fs`.
+    /// Two-way delay in fractional samples at the system's `fs`, for the
+    /// frame's first transmit. Multi-transmit engines answer for
+    /// transmit 0 here; [`DelayEngine::delay_samples_for`] is the general
+    /// entry point.
     fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64;
+
+    /// Number of transmits this engine serves delays for — the length of
+    /// the spec's transmit sequence it was built against. Engines without
+    /// multi-transmit support report 1 (the default).
+    fn transmit_count(&self) -> usize {
+        1
+    }
+
+    /// Two-way delay of transmit `tx` in fractional samples: the
+    /// transmit-indexed generalization of [`DelayEngine::delay_samples`].
+    ///
+    /// The default serves single-transmit engines (`tx` must be 0);
+    /// engines reporting a larger [`DelayEngine::transmit_count`] must
+    /// override it.
+    fn delay_samples_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        assert_eq!(tx, 0, "{SINGLE_TX_MSG}");
+        self.delay_samples(vox, e)
+    }
 
     /// Integer echo-buffer index: the rounded delay, clamped to
     /// `[0, echo_buffer_len)`.
     fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
         self.delay_index_from(self.delay_samples(vox, e))
+    }
+
+    /// Integer echo-buffer index for transmit `tx` — rounding identical
+    /// to [`DelayEngine::delay_index`].
+    fn delay_index_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> i64 {
+        self.delay_index_from(self.delay_samples_for(tx, vox, e))
     }
 
     /// Final rounding stage: echo-buffer index for an already-computed
@@ -84,6 +116,19 @@ pub trait DelayEngine: Sync {
         out.fill_scalar(self, nappe_idx);
     }
 
+    /// Transmit-indexed slab fill: like [`DelayEngine::fill_nappe`] but
+    /// for transmit `tx` of a multi-transmit frame. Specialized overrides
+    /// must stay bit-exact with the scalar
+    /// [`NappeDelays::fill_scalar_for`] reference per transmit.
+    ///
+    /// The default serves single-transmit engines by delegating `tx == 0`
+    /// to [`DelayEngine::fill_nappe`] (so engines that only override the
+    /// unindexed method keep their batched path).
+    fn fill_nappe_for(&self, tx: usize, nappe_idx: usize, out: &mut NappeDelays) {
+        assert_eq!(tx, 0, "{SINGLE_TX_MSG}");
+        self.fill_nappe(nappe_idx, out);
+    }
+
     /// Streamed slab fill: like [`DelayEngine::fill_nappe`], but hands
     /// every completed row to `consume(slot, row)` as soon as it is
     /// produced, while the row is still cache-hot.
@@ -111,6 +156,30 @@ pub trait DelayEngine: Sync {
         self.fill_nappe(nappe_idx, out);
         for slot in 0..out.scanline_count() {
             consume(slot, out.row(slot));
+        }
+    }
+
+    /// Transmit-indexed streamed fill: [`DelayEngine::fill_nappe_streamed`]
+    /// for transmit `tx`. Same row-delivery contract. The default delegates
+    /// `tx == 0` to the unindexed streamed fill (preserving whatever
+    /// interleaving the engine implements there) and serves `tx > 0` by
+    /// filling through [`DelayEngine::fill_nappe_for`] and replaying the
+    /// rows — so an engine only needs a dedicated override when it can
+    /// interleave the multi-transmit fill for real.
+    fn fill_nappe_streamed_for(
+        &self,
+        tx: usize,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        if tx == 0 {
+            self.fill_nappe_streamed(nappe_idx, out, consume);
+        } else {
+            self.fill_nappe_for(tx, nappe_idx, out);
+            for slot in 0..out.scanline_count() {
+                consume(slot, out.row(slot));
+            }
         }
     }
 

@@ -50,20 +50,35 @@ impl DelayEngine for ExactEngine {
     }
 
     fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        self.delay_samples_for(0, vox, e)
+    }
+
+    fn transmit_count(&self) -> usize {
+        self.spec.n_transmits()
+    }
+
+    fn delay_samples_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> f64 {
         let s = self.spec.volume_grid.position(vox);
         let d = self.spec.elements.position(e);
-        self.spec.two_way_delay_samples(s, d)
+        self.spec.two_way_delay_samples_for(tx, s, d)
     }
 
     fn echo_buffer_len(&self) -> usize {
         self.echo_len
     }
 
-    /// Batched nappe fill: the focal-point position and the transmit leg
-    /// `|S − O|` are computed once per focal point and shared across all
-    /// elements (the scalar path re-derives both per query). Bit-exact:
-    /// the per-element expression `((tx + |S − D|) / c) · fs` is unchanged.
+    /// Batched nappe fill for transmit 0: see
+    /// [`ExactEngine::fill_nappe_for`].
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        self.fill_nappe_for(0, nappe_idx, out);
+    }
+
+    /// Batched nappe fill: the focal-point position and the transmit leg
+    /// (point source `|S − O|`, plane wave `n̂ · S`) are computed once per
+    /// focal point and shared across all elements (the scalar path
+    /// re-derives both per query). Bit-exact: the per-element expression
+    /// `((tx + |S − D|) / c) · fs` is unchanged.
+    fn fill_nappe_for(&self, tx: usize, nappe_idx: usize, out: &mut NappeDelays) {
         let tile = out.tile();
         let n_elements = out.n_elements();
         let spec = &self.spec;
@@ -74,10 +89,10 @@ impl DelayEngine for ExactEngine {
             let s = spec
                 .volume_grid
                 .position(VoxelIndex::new(it, ip, nappe_idx));
-            let tx = s.distance(spec.origin);
+            let t = spec.transmit_distance(tx, s);
             let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
             for (j, value) in row.iter_mut().enumerate() {
-                *value = (tx + s.distance(self.elem_pos[j])) / c * fs;
+                *value = (t + s.distance(self.elem_pos[j])) / c * fs;
             }
         }
     }
@@ -140,6 +155,47 @@ mod tests {
         let e = ElementIndex::new(1, 6);
         let s = eng.delay_samples(vox, e);
         assert_eq!(eng.delay_index(vox, e), (s + 0.5).floor() as i64);
+    }
+
+    #[test]
+    fn plane_wave_transmit_matches_projection_delay() {
+        let theta = usbf_geometry::deg(10.0);
+        let spec = SystemSpec::tiny().with_transmits(vec![
+            usbf_geometry::TransmitModel::PointSource,
+            usbf_geometry::TransmitModel::plane_wave(theta, 0.0),
+        ]);
+        let eng = ExactEngine::new(&spec);
+        assert_eq!(eng.transmit_count(), 2);
+        let vox = VoxelIndex::new(4, 4, 10);
+        let e = ElementIndex::new(2, 3);
+        let s = spec.volume_grid.position(vox);
+        let d = spec.elements.position(e);
+        let n = usbf_geometry::SphericalDirection::new(theta, 0.0).unit();
+        let expect = (n.dot(s) + s.distance(d)) / spec.speed_of_sound * spec.sampling_frequency;
+        assert!((eng.delay_samples_for(1, vox, e) - expect).abs() < 1e-9);
+        // Transmit 0 still answers the historical point-source delay.
+        assert_eq!(
+            eng.delay_samples_for(0, vox, e).to_bits(),
+            eng.delay_samples(vox, e).to_bits()
+        );
+    }
+
+    #[test]
+    fn plane_wave_fill_bit_exact_with_scalar_path() {
+        let spec = SystemSpec::tiny().with_transmits(usbf_geometry::TransmitModel::plane_wave_fan(
+            3,
+            usbf_geometry::deg(12.0),
+        ));
+        let eng = ExactEngine::new(&spec);
+        for tx in 0..3 {
+            let mut batched = crate::NappeDelays::full(&spec);
+            let mut scalar = crate::NappeDelays::full(&spec);
+            eng.fill_nappe_for(tx, 9, &mut batched);
+            scalar.fill_scalar_for(&eng, tx, 9);
+            for (a, b) in batched.samples().iter().zip(scalar.samples()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "tx {tx}");
+            }
+        }
     }
 
     #[test]

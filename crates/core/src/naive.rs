@@ -21,6 +21,9 @@ use usbf_geometry::{ElementIndex, SystemSpec, VoxelIndex};
 pub struct NaiveTableEngine {
     table: Vec<u16>,
     elements_per_voxel: usize,
+    /// Table entries per transmit: `voxel_count × elements_per_voxel`.
+    transmit_stride: usize,
+    n_transmits: usize,
     echo_len: usize,
     n_phi: usize,
     n_depth: usize,
@@ -28,9 +31,11 @@ pub struct NaiveTableEngine {
 }
 
 impl NaiveTableEngine {
-    /// Bytes the table would need for a given spec.
+    /// Bytes the table would need for a given spec: one full
+    /// per-(voxel, element) table **per transmit** — multi-transmit frames
+    /// multiply the §II-B storage wall.
     pub fn required_bytes(spec: &SystemSpec) -> u64 {
-        spec.naive_table_entries() * 2
+        spec.naive_table_entries() * 2 * spec.n_transmits() as u64
     }
 
     /// Precomputes the full table, refusing if it exceeds `limit_bytes`.
@@ -51,16 +56,24 @@ impl NaiveTableEngine {
         let v = &spec.volume_grid;
         let el = &spec.elements;
         let elements_per_voxel = el.count();
-        let mut table = vec![0u16; v.voxel_count() * elements_per_voxel];
-        for i in 0..v.voxel_count() {
-            let vox = v.voxel_at(i);
-            for (j, e) in el.iter().enumerate() {
-                table[i * elements_per_voxel + j] = exact.delay_index(vox, e) as u16;
+        let transmit_stride = v.voxel_count() * elements_per_voxel;
+        let n_transmits = spec.n_transmits();
+        let mut table = vec![0u16; transmit_stride * n_transmits];
+        for tx in 0..n_transmits {
+            let base = tx * transmit_stride;
+            for i in 0..v.voxel_count() {
+                let vox = v.voxel_at(i);
+                for (j, e) in el.iter().enumerate() {
+                    table[base + i * elements_per_voxel + j] =
+                        exact.delay_index_for(tx, vox, e) as u16;
+                }
             }
         }
         Ok(NaiveTableEngine {
             table,
             elements_per_voxel,
+            transmit_stride,
+            n_transmits,
             echo_len,
             n_phi: v.n_phi(),
             n_depth: v.n_depth(),
@@ -83,27 +96,47 @@ impl DelayEngine for NaiveTableEngine {
         self.delay_index(vox, e) as f64
     }
 
+    fn transmit_count(&self) -> usize {
+        self.n_transmits
+    }
+
+    fn delay_samples_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        self.delay_index_for(tx, vox, e) as f64
+    }
+
     fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
+        self.delay_index_for(0, vox, e)
+    }
+
+    fn delay_index_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> i64 {
         let vi = (vox.it * self.n_phi + vox.ip) * self.n_depth + vox.id;
         let ei = e.iy * self.nx + e.ix;
-        self.table[vi * self.elements_per_voxel + ei] as i64
+        self.table[tx * self.transmit_stride + vi * self.elements_per_voxel + ei] as i64
     }
 
     fn echo_buffer_len(&self) -> usize {
         self.echo_len
     }
 
-    /// Batched nappe fill: each scanline's element block is one contiguous
-    /// run of the precomputed table, widened `u16 → f64` in place of
-    /// per-query indexed lookups.
+    /// Batched nappe fill for transmit 0: see
+    /// [`NaiveTableEngine::fill_nappe_for`].
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        self.fill_nappe_for(0, nappe_idx, out);
+    }
+
+    /// Batched nappe fill: each scanline's element block is one contiguous
+    /// run of the precomputed table (offset into transmit `tx`'s stride),
+    /// widened `u16 → f64` in place of per-query indexed lookups.
+    fn fill_nappe_for(&self, tx: usize, nappe_idx: usize, out: &mut NappeDelays) {
         let tile = out.tile();
         let n_elements = out.n_elements();
         let (n_phi, n_depth) = (self.n_phi, self.n_depth);
+        let base = tx * self.transmit_stride;
         let buf = out.begin_fill(nappe_idx);
         for (slot, it, ip) in tile.iter_scanlines() {
             let vi = (it * n_phi + ip) * n_depth + nappe_idx;
-            let src = &self.table[vi * self.elements_per_voxel..(vi + 1) * self.elements_per_voxel];
+            let src = &self.table
+                [base + vi * self.elements_per_voxel..base + (vi + 1) * self.elements_per_voxel];
             let row = &mut buf[slot * n_elements..(slot + 1) * n_elements];
             for (value, &raw) in row.iter_mut().zip(src) {
                 *value = raw as i64 as f64;
@@ -173,6 +206,47 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_transmit_table_matches_exact_per_transmit() {
+        let spec = SystemSpec::tiny().with_transmits(usbf_geometry::TransmitModel::plane_wave_fan(
+            3,
+            usbf_geometry::deg(8.0),
+        ));
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
+        let exact = ExactEngine::new(&spec);
+        assert_eq!(naive.transmit_count(), 3);
+        for tx in 0..3 {
+            for i in (0..spec.volume_grid.voxel_count()).step_by(5) {
+                let vox = spec.volume_grid.voxel_at(i);
+                for e in spec.elements.iter() {
+                    assert_eq!(
+                        naive.delay_index_for(tx, vox, e),
+                        exact.delay_index_for(tx, vox, e)
+                    );
+                }
+            }
+            let mut batched = NappeDelays::full(&spec);
+            let mut scalar = NappeDelays::full(&spec);
+            naive.fill_nappe_for(tx, 7, &mut batched);
+            scalar.fill_scalar_for(&naive, tx, 7);
+            assert_eq!(batched, scalar);
+        }
+    }
+
+    #[test]
+    fn multi_transmit_multiplies_storage() {
+        let single = SystemSpec::tiny();
+        let compound = SystemSpec::tiny().with_transmits(
+            usbf_geometry::TransmitModel::plane_wave_fan(4, usbf_geometry::deg(10.0)),
+        );
+        assert_eq!(
+            NaiveTableEngine::required_bytes(&compound),
+            4 * NaiveTableEngine::required_bytes(&single)
+        );
+        let naive = NaiveTableEngine::build(&compound, u64::MAX).unwrap();
+        assert_eq!(naive.storage_bytes(), 4 * 131_072);
     }
 
     #[test]

@@ -254,6 +254,31 @@ impl NappeDelays {
             }
         }
     }
+
+    /// Transmit-indexed scalar reference fill: one
+    /// [`delay_samples_for`](crate::DelayEngine::delay_samples_for) query
+    /// per slab entry. This is the
+    /// [`fill_nappe_for`](crate::DelayEngine::fill_nappe_for) bit-exactness
+    /// oracle, exactly as [`fill_scalar`](Self::fill_scalar) is for the
+    /// unindexed path.
+    pub fn fill_scalar_for<E: crate::DelayEngine + ?Sized>(
+        &mut self,
+        engine: &E,
+        tx: usize,
+        nappe_idx: usize,
+    ) {
+        let tile = self.tile;
+        let n_elements = self.n_elements;
+        let nx = self.elements_nx;
+        let buf = self.begin_fill(nappe_idx);
+        for (s, it, ip) in tile.iter_scanlines() {
+            let vox = VoxelIndex::new(it, ip, nappe_idx);
+            let row = &mut buf[s * n_elements..(s + 1) * n_elements];
+            for (j, out) in row.iter_mut().enumerate() {
+                *out = engine.delay_samples_for(tx, vox, ElementIndex::new(j % nx, j / nx));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -170,12 +170,14 @@ impl NappeSchedule {
     }
 
     /// A schedule sized for host-side parallel beamforming: enough tiles
-    /// to keep every core busy with headroom for load balancing.
+    /// to keep every pool worker busy with headroom for load balancing.
+    ///
+    /// Sizes from [`usbf_par::default_threads`] — the same sizing the
+    /// global thread pool uses — so a `USBF_POOL_THREADS` override
+    /// resizes the tile grid and the worker count together instead of
+    /// leaving the schedule stuck on the raw core count.
     pub fn for_host(spec: &SystemSpec) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::fitted(spec, threads * 4)
+        Self::fitted(spec, usbf_par::default_threads() * 4)
     }
 
     /// Number of blocks (= tiles) in the schedule.

@@ -3,7 +3,7 @@
 use crate::{DelayEngine, EngineError, NappeDelays};
 use std::sync::atomic::{AtomicU64, Ordering};
 use usbf_geometry::scan::ScanOrder;
-use usbf_geometry::{ElementIndex, SystemSpec, Vec3, VoxelIndex};
+use usbf_geometry::{ElementIndex, SystemSpec, TransmitModel, Vec3, VoxelIndex};
 use usbf_pwl::{LutFormats, PwlApprox, QuantizedPwl, SqrtFn, TrackerStats, TrackingEvaluator};
 
 /// Configuration of the TABLEFREE engine.
@@ -190,6 +190,38 @@ impl TableFreeEngine {
         self.quant.eval(alpha)
     }
 
+    /// The transmit term of transmit `tx` at a focal point, in samples.
+    /// Point sources go through the (approximated or exact) square root;
+    /// plane waves are a **linear projection** `n̂ · S` — no square root at
+    /// all, so the TABLEFREE datapath gets *cheaper* per added CPWC angle.
+    #[inline]
+    fn tx_term(&self, tx: usize, vox: VoxelIndex) -> f64 {
+        match &self.spec.transmits[tx] {
+            TransmitModel::PointSource => {
+                let alpha = self.tx_alpha(vox);
+                if self.config.exact_transmit {
+                    alpha.sqrt()
+                } else {
+                    self.sqrt_approx(alpha)
+                }
+            }
+            TransmitModel::PlaneWave(pw) => {
+                let s = self.spec.volume_grid.position(vox);
+                pw.steering.unit().dot(s) * self.samples_per_metre
+            }
+        }
+    }
+
+    /// Square-root evaluations the transmit term of transmit `tx` costs
+    /// per focal point (0 for plane waves and exact transmit).
+    #[inline]
+    fn tx_sqrt_cost(&self, tx: usize) -> u64 {
+        match &self.spec.transmits[tx] {
+            TransmitModel::PointSource => u64::from(!self.config.exact_transmit),
+            TransmitModel::PlaneWave(_) => 0,
+        }
+    }
+
     /// Receive squared distance in samples² — the PWL argument stream a
     /// per-element hardware unit sees.
     #[inline]
@@ -227,14 +259,17 @@ impl DelayEngine for TableFreeEngine {
     }
 
     fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
-        let tx_alpha = self.tx_alpha(vox);
-        let tx = if self.config.exact_transmit {
-            tx_alpha.sqrt()
-        } else {
-            self.sqrt_approx(tx_alpha)
-        };
+        self.delay_samples_for(0, vox, e)
+    }
+
+    fn transmit_count(&self) -> usize {
+        self.spec.n_transmits()
+    }
+
+    fn delay_samples_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        let t = self.tx_term(tx, vox);
         let rx = self.sqrt_approx(self.rx_alpha(vox, e));
-        tx + rx
+        t + rx
     }
 
     fn echo_buffer_len(&self) -> usize {
@@ -245,6 +280,11 @@ impl DelayEngine for TableFreeEngine {
     /// with no row consumer.
     fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
         self.fill_nappe_streamed(nappe_idx, out, &mut |_, _| {});
+    }
+
+    /// Transmit-indexed batched fill: streamed fill with no row consumer.
+    fn fill_nappe_for(&self, tx: usize, nappe_idx: usize, out: &mut NappeDelays) {
+        self.fill_nappe_streamed_for(tx, nappe_idx, out, &mut |_, _| {});
     }
 
     /// Segment-major batched nappe fill (§IV-B's streaming view): the
@@ -270,28 +310,60 @@ impl DelayEngine for TableFreeEngine {
         out: &mut NappeDelays,
         consume: &mut dyn FnMut(usize, &[f64]),
     ) {
+        self.fill_nappe_streamed_for(0, nappe_idx, out, consume);
+    }
+
+    /// Transmit-indexed streamed fill. Point-source transmits batch their
+    /// square roots exactly as the historical path did; plane-wave
+    /// transmits replace pass 1 with the exact linear projection `n̂ · S`
+    /// per focal point (no square root, no PWL — CPWC makes TABLEFREE's
+    /// transmit leg free). Pass 2 (the per-element receive datapath) is
+    /// identical for every transmit model.
+    fn fill_nappe_streamed_for(
+        &self,
+        tx: usize,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
         let tile = out.tile();
         let n_elements = out.n_elements();
         let spm = self.samples_per_metre;
-        let exact_transmit = self.config.exact_transmit;
         let bufs = out.begin_fill_scratch(nappe_idx);
         let buf = bufs.samples;
         let line_args = bufs.line_args;
         let line_vals = bufs.line_vals;
         let row_args = bufs.row_args;
         // Pass 1: all transmit terms of the nappe, batched. One tracked
-        // row evaluation replaces `scanlines` pointer walks.
-        for (slot, it, ip) in tile.iter_scanlines() {
-            line_args[slot] = self.tx_alpha(VoxelIndex::new(it, ip, nappe_idx));
-        }
-        if exact_transmit {
-            for (v, &a) in line_vals.iter_mut().zip(line_args.iter()) {
-                *v = a.sqrt();
+        // row evaluation (or one projection per scanline) replaces
+        // `scanlines` pointer walks.
+        match &self.spec.transmits[tx] {
+            TransmitModel::PointSource => {
+                for (slot, it, ip) in tile.iter_scanlines() {
+                    line_args[slot] = self.tx_alpha(VoxelIndex::new(it, ip, nappe_idx));
+                }
+                if self.config.exact_transmit {
+                    for (v, &a) in line_vals.iter_mut().zip(line_args.iter()) {
+                        *v = a.sqrt();
+                    }
+                } else {
+                    let mut tx_hint = 0usize;
+                    self.quant
+                        .eval_row_tracked(&mut tx_hint, line_args, line_vals);
+                }
             }
-        } else {
-            let mut tx_hint = 0usize;
-            self.quant
-                .eval_row_tracked(&mut tx_hint, line_args, line_vals);
+            TransmitModel::PlaneWave(pw) => {
+                // The same `unit().dot(s) * spm` expression as the scalar
+                // `tx_term`, so the batched path stays bit-exact.
+                let n = pw.steering.unit();
+                for (slot, it, ip) in tile.iter_scanlines() {
+                    let s = self
+                        .spec
+                        .volume_grid
+                        .position(VoxelIndex::new(it, ip, nappe_idx));
+                    line_vals[slot] = n.dot(s) * spm;
+                }
+            }
         }
         // Pass 2: one receive row per scanline, segment-major.
         let mut rx_hint = 0usize;
@@ -310,17 +382,17 @@ impl DelayEngine for TableFreeEngine {
             let range = slot * n_elements..(slot + 1) * n_elements;
             let row = &mut buf[range.clone()];
             self.quant.eval_row_tracked(&mut rx_hint, row_args, row);
-            let tx = line_vals[slot];
+            let t = line_vals[slot];
             // IEEE addition commutes bit-for-bit, so += matches the
             // scalar path's `tx + rx` exactly.
             for value in row.iter_mut() {
-                *value += tx;
+                *value += t;
             }
             consume(slot, &buf[range]);
         }
         // One bulk update keeps the op counter consistent with the scalar
         // path's per-evaluation increments.
-        let per_voxel = n_elements as u64 + u64::from(!exact_transmit);
+        let per_voxel = n_elements as u64 + self.tx_sqrt_cost(tx);
         self.sqrt_evals
             .fetch_add(tile.scanlines() as u64 * per_voxel, Ordering::Relaxed);
     }
@@ -575,6 +647,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn plane_wave_fill_bit_exact_with_scalar_path() {
+        let spec = SystemSpec::tiny()
+            .with_transmits(TransmitModel::plane_wave_fan(4, usbf_geometry::deg(10.0)));
+        let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        assert_eq!(tf.transmit_count(), 4);
+        for tx in 0..4 {
+            let mut batched = NappeDelays::full(&spec);
+            let mut scalar = NappeDelays::full(&spec);
+            for id in [0, 8, 15] {
+                tf.fill_nappe_for(tx, id, &mut batched);
+                scalar.fill_scalar_for(&tf, tx, id);
+                for (a, b) in batched.samples().iter().zip(scalar.samples()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "tx {tx} nappe {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plane_wave_transmit_costs_no_square_roots() {
+        // CPWC's transmit leg is a linear projection: only the receive
+        // roots are counted, scalar and batched alike.
+        let spec = SystemSpec::tiny().with_transmits(vec![TransmitModel::plane_wave(0.1, 0.0)]);
+        let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        tf.delay_samples_for(0, VoxelIndex::new(0, 0, 0), ElementIndex::new(0, 0));
+        assert_eq!(tf.sqrt_evals(), 1); // receive root only
+        let mut slab = NappeDelays::full(&spec);
+        tf.fill_nappe_for(0, 0, &mut slab);
+        // 64 scanlines × 64 rx evaluations, no tx term.
+        assert_eq!(tf.sqrt_evals(), 1 + 64 * 64);
     }
 
     #[test]

@@ -288,6 +288,23 @@ impl TableSteerEngine {
             Fixed::saturating_from_f64(cy, fmt, RoundingMode::Nearest),
         )
     }
+
+    /// The quantized transmit-model correction for transmit `tx` at focal
+    /// point `vox`: the difference (in samples) between the configured
+    /// transmit leg and the point-source leg `|S − O|` the steered
+    /// reference table already approximates. Element-independent — one
+    /// more correction register per scanline in the Fig. 4 datapath —
+    /// and **exactly zero** for point sources (`d − d = 0` quantizes to
+    /// raw 0), which keeps the historical single-transmit output
+    /// bit-identical.
+    #[inline]
+    fn dtx_fixed(&self, tx: usize, vox: VoxelIndex) -> Fixed {
+        let s = self.spec.volume_grid.position(vox);
+        let delta = self
+            .spec
+            .metres_to_samples(self.spec.transmit_distance(tx, s) - s.distance(self.spec.origin));
+        Fixed::saturating_from_f64(delta, self.config.correction_format, RoundingMode::Nearest)
+    }
 }
 
 impl DelayEngine for TableSteerEngine {
@@ -296,9 +313,25 @@ impl DelayEngine for TableSteerEngine {
     }
 
     fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        self.delay_samples_for(0, vox, e)
+    }
+
+    fn transmit_count(&self) -> usize {
+        self.spec.n_transmits()
+    }
+
+    /// Scalar fixed-point chain `ref + cx + cy + Δtx`. The transmit
+    /// correction shares the correction format, so the fourth `wide_add`
+    /// widens by one integer bit but keeps the resolution — for point
+    /// sources (Δtx raw = 0) the result is bit-identical to the
+    /// historical three-term chain.
+    fn delay_samples_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> f64 {
         let r = self.ref_fixed_at(vox.id, e);
         let (cx, cy) = self.corrections_fixed(vox, e);
-        r.wide_add(cx).wide_add(cy).to_f64()
+        r.wide_add(cx)
+            .wide_add(cy)
+            .wide_add(self.dtx_fixed(tx, vox))
+            .to_f64()
     }
 
     /// Final rounding with clamp telemetry: both the scalar `delay_index`
@@ -339,12 +372,33 @@ impl DelayEngine for TableSteerEngine {
         self.fill_nappe_streamed(nappe_idx, out, &mut |_, _| {});
     }
 
+    /// Transmit-indexed batched fill: streamed fill with no row consumer.
+    fn fill_nappe_for(&self, tx: usize, nappe_idx: usize, out: &mut NappeDelays) {
+        self.fill_nappe_streamed_for(tx, nappe_idx, out, &mut |_, _| {});
+    }
+
+    fn fill_nappe_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        self.fill_nappe_streamed_for(0, nappe_idx, out, consume);
+    }
+
     /// The fill loop proper, streaming each completed row to `consume`.
     /// The pre-shifted raw x-corrections live in the slab's preallocated
     /// `row_regs` scratch (rebuilt once per scanline row), so a warm
     /// refill performs no heap allocation.
-    fn fill_nappe_streamed(
+    ///
+    /// The transmit-model correction Δtx is a per-scanline constant at a
+    /// fixed nappe depth, quantized in the correction format; since that
+    /// format's fraction bits match the chain's final format, it folds
+    /// into the per-row constant alongside the y-correction — the fourth
+    /// add of the scalar chain costs **nothing** in the inner loop.
+    fn fill_nappe_streamed_for(
         &self,
+        tx: usize,
         nappe_idx: usize,
         out: &mut NappeDelays,
         consume: &mut dyn FnMut(usize, &[f64]),
@@ -356,14 +410,19 @@ impl DelayEngine for TableSteerEngine {
         let ny = self.spec.elements.ny();
         let fmt = self.config.correction_format;
         // The wide-add chain's formats, fixed for the whole fill:
-        // f1 = ref + cx, f2 = f1 + cy.
+        // f1 = ref + cx, f2 = f1 + cy, f3 = f2 + Δtx.
         let f1 = QFormat::sum_format(self.config.reference_format, fmt);
         let f2 = QFormat::sum_format(f1, fmt);
+        let f3 = QFormat::sum_format(f2, fmt);
         let sh_r = f1.frac_bits() - self.config.reference_format.frac_bits();
         let sh_c1 = f1.frac_bits() - fmt.frac_bits();
         let sh_12 = f2.frac_bits() - f1.frac_bits();
         let sh_c2 = f2.frac_bits() - fmt.frac_bits();
-        let res = f2.resolution();
+        // f2 and f3 share fraction bits (both cy and Δtx carry the
+        // correction format), so the last add needs no alignment shift
+        // and Δtx merges into the row constant below.
+        debug_assert_eq!(f3.frac_bits(), f2.frac_bits());
+        let res = f3.resolution();
         let ref_slice = &self.ref_fixed[nappe_idx * qy * qx..(nappe_idx + 1) * qy * qx];
         let bufs = out.begin_fill_scratch(nappe_idx);
         let buf = bufs.samples;
@@ -379,15 +438,16 @@ impl DelayEngine for TableSteerEngine {
                 .raw()
                     << sh_c1;
             }
+            let dtx_shifted = self.dtx_fixed(tx, VoxelIndex::new(it, ip, nappe_idx)).raw() << sh_c2;
             let cy_col = &self.cy_fixed[ip * ny..(ip + 1) * ny];
             let range = slot * n_elements..(slot + 1) * n_elements;
             let row = &mut buf[range.clone()];
             for (iy, chunk) in row.chunks_mut(nx).enumerate() {
                 let ref_row = &ref_slice[self.fold_y[iy] * qx..];
-                let cy_shifted = cy_col[iy].raw() << sh_c2;
+                let row_const = (cy_col[iy].raw() << sh_c2) + dtx_shifted;
                 for (ix, value) in chunk.iter_mut().enumerate() {
                     let r = ref_row[self.fold_x[ix]].raw();
-                    let raw = (((r << sh_r) + cx[ix]) << sh_12) + cy_shifted;
+                    let raw = (((r << sh_r) + cx[ix]) << sh_12) + row_const;
                     *value = raw as f64 * res;
                 }
             }
@@ -614,6 +674,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn plane_wave_fill_bit_exact_with_scalar_path() {
+        let spec = SystemSpec::tiny().with_transmits(usbf_geometry::TransmitModel::plane_wave_fan(
+            3,
+            usbf_geometry::deg(8.0),
+        ));
+        let ts = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        assert_eq!(ts.transmit_count(), 3);
+        for tx in 0..3 {
+            let mut batched = NappeDelays::full(&spec);
+            let mut scalar = NappeDelays::full(&spec);
+            for id in [0, 7, 15] {
+                ts.fill_nappe_for(tx, id, &mut batched);
+                scalar.fill_scalar_for(&ts, tx, id);
+                for (a, b) in batched.samples().iter().zip(scalar.samples()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "tx {tx} nappe {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_source_transmit_keeps_historical_bits() {
+        // A multi-transmit engine whose transmit 0 is the point source
+        // must serve it bit-identical to the single-transmit engine: the
+        // Δtx register is exactly zero there.
+        let single = SystemSpec::tiny();
+        let multi = SystemSpec::tiny().with_transmits(vec![
+            usbf_geometry::TransmitModel::PointSource,
+            usbf_geometry::TransmitModel::plane_wave(usbf_geometry::deg(5.0), 0.0),
+        ]);
+        let ts1 = TableSteerEngine::new(&single, TableSteerConfig::bits18()).unwrap();
+        let ts2 = TableSteerEngine::new(&multi, TableSteerConfig::bits18()).unwrap();
+        for i in (0..single.volume_grid.voxel_count()).step_by(11) {
+            let vox = single.volume_grid.voxel_at(i);
+            for e in single.elements.iter() {
+                assert_eq!(
+                    ts1.delay_samples(vox, e).to_bits(),
+                    ts2.delay_samples_for(0, vox, e).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plane_wave_steers_the_transmit_leg() {
+        // At a steered scanline aligned with the wave normal the
+        // plane-wave delay must undercut the point-source delay (the
+        // projection n̂·S < |S|) by roughly r(1 − cos∠).
+        let spec = SystemSpec::tiny().with_transmits(vec![
+            usbf_geometry::TransmitModel::PointSource,
+            usbf_geometry::TransmitModel::plane_wave(usbf_geometry::deg(20.0), 0.0),
+        ]);
+        let ts = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        let vox = VoxelIndex::new(0, 4, 10); // steered off-normal scanline
+        let e = spec.elements.center_element();
+        let ps = ts.delay_samples_for(0, vox, e);
+        let pw = ts.delay_samples_for(1, vox, e);
+        assert!(pw < ps, "plane wave {pw} !< point source {ps}");
     }
 
     #[test]

@@ -5,7 +5,9 @@ use usbf_core::{
     DelayEngine, ExactEngine, NaiveTableEngine, NappeDelays, NappeSchedule, TableFreeConfig,
     TableFreeEngine, TableSteerConfig, TableSteerEngine, Tile,
 };
-use usbf_geometry::{SystemSpec, TransducerSpec, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND};
+use usbf_geometry::{
+    SystemSpec, TransducerSpec, TransmitModel, Vec3, VolumeSpec, VoxelIndex, SPEED_OF_SOUND,
+};
 use usbf_tables::error::theoretical_bound_seconds;
 
 use std::sync::OnceLock;
@@ -38,6 +40,24 @@ fn random_spec(nx: usize, ny: usize, n_theta: usize, n_phi: usize, n_depth: usiz
         Vec3::ZERO,
         15.0,
     )
+}
+
+/// A random transmit sequence mixing steered plane waves with the
+/// classic point emission, deterministically derived from proptest
+/// integers: bit `i` of `kinds` picks transmit `i`'s flavour, `a`/`b`
+/// seed the steering angles (±12° in 1° steps, varied per transmit).
+fn random_transmits(n_tx: usize, kinds: usize, a: usize, b: usize) -> Vec<TransmitModel> {
+    (0..n_tx)
+        .map(|i| {
+            if (kinds >> i) & 1 == 0 {
+                TransmitModel::PointSource
+            } else {
+                let theta = ((a + 7 * i) % 25) as f64 - 12.0;
+                let phi = ((b + 5 * i) % 25) as f64 - 12.0;
+                TransmitModel::plane_wave(usbf_geometry::deg(theta), usbf_geometry::deg(phi))
+            }
+        })
+        .collect()
 }
 
 /// A random fan tile: `(a, b)` picks start/width within `n` lines.
@@ -156,6 +176,69 @@ proptest! {
                 "{} {}x{} elements, {}x{}x{} fan, tile {:?}, nappe {}",
                 engine.name(), nx, ny, n_theta, n_phi, n_depth, tile, nappe
             );
+        }
+    }
+
+    #[test]
+    fn multi_transmit_fills_bit_identical_to_scalar_per_transmit_on_random_sequences(
+        nx in 2usize..6,
+        ny in 2usize..6,
+        n_theta in 2usize..8,
+        n_phi in 2usize..8,
+        n_depth in 4usize..12,
+        tile_theta in (0usize..1000, 0usize..1000),
+        tile_phi in (0usize..1000, 0usize..1000),
+        nappe_pick in 0usize..1000,
+        n_tx in 1usize..5,
+        kinds in 0usize..16,
+        angle_a in 0usize..1000,
+        angle_b in 0usize..1000,
+    ) {
+        // Every engine's transmit-indexed batched fill — plain and
+        // streamed — must reproduce the scalar per-voxel reference bit
+        // for bit on every transmit of a random compound sequence, and
+        // the streamed path must deliver each row exactly once in slot
+        // order.
+        let transmits = random_transmits(n_tx, kinds, angle_a, angle_b);
+        let spec = random_spec(nx, ny, n_theta, n_phi, n_depth).with_transmits(transmits);
+        let exact = ExactEngine::new(&spec);
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).expect("tiny table fits");
+        let tablefree = TableFreeEngine::new(&spec, TableFreeConfig::paper()).expect("builds");
+        let tablesteer =
+            TableSteerEngine::new(&spec, TableSteerConfig::bits18()).expect("builds");
+        let (theta_start, theta_end) = random_span(n_theta, tile_theta.0, tile_theta.1);
+        let (phi_start, phi_end) = random_span(n_phi, tile_phi.0, tile_phi.1);
+        let tile = Tile { theta_start, theta_end, phi_start, phi_end };
+        let nappe = nappe_pick % n_depth;
+        for engine in [&exact as &dyn DelayEngine, &naive, &tablefree, &tablesteer] {
+            prop_assert_eq!(engine.transmit_count(), n_tx, "{}", engine.name());
+            for tx in 0..n_tx {
+                let mut scalar = NappeDelays::for_tile(&spec, tile);
+                scalar.fill_scalar_for(engine, tx, nappe);
+
+                let mut batched = NappeDelays::for_tile(&spec, tile);
+                engine.fill_nappe_for(tx, nappe, &mut batched);
+                prop_assert_eq!(
+                    batched.samples(), scalar.samples(),
+                    "{} tx {}/{} on {}x{} elements, {}x{}x{} fan, tile {:?}, nappe {}",
+                    engine.name(), tx, n_tx, nx, ny, n_theta, n_phi, n_depth, tile, nappe
+                );
+
+                let mut streamed = NappeDelays::for_tile(&spec, tile);
+                let mut delivered: Vec<(usize, Vec<f64>)> = Vec::new();
+                engine.fill_nappe_streamed_for(tx, nappe, &mut streamed, &mut |slot, row| {
+                    delivered.push((slot, row.to_vec()));
+                });
+                prop_assert_eq!(
+                    streamed.samples(), scalar.samples(),
+                    "{} streamed tx {}/{} drifted from scalar", engine.name(), tx, n_tx
+                );
+                prop_assert_eq!(delivered.len(), tile.scanlines());
+                for (i, (slot, row)) in delivered.iter().enumerate() {
+                    prop_assert_eq!(*slot, i, "{} rows out of order", engine.name());
+                    prop_assert_eq!(row.as_slice(), streamed.row(i));
+                }
+            }
         }
     }
 

@@ -1,0 +1,51 @@
+//! Regression test: `NappeSchedule::for_host` must honor the same
+//! `USBF_POOL_THREADS` override the thread pool honors, so the tile grid
+//! and the worker count are sized from one source of truth.
+//!
+//! This is the only test in this binary on purpose: it mutates
+//! process-global environment state, which would race with any
+//! concurrently running test that reads the variable.
+
+use usbf_core::NappeSchedule;
+use usbf_geometry::SystemSpec;
+
+const VAR: &str = "USBF_POOL_THREADS";
+
+#[test]
+fn for_host_tracks_pool_thread_override() {
+    let saved = std::env::var(VAR).ok();
+
+    // With the override set, the schedule must provision at least
+    // 4 tiles per configured worker (the load-balancing headroom),
+    // capped by the fan size.
+    let spec = SystemSpec::reduced(); // 32×32 fan: room for many tiles
+    for threads in [1usize, 2, 4] {
+        std::env::set_var(VAR, threads.to_string());
+        assert_eq!(usbf_par::default_threads(), threads);
+        let schedule = NappeSchedule::for_host(&spec);
+        assert!(
+            schedule.n_blocks() >= threads * 4,
+            "USBF_POOL_THREADS={threads}: {} tiles < {}",
+            schedule.n_blocks(),
+            threads * 4
+        );
+    }
+
+    // A larger override yields at least as many tiles as a smaller one.
+    std::env::set_var(VAR, "1");
+    let small = NappeSchedule::for_host(&spec).n_blocks();
+    std::env::set_var(VAR, "8");
+    let large = NappeSchedule::for_host(&spec).n_blocks();
+    assert!(large >= small, "{large} < {small}");
+
+    // Unset (or garbage) falls back to available parallelism — the
+    // schedule stays valid either way.
+    std::env::remove_var(VAR);
+    let schedule = NappeSchedule::for_host(&spec);
+    assert!(schedule.n_blocks() >= 1);
+
+    match saved {
+        Some(v) => std::env::set_var(VAR, v),
+        None => std::env::remove_var(VAR),
+    }
+}

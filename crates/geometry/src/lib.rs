@@ -12,6 +12,8 @@
 //!   and nappe-by-nappe, Fig. 1),
 //! * [`Directivity`] — the finite acceptance angle of probe elements used to
 //!   prune delay tables (Fig. 3a) and filter steering-error outliers,
+//! * [`TransmitModel`] — pluggable transmit delay models: the paper's point
+//!   emission from `O`, and steered plane waves for coherent compounding,
 //! * [`SystemSpec`] — Table I of the paper, plus reduced presets for
 //!   compute-bound experiments.
 //!
@@ -38,6 +40,7 @@ mod directivity;
 mod spec;
 mod spherical;
 mod transducer;
+mod transmit;
 mod vec3;
 mod volume;
 
@@ -47,6 +50,7 @@ pub use directivity::Directivity;
 pub use spec::{SystemSpec, TransducerSpec, VolumeSpec};
 pub use spherical::SphericalDirection;
 pub use transducer::{ElementIndex, TransducerArray};
+pub use transmit::{PlaneWave, TransmitModel};
 pub use vec3::Vec3;
 pub use volume::{ImagingVolume, VoxelIndex};
 

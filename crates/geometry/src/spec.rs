@@ -1,6 +1,6 @@
 //! The paper's Table I system specification and derived quantities.
 
-use crate::{ImagingVolume, TransducerArray, Vec3, SPEED_OF_SOUND};
+use crate::{ImagingVolume, TransducerArray, TransmitModel, Vec3, SPEED_OF_SOUND};
 
 /// Transducer-head portion of Table I.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +60,11 @@ pub struct SystemSpec {
     pub origin: Vec3,
     /// Target volume rate in frames/s (§II-C: 15).
     pub frame_rate: f64,
+    /// Transmit sequence of one frame: one [`TransmitModel`] per
+    /// insonification. The historical single focused emission from `origin`
+    /// is the default `[PointSource]`; a CPWC frame lists one plane wave
+    /// per compounding angle.
+    pub transmits: Vec<TransmitModel>,
     /// Pre-built transducer array (kept in sync with `transducer`).
     pub elements: TransducerArray,
     /// Pre-built imaging volume grid (kept in sync with `volume`).
@@ -108,9 +113,59 @@ impl SystemSpec {
             volume,
             origin,
             frame_rate,
+            transmits: vec![TransmitModel::PointSource],
             elements,
             volume_grid,
         }
+    }
+
+    /// Replaces the transmit sequence (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence — a frame needs at least one transmit.
+    #[must_use = "with_transmits returns the configured spec; dropping it discards the transmits"]
+    pub fn with_transmits(mut self, transmits: Vec<TransmitModel>) -> Self {
+        assert!(!transmits.is_empty(), "a frame needs at least one transmit");
+        self.transmits = transmits;
+        self
+    }
+
+    /// Number of transmits per frame (compounding angles; 1 for the
+    /// historical single-emission scan).
+    #[inline]
+    pub fn n_transmits(&self) -> usize {
+        self.transmits.len()
+    }
+
+    /// `true` for the historical single point-source emission — the case
+    /// every pre-compounding datapath was built for. Consumers use this
+    /// to route single-emission frames through the classic kernels
+    /// (keeping them bit-identical to earlier revisions) and everything
+    /// else through the compound accumulator.
+    #[inline]
+    pub fn is_single_point_source(&self) -> bool {
+        self.transmits.len() == 1 && self.transmits[0] == TransmitModel::PointSource
+    }
+
+    /// One-way transmit distance (metres) of transmit `k` to field point
+    /// `s` — the transmit leg of Eq. 2 generalized per transmit model.
+    #[inline]
+    pub fn transmit_distance(&self, k: usize, s: Vec3) -> f64 {
+        self.transmits[k].distance(self.origin, s)
+    }
+
+    /// One-way transmit delay of transmit `k` to `s`, in samples at `fs`.
+    #[inline]
+    pub fn transmit_delay_samples(&self, k: usize, s: Vec3) -> f64 {
+        self.metres_to_samples(self.transmit_distance(k, s))
+    }
+
+    /// Insonification weight of field point `s` under transmit `k` — see
+    /// [`TransmitModel::weight`].
+    #[inline]
+    pub fn transmit_weight(&self, k: usize, s: Vec3) -> f64 {
+        self.transmits[k].weight(&self.elements, s)
     }
 
     fn with_scale(nx: usize, ny: usize, n_theta: usize, n_phi: usize, n_depth: usize) -> Self {
@@ -193,6 +248,20 @@ impl SystemSpec {
     #[inline]
     pub fn two_way_delay_samples(&self, s: Vec3, d: Vec3) -> f64 {
         self.seconds_to_samples(self.two_way_delay_seconds(s, d))
+    }
+
+    /// Exact two-way delay of transmit `k` in **seconds**: the transmit
+    /// leg per that transmit's model plus the receive leg `|s − d|`.
+    /// Reduces to [`SystemSpec::two_way_delay_seconds`] for a point source.
+    #[inline]
+    pub fn two_way_delay_seconds_for(&self, k: usize, s: Vec3, d: Vec3) -> f64 {
+        (self.transmit_distance(k, s) + s.distance(d)) / self.speed_of_sound
+    }
+
+    /// Exact two-way delay of transmit `k` in **samples** at `fs`.
+    #[inline]
+    pub fn two_way_delay_samples_for(&self, k: usize, s: Vec3, d: Vec3) -> f64 {
+        self.seconds_to_samples(self.two_way_delay_seconds_for(k, s, d))
     }
 
     /// Size of the naive fully precomputed delay table in coefficients:
@@ -385,6 +454,44 @@ mod tests {
     fn max_delay_exceeds_on_axis_delay() {
         let s = SystemSpec::paper();
         assert!(s.max_two_way_delay_samples() > 8000.0);
+    }
+
+    #[test]
+    fn default_transmit_is_single_point_source() {
+        let s = SystemSpec::tiny();
+        assert_eq!(s.n_transmits(), 1);
+        assert_eq!(s.transmits[0], TransmitModel::PointSource);
+        let p = Vec3::new(1.0e-3, -2.0e-3, 30.0e-3);
+        let d = Vec3::new(0.5e-3, 0.5e-3, 0.0);
+        assert_eq!(
+            s.two_way_delay_seconds_for(0, p, d),
+            s.two_way_delay_seconds(p, d)
+        );
+        assert_eq!(s.transmit_weight(0, p), 1.0);
+    }
+
+    #[test]
+    fn plane_wave_transmit_leg_never_exceeds_point_source_leg() {
+        // |n̂·s| ≤ |s| means a CPWC frame always fits the point-source
+        // echo buffer: no resizing on transmit-model change.
+        let s =
+            SystemSpec::tiny().with_transmits(TransmitModel::plane_wave_fan(4, crate::deg(10.0)));
+        assert_eq!(s.n_transmits(), 4);
+        for k in 0..4 {
+            for p in [
+                Vec3::new(0.01, 0.0, 0.05),
+                Vec3::new(-0.02, 0.015, 0.09),
+                Vec3::new(0.0, 0.0, 0.001),
+            ] {
+                assert!(s.transmit_distance(k, p) <= p.norm() + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transmit")]
+    fn empty_transmit_sequence_rejected() {
+        let _ = SystemSpec::tiny().with_transmits(vec![]);
     }
 
     #[test]

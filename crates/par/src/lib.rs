@@ -50,12 +50,21 @@ pub use pool::{global, global_arc, ThreadPool};
 pub use registered::{JobHandle, PendingJob};
 pub use scope::PoolScope;
 
+/// The pool's default sizing: `USBF_POOL_THREADS` when set to a positive
+/// integer, the host's available parallelism otherwise. This is the size
+/// [`global`] is built with, exposed so schedule planners (e.g. tile
+/// fitting) can agree with the pool instead of re-deriving a core count
+/// that ignores the override. A pure query — it does not build the
+/// global pool.
+pub fn default_threads() -> usize {
+    ThreadPool::default_threads()
+}
+
 /// Number of claimants [`par_map`] would use for `n_items` of work: the
-/// default pool size ([`ThreadPool::default_threads`]), capped by the
-/// item count (never zero). A pure query — it does not build the global
-/// pool.
+/// default pool size ([`default_threads`]), capped by the item count
+/// (never zero). A pure query — it does not build the global pool.
 pub fn thread_count(n_items: usize) -> usize {
-    ThreadPool::default_threads().min(n_items).max(1)
+    default_threads().min(n_items).max(1)
 }
 
 /// Maps `f` over `items` on the global pool, returning the results in

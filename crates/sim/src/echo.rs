@@ -30,10 +30,16 @@ impl Default for EchoOptions {
     }
 }
 
-/// Synthesizes per-element receive traces for a phantom: each (scatterer,
-/// element) pair adds a pulse centred at the exact Eq. 2 delay
-/// `(|P−O| + |P−D|)/c`, matching the transmit model the delay engines
-/// assume (point emission reference `O`).
+/// Synthesizes per-element receive traces for a phantom: for every
+/// transmit event of the spec's sequence, each (scatterer, element) pair
+/// adds a pulse centred at the exact Eq. 2 delay `(d_tx(P) + |P−D|)/c`,
+/// where the transmit leg `d_tx` follows the spec's
+/// [`TransmitModel`](usbf_geometry::TransmitModel) — `|P−O|` for the
+/// historical point emission, the wavefront projection `n̂·P` for a
+/// steered plane wave. Plane-wave scatterer amplitudes are additionally
+/// scaled by the insonification weight (zero outside the steered
+/// aperture footprint), so echoes only come from regions the wave
+/// actually sweeps.
 #[derive(Debug, Clone)]
 pub struct EchoSynthesizer {
     spec: SystemSpec,
@@ -63,13 +69,15 @@ impl EchoSynthesizer {
         &self.spec
     }
 
-    /// Generates one receive frame.
+    /// Generates one receive frame — one acquisition block per transmit
+    /// event of the spec's sequence.
     pub fn synthesize(&self, phantom: &Phantom, pulse: &Pulse) -> RfFrame {
         let spec = &self.spec;
-        let mut rf = RfFrame::zeros(
+        let mut rf = RfFrame::zeros_multi(
             spec.elements.nx(),
             spec.elements.ny(),
             spec.echo_buffer_len(),
+            spec.n_transmits(),
         );
         self.synthesize_into(phantom, pulse, &mut rf);
         rf
@@ -92,11 +100,14 @@ impl EchoSynthesizer {
         assert!(
             rf.nx() == spec.elements.nx()
                 && rf.ny() == spec.elements.ny()
-                && rf.n_samples() == spec.echo_buffer_len(),
-            "RF frame shape {}x{}x{} must match the spec's {}x{}x{}",
+                && rf.n_samples() == spec.echo_buffer_len()
+                && rf.n_transmits() == spec.n_transmits(),
+            "RF frame shape {}x{}x{}x{} must match the spec's {}x{}x{}x{}",
+            rf.n_transmits(),
             rf.nx(),
             rf.ny(),
             rf.n_samples(),
+            spec.n_transmits(),
             spec.elements.nx(),
             spec.elements.ny(),
             spec.echo_buffer_len()
@@ -106,42 +117,48 @@ impl EchoSynthesizer {
         let half = pulse.half_duration_samples() as i64;
         let fs = spec.sampling_frequency;
 
-        for e in spec.elements.iter() {
-            let d = spec.elements.position(e);
-            let trace = rf.trace_mut(e);
-            for s in phantom.scatterers() {
-                let r_tx = s.position.distance(spec.origin);
-                let r_rx = s.position.distance(d);
-                let t = (r_tx + r_rx) / spec.speed_of_sound;
-                let center = t * fs;
-                let mut amp = s.amplitude;
-                if self.options.spreading {
-                    let norm = 10.0e-3;
-                    amp *= (norm * norm) / (r_tx.max(1e-6) * r_rx.max(1e-6));
-                }
-                if let Some(dir) = &self.options.directivity {
-                    amp *= dir.weight(s.position, d);
-                }
-                if amp == 0.0 {
-                    continue;
-                }
-                let lo = ((center.ceil() as i64) - half).max(0);
-                let hi = ((center.floor() as i64) + half).min(n_samples as i64 - 1);
-                for i in lo..=hi {
-                    trace[i as usize] += amp * pulse.sample((i as f64 - center) / fs);
+        for tx in 0..spec.n_transmits() {
+            for e in spec.elements.iter() {
+                let d = spec.elements.position(e);
+                let trace = rf.trace_for_mut(tx, e);
+                for s in phantom.scatterers() {
+                    let r_tx = spec.transmit_distance(tx, s.position);
+                    let r_rx = s.position.distance(d);
+                    let t = (r_tx + r_rx) / spec.speed_of_sound;
+                    let center = t * fs;
+                    let mut amp = s.amplitude * spec.transmit_weight(tx, s.position);
+                    if self.options.spreading {
+                        let norm = 10.0e-3;
+                        amp *= (norm * norm) / (r_tx.max(1e-6) * r_rx.max(1e-6));
+                    }
+                    if let Some(dir) = &self.options.directivity {
+                        amp *= dir.weight(s.position, d);
+                    }
+                    if amp == 0.0 {
+                        continue;
+                    }
+                    let lo = ((center.ceil() as i64) - half).max(0);
+                    let hi = ((center.floor() as i64) + half).min(n_samples as i64 - 1);
+                    for i in lo..=hi {
+                        trace[i as usize] += amp * pulse.sample((i as f64 - center) / fs);
+                    }
                 }
             }
         }
 
         if self.options.noise_rms > 0.0 {
+            // Every transmit event is its own acquisition, so each block
+            // gets independent noise from the one seeded stream.
             let mut rng = StdRng::seed_from_u64(self.options.seed);
-            for e in spec.elements.iter() {
-                for v in rf.trace_mut(e) {
-                    // Box–Muller: two uniforms → one standard normal.
-                    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
-                    let u2: f64 = rng.random_range(0.0..1.0);
-                    let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                    *v += self.options.noise_rms * n;
+            for tx in 0..spec.n_transmits() {
+                for e in spec.elements.iter() {
+                    for v in rf.trace_for_mut(tx, e) {
+                        // Box–Muller: two uniforms → one standard normal.
+                        let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.random_range(0.0..1.0);
+                        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                        *v += self.options.noise_rms * n;
+                    }
                 }
             }
         }
@@ -312,6 +329,75 @@ mod tests {
             &Pulse::from_spec(&wide),
             &mut rf,
         );
+    }
+
+    #[test]
+    fn plane_wave_echo_lands_at_projected_delay() {
+        let theta = deg(8.0);
+        let spec = SystemSpec::tiny()
+            .with_transmits(vec![usbf_geometry::TransmitModel::plane_wave(theta, 0.0)]);
+        // On the steering ray: back-projecting along n̂ lands at the
+        // aperture centre, so the wave fully insonifies the target.
+        let dir = usbf_geometry::SphericalDirection::new(theta, 0.0).unit();
+        let target = Vec3::new(dir.x * 0.05, dir.y * 0.05, dir.z * 0.05);
+        let rf = EchoSynthesizer::new(&spec)
+            .synthesize(&Phantom::point(target), &Pulse::from_spec(&spec));
+        let e = ElementIndex::new(3, 3);
+        let trace = rf.trace_for(0, e);
+        let n = usbf_geometry::SphericalDirection::new(theta, 0.0).unit();
+        let expect =
+            spec.metres_to_samples(n.dot(target) + target.distance(spec.elements.position(e)));
+        let (peak, _) = trace
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        assert!(
+            (peak as f64 - expect).abs() <= 1.0,
+            "peak {peak} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn compound_blocks_match_per_angle_synthesis() {
+        // Each transmit block of a compound frame must be bit-identical
+        // to synthesizing that angle alone with a single-transmit spec.
+        let fan = usbf_geometry::TransmitModel::plane_wave_fan(3, deg(10.0));
+        let spec = SystemSpec::tiny().with_transmits(fan.clone());
+        let phantom = Phantom::point(Vec3::new(0.002, -0.001, 0.045));
+        let pulse = Pulse::from_spec(&spec);
+        let compound = EchoSynthesizer::new(&spec).synthesize(&phantom, &pulse);
+        assert_eq!(compound.n_transmits(), 3);
+        for (tx, model) in fan.iter().enumerate() {
+            let single_spec = SystemSpec::tiny().with_transmits(vec![*model]);
+            let single = EchoSynthesizer::new(&single_spec).synthesize(&phantom, &pulse);
+            for e in spec.elements.iter() {
+                for (a, b) in compound.trace_for(tx, e).iter().zip(single.trace(e)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "tx {tx} element {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steered_footprint_silences_excluded_targets() {
+        // A hard-steered wave never sweeps a target far on the opposite
+        // side of the aperture footprint: its block stays silent while an
+        // unsteered emission still hears the target.
+        let spec = SystemSpec::tiny().with_transmits(vec![
+            usbf_geometry::TransmitModel::plane_wave(0.0, 0.0),
+            usbf_geometry::TransmitModel::plane_wave(deg(35.0), 0.0),
+        ]);
+        // On axis: inside the straight-down footprint; the hard-steered
+        // wave's footprint back-projects tens of millimetres off-axis,
+        // far outside the tiny aperture.
+        let phantom = Phantom::point(Vec3::new(0.0, 0.0, 0.09));
+        let rf = EchoSynthesizer::new(&spec).synthesize(&phantom, &Pulse::from_spec(&spec));
+        let e = ElementIndex::new(3, 3);
+        let loud: f64 = rf.trace_for(0, e).iter().map(|v| v.abs()).sum();
+        let silent: f64 = rf.trace_for(1, e).iter().map(|v| v.abs()).sum();
+        assert!(loud > 0.0, "unsteered block must hear the target");
+        assert_eq!(silent, 0.0, "steered-away block must stay silent");
     }
 
     #[test]

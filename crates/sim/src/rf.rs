@@ -5,35 +5,56 @@ use usbf_geometry::ElementIndex;
 /// A frame of receive data: `n_elements` traces of `n_samples` each,
 /// sampled at the system's `fs`. Element traces are stored row-major in
 /// the transducer's linear order (`iy·nx + ix`).
+///
+/// A frame may hold the acquisitions of several **transmit events**
+/// (coherent plane-wave compounding fires the full aperture once per
+/// steering angle and keeps every acquisition until the compound sum):
+/// the sample buffer is transmit-major, one full `n_elements ×
+/// n_samples` block per transmit. A single-transmit frame
+/// ([`RfFrame::zeros`]) is block 0 alone, so every historical accessor
+/// keeps its meaning unchanged.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RfFrame {
     data: Vec<f64>,
     nx: usize,
     ny: usize,
     n_samples: usize,
-    /// Start offset of every channel's trace in `data`, in linear element
-    /// order — precomputed once so the gather paths never re-derive
-    /// `linear(e) * n_samples` per fetch.
+    n_transmits: usize,
+    /// Start offset of every channel's trace within one transmit block,
+    /// in linear element order — precomputed once so the gather paths
+    /// never re-derive `linear(e) * n_samples` per fetch.
     bases: Vec<usize>,
 }
 
 impl RfFrame {
-    /// Allocates a zeroed frame for an `nx × ny` probe with `n_samples`
-    /// per trace.
+    /// Allocates a zeroed single-transmit frame for an `nx × ny` probe
+    /// with `n_samples` per trace.
     ///
     /// # Panics
     ///
     /// Panics if any dimension is zero.
     pub fn zeros(nx: usize, ny: usize, n_samples: usize) -> Self {
+        Self::zeros_multi(nx, ny, n_samples, 1)
+    }
+
+    /// Allocates a zeroed frame holding `n_transmits` acquisitions — one
+    /// `nx × ny × n_samples` block per transmit event of a compound
+    /// sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros_multi(nx: usize, ny: usize, n_samples: usize, n_transmits: usize) -> Self {
         assert!(
-            nx > 0 && ny > 0 && n_samples > 0,
+            nx > 0 && ny > 0 && n_samples > 0 && n_transmits > 0,
             "dimensions must be nonzero"
         );
         RfFrame {
-            data: vec![0.0; nx * ny * n_samples],
+            data: vec![0.0; n_transmits * nx * ny * n_samples],
             nx,
             ny,
             n_samples,
+            n_transmits,
             bases: (0..nx * ny).map(|l| l * n_samples).collect(),
         }
     }
@@ -62,43 +83,80 @@ impl RfFrame {
         self.n_samples
     }
 
+    /// Transmit acquisitions held by this frame (1 for the classic
+    /// single-emission frame).
+    #[inline]
+    pub fn n_transmits(&self) -> usize {
+        self.n_transmits
+    }
+
+    /// Flat-sample offset of transmit block `tx`.
+    #[inline]
+    fn transmit_base(&self, tx: usize) -> usize {
+        debug_assert!(tx < self.n_transmits, "transmit {tx} out of range");
+        tx * self.nx * self.ny * self.n_samples
+    }
+
     #[inline]
     fn linear(&self, e: ElementIndex) -> usize {
         debug_assert!(e.ix < self.nx && e.iy < self.ny, "element {e} out of range");
         e.iy * self.nx + e.ix
     }
 
-    /// One element's full trace.
+    /// One element's full trace (transmit 0).
     pub fn trace(&self, e: ElementIndex) -> &[f64] {
-        let l = self.linear(e);
-        &self.data[l * self.n_samples..(l + 1) * self.n_samples]
+        self.trace_for(0, e)
     }
 
-    /// Mutable trace access (used by the synthesizer).
+    /// Mutable trace access for transmit 0 (used by the synthesizer).
     pub fn trace_mut(&mut self, e: ElementIndex) -> &mut [f64] {
-        let l = self.linear(e);
-        &mut self.data[l * self.n_samples..(l + 1) * self.n_samples]
+        self.trace_for_mut(0, e)
     }
 
-    /// Sample `idx` of element `e`, with out-of-range indices reading as
-    /// zero (the hardware clamps fetches to the buffer window; zero keeps
-    /// clamped fetches from biasing sums).
+    /// One element's trace of transmit event `tx`.
+    pub fn trace_for(&self, tx: usize, e: ElementIndex) -> &[f64] {
+        let start = self.transmit_base(tx) + self.linear(e) * self.n_samples;
+        &self.data[start..start + self.n_samples]
+    }
+
+    /// Mutable trace access for transmit event `tx`.
+    pub fn trace_for_mut(&mut self, tx: usize, e: ElementIndex) -> &mut [f64] {
+        let start = self.transmit_base(tx) + self.linear(e) * self.n_samples;
+        &mut self.data[start..start + self.n_samples]
+    }
+
+    /// Sample `idx` of element `e` (transmit 0), with out-of-range
+    /// indices reading as zero (the hardware clamps fetches to the buffer
+    /// window; zero keeps clamped fetches from biasing sums).
     #[inline]
     pub fn sample(&self, e: ElementIndex, idx: i64) -> f64 {
+        self.sample_for(0, e, idx)
+    }
+
+    /// Sample `idx` of element `e` in transmit block `tx`, with
+    /// out-of-range indices reading as zero.
+    #[inline]
+    pub fn sample_for(&self, tx: usize, e: ElementIndex, idx: i64) -> f64 {
         if idx < 0 || idx >= self.n_samples as i64 {
             return 0.0;
         }
         let l = self.linear(e);
-        self.data[l * self.n_samples + idx as usize]
+        self.data[self.transmit_base(tx) + l * self.n_samples + idx as usize]
     }
 
-    /// Linearly interpolated fractional-sample read (extension beyond the
-    /// paper's nearest-index fetch).
+    /// Linearly interpolated fractional-sample read of transmit 0
+    /// (extension beyond the paper's nearest-index fetch).
     #[inline]
     pub fn sample_interp(&self, e: ElementIndex, t: f64) -> f64 {
+        self.sample_interp_for(0, e, t)
+    }
+
+    /// Linearly interpolated fractional-sample read of transmit `tx`.
+    #[inline]
+    pub fn sample_interp_for(&self, tx: usize, e: ElementIndex, t: f64) -> f64 {
         let i0 = t.floor() as i64;
         let frac = t - i0 as f64;
-        self.sample(e, i0) * (1.0 - frac) + self.sample(e, i0 + 1) * frac
+        self.sample_for(tx, e, i0) * (1.0 - frac) + self.sample_for(tx, e, i0 + 1) * frac
     }
 
     /// Start offset of every channel's trace in the flat sample buffer,
@@ -123,16 +181,37 @@ impl RfFrame {
     /// range.
     #[inline]
     pub fn gather_nearest_into(&self, channels: &[u32], indices: &[i32], out: &mut [f64]) {
+        self.gather_nearest_into_for(0, channels, indices, out);
+    }
+
+    /// [`gather_nearest_into`](Self::gather_nearest_into) over transmit
+    /// block `tx` — the fetch stage of the compound kernel, reading one
+    /// steering angle's acquisition. Transmit 0 is bit-identical to the
+    /// single-transmit gather (the block offset is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length or a channel is out of
+    /// range.
+    #[inline]
+    pub fn gather_nearest_into_for(
+        &self,
+        tx: usize,
+        channels: &[u32],
+        indices: &[i32],
+        out: &mut [f64],
+    ) {
         assert_eq!(channels.len(), indices.len(), "one index per channel");
         assert_eq!(channels.len(), out.len(), "one output slot per channel");
         let n = self.n_samples;
+        let base = self.transmit_base(tx);
         for ((o, &c), &i) in out.iter_mut().zip(channels).zip(indices) {
             // Negative indices wrap to huge values under the unsigned
             // compare, so one test covers both window edges; the
             // conditional compiles to a select, not a branch, and the
             // masked fetch reads the trace head so it never faults.
             let inside = (i as usize) < n;
-            let v = self.data[self.bases[c as usize] + if inside { i as usize } else { 0 }];
+            let v = self.data[base + self.bases[c as usize] + if inside { i as usize } else { 0 }];
             *o = if inside { v } else { 0.0 };
         }
     }
@@ -150,11 +229,31 @@ impl RfFrame {
     /// range.
     #[inline]
     pub fn gather_linear_into(&self, channels: &[u32], delays: &[f64], out: &mut [f64]) {
+        self.gather_linear_into_for(0, channels, delays, out);
+    }
+
+    /// [`gather_linear_into`](Self::gather_linear_into) over transmit
+    /// block `tx`. Transmit 0 is bit-identical to the single-transmit
+    /// gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices differ in length or a channel is out of
+    /// range.
+    #[inline]
+    pub fn gather_linear_into_for(
+        &self,
+        tx: usize,
+        channels: &[u32],
+        delays: &[f64],
+        out: &mut [f64],
+    ) {
         assert_eq!(channels.len(), delays.len(), "one delay per channel");
         assert_eq!(channels.len(), out.len(), "one output slot per channel");
         let n = self.n_samples as u64;
+        let tx_base = self.transmit_base(tx);
         for ((o, &c), &t) in out.iter_mut().zip(channels).zip(delays) {
-            let base = self.bases[c as usize];
+            let base = tx_base + self.bases[c as usize];
             let i0 = t.floor() as i64;
             let frac = t - i0 as f64;
             let in0 = (i0 as u64) < n;
@@ -182,11 +281,16 @@ impl RfFrame {
     /// Panics if the two frames' dimensions differ.
     pub fn copy_from(&mut self, src: &RfFrame) {
         assert!(
-            self.nx == src.nx && self.ny == src.ny && self.n_samples == src.n_samples,
-            "frame shapes must match: {}x{}x{} vs {}x{}x{}",
+            self.nx == src.nx
+                && self.ny == src.ny
+                && self.n_samples == src.n_samples
+                && self.n_transmits == src.n_transmits,
+            "frame shapes must match: {}x{}x{}x{} vs {}x{}x{}x{}",
+            self.n_transmits,
             self.nx,
             self.ny,
             self.n_samples,
+            src.n_transmits,
             src.nx,
             src.ny,
             src.n_samples
@@ -322,5 +426,54 @@ mod tests {
     fn copy_from_rejects_shape_mismatch() {
         let src = RfFrame::zeros(2, 2, 4);
         RfFrame::zeros(2, 2, 5).copy_from(&src);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame shapes must match")]
+    fn copy_from_rejects_transmit_count_mismatch() {
+        let src = RfFrame::zeros_multi(2, 2, 4, 3);
+        RfFrame::zeros_multi(2, 2, 4, 2).copy_from(&src);
+    }
+
+    #[test]
+    fn transmit_blocks_are_independent() {
+        let mut rf = RfFrame::zeros_multi(2, 2, 4, 3);
+        let e = ElementIndex::new(1, 0);
+        rf.trace_for_mut(1, e)[2] = 7.5;
+        assert_eq!(rf.sample_for(1, e, 2), 7.5);
+        assert_eq!(rf.sample_for(0, e, 2), 0.0);
+        assert_eq!(rf.sample_for(2, e, 2), 0.0);
+        // Transmit 0 is the historical single-transmit view.
+        assert_eq!(rf.trace(e), rf.trace_for(0, e));
+        assert_eq!(rf.sample(e, 2), rf.sample_for(0, e, 2));
+    }
+
+    #[test]
+    fn multi_transmit_gathers_read_their_block() {
+        let mut rf = RfFrame::zeros_multi(2, 1, 4, 2);
+        let e = ElementIndex::new(0, 0);
+        rf.trace_for_mut(0, e)
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        rf.trace_for_mut(1, e)
+            .copy_from_slice(&[-1.0, -2.0, -3.0, -4.0]);
+        let channels = [0u32, 0];
+        let mut out = [0.0; 2];
+        rf.gather_nearest_into_for(1, &channels, &[1, 3], &mut out);
+        assert_eq!(out, [-2.0, -4.0]);
+        rf.gather_linear_into_for(1, &channels, &[0.5, 2.0], &mut out);
+        assert_eq!(out[0].to_bits(), rf.sample_interp_for(1, e, 0.5).to_bits());
+        assert_eq!(out[1], -3.0);
+        // The tx-0 gathers match the historical single-transmit gathers.
+        let mut a = [0.0; 2];
+        let mut b = [0.0; 2];
+        rf.gather_nearest_into(&channels, &[0, 2], &mut a);
+        rf.gather_nearest_into_for(0, &channels, &[0, 2], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_transmit_frames_report_one_transmit() {
+        assert_eq!(RfFrame::zeros(2, 2, 4).n_transmits(), 1);
+        assert_eq!(RfFrame::zeros_multi(2, 2, 4, 5).n_transmits(), 5);
     }
 }

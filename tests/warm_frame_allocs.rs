@@ -27,7 +27,7 @@ use usbf::core::{
     DelayEngine, ExactEngine, NappeSchedule, TableFreeConfig, TableFreeEngine, TableSteerConfig,
     TableSteerEngine,
 };
-use usbf::geometry::{SystemSpec, VoxelIndex};
+use usbf::geometry::{deg, SystemSpec, TransmitModel, VolumeSpec, VoxelIndex};
 use usbf::par::ThreadPool;
 use usbf::sim::{EchoSynthesizer, Phantom, Pulse};
 
@@ -205,6 +205,58 @@ fn warm_frames_do_no_per_tile_allocation() {
         bmode_allocs, 0,
         "warm B-mode FramePipeline frames plus slice/MIP views must not \
          allocate ({FRAMES} frames, {tiles} tiles each)"
+    );
+    drop(pipe);
+
+    // --- Coherent plane-wave compounding: a warm 4-angle compound frame
+    // runs every transmit through the tile kernel into the preallocated
+    // low-resolution scratch and masked-accumulates in place, so the
+    // N-angle frame must measure 0 just like the single-transmit one.
+    // (Narrow cone: under tiny()'s ±36.5° the plane-wave footprints miss
+    // the whole grid and the compound would be vacuously zero.) ---
+    let lambda = spec.wavelength();
+    let cpwc_spec = SystemSpec::new(
+        spec.speed_of_sound,
+        spec.sampling_frequency,
+        spec.transducer.clone(),
+        VolumeSpec {
+            theta_max: deg(4.0),
+            phi_max: deg(4.0),
+            depth_max: 60.0 * lambda,
+            ..spec.volume.clone()
+        },
+        spec.origin,
+        spec.frame_rate,
+    )
+    .with_transmits(TransmitModel::plane_wave_fan(4, deg(10.0)));
+    let cpwc_rf = EchoSynthesizer::new(&cpwc_spec).synthesize(
+        &Phantom::point(cpwc_spec.volume_grid.position(VoxelIndex::new(4, 4, 10))),
+        &Pulse::from_spec(&cpwc_spec),
+    );
+    let cpwc_schedule = NappeSchedule::fitted(&cpwc_spec, 64);
+    let cpwc_engine: Arc<dyn DelayEngine + Send + Sync> = Arc::new(ExactEngine::new(&cpwc_spec));
+    let mut pipe = FramePipeline::with_pool(
+        Beamformer::new(&cpwc_spec),
+        Arc::clone(&cpwc_engine),
+        FrameRing::new(vec![cpwc_rf]),
+        Arc::clone(&pool),
+        &cpwc_schedule,
+    );
+    for _ in 0..5 {
+        pipe.next_volume().expect("warm-up compound frame");
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..FRAMES {
+        pipe.next_volume().expect("warm compound frame");
+    }
+    let cpwc_allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    eprintln!("CPWC_ALLOCS={cpwc_allocs}");
+    assert_eq!(
+        cpwc_allocs,
+        0,
+        "warm 4-angle compound frames must not allocate ({FRAMES} frames, \
+         {} tiles each, 4 transmits per frame)",
+        cpwc_schedule.tiles().len()
     );
     drop(pipe);
 
