@@ -67,6 +67,12 @@ pub struct TileState {
     /// into `values`. Empty for the classic single point-source emission
     /// (which beamforms straight into `values`).
     pub(crate) lri: Vec<f64>,
+    /// One combined per-transmit delay row of the factored compound
+    /// kernel: [`DelayEngine::combine_tx_row`] writes the transmit term
+    /// folded onto the receive-leg slab row here, per (voxel, transmit).
+    /// Sized to the full element row; empty for the single point-source
+    /// emission (which never runs the factored loop).
+    pub(crate) tx_row: Vec<f64>,
     /// Compound mask weights, `[transmit][scanline-within-tile][depth]`
     /// (same inner layout as `values`): the per-voxel insonification
     /// weight of each transmit, precomputed at construction so the warm
@@ -113,6 +119,11 @@ impl TileState {
             delays: vec![0.0; active],
             indices: vec![0; active],
             samples: vec![0.0; active],
+            tx_row: if spec.is_single_point_source() {
+                Vec::new()
+            } else {
+                vec![0.0; spec.elements.count()]
+            },
             lri,
             tx_weights,
             post_scratch: if beamformer.postproc().is_empty() {
@@ -170,13 +181,26 @@ fn compact_row(row: &[f64], channels: &[u32], out: &mut [f64]) {
 }
 
 /// The Eq. 1 accumulate: `Σ_k w[k] · s[k]` over the compacted aperture,
-/// unrolled in chunks of 8 multiply-accumulates. A **single** running
-/// accumulator keeps the floating-point addition order identical to the
-/// scalar per-element walk (bit-identity is the project invariant;
-/// multi-lane reductions would reassociate the sum), so the chunking
-/// only removes loop-control overhead.
+/// dispatched on the beamformer's [`Reduction`] mode. Every path of a
+/// beamformer (scalar walk and tile kernels alike) routes through this
+/// with the same mode, so batched-vs-scalar bit-identity holds **within**
+/// each mode.
 #[inline]
-fn weighted_sum(weights: &[f64], samples: &[f64]) -> f64 {
+fn weighted_sum(weights: &[f64], samples: &[f64], reduction: Reduction) -> f64 {
+    match reduction {
+        Reduction::Sequential => weighted_sum_sequential(weights, samples),
+        Reduction::Wide4 => weighted_sum_wide4(weights, samples),
+    }
+}
+
+/// Sequential MAC, unrolled in chunks of 8 multiply-accumulates. A
+/// **single** running accumulator keeps the floating-point addition order
+/// identical to a plain per-element walk (the historical bit pattern
+/// every existing output reproduces; multi-lane reductions would
+/// reassociate the sum), so the chunking only removes loop-control
+/// overhead.
+#[inline]
+fn weighted_sum_sequential(weights: &[f64], samples: &[f64]) -> f64 {
     debug_assert_eq!(weights.len(), samples.len());
     let mut acc = 0.0;
     let mut wc = weights.chunks_exact(8);
@@ -197,6 +221,37 @@ fn weighted_sum(weights: &[f64], samples: &[f64]) -> f64 {
     acc
 }
 
+/// Four-lane MAC: four independent accumulators striped over chunks of 8,
+/// merged pairwise `(a0+a1)+(a2+a3)`, remainder folded sequentially. The
+/// lanes break the loop-carried addition dependency (≈4 FMAs in flight
+/// instead of 1), which is the ROADMAP "wider MAC lanes" win — at the
+/// price of a **reassociated** sum relative to [`Reduction::Sequential`].
+/// The association is itself fixed and deterministic, so outputs are
+/// reproducible and the batched/scalar bit-identity proptests hold within
+/// the mode; only cross-mode equality is (deliberately) surrendered.
+#[inline]
+fn weighted_sum_wide4(weights: &[f64], samples: &[f64]) -> f64 {
+    debug_assert_eq!(weights.len(), samples.len());
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut wc = weights.chunks_exact(8);
+    let mut sc = samples.chunks_exact(8);
+    for (w, s) in (&mut wc).zip(&mut sc) {
+        a0 += w[0] * s[0];
+        a1 += w[1] * s[1];
+        a2 += w[2] * s[2];
+        a3 += w[3] * s[3];
+        a0 += w[4] * s[4];
+        a1 += w[5] * s[5];
+        a2 += w[6] * s[6];
+        a3 += w[7] * s[7];
+    }
+    let mut acc = (a0 + a1) + (a2 + a3);
+    for (&w, &s) in wc.remainder().iter().zip(sc.remainder()) {
+        acc += w * s;
+    }
+    acc
+}
+
 /// How echo samples are fetched at the computed delay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Interpolation {
@@ -209,6 +264,21 @@ pub enum Interpolation {
     Linear,
 }
 
+/// How the Eq. 1 aperture sum is reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// One running accumulator in element order — the historical bit
+    /// pattern, bit-identical to a plain per-element walk.
+    #[default]
+    Sequential,
+    /// Four independent accumulator lanes merged `(a0+a1)+(a2+a3)` —
+    /// breaks the loop-carried FP dependency for throughput. The sum is
+    /// reassociated relative to [`Sequential`](Reduction::Sequential)
+    /// (deterministically — all paths of a beamformer share the mode, so
+    /// batched/scalar bit-identity still holds within it).
+    Wide4,
+}
+
 /// A delay-and-sum beamformer bound to a system spec.
 ///
 /// The engine is passed per call, so one beamformer can compare multiple
@@ -218,6 +288,7 @@ pub struct Beamformer {
     spec: SystemSpec,
     apodization: Apodization,
     interpolation: Interpolation,
+    reduction: Reduction,
     order: ScanOrder,
     /// The compacted `(channel, weight)` aperture — Eq. 1's `w`, built
     /// once per beamformer lifetime and shared by every path (scalar
@@ -238,6 +309,7 @@ impl Beamformer {
             spec: spec.clone(),
             apodization: Apodization::default(),
             interpolation: Interpolation::default(),
+            reduction: Reduction::default(),
             order: ScanOrder::NappeByNappe,
             aperture: ActiveAperture::build(Apodization::default(), &spec.elements),
             post: PostChain::empty(),
@@ -260,6 +332,24 @@ impl Beamformer {
     pub fn with_interpolation(mut self, interpolation: Interpolation) -> Self {
         self.interpolation = interpolation;
         self
+    }
+
+    /// Sets the aperture-sum reduction mode. [`Reduction::Wide4`] trades
+    /// the historical sequential-sum bit pattern for ~4 FP adds in
+    /// flight; every path of this beamformer (scalar walk, tile kernels,
+    /// fused and factored compound loops) switches together, so the
+    /// batched-vs-scalar bit-identity invariant is preserved within the
+    /// chosen mode.
+    #[must_use = "with_reduction returns the configured beamformer; dropping it discards the mode"]
+    pub fn with_reduction(mut self, reduction: Reduction) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// The configured aperture-sum reduction mode.
+    #[inline]
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
     }
 
     /// Sets the traversal order (Algorithm 1 flavour).
@@ -332,17 +422,10 @@ impl Beamformer {
     /// call.
     pub fn beamform_voxel(&self, engine: &dyn DelayEngine, rf: &RfFrame, vox: VoxelIndex) -> f64 {
         if self.spec.is_single_point_source() {
-            let nx = self.spec.elements.nx();
-            let mut acc = 0.0;
-            for (&chan, &w) in self.aperture.channels().iter().zip(self.aperture.weights()) {
-                let e = ElementIndex::new(chan as usize % nx, chan as usize / nx);
-                let v = match self.interpolation {
-                    Interpolation::Nearest => rf.sample(e, engine.delay_index(vox, e)),
-                    Interpolation::Linear => rf.sample_interp(e, engine.delay_samples(vox, e)),
-                };
-                acc += w * v;
-            }
-            return acc;
+            return self.scalar_aperture_sum(&mut |e| match self.interpolation {
+                Interpolation::Nearest => rf.sample(e, engine.delay_index(vox, e)),
+                Interpolation::Linear => rf.sample_interp(e, engine.delay_samples(vox, e)),
+            });
         }
         let s = self.spec.volume_grid.position(vox);
         let mut acc = 0.0;
@@ -367,19 +450,42 @@ impl Beamformer {
         tx: usize,
         vox: VoxelIndex,
     ) -> f64 {
+        self.scalar_aperture_sum(&mut |e| match self.interpolation {
+            Interpolation::Nearest => rf.sample_for(tx, e, engine.delay_index_for(tx, vox, e)),
+            Interpolation::Linear => {
+                rf.sample_interp_for(tx, e, engine.delay_samples_for(tx, vox, e))
+            }
+        })
+    }
+
+    /// The scalar reference walk's Eq. 1 sum over the compacted aperture,
+    /// with `fetch` producing each element's delayed sample. Sequential
+    /// mode keeps the allocation-free per-element accumulate; Wide4 mode
+    /// materializes the fetched row and reuses the tile kernels' exact
+    /// reduction routine, so the reference replicates the batched
+    /// association bit-for-bit (a per-call `Vec` is acceptable here — the
+    /// scalar walk is the reference oracle, not the warm path).
+    fn scalar_aperture_sum(&self, fetch: &mut dyn FnMut(ElementIndex) -> f64) -> f64 {
         let nx = self.spec.elements.nx();
-        let mut acc = 0.0;
-        for (&chan, &w) in self.aperture.channels().iter().zip(self.aperture.weights()) {
-            let e = ElementIndex::new(chan as usize % nx, chan as usize / nx);
-            let v = match self.interpolation {
-                Interpolation::Nearest => rf.sample_for(tx, e, engine.delay_index_for(tx, vox, e)),
-                Interpolation::Linear => {
-                    rf.sample_interp_for(tx, e, engine.delay_samples_for(tx, vox, e))
+        let element = |chan: u32| ElementIndex::new(chan as usize % nx, chan as usize / nx);
+        match self.reduction {
+            Reduction::Sequential => {
+                let mut acc = 0.0;
+                for (&chan, &w) in self.aperture.channels().iter().zip(self.aperture.weights()) {
+                    acc += w * fetch(element(chan));
                 }
-            };
-            acc += w * v;
+                acc
+            }
+            Reduction::Wide4 => {
+                let samples: Vec<f64> = self
+                    .aperture
+                    .channels()
+                    .iter()
+                    .map(|&chan| fetch(element(chan)))
+                    .collect();
+                weighted_sum_wide4(self.aperture.weights(), &samples)
+            }
         }
-        acc
     }
 
     /// Beamforms the whole volume.
@@ -498,6 +604,7 @@ impl Beamformer {
             delays,
             indices,
             samples,
+            tx_row,
             lri,
             tx_weights,
             post_scratch,
@@ -534,18 +641,39 @@ impl Beamformer {
             );
             values.fill(0.0);
             let n_values = values.len();
-            for tx in 0..n_tx {
+            if engine.supports_factored_fill() {
+                // Factored compound loop: the transmit-invariant receive
+                // leg is generated ONCE per (nappe, tile) via
+                // `fill_nappe_rx_streamed`, and each transmit only adds
+                // its per-voxel scalar term onto the cached row —
+                // per-angle delay-generation cost drops from
+                // O(N·elements) to O(elements + N) per voxel. Per-voxel
+                // accumulation stays transmit-ascending, so the output is
+                // bit-identical to the fused per-transmit loop below.
                 match self.interpolation {
-                    Interpolation::Nearest => self
-                        .tile_kernel_nearest(engine, rf, tx, slab, lri, delays, indices, samples),
-                    Interpolation::Linear => {
-                        self.tile_kernel_linear(engine, rf, tx, slab, lri, delays, samples)
-                    }
+                    Interpolation::Nearest => self.tile_compound_factored_nearest(
+                        engine, rf, n_tx, slab, values, tx_row, delays, indices, samples,
+                        tx_weights,
+                    ),
+                    Interpolation::Linear => self.tile_compound_factored_linear(
+                        engine, rf, n_tx, slab, values, tx_row, delays, samples, tx_weights,
+                    ),
                 }
-                let mask = &tx_weights[tx * n_values..(tx + 1) * n_values];
-                for ((v, &l), &m) in values.iter_mut().zip(lri.iter()).zip(mask) {
-                    if m != 0.0 {
-                        *v += m * l;
+            } else {
+                for tx in 0..n_tx {
+                    match self.interpolation {
+                        Interpolation::Nearest => self.tile_kernel_nearest(
+                            engine, rf, tx, slab, lri, delays, indices, samples,
+                        ),
+                        Interpolation::Linear => {
+                            self.tile_kernel_linear(engine, rf, tx, slab, lri, delays, samples)
+                        }
+                    }
+                    let mask = &tx_weights[tx * n_values..(tx + 1) * n_values];
+                    for ((v, &l), &m) in values.iter_mut().zip(lri.iter()).zip(mask) {
+                        if m != 0.0 {
+                            *v += m * l;
+                        }
                     }
                 }
             }
@@ -605,7 +733,122 @@ impl Beamformer {
                 // path exactly as it sees per-element queries.
                 engine.quantize_row(active_delays, indices);
                 rf.gather_nearest_into_for(tx, channels, indices, samples);
-                out[slot * n_depth + id] = weighted_sum(weights, samples);
+                out[slot * n_depth + id] = weighted_sum(weights, samples, self.reduction);
+            });
+        }
+    }
+
+    /// The factored compound nearest-index kernel: one receive-leg slab
+    /// fill per nappe ([`DelayEngine::fill_nappe_rx_streamed`]), then per
+    /// voxel an inner transmit loop that combines the cached row with
+    /// each transmit's per-voxel term ([`DelayEngine::combine_tx_row`])
+    /// and runs the usual compact → quantize → gather → MAC stages.
+    ///
+    /// Masked transmits are where the factored kernel earns its keep on
+    /// steered fans: a zero mask weight contributes nothing to the sum,
+    /// so when the engine's rounding stage is side-effect-free
+    /// ([`DelayEngine::rounding_telemetry`] is `false`) the whole
+    /// per-transmit body is skipped — bit-identical output, and no
+    /// telemetry exists to diverge. Engines **with** rounding telemetry
+    /// (TABLESTEER's clamp counter) still combine and quantize every
+    /// (voxel, transmit) pair, because the fused per-transmit kernel
+    /// quantizes masked pairs too and the counters must advance
+    /// identically on both paths; only the gather/MAC/accumulate is
+    /// skipped on a zero mask weight there (same non-finite-poisoning
+    /// guard as the fused accumulate).
+    #[allow(clippy::too_many_arguments)]
+    fn tile_compound_factored_nearest(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        n_tx: usize,
+        slab: &mut NappeDelays,
+        values: &mut [f64],
+        tx_row: &mut [f64],
+        delays: &mut [f64],
+        indices: &mut [i32],
+        samples: &mut [f64],
+        tx_weights: &[f64],
+    ) {
+        let tile = slab.tile();
+        let n_depth = self.spec.volume_grid.n_depth();
+        let n_values = values.len();
+        let channels = self.aperture.channels();
+        let weights = self.aperture.weights();
+        let full = self.aperture.is_full();
+        let skip_masked = !engine.rounding_telemetry();
+        let reduction = self.reduction;
+        for id in 0..n_depth {
+            engine.fill_nappe_rx_streamed(id, slab, &mut |slot, rx_row| {
+                let (it, ip) = tile.scanline_at(slot);
+                let vox = VoxelIndex::new(it, ip, id);
+                for tx in 0..n_tx {
+                    let m = tx_weights[tx * n_values + slot * n_depth + id];
+                    if skip_masked && m == 0.0 {
+                        continue;
+                    }
+                    engine.combine_tx_row(tx, vox, rx_row, tx_row);
+                    let active_delays = if full {
+                        &*tx_row
+                    } else {
+                        compact_row(tx_row, channels, delays);
+                        &*delays
+                    };
+                    engine.quantize_row(active_delays, indices);
+                    if m != 0.0 {
+                        rf.gather_nearest_into_for(tx, channels, indices, samples);
+                        values[slot * n_depth + id] +=
+                            m * weighted_sum(weights, samples, reduction);
+                    }
+                }
+            });
+        }
+    }
+
+    /// The factored compound linear-interpolation kernel: one receive-leg
+    /// slab fill per nappe, per-voxel transmit combines feeding the
+    /// fractional-delay gather directly (no quantization stage, so — like
+    /// the fused linear kernel — no rounding telemetry advances and the
+    /// whole per-transmit body can be skipped on a zero mask weight).
+    #[allow(clippy::too_many_arguments)]
+    fn tile_compound_factored_linear(
+        &self,
+        engine: &dyn DelayEngine,
+        rf: &RfFrame,
+        n_tx: usize,
+        slab: &mut NappeDelays,
+        values: &mut [f64],
+        tx_row: &mut [f64],
+        delays: &mut [f64],
+        samples: &mut [f64],
+        tx_weights: &[f64],
+    ) {
+        let tile = slab.tile();
+        let n_depth = self.spec.volume_grid.n_depth();
+        let n_values = values.len();
+        let channels = self.aperture.channels();
+        let weights = self.aperture.weights();
+        let full = self.aperture.is_full();
+        let reduction = self.reduction;
+        for id in 0..n_depth {
+            engine.fill_nappe_rx_streamed(id, slab, &mut |slot, rx_row| {
+                let (it, ip) = tile.scanline_at(slot);
+                let vox = VoxelIndex::new(it, ip, id);
+                for tx in 0..n_tx {
+                    let m = tx_weights[tx * n_values + slot * n_depth + id];
+                    if m == 0.0 {
+                        continue;
+                    }
+                    engine.combine_tx_row(tx, vox, rx_row, tx_row);
+                    let active_delays = if full {
+                        &*tx_row
+                    } else {
+                        compact_row(tx_row, channels, delays);
+                        &*delays
+                    };
+                    rf.gather_linear_into_for(tx, channels, active_delays, samples);
+                    values[slot * n_depth + id] += m * weighted_sum(weights, samples, reduction);
+                }
             });
         }
     }
@@ -639,7 +882,7 @@ impl Beamformer {
                     &*delays
                 };
                 rf.gather_linear_into_for(tx, channels, active_delays, samples);
-                out[slot * n_depth + id] = weighted_sum(weights, samples);
+                out[slot * n_depth + id] = weighted_sum(weights, samples, self.reduction);
             });
         }
     }
@@ -836,6 +1079,165 @@ mod tests {
             let schedule = usbf_core::NappeSchedule::fitted(&spec, target);
             let vol = bf.beamform_volume_tiled(&engine, &rf, &schedule);
             assert_eq!(vol, reference, "{target} tiles");
+        }
+    }
+
+    #[test]
+    fn wide4_reduction_is_bit_identical_between_batched_and_scalar_paths() {
+        // Wide4 reassociates the aperture sum, but deterministically:
+        // the scalar reference replicates the 4-lane association, so the
+        // batched/scalar invariant holds within the mode.
+        let (spec, rf) = setup(Vec3::new(0.004, -0.002, 0.055));
+        let engine = ExactEngine::new(&spec);
+        for interp in [Interpolation::Nearest, Interpolation::Linear] {
+            let bf = |order| {
+                Beamformer::new(&spec)
+                    .with_interpolation(interp)
+                    .with_reduction(Reduction::Wide4)
+                    .with_order(order)
+            };
+            let batched = bf(ScanOrder::NappeByNappe).beamform_volume(&engine, &rf);
+            let scalar = bf(ScanOrder::ScanlineByScanline).beamform_volume(&engine, &rf);
+            assert_eq!(batched, scalar, "{interp:?}");
+        }
+    }
+
+    #[test]
+    fn wide4_reduction_still_focuses_on_the_target() {
+        let spec = SystemSpec::tiny();
+        let vox = VoxelIndex::new(3, 4, 9);
+        let rf = EchoSynthesizer::new(&spec).synthesize(
+            &Phantom::point(on_voxel_target(&spec, vox)),
+            &Pulse::from_spec(&spec),
+        );
+        let engine = ExactEngine::new(&spec);
+        let vol = Beamformer::new(&spec)
+            .with_reduction(Reduction::Wide4)
+            .beamform_volume(&engine, &rf);
+        assert_eq!(vol.argmax(), vox);
+    }
+
+    /// A 4-angle compound spec on the tiny grid, with a synthesized
+    /// multi-transmit acquisition.
+    fn compound_setup() -> (SystemSpec, RfFrame) {
+        let spec = SystemSpec::tiny().with_transmits(usbf_geometry::TransmitModel::plane_wave_fan(
+            4,
+            usbf_geometry::deg(10.0),
+        ));
+        let rf = EchoSynthesizer::new(&spec).synthesize(
+            &Phantom::point(Vec3::new(0.002, -0.001, 0.05)),
+            &Pulse::from_spec(&spec),
+        );
+        (spec, rf)
+    }
+
+    #[test]
+    fn factored_compound_path_is_bit_identical_to_fused_path() {
+        // The tentpole invariant: routing the compound loop through
+        // fill_nappe_rx_streamed + combine_tx_row must reproduce the
+        // fused per-transmit kernel exactly. `FusedOnly` hides the
+        // factored family, forcing the fallback loop on the same engine.
+        let (spec, rf) = compound_setup();
+        let exact = ExactEngine::new(&spec);
+        let steer = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        for interp in [Interpolation::Nearest, Interpolation::Linear] {
+            for reduction in [Reduction::Sequential, Reduction::Wide4] {
+                for engine in [&exact as &dyn usbf_core::DelayEngine, &steer] {
+                    assert!(engine.supports_factored_fill());
+                    let bf = Beamformer::new(&spec)
+                        .with_interpolation(interp)
+                        .with_reduction(reduction);
+                    let schedule = usbf_core::NappeSchedule::fitted(&spec, 4);
+                    let factored = bf.beamform_volume_tiled(engine, &rf, &schedule);
+                    let fused = match engine.name() {
+                        "EXACT" => bf.beamform_volume_tiled(
+                            &usbf_core::FusedOnly(exact.clone()),
+                            &rf,
+                            &schedule,
+                        ),
+                        _ => bf.beamform_volume_tiled(
+                            &usbf_core::FusedOnly(steer.clone()),
+                            &rf,
+                            &schedule,
+                        ),
+                    };
+                    assert_eq!(
+                        factored,
+                        fused,
+                        "{} {interp:?} {reduction:?}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factored_compound_path_preserves_clamp_telemetry() {
+        // The factored nearest kernel must quantize every transmit's
+        // combined row — masked ones included — exactly like the fused
+        // kernel does, so TABLESTEER's clamp counter advances
+        // identically on both paths. A wide aperture on the tiny grid
+        // (same trick as the single-source telemetry test) steers corner
+        // fetches out of the echo window so clamps actually happen.
+        let base = SystemSpec::tiny();
+        let spec = SystemSpec::new(
+            base.speed_of_sound,
+            base.sampling_frequency,
+            usbf_geometry::TransducerSpec {
+                nx: 100,
+                ny: 100,
+                ..base.transducer.clone()
+            },
+            base.volume.clone(),
+            base.origin,
+            base.frame_rate,
+        )
+        .with_transmits({
+            // A point-source emission in the sequence reproduces the
+            // clamping geometry of the single-source telemetry test
+            // (two-way distances overrun the echo window at the
+            // corners); the plane waves ride along as the compound part.
+            let mut txs = vec![usbf_geometry::TransmitModel::PointSource];
+            txs.extend(usbf_geometry::TransmitModel::plane_wave_fan(
+                3,
+                usbf_geometry::deg(10.0),
+            ));
+            txs
+        });
+        let rf = RfFrame::zeros_multi(100, 100, spec.echo_buffer_len(), spec.n_transmits());
+        let factored_engine = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
+        let fused_engine = usbf_core::FusedOnly(factored_engine.clone()); // fresh zeroed counter
+        let bf = Beamformer::new(&spec).with_apodization(crate::Apodization::Rect);
+        let schedule = usbf_core::NappeSchedule::fitted(&spec, 2);
+        bf.beamform_volume_tiled(&factored_engine, &rf, &schedule);
+        bf.beamform_volume_tiled(&fused_engine, &rf, &schedule);
+        assert!(
+            factored_engine.clamp_events() > 0,
+            "setup must actually clamp"
+        );
+        assert_eq!(
+            factored_engine.clamp_events(),
+            fused_engine.0.clamp_events()
+        );
+    }
+
+    #[test]
+    fn factored_compound_path_matches_scalar_reference() {
+        // End-to-end: the factored batched volume equals the per-voxel
+        // scalar compound walk (which reaches the same numbers through
+        // delay_index_for / delay_samples_for, never the row family).
+        let (spec, rf) = compound_setup();
+        let engine = ExactEngine::new(&spec);
+        for interp in [Interpolation::Nearest, Interpolation::Linear] {
+            let bf = |order| {
+                Beamformer::new(&spec)
+                    .with_interpolation(interp)
+                    .with_order(order)
+            };
+            let batched = bf(ScanOrder::NappeByNappe).beamform_volume(&engine, &rf);
+            let scalar = bf(ScanOrder::ScanlineByScanline).beamform_volume(&engine, &rf);
+            assert_eq!(batched, scalar, "{interp:?}");
         }
     }
 

@@ -1,15 +1,17 @@
-//! Perf-trajectory snapshot: measures the PR 9 hot paths and writes
-//! `BENCH_PR9.json` (schema documented in `tests/README.md`).
+//! Perf-trajectory snapshot: measures the PR 10 hot paths and writes
+//! `BENCH_PR10.json` (schema documented in `tests/README.md`).
 //!
-//! Seven sections:
+//! Eight sections:
 //!
 //! * `kernel` — single-thread `Beamformer::beamform_tile_into` ns/voxel
 //!   on one reduced-spec schedule tile, per engine, next to the PR 4
 //!   per-element kernel ([`usbf_bench::legacy_beamform_tile_into`]) and
 //!   the resulting speedup (the PR 5 acceptance gate is ≥2×);
 //! * `fill` — per-engine `fill_nappe` throughput in delays/s over a
-//!   full-fan slab (NAIVE-TABLE is measured on the tiny spec — its
-//!   table does not fit a CI runner at reduced scale);
+//!   full-fan slab. NAIVE-TABLE is measured at both scales: its reduced
+//!   table (~hundreds of MB) is buildable on a CI runner, and the tiny
+//!   entry is kept so the cache-resident trajectory stays comparable
+//!   across snapshots — every entry records its `spec`;
 //! * `tablefree_fill` — the PR 5 per-element `eval_tracked` TABLEFREE
 //!   fill ([`usbf_bench::LegacyTableFreeFill`]) vs the segment-major
 //!   batched row evaluator (the PR 6 acceptance gate is ≥10×);
@@ -21,11 +23,16 @@
 //! * `bmode_chain` — the PR 8 fused post-processing stages: warm
 //!   `FramePipeline` frames/s on a pinned 4-worker pool, raw
 //!   beamforming vs the fused demod → envelope → log-compress chain;
-//! * `cpwc_compound` — the PR 9 coherent plane-wave compounding path:
-//!   per-engine warm `FramePipeline` frames/s with a 4-angle compound
-//!   running as one frame (narrow-cone [`usbf_bench::cpwc_spec`]
-//!   geometry, pinned 4-worker pool), plus EXACT's angles-vs-frames/s
-//!   sweep over 1/4/16 angles.
+//! * `cpwc_compound` — coherent plane-wave compounding: warm
+//!   `FramePipeline` frames/s with an N-angle compound running as one
+//!   frame (narrow-cone [`usbf_bench::cpwc_spec`] geometry, pinned
+//!   4-worker pool), swept over 1/4/16 angles for ALL four engines
+//!   (the PR 10 factored receive leg makes the sweep sublinear in N);
+//!   `exact_angle_sweep` is kept as an alias of the EXACT column;
+//! * `stage_split` — the PR 10 factored compound loop decomposed on one
+//!   tile, per engine: receive-leg slab fill ns vs per-transmit combine
+//!   ns vs quantize/gather/MAC ns, measured by peeling the factored
+//!   stages through the public engine API.
 //!
 //! Knobs: `USBF_SNAPSHOT_QUICK=1` shrinks measurement budgets for CI
 //! smoke runs; `USBF_SNAPSHOT_OUT` overrides the output path.
@@ -137,6 +144,25 @@ fn main() {
         fill_rows.push((name, "reduced", per_pass / s));
     }
     {
+        // NAIVE-TABLE at reduced scale: the honest memory-bound number —
+        // the table no longer fits any cache, so this is the DDR-stream
+        // rate the paper's Table I argues against.
+        let naive = NaiveTableEngine::build(&red, u64::MAX).expect("reduced table fits in RAM");
+        let mut slab = NappeDelays::full(&red);
+        let per_pass = red.volume_grid.n_depth() as f64
+            * slab.scanline_count() as f64
+            * slab.n_elements() as f64;
+        let s = time_mean(budget, || {
+            for id in 0..red.volume_grid.n_depth() {
+                naive.fill_nappe(id, &mut slab);
+            }
+            std::hint::black_box(slab.samples()[0]);
+        });
+        fill_rows.push(("NAIVE-TABLE", "reduced", per_pass / s));
+    }
+    {
+        // Tiny entry kept for cross-snapshot comparability (the earlier
+        // snapshots only had this, cache-resident, number).
         let naive = NaiveTableEngine::build(&tiny, u64::MAX).expect("tiny table fits");
         let mut slab = NappeDelays::full(&tiny);
         let per_pass = tiny.volume_grid.n_depth() as f64
@@ -148,7 +174,7 @@ fn main() {
             }
             std::hint::black_box(slab.samples()[0]);
         });
-        fill_rows.push(("NAIVE-TABLE", "tiny", per_pass / s));
+        fill_rows.push(("NAIVE-TABLE@tiny", "tiny", per_pass / s));
     }
     for (name, spec, rate) in &fill_rows {
         println!("fill   {name:<15} [{spec:<7}] {:.1} Mdelays/s", rate / 1e6);
@@ -343,48 +369,143 @@ fn main() {
         }
         cpwc_frames as f64 / start.elapsed().as_secs_f64()
     };
-    let cpwc4 = usbf_bench::cpwc_spec(4);
-    let cpwc_engine_rows: Vec<(&str, f64)> = vec![
-        (
-            "EXACT",
-            cpwc_fps(&cpwc4, Arc::new(ExactEngine::new(&cpwc4))),
-        ),
-        (
-            "NAIVE-TABLE",
-            cpwc_fps(
-                &cpwc4,
-                Arc::new(NaiveTableEngine::build(&cpwc4, u64::MAX).expect("tiny table fits")),
-            ),
-        ),
-        (
-            "TABLEFREE",
-            cpwc_fps(
-                &cpwc4,
-                Arc::new(TableFreeEngine::new(&cpwc4, TableFreeConfig::paper()).expect("builds")),
-            ),
-        ),
-        (
-            "TABLESTEER-18b",
-            cpwc_fps(
-                &cpwc4,
-                Arc::new(
-                    TableSteerEngine::new(&cpwc4, TableSteerConfig::bits18()).expect("builds"),
-                ),
-            ),
-        ),
-    ];
-    for (name, fps) in &cpwc_engine_rows {
-        println!("cpwc-compound [cpwc, 4 angles] {name:<15} {fps:.1} compound frames/s");
+    let mk_cpwc_engine = |spec: &SystemSpec, name: &str| -> Arc<dyn DelayEngine + Send + Sync> {
+        match name {
+            "EXACT" => Arc::new(ExactEngine::new(spec)),
+            "NAIVE-TABLE" => {
+                Arc::new(NaiveTableEngine::build(spec, u64::MAX).expect("cpwc table fits"))
+            }
+            "TABLEFREE" => {
+                Arc::new(TableFreeEngine::new(spec, TableFreeConfig::paper()).expect("builds"))
+            }
+            "TABLESTEER-18b" => {
+                Arc::new(TableSteerEngine::new(spec, TableSteerConfig::bits18()).expect("builds"))
+            }
+            other => unreachable!("unknown engine {other}"),
+        }
+    };
+    let cpwc_angles = [1usize, 4, 16];
+    let cpwc_engine_rows: Vec<(&str, Vec<(usize, f64)>)> =
+        ["EXACT", "NAIVE-TABLE", "TABLEFREE", "TABLESTEER-18b"]
+            .into_iter()
+            .map(|name| {
+                let sweep: Vec<(usize, f64)> = cpwc_angles
+                    .iter()
+                    .map(|&n| {
+                        let spec = usbf_bench::cpwc_spec(n);
+                        let fps = cpwc_fps(&spec, mk_cpwc_engine(&spec, name));
+                        println!(
+                    "cpwc-compound [cpwc] {name:<15} {n:>2} angles: {fps:.1} compound frames/s"
+                );
+                        (n, fps)
+                    })
+                    .collect();
+                (name, sweep)
+            })
+            .collect();
+    // EXACT's column doubles as the historical `exact_angle_sweep` key.
+    let cpwc_sweep: Vec<(usize, f64)> = cpwc_engine_rows[0].1.clone();
+
+    // --- stage_split: the PR 10 factored compound loop peeled apart on
+    // one single-threaded tile — receive-leg slab fill vs per-transmit
+    // combine vs the rest (quantize + gather + MAC). The first two
+    // stages are re-run standalone through the public engine API
+    // (mirroring the kernel's masked-transmit skip for engines without
+    // rounding telemetry); the third is the remainder against the full
+    // factored `beamform_tile_into`. ---
+    struct StageRow {
+        name: &'static str,
+        rx_fill_ns: f64,
+        combine_ns: f64,
+        quantize_gather_mac_ns: f64,
+        total_ns: f64,
     }
-    let cpwc_sweep: Vec<(usize, f64)> = [1usize, 4, 16]
-        .iter()
-        .map(|&n| {
-            let spec = usbf_bench::cpwc_spec(n);
-            let fps = cpwc_fps(&spec, Arc::new(ExactEngine::new(&spec)));
-            println!("cpwc-compound [cpwc] EXACT {n:>2} angles: {fps:.1} compound frames/s");
-            (n, fps)
-        })
-        .collect();
+    let split_spec = usbf_bench::cpwc_spec(4);
+    let split_bf = Beamformer::new(&split_spec);
+    let split_tile = NappeSchedule::fitted(&split_spec, 16).tiles()[5];
+    let split_depth = split_spec.volume_grid.n_depth();
+    let split_tx = split_spec.n_transmits();
+    let split_grid = &split_spec.volume_grid;
+    let split_rf = EchoSynthesizer::new(&split_spec).synthesize(
+        &Phantom::point(split_grid.position(VoxelIndex::new(
+            split_grid.n_theta() / 2,
+            split_grid.n_phi() / 2,
+            split_grid.n_depth() * 5 / 8,
+        ))),
+        &Pulse::from_spec(&split_spec),
+    );
+    let split_exact = ExactEngine::new(&split_spec);
+    let split_naive = NaiveTableEngine::build(&split_spec, u64::MAX).expect("cpwc table fits");
+    let split_tablefree =
+        TableFreeEngine::new(&split_spec, TableFreeConfig::paper()).expect("builds");
+    let split_tablesteer =
+        TableSteerEngine::new(&split_spec, TableSteerConfig::bits18()).expect("builds");
+    let split_engines: [(&'static str, &dyn DelayEngine); 4] = [
+        ("EXACT", &split_exact),
+        ("NAIVE-TABLE", &split_naive),
+        ("TABLEFREE", &split_tablefree),
+        ("TABLESTEER-18b", &split_tablesteer),
+    ];
+    let mut stage_rows = Vec::new();
+    // The kernel's precomputed footprint mask, in the same layout
+    // `TileState` uses: engines without rounding telemetry skip masked
+    // (voxel, transmit) pairs entirely, so the peel must too or the
+    // combine stage is charged for work the kernel never does.
+    let split_values = split_tile.scanlines() * split_depth;
+    let mut split_mask = vec![0.0; split_tx * split_values];
+    for tx in 0..split_tx {
+        let block = &mut split_mask[tx * split_values..(tx + 1) * split_values];
+        for (slot, it, ip) in split_tile.iter_scanlines() {
+            for id in 0..split_depth {
+                let s = split_grid.position(VoxelIndex::new(it, ip, id));
+                block[slot * split_depth + id] = split_spec.transmit_weight(tx, s);
+            }
+        }
+    }
+    for (name, eng) in split_engines {
+        let mut slab = NappeDelays::for_tile(&split_spec, split_tile);
+        let mut tx_row = vec![0.0; split_spec.elements.count()];
+        let skip_masked = !eng.rounding_telemetry();
+        let mask = &split_mask;
+        let fill_s = time_mean(budget, || {
+            for id in 0..split_depth {
+                eng.fill_nappe_rx_streamed(id, &mut slab, &mut |_, _| {});
+            }
+            std::hint::black_box(slab.samples()[0]);
+        });
+        let fill_combine_s = time_mean(budget, || {
+            for id in 0..split_depth {
+                eng.fill_nappe_rx_streamed(id, &mut slab, &mut |slot, rx_row| {
+                    let (it, ip) = split_tile.scanline_at(slot);
+                    let vox = VoxelIndex::new(it, ip, id);
+                    for tx in 0..split_tx {
+                        if skip_masked && mask[tx * split_values + slot * split_depth + id] == 0.0 {
+                            continue;
+                        }
+                        eng.combine_tx_row(tx, vox, rx_row, &mut tx_row);
+                    }
+                });
+            }
+            std::hint::black_box(tx_row[0]);
+        });
+        let mut state = TileState::new(&split_bf, split_tile);
+        let total_s = time_mean(budget, || {
+            split_bf.beamform_tile_into(eng, &split_rf, &mut state);
+            std::hint::black_box(state.values()[0]);
+        });
+        let row = StageRow {
+            name,
+            rx_fill_ns: fill_s * 1e9,
+            combine_ns: (fill_combine_s - fill_s).max(0.0) * 1e9,
+            quantize_gather_mac_ns: (total_s - fill_combine_s).max(0.0) * 1e9,
+            total_ns: total_s * 1e9,
+        };
+        println!(
+            "stage-split [cpwc, 4 angles] {name:<15} rx-fill {:9.0} ns   combine {:9.0} ns   quantize+gather+MAC {:9.0} ns   total {:9.0} ns",
+            row.rx_fill_ns, row.combine_ns, row.quantize_gather_mac_ns, row.total_ns
+        );
+        stage_rows.push(row);
+    }
 
     // Inline-audit note (PR 5 satellite): leaf functions checked for
     // cross-crate inlining. `QFormat::resolution` (now exp2-free) and
@@ -401,7 +522,7 @@ fn main() {
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"schema\": \"usbf-perf-snapshot/1\",");
-    let _ = writeln!(j, "  \"pr\": 9,");
+    let _ = writeln!(j, "  \"pr\": 10,");
     let _ = writeln!(j, "  \"quick\": {quick},");
     let _ = writeln!(j, "  \"kernel\": {{");
     let _ = writeln!(j, "    \"spec\": \"reduced\",");
@@ -486,18 +607,19 @@ fn main() {
     let _ = writeln!(j, "    \"spec\": \"cpwc\",");
     let _ = writeln!(j, "    \"workers\": {cpwc_workers},");
     let _ = writeln!(j, "    \"frames\": {cpwc_frames},");
-    let _ = writeln!(j, "    \"angles\": 4,");
+    let _ = writeln!(j, "    \"angles\": [1, 4, 16],");
     let _ = writeln!(j, "    \"engines\": {{");
-    for (i, (name, fps)) in cpwc_engine_rows.iter().enumerate() {
+    for (i, (name, sweep)) in cpwc_engine_rows.iter().enumerate() {
         let comma = if i + 1 < cpwc_engine_rows.len() {
             ","
         } else {
             ""
         };
-        let _ = writeln!(
-            j,
-            "      \"{name}\": {{\"frames_per_second\": {fps:.1}}}{comma}"
-        );
+        let cells: Vec<String> = sweep
+            .iter()
+            .map(|(n, fps)| format!("\"{n}\": {{\"frames_per_second\": {fps:.1}}}"))
+            .collect();
+        let _ = writeln!(j, "      \"{name}\": {{{}}}{comma}", cells.join(", "));
     }
     let _ = writeln!(j, "    }},");
     let _ = writeln!(j, "    \"exact_angle_sweep\": {{");
@@ -509,9 +631,28 @@ fn main() {
         );
     }
     let _ = writeln!(j, "    }}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"stage_split\": {{");
+    let _ = writeln!(j, "    \"spec\": \"cpwc\",");
+    let _ = writeln!(j, "    \"angles\": 4,");
+    let _ = writeln!(
+        j,
+        "    \"tile_voxels\": {},",
+        split_tile.scanlines() * split_depth
+    );
+    let _ = writeln!(j, "    \"engines\": {{");
+    for (i, r) in stage_rows.iter().enumerate() {
+        let comma = if i + 1 < stage_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "      \"{}\": {{\"rx_fill_ns\": {:.0}, \"combine_ns\": {:.0}, \"quantize_gather_mac_ns\": {:.0}, \"total_ns\": {:.0}}}{comma}",
+            r.name, r.rx_fill_ns, r.combine_ns, r.quantize_gather_mac_ns, r.total_ns
+        );
+    }
+    let _ = writeln!(j, "    }}");
     let _ = writeln!(j, "  }}");
     j.push_str("}\n");
-    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    let out = std::env::var("USBF_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
     std::fs::write(&out, &j).expect("write snapshot JSON");
     println!("wrote {out}");
 }

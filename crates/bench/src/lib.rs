@@ -204,6 +204,50 @@ mod tests {
     }
 
     #[test]
+    fn fused_baseline_is_bit_identical_to_factored_compound_path() {
+        // Same discipline as the legacy-fill baselines: the
+        // `factored_vs_fused` bench group's fused side (the engine
+        // behind `usbf_core::FusedOnly`, forced onto the per-transmit
+        // loop) must stay a truthful stand-in — same tile values, bit
+        // for bit, for the engines the group measures.
+        let spec = cpwc_spec(4);
+        let bf = Beamformer::new(&spec);
+        let tile = usbf_core::NappeSchedule::fitted(&spec, 16).tiles()[5];
+        let g = &spec.volume_grid;
+        let rf = usbf_sim::EchoSynthesizer::new(&spec).synthesize(
+            &usbf_sim::Phantom::point(g.position(VoxelIndex::new(
+                g.n_theta() / 2,
+                g.n_phi() / 2,
+                g.n_depth() * 5 / 8,
+            ))),
+            &usbf_sim::Pulse::from_spec(&spec),
+        );
+        let tile_into = |engine: &dyn DelayEngine| {
+            let mut state = usbf_beamform::TileState::new(&bf, tile);
+            bf.beamform_tile_into(engine, &rf, &mut state);
+            state.values().to_vec()
+        };
+        let exact = usbf_core::ExactEngine::new(&spec);
+        let tablefree = TableFreeEngine::new(&spec, usbf_core::TableFreeConfig::paper()).unwrap();
+        for (name, factored, fused) in [
+            (
+                "EXACT",
+                tile_into(&exact),
+                tile_into(&usbf_core::FusedOnly(exact.clone())),
+            ),
+            (
+                "TABLEFREE",
+                tile_into(&tablefree),
+                tile_into(&usbf_core::FusedOnly(tablefree.clone())),
+            ),
+        ] {
+            for (i, (a, b)) in factored.iter().zip(&fused).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name} voxel {i}");
+            }
+        }
+    }
+
+    #[test]
     fn legacy_tablefree_fill_is_bit_identical_to_batched_fill() {
         // The benchmark baseline must stay a truthful stand-in for the
         // old fill: same slabs, bit for bit.

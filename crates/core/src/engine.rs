@@ -10,6 +10,11 @@ use usbf_geometry::{ElementIndex, VoxelIndex};
 const SINGLE_TX_MSG: &str =
     "engine reports multiple transmits but did not override the *_for methods";
 
+/// Panic message shared by the factored-fill defaults: callers must gate
+/// on [`DelayEngine::supports_factored_fill`] before using the family.
+const FACTORED_MSG: &str =
+    "engine does not implement the factored fill family (supports_factored_fill() is false)";
+
 /// A source of beamforming delays: given a focal point and a receive
 /// element, produce the two-way propagation delay.
 ///
@@ -183,6 +188,96 @@ pub trait DelayEngine: Sync {
         }
     }
 
+    /// Whether this engine implements the factored compound-fill family
+    /// ([`DelayEngine::fill_nappe_rx`] / [`DelayEngine::combine_tx_row`]).
+    ///
+    /// The receive leg of Eq. 2 — `|S − D|`, the per-element term that
+    /// dominates fill cost — is transmit-invariant: only a per-voxel
+    /// transmit scalar differs between the N angles of a compound frame.
+    /// Engines that can split their fill along that seam report `true`
+    /// here, and compound consumers fill the receive slab **once** per
+    /// (nappe, tile) and run one cheap combine per transmit, turning the
+    /// per-voxel fill cost from `O(N · elements)` into `O(elements + N)`.
+    /// Engines answering `false` (and the defaults, which panic) are
+    /// served by the fused per-transmit
+    /// [`DelayEngine::fill_nappe_streamed_for`] path instead.
+    fn supports_factored_fill(&self) -> bool {
+        false
+    }
+
+    /// Fills `out` with the transmit-invariant **receive leg** of nappe
+    /// `nappe_idx`, streaming each completed row to `consume(slot, row)`
+    /// cache-hot — the factored counterpart of
+    /// [`DelayEngine::fill_nappe_streamed`], with the same row-delivery
+    /// contract (every row exactly once, in slab slot order).
+    ///
+    /// The slab's contents after this call are **engine-defined
+    /// intermediates** (EXACT stores receive distances in metres,
+    /// TABLESTEER pre-scale raw fixed-point sums, …): only the output of
+    /// [`DelayEngine::combine_tx_row`] on a delivered row is specified —
+    /// it must be bit-identical to the corresponding row of
+    /// [`DelayEngine::fill_nappe_for`]. The slab's nappe marker is set,
+    /// so warm slabs are reused exactly like fused fills reuse them.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: callers must gate on
+    /// [`DelayEngine::supports_factored_fill`]. Implementations panic if
+    /// `nappe_idx` is out of range, as [`DelayEngine::fill_nappe`] does.
+    fn fill_nappe_rx_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        let _ = (nappe_idx, out, consume);
+        panic!("{FACTORED_MSG}");
+    }
+
+    /// Non-streamed receive-leg fill:
+    /// [`DelayEngine::fill_nappe_rx_streamed`] with no row consumer.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`DelayEngine::fill_nappe_rx_streamed`].
+    fn fill_nappe_rx(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        self.fill_nappe_rx_streamed(nappe_idx, out, &mut |_, _| {});
+    }
+
+    /// Combines one receive-leg row (as delivered by
+    /// [`DelayEngine::fill_nappe_rx_streamed`] for the scanline of `vox`)
+    /// with transmit `tx`'s per-voxel term, writing into `out` the exact
+    /// fractional-delay row the fused [`DelayEngine::fill_nappe_for`]
+    /// would produce — **bit-identical**, before the engine's own
+    /// quantization stage. For EXACT / NAIVE / TABLEFREE the combine is an
+    /// f64 add (or a table widen); for TABLESTEER it is the already-folded
+    /// fixed-point transmit-correction constant.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: callers must gate on
+    /// [`DelayEngine::supports_factored_fill`]. Implementations panic if
+    /// `rx_row` and `out` differ in length.
+    fn combine_tx_row(&self, tx: usize, vox: VoxelIndex, rx_row: &[f64], out: &mut [f64]) {
+        let _ = (tx, vox, rx_row, out);
+        panic!("{FACTORED_MSG}");
+    }
+
+    /// Whether this engine's final rounding stage carries **observable
+    /// telemetry** — counters a caller could read that advance once per
+    /// quantized value (TABLESTEER's clamp counter is the one live
+    /// example). Compound kernels use this to decide whether a fully
+    /// masked (zero-weight) transmit must still run
+    /// [`DelayEngine::quantize_row`]: when rounding is side-effect-free
+    /// the whole per-transmit body can be skipped with bit-identical
+    /// output *and* telemetry, which is where most of the factored
+    /// kernel's win comes from on steered fans whose footprints cover a
+    /// voxel only partially. Engines that add rounding telemetry MUST
+    /// override this to `true`, or masked voxels stop being counted.
+    fn rounding_telemetry(&self) -> bool {
+        false
+    }
+
     /// Batched final rounding: quantizes one row of fractional delays to
     /// echo-buffer indices, writing `out[i] = delay_index_from(row[i])`.
     ///
@@ -242,6 +337,84 @@ pub(crate) fn quantize_row_clamped(echo_len: usize, row: &[f64], out: &mut [i32]
         *o = z as i32;
     }
     clamps
+}
+
+/// Opts an engine out of the factored compound-fill family: forwards
+/// every [`DelayEngine`] method to the wrapped engine **except** the
+/// factored family, reporting
+/// [`supports_factored_fill`](DelayEngine::supports_factored_fill) as
+/// `false` so compound consumers take their fused per-transmit path.
+///
+/// This is how the fused fill stays a live, bit-identity-tested baseline
+/// for the factored restructuring (benches compare the two; tests assert
+/// they agree bit for bit), and an escape hatch should a caller ever want
+/// the historical schedule back.
+///
+/// ```
+/// use usbf_core::{DelayEngine, ExactEngine, FusedOnly};
+/// use usbf_geometry::SystemSpec;
+/// let spec = SystemSpec::tiny();
+/// let fused = FusedOnly(ExactEngine::new(&spec));
+/// assert!(fused.0.supports_factored_fill());
+/// assert!(!fused.supports_factored_fill());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusedOnly<E>(pub E);
+
+impl<E: DelayEngine> DelayEngine for FusedOnly<E> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn delay_samples(&self, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        self.0.delay_samples(vox, e)
+    }
+    fn transmit_count(&self) -> usize {
+        self.0.transmit_count()
+    }
+    fn delay_samples_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> f64 {
+        self.0.delay_samples_for(tx, vox, e)
+    }
+    fn delay_index(&self, vox: VoxelIndex, e: ElementIndex) -> i64 {
+        self.0.delay_index(vox, e)
+    }
+    fn delay_index_for(&self, tx: usize, vox: VoxelIndex, e: ElementIndex) -> i64 {
+        self.0.delay_index_for(tx, vox, e)
+    }
+    fn delay_index_from(&self, samples: f64) -> i64 {
+        self.0.delay_index_from(samples)
+    }
+    fn echo_buffer_len(&self) -> usize {
+        self.0.echo_buffer_len()
+    }
+    fn fill_nappe(&self, nappe_idx: usize, out: &mut NappeDelays) {
+        self.0.fill_nappe(nappe_idx, out);
+    }
+    fn fill_nappe_for(&self, tx: usize, nappe_idx: usize, out: &mut NappeDelays) {
+        self.0.fill_nappe_for(tx, nappe_idx, out);
+    }
+    fn fill_nappe_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        self.0.fill_nappe_streamed(nappe_idx, out, consume);
+    }
+    fn fill_nappe_streamed_for(
+        &self,
+        tx: usize,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        self.0.fill_nappe_streamed_for(tx, nappe_idx, out, consume);
+    }
+    fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
+        self.0.quantize_row(row, out);
+    }
+    fn rounding_telemetry(&self) -> bool {
+        self.0.rounding_telemetry()
+    }
 }
 
 /// Errors from engine construction.
@@ -374,6 +547,47 @@ mod tests {
             .map(|s| (s, slab.n_elements()))
             .collect();
         assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn factored_fill_defaults_to_unsupported() {
+        assert!(!ConstEngine(1.0).supports_factored_fill());
+    }
+
+    #[test]
+    #[should_panic(expected = "factored fill")]
+    fn factored_fill_default_panics() {
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let mut slab = NappeDelays::full(&spec);
+        ConstEngine(1.0).fill_nappe_rx(0, &mut slab);
+    }
+
+    #[test]
+    #[should_panic(expected = "factored fill")]
+    fn combine_default_panics() {
+        let rx = [0.0; 4];
+        let mut out = [0.0; 4];
+        ConstEngine(1.0).combine_tx_row(0, VoxelIndex::new(0, 0, 0), &rx, &mut out);
+    }
+
+    #[test]
+    fn fused_only_forwards_everything_but_the_factored_family() {
+        let eng = FusedOnly(ConstEngine(10.5));
+        let v = VoxelIndex::new(0, 0, 0);
+        let e = ElementIndex::new(0, 0);
+        assert_eq!(eng.name(), "CONST");
+        assert_eq!(eng.delay_samples(v, e), 10.5);
+        assert_eq!(eng.delay_index(v, e), 11);
+        assert_eq!(eng.transmit_count(), 1);
+        assert_eq!(eng.echo_buffer_len(), 100);
+        assert!(!eng.supports_factored_fill());
+        assert!(!eng.rounding_telemetry());
+        let spec = usbf_geometry::SystemSpec::tiny();
+        let mut a = NappeDelays::full(&spec);
+        let mut b = NappeDelays::full(&spec);
+        eng.fill_nappe(2, &mut a);
+        eng.0.fill_nappe(2, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

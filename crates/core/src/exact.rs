@@ -102,6 +102,53 @@ impl DelayEngine for ExactEngine {
     fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
         crate::engine::quantize_row_clamped(self.echo_len, row, out);
     }
+
+    fn supports_factored_fill(&self) -> bool {
+        true
+    }
+
+    /// Receive-leg fill: the slab rows hold `|S − D|` in **metres** — the
+    /// per-element Euclidean distances, which are the expensive,
+    /// transmit-invariant part of the fused fill's
+    /// `((tx + |S − D|) / c) · fs` expression.
+    fn fill_nappe_rx_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let spec = &self.spec;
+        let buf = out.begin_fill(nappe_idx);
+        for (slot, it, ip) in tile.iter_scanlines() {
+            let s = spec
+                .volume_grid
+                .position(VoxelIndex::new(it, ip, nappe_idx));
+            let range = slot * n_elements..(slot + 1) * n_elements;
+            let row = &mut buf[range.clone()];
+            for (value, d) in row.iter_mut().zip(&self.elem_pos) {
+                *value = s.distance(*d);
+            }
+            consume(slot, &buf[range]);
+        }
+    }
+
+    /// Transmit combine: `((t + rx) / c) · fs` with the transmit distance
+    /// `t` computed once per row — literally the fused fill's per-element
+    /// expression with the receive distance read from the rx slab, so the
+    /// output is bit-identical to [`ExactEngine::fill_nappe_for`].
+    fn combine_tx_row(&self, tx: usize, vox: VoxelIndex, rx_row: &[f64], out: &mut [f64]) {
+        assert_eq!(rx_row.len(), out.len(), "combine row length mismatch");
+        let spec = &self.spec;
+        let fs = spec.sampling_frequency;
+        let c = spec.speed_of_sound;
+        let s = spec.volume_grid.position(vox);
+        let t = spec.transmit_distance(tx, s);
+        for (o, &rx) in out.iter_mut().zip(rx_row) {
+            *o = (t + rx) / c * fs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +241,37 @@ mod tests {
             scalar.fill_scalar_for(&eng, tx, 9);
             for (a, b) in batched.samples().iter().zip(scalar.samples()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "tx {tx}");
+            }
+        }
+    }
+
+    #[test]
+    fn factored_fill_bit_identical_to_fused_fill() {
+        let spec = SystemSpec::tiny().with_transmits(usbf_geometry::TransmitModel::plane_wave_fan(
+            4,
+            usbf_geometry::deg(10.0),
+        ));
+        let eng = ExactEngine::new(&spec);
+        assert!(eng.supports_factored_fill());
+        let mut rx = crate::NappeDelays::full(&spec);
+        let mut fused = crate::NappeDelays::full(&spec);
+        let mut combined = vec![0.0; rx.n_elements()];
+        for id in [0, 7, 15] {
+            eng.fill_nappe_rx(id, &mut rx);
+            assert_eq!(rx.nappe(), Some(id));
+            for tx in 0..4 {
+                eng.fill_nappe_for(tx, id, &mut fused);
+                for (slot, it, ip) in fused.scanlines() {
+                    eng.combine_tx_row(
+                        tx,
+                        VoxelIndex::new(it, ip, id),
+                        rx.row(slot),
+                        &mut combined,
+                    );
+                    for (a, b) in combined.iter().zip(fused.row(slot)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "tx {tx} nappe {id} slot {slot}");
+                    }
+                }
             }
         }
     }

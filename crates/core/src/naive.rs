@@ -150,6 +150,45 @@ impl DelayEngine for NaiveTableEngine {
     fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
         crate::engine::quantize_row_clamped(self.echo_len, row, out);
     }
+
+    fn supports_factored_fill(&self) -> bool {
+        true
+    }
+
+    /// The naive table has **no separable receive leg** — it stores the
+    /// final rounded index per `(transmit, voxel, element)`, with the two
+    /// legs fused at precompute time. The rx pass therefore only stamps
+    /// the slab's nappe marker and streams the (unspecified) rows;
+    /// [`NaiveTableEngine::combine_tx_row`] produces each transmit's row
+    /// entirely from the table. Supporting the family anyway keeps the
+    /// compound kernel on one code path for all engines, at identical
+    /// work to the fused fill.
+    fn fill_nappe_rx_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        let n_elements = out.n_elements();
+        let scanlines = out.scanline_count();
+        let buf = out.begin_fill(nappe_idx);
+        for slot in 0..scanlines {
+            consume(slot, &buf[slot * n_elements..(slot + 1) * n_elements]);
+        }
+    }
+
+    /// Transmit combine: the fused fill's contiguous `u16 → f64` table-row
+    /// widen for `(tx, vox)`, ignoring the rx row.
+    fn combine_tx_row(&self, tx: usize, vox: VoxelIndex, rx_row: &[f64], out: &mut [f64]) {
+        assert_eq!(rx_row.len(), out.len(), "combine row length mismatch");
+        let vi = (vox.it * self.n_phi + vox.ip) * self.n_depth + vox.id;
+        let base = tx * self.transmit_stride;
+        let src = &self.table
+            [base + vi * self.elements_per_voxel..base + (vi + 1) * self.elements_per_voxel];
+        for (value, &raw) in out.iter_mut().zip(src) {
+            *value = raw as i64 as f64;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +286,38 @@ mod tests {
         );
         let naive = NaiveTableEngine::build(&compound, u64::MAX).unwrap();
         assert_eq!(naive.storage_bytes(), 4 * 131_072);
+    }
+
+    #[test]
+    fn factored_fill_bit_identical_to_fused_fill() {
+        let spec = SystemSpec::tiny().with_transmits(usbf_geometry::TransmitModel::plane_wave_fan(
+            3,
+            usbf_geometry::deg(9.0),
+        ));
+        let naive = NaiveTableEngine::build(&spec, u64::MAX).unwrap();
+        assert!(naive.supports_factored_fill());
+        let mut rx = NappeDelays::full(&spec);
+        let mut fused = NappeDelays::full(&spec);
+        let mut combined = vec![0.0; rx.n_elements()];
+        for id in [0, 8, 15] {
+            let mut delivered = 0;
+            naive.fill_nappe_rx_streamed(id, &mut rx, &mut |_, _| delivered += 1);
+            assert_eq!(delivered, rx.scanline_count());
+            for tx in 0..3 {
+                naive.fill_nappe_for(tx, id, &mut fused);
+                for (slot, it, ip) in fused.scanlines() {
+                    naive.combine_tx_row(
+                        tx,
+                        VoxelIndex::new(it, ip, id),
+                        rx.row(slot),
+                        &mut combined,
+                    );
+                    for (a, b) in combined.iter().zip(fused.row(slot)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "tx {tx} nappe {id} slot {slot}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -83,6 +83,23 @@ impl Tile {
         (it - self.theta_start) * (self.phi_end - self.phi_start) + (ip - self.phi_start)
     }
 
+    /// Inverse of [`Tile::slot_of`]: the scanline `(it, ip)` stored at row
+    /// `slot` of the tile's canonical order — how a streamed-row consumer
+    /// recovers the focal direction of a delivered slab row.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `slot` is outside the tile.
+    #[inline]
+    pub fn scanline_at(&self, slot: usize) -> (usize, usize) {
+        debug_assert!(slot < self.scanlines(), "slot {slot} outside tile {self:?}");
+        let phi_w = self.phi_end - self.phi_start;
+        (
+            self.theta_start + slot / phi_w,
+            self.phi_start + slot % phi_w,
+        )
+    }
+
     /// Iterates `(slot, it, ip)` over the tile in canonical slot order —
     /// the single source of truth for slab row enumeration.
     pub fn iter_scanlines(self) -> impl Iterator<Item = (usize, usize, usize)> {
@@ -271,6 +288,20 @@ impl NappeSchedule {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn scanline_at_inverts_slot_of() {
+        let tile = Tile {
+            theta_start: 2,
+            theta_end: 6,
+            phi_start: 3,
+            phi_end: 8,
+        };
+        for (slot, it, ip) in tile.iter_scanlines() {
+            assert_eq!(tile.scanline_at(slot), (it, ip));
+            assert_eq!(tile.slot_of(it, ip), slot);
+        }
+    }
 
     #[test]
     fn paper_schedule_has_128_tiles_of_128_scanlines() {

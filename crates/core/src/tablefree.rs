@@ -402,6 +402,71 @@ impl DelayEngine for TableFreeEngine {
     fn quantize_row(&self, row: &[f64], out: &mut [i32]) {
         crate::engine::quantize_row_clamped(self.echo_len, row, out);
     }
+
+    fn supports_factored_fill(&self) -> bool {
+        true
+    }
+
+    /// Receive-leg fill: pass 2 of the fused fill **without** the
+    /// transmit add — each scanline's receive arguments are assembled and
+    /// pushed through the tracked PWL row evaluation once, and the slab
+    /// rows hold the receive square roots in samples. This is where the
+    /// factorization pays: the per-element PWL evaluations (the §IV
+    /// datapath cost) run once per compound frame instead of once per
+    /// angle, so `sqrt_evals` grows by `scanlines · elements` here and
+    /// only by the per-row transmit cost in each combine —
+    /// `O(elements + N)` per voxel instead of `O(N · elements)`.
+    fn fill_nappe_rx_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let spm = self.samples_per_metre;
+        let bufs = out.begin_fill_scratch(nappe_idx);
+        let buf = bufs.samples;
+        let row_args = bufs.row_args;
+        let mut rx_hint = 0usize;
+        for (slot, it, ip) in tile.iter_scanlines() {
+            let s = self
+                .spec
+                .volume_grid
+                .position(VoxelIndex::new(it, ip, nappe_idx));
+            let dz = s.z * spm;
+            let dz2 = dz * dz;
+            for (a, d) in row_args.iter_mut().zip(&self.elem_pos) {
+                let dx = (s.x - d.x) * spm;
+                let dy = (s.y - d.y) * spm;
+                *a = dx * dx + dy * dy + dz2;
+            }
+            let range = slot * n_elements..(slot + 1) * n_elements;
+            self.quant
+                .eval_row_tracked(&mut rx_hint, row_args, &mut buf[range.clone()]);
+            consume(slot, &buf[range]);
+        }
+        self.sqrt_evals.fetch_add(
+            tile.scanlines() as u64 * n_elements as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Transmit combine: `rx + t` with the transmit term computed once
+    /// per row (point sources one PWL/exact square root, plane waves the
+    /// free projection `n̂ · S`). IEEE addition commutes bit-for-bit and
+    /// the tracked row evaluation is bit-exact with the scalar
+    /// [`QuantizedPwl::eval`], so the combined row matches the fused
+    /// [`fill_nappe_for`](DelayEngine::fill_nappe_for) row exactly. The
+    /// square-root counter advances by the transmit cost only — the
+    /// receive roots were already counted by the rx fill.
+    fn combine_tx_row(&self, tx: usize, vox: VoxelIndex, rx_row: &[f64], out: &mut [f64]) {
+        assert_eq!(rx_row.len(), out.len(), "combine row length mismatch");
+        let t = self.tx_term(tx, vox);
+        for (o, &rx) in out.iter_mut().zip(rx_row) {
+            *o = rx + t;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -680,6 +745,58 @@ mod tests {
         tf.fill_nappe_for(0, 0, &mut slab);
         // 64 scanlines × 64 rx evaluations, no tx term.
         assert_eq!(tf.sqrt_evals(), 1 + 64 * 64);
+    }
+
+    #[test]
+    fn factored_fill_bit_identical_to_fused_fill() {
+        // Mixed sequence: a point source and plane waves, so the combine
+        // exercises both transmit models.
+        let spec = SystemSpec::tiny().with_transmits(vec![
+            TransmitModel::PointSource,
+            TransmitModel::plane_wave(usbf_geometry::deg(6.0), 0.0),
+            TransmitModel::plane_wave(usbf_geometry::deg(-6.0), 0.0),
+        ]);
+        let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        assert!(tf.supports_factored_fill());
+        let mut rx = NappeDelays::full(&spec);
+        let mut fused = NappeDelays::full(&spec);
+        let mut combined = vec![0.0; rx.n_elements()];
+        for id in [0, 7, 15] {
+            tf.fill_nappe_rx(id, &mut rx);
+            for tx in 0..3 {
+                tf.fill_nappe_for(tx, id, &mut fused);
+                for (slot, it, ip) in fused.scanlines() {
+                    tf.combine_tx_row(tx, VoxelIndex::new(it, ip, id), rx.row(slot), &mut combined);
+                    for (a, b) in combined.iter().zip(fused.row(slot)) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "tx {tx} nappe {id} slot {slot}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factored_fill_counts_rx_roots_once() {
+        // The factorization's whole point: one rx root per element per
+        // focal point per *frame*, plus one tx root per focal point per
+        // point-source transmit — not per (transmit, element).
+        let spec = SystemSpec::tiny().with_transmits(vec![
+            TransmitModel::PointSource,
+            TransmitModel::plane_wave(usbf_geometry::deg(5.0), 0.0),
+        ]);
+        let tf = TableFreeEngine::new(&spec, TableFreeConfig::paper()).unwrap();
+        let mut rx = NappeDelays::full(&spec);
+        let mut combined = vec![0.0; rx.n_elements()];
+        tf.fill_nappe_rx(0, &mut rx);
+        assert_eq!(tf.sqrt_evals(), 64 * 64); // 64 scanlines × 64 elements
+        for (slot, it, ip) in rx.scanlines().collect::<Vec<_>>() {
+            for tx in 0..2 {
+                tf.combine_tx_row(tx, VoxelIndex::new(it, ip, 0), rx.row(slot), &mut combined);
+            }
+        }
+        // + one tx root per scanline for the point source, none for the
+        // plane wave: O(elements + N) per voxel, not O(N·elements).
+        assert_eq!(tf.sqrt_evals(), 64 * 64 + 64);
     }
 
     #[test]

@@ -466,6 +466,94 @@ impl DelayEngine for TableSteerEngine {
             self.clamp_events.fetch_add(clamps, Ordering::Relaxed);
         }
     }
+
+    fn supports_factored_fill(&self) -> bool {
+        true
+    }
+
+    /// Receive-leg fill: TABLESTEER's datapath **already factors** the
+    /// transmit term — the fused fill folds Δtx into a per-row constant,
+    /// so the rx pass is the same `r + cx + cy` raw chain with that
+    /// constant left out. The slab rows hold the **pre-scale raw**
+    /// fixed-point sums as `f64` (engine-defined intermediates, not
+    /// delays): the final `· res` scaling moves into the combine, after
+    /// the transmit correction is added.
+    fn fill_nappe_rx_streamed(
+        &self,
+        nappe_idx: usize,
+        out: &mut NappeDelays,
+        consume: &mut dyn FnMut(usize, &[f64]),
+    ) {
+        let tile = out.tile();
+        let n_elements = out.n_elements();
+        let (qx, qy) = self.reference.quadrant_dims();
+        let nx = self.spec.elements.nx();
+        let ny = self.spec.elements.ny();
+        let fmt = self.config.correction_format;
+        let f1 = QFormat::sum_format(self.config.reference_format, fmt);
+        let f2 = QFormat::sum_format(f1, fmt);
+        let sh_r = f1.frac_bits() - self.config.reference_format.frac_bits();
+        let sh_c1 = f1.frac_bits() - fmt.frac_bits();
+        let sh_12 = f2.frac_bits() - f1.frac_bits();
+        let sh_c2 = f2.frac_bits() - fmt.frac_bits();
+        let ref_slice = &self.ref_fixed[nappe_idx * qy * qx..(nappe_idx + 1) * qy * qx];
+        let bufs = out.begin_fill_scratch(nappe_idx);
+        let buf = bufs.samples;
+        let cx = &mut bufs.row_regs[..nx];
+        for (slot, it, ip) in tile.iter_scanlines() {
+            for (ix, c) in cx.iter_mut().enumerate() {
+                *c = Fixed::saturating_from_f64(
+                    -self.steering.x_term_samples(ix, it, ip),
+                    fmt,
+                    RoundingMode::Nearest,
+                )
+                .raw()
+                    << sh_c1;
+            }
+            let cy_col = &self.cy_fixed[ip * ny..(ip + 1) * ny];
+            let range = slot * n_elements..(slot + 1) * n_elements;
+            let row = &mut buf[range.clone()];
+            for (iy, chunk) in row.chunks_mut(nx).enumerate() {
+                let ref_row = &ref_slice[self.fold_y[iy] * qx..];
+                let row_const = cy_col[iy].raw() << sh_c2;
+                for (ix, value) in chunk.iter_mut().enumerate() {
+                    let r = ref_row[self.fold_x[ix]].raw();
+                    // Pre-scale raw sum; the i64 → f64 conversion is
+                    // exact (the raws are ~21-bit integers).
+                    *value = ((((r << sh_r) + cx[ix]) << sh_12) + row_const) as f64;
+                }
+            }
+            consume(slot, &buf[range]);
+        }
+    }
+
+    /// Transmit combine: adds the pre-shifted raw transmit correction and
+    /// applies the final scale — `(rx_raw + Δtx_raw) · res`. Bit-identical
+    /// to the fused fill because both addends are integer-valued `f64`s
+    /// far below 2⁵³, so the float add reproduces the fused path's i64
+    /// add exactly, and the closing multiply is the identical operation
+    /// on the identical value.
+    fn combine_tx_row(&self, tx: usize, vox: VoxelIndex, rx_row: &[f64], out: &mut [f64]) {
+        assert_eq!(rx_row.len(), out.len(), "combine row length mismatch");
+        let fmt = self.config.correction_format;
+        let f1 = QFormat::sum_format(self.config.reference_format, fmt);
+        let f2 = QFormat::sum_format(f1, fmt);
+        let f3 = QFormat::sum_format(f2, fmt);
+        let sh_c2 = f2.frac_bits() - fmt.frac_bits();
+        debug_assert_eq!(f3.frac_bits(), f2.frac_bits());
+        let res = f3.resolution();
+        let dtx = (self.dtx_fixed(tx, vox).raw() << sh_c2) as f64;
+        for (o, &rx) in out.iter_mut().zip(rx_row) {
+            *o = (rx + dtx) * res;
+        }
+    }
+
+    /// TABLESTEER's rounding stage publishes clamp telemetry
+    /// ([`TableSteerEngine::clamp_events`]), so compound kernels must
+    /// keep quantizing masked transmits to count their clamps.
+    fn rounding_telemetry(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -479,6 +567,17 @@ mod tests {
         let ts = TableSteerEngine::new(&spec, TableSteerConfig::bits18()).unwrap();
         let ex = ExactEngine::new(&spec);
         (spec, ts, ex)
+    }
+
+    #[test]
+    fn quantization_reports_rounding_telemetry() {
+        // TABLESTEER is the one engine whose rounding stage has an
+        // observable counter; the flag is what keeps compound kernels
+        // from skipping masked quantizations (and their clamp counts).
+        let (_, ts, ex) = engines();
+        assert!(ts.rounding_telemetry());
+        assert!(!ex.rounding_telemetry());
+        assert!(crate::FusedOnly(ts).rounding_telemetry());
     }
 
     #[test]
@@ -735,6 +834,50 @@ mod tests {
         let ps = ts.delay_samples_for(0, vox, e);
         let pw = ts.delay_samples_for(1, vox, e);
         assert!(pw < ps, "plane wave {pw} !< point source {ps}");
+    }
+
+    #[test]
+    fn factored_fill_bit_identical_to_fused_fill() {
+        // All three fixed-point configurations, mixed transmit models —
+        // the raw-integer argument behind the combine must hold for every
+        // format pair.
+        let spec = SystemSpec::tiny().with_transmits(vec![
+            usbf_geometry::TransmitModel::PointSource,
+            usbf_geometry::TransmitModel::plane_wave(usbf_geometry::deg(7.0), 0.0),
+            usbf_geometry::TransmitModel::plane_wave(0.0, usbf_geometry::deg(-7.0)),
+        ]);
+        for config in [
+            TableSteerConfig::bits18(),
+            TableSteerConfig::bits14(),
+            TableSteerConfig::int13(),
+        ] {
+            let ts = TableSteerEngine::new(&spec, config).unwrap();
+            assert!(ts.supports_factored_fill());
+            let mut rx = NappeDelays::full(&spec);
+            let mut fused = NappeDelays::full(&spec);
+            let mut combined = vec![0.0; rx.n_elements()];
+            for id in [0, 9, 15] {
+                ts.fill_nappe_rx(id, &mut rx);
+                for tx in 0..3 {
+                    ts.fill_nappe_for(tx, id, &mut fused);
+                    for (slot, it, ip) in fused.scanlines() {
+                        ts.combine_tx_row(
+                            tx,
+                            VoxelIndex::new(it, ip, id),
+                            rx.row(slot),
+                            &mut combined,
+                        );
+                        for (a, b) in combined.iter().zip(fused.row(slot)) {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "{config:?} tx {tx} nappe {id} slot {slot}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

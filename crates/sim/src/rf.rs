@@ -205,14 +205,43 @@ impl RfFrame {
         assert_eq!(channels.len(), out.len(), "one output slot per channel");
         let n = self.n_samples;
         let base = self.transmit_base(tx);
-        for ((o, &c), &i) in out.iter_mut().zip(channels).zip(indices) {
-            // Negative indices wrap to huge values under the unsigned
-            // compare, so one test covers both window edges; the
-            // conditional compiles to a select, not a branch, and the
-            // masked fetch reads the trace head so it never faults.
-            let inside = (i as usize) < n;
-            let v = self.data[base + self.bases[c as usize] + if inside { i as usize } else { 0 }];
-            *o = if inside { v } else { 0.0 };
+        // Four independent fetch lanes per iteration: each lane is a pure
+        // load + select with no cross-lane dependency, so unrolling wides
+        // the memory-level parallelism without touching the arithmetic —
+        // every lane computes exactly what the scalar loop computes, and
+        // no accumulation exists to reassociate, so the unroll is
+        // trivially bit-identical.
+        let mut oc = out.chunks_exact_mut(4);
+        let mut cc = channels.chunks_exact(4);
+        let mut ic = indices.chunks_exact(4);
+        for ((o, c), i) in (&mut oc).zip(&mut cc).zip(&mut ic) {
+            o[0] = self.fetch_nearest(base, c[0], i[0], n);
+            o[1] = self.fetch_nearest(base, c[1], i[1], n);
+            o[2] = self.fetch_nearest(base, c[2], i[2], n);
+            o[3] = self.fetch_nearest(base, c[3], i[3], n);
+        }
+        for ((o, &c), &i) in oc
+            .into_remainder()
+            .iter_mut()
+            .zip(cc.remainder())
+            .zip(ic.remainder())
+        {
+            *o = self.fetch_nearest(base, c, i, n);
+        }
+    }
+
+    /// One nearest-index fetch lane of the gather: negative indices wrap
+    /// to huge values under the unsigned compare, so one test covers both
+    /// window edges; the conditional compiles to a select, not a branch,
+    /// and the masked fetch reads the trace head so it never faults.
+    #[inline(always)]
+    fn fetch_nearest(&self, base: usize, c: u32, i: i32, n: usize) -> f64 {
+        let inside = (i as usize) < n;
+        let v = self.data[base + self.bases[c as usize] + if inside { i as usize } else { 0 }];
+        if inside {
+            v
+        } else {
+            0.0
         }
     }
 
@@ -252,18 +281,43 @@ impl RfFrame {
         assert_eq!(channels.len(), out.len(), "one output slot per channel");
         let n = self.n_samples as u64;
         let tx_base = self.transmit_base(tx);
-        for ((o, &c), &t) in out.iter_mut().zip(channels).zip(delays) {
-            let base = tx_base + self.bases[c as usize];
-            let i0 = t.floor() as i64;
-            let frac = t - i0 as f64;
-            let in0 = (i0 as u64) < n;
-            let in1 = ((i0 + 1) as u64) < n;
-            let r0 = self.data[base + if in0 { i0 as usize } else { 0 }];
-            let r1 = self.data[base + if in1 { (i0 + 1) as usize } else { 0 }];
-            let v0 = if in0 { r0 } else { 0.0 };
-            let v1 = if in1 { r1 } else { 0.0 };
-            *o = v0 * (1.0 - frac) + v1 * frac;
+        // Same 4-lane unroll as the nearest gather: each lane's
+        // floor/blend arithmetic is per-element and independent, so the
+        // unroll stays bit-identical to the scalar loop.
+        let mut oc = out.chunks_exact_mut(4);
+        let mut cc = channels.chunks_exact(4);
+        let mut dc = delays.chunks_exact(4);
+        for ((o, c), t) in (&mut oc).zip(&mut cc).zip(&mut dc) {
+            o[0] = self.fetch_linear(tx_base, c[0], t[0], n);
+            o[1] = self.fetch_linear(tx_base, c[1], t[1], n);
+            o[2] = self.fetch_linear(tx_base, c[2], t[2], n);
+            o[3] = self.fetch_linear(tx_base, c[3], t[3], n);
         }
+        for ((o, &c), &t) in oc
+            .into_remainder()
+            .iter_mut()
+            .zip(cc.remainder())
+            .zip(dc.remainder())
+        {
+            *o = self.fetch_linear(tx_base, c, t, n);
+        }
+    }
+
+    /// One linear-interpolation fetch lane: the same floor/blend
+    /// arithmetic as [`RfFrame::sample_interp`], with branchless edge
+    /// masks on both neighbouring reads.
+    #[inline(always)]
+    fn fetch_linear(&self, tx_base: usize, c: u32, t: f64, n: u64) -> f64 {
+        let base = tx_base + self.bases[c as usize];
+        let i0 = t.floor() as i64;
+        let frac = t - i0 as f64;
+        let in0 = (i0 as u64) < n;
+        let in1 = ((i0 + 1) as u64) < n;
+        let r0 = self.data[base + if in0 { i0 as usize } else { 0 }];
+        let r1 = self.data[base + if in1 { (i0 + 1) as usize } else { 0 }];
+        let v0 = if in0 { r0 } else { 0.0 };
+        let v1 = if in1 { r1 } else { 0.0 };
+        v0 * (1.0 - frac) + v1 * frac
     }
 
     /// Sets every sample of every trace to `value` (no reallocation) —
